@@ -1,0 +1,135 @@
+use amo_sim::{Process, Registers, StepEvent};
+
+use crate::two_process::{TwoProcess, TwoProcessRole};
+
+/// Pairwise composition of the optimal two-process algorithm: processes
+/// `(1,2), (3,4), …` each share one static chunk of the jobs; an odd final
+/// process works its chunk alone.
+///
+/// This is the natural composition of \[26\]'s building block (see DESIGN.md
+/// substitutions): within a pair the dynamics are optimal (`chunk − 1`
+/// worst case), but across pairs nothing rebalances — if both members of a
+/// pair crash, their whole remaining chunk is lost. KKβ strictly dominates
+/// it in worst-case effectiveness for `m > 2`, which is experiment E6's
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PairsHybrid {
+    inner: TwoProcess,
+}
+
+impl PairsHybrid {
+    /// Builds the full fleet for `m` processes over `1..=n`.
+    ///
+    /// Cell `p − 1` is process `p`'s announcement register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n < m` (chunks must be non-empty).
+    pub fn fleet(n: u64, m: usize) -> Vec<PairsHybrid> {
+        assert!(m > 0, "need at least one process");
+        assert!(n >= m as u64, "need n >= m for non-empty chunks");
+        let pairs = m / 2;
+        let groups = pairs + usize::from(m % 2 == 1);
+        let mut fleet = Vec::with_capacity(m);
+        for g in 0..groups {
+            let lo = g as u64 * n / groups as u64 + 1;
+            let hi = (g as u64 + 1) * n / groups as u64;
+            let p1 = 2 * g + 1;
+            if p1 + 1 <= m {
+                fleet.push(PairsHybrid {
+                    inner: TwoProcess::new(p1, TwoProcessRole::Left, p1 - 1, p1, lo, hi),
+                });
+                fleet.push(PairsHybrid {
+                    inner: TwoProcess::new(p1 + 1, TwoProcessRole::Right, p1, p1 - 1, lo, hi),
+                });
+            } else {
+                fleet.push(PairsHybrid {
+                    inner: TwoProcess::new(p1, TwoProcessRole::Solo, p1 - 1, p1 - 1, lo, hi),
+                });
+            }
+        }
+        fleet
+    }
+
+    /// Cells needed by a fleet of `m` processes.
+    pub fn cells(m: usize) -> usize {
+        m
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for PairsHybrid {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        self.inner.step(mem)
+    }
+
+    fn pid(&self) -> usize {
+        Process::<R>::pid(&self.inner)
+    }
+
+    fn is_terminated(&self) -> bool {
+        Process::<R>::is_terminated(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::{CrashPlan, Engine, EngineLimits, RoundRobin, VecRegisters, WithCrashes};
+
+    fn run(n: u64, m: usize, plan: CrashPlan) -> amo_sim::Execution {
+        let fleet = PairsHybrid::fleet(n, m);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        Engine::new(VecRegisters::new(PairsHybrid::cells(m)), fleet, sched)
+            .run(EngineLimits::default())
+    }
+
+    #[test]
+    fn crash_free_loses_at_most_one_per_pair() {
+        for (n, m) in [(40u64, 4usize), (41, 5), (60, 6), (10, 2), (9, 3)] {
+            let exec = run(n, m, CrashPlan::none());
+            assert!(exec.violations().is_empty(), "n={n} m={m}");
+            let pairs = (m / 2) as u64;
+            assert!(
+                exec.effectiveness() >= n - pairs,
+                "n={n} m={m}: got {}",
+                exec.effectiveness()
+            );
+        }
+    }
+
+    #[test]
+    fn odd_process_is_solo_and_unaffected() {
+        // m = 3: pair (1,2) on the first chunk, solo 3 on the second.
+        let exec = run(30, 3, CrashPlan::at_steps([(1usize, 0u64), (2, 0)]));
+        // Pair fully crashed: its chunk (15 jobs) lost; solo does its 15.
+        assert_eq!(exec.effectiveness(), 15);
+    }
+
+    #[test]
+    fn double_crash_loses_whole_chunk() {
+        let exec = run(40, 4, CrashPlan::at_steps([(3usize, 0u64), (4, 0)]));
+        assert_eq!(exec.effectiveness(), 20, "second pair's chunk lost");
+        assert!(exec.violations().is_empty());
+    }
+
+    #[test]
+    fn single_crash_per_pair_is_nearly_harmless() {
+        let exec = run(40, 4, CrashPlan::at_steps([(2usize, 1u64), (4, 1)]));
+        // Each crashed member may hold one announced job hostage.
+        assert!(exec.effectiveness() >= 38);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= m")]
+    fn tiny_n_rejected() {
+        PairsHybrid::fleet(2, 3);
+    }
+
+    #[test]
+    fn fleet_pids_are_ordered() {
+        let fleet = PairsHybrid::fleet(20, 5);
+        for (i, p) in fleet.iter().enumerate() {
+            assert_eq!(Process::<VecRegisters>::pid(p), i + 1);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Unified runner producing [`AmoReport`]s for every comparator, so the
+//! comparison tables (experiment E6) are generated through one interface.
+
+use amo_core::{AmoReport, KkConfig};
+use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::{
+    AtomicRegisters, CrashPlan, Engine, EngineLimits, Execution, MemOrder, Process,
+    RandomScheduler, RoundRobin, Scheduler, VecRegisters, WithCrashes,
+};
+
+use crate::pairs::PairsHybrid;
+use crate::randomized::randomized_kk_fleet;
+use crate::tas::TasAmo;
+use crate::trivial::TrivialSplit;
+use crate::two_process::TwoProcess;
+
+/// The at-most-once comparators of experiment E6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmoBaselineKind {
+    /// Static `n/m` split (§2.2's trivial algorithm).
+    TrivialSplit,
+    /// The optimal two-process algorithm (forces `m = 2`).
+    TwoProcess,
+    /// Pairwise composition of the two-process algorithm.
+    PairsHybrid,
+    /// Test-and-set claiming (RMW; the `n − f` ceiling).
+    TasAmo,
+    /// KKβ with uniformly random candidate picks (ablation A4).
+    RandomizedKk(
+        /// Pick seed.
+        u64,
+    ),
+}
+
+impl AmoBaselineKind {
+    /// Label for table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AmoBaselineKind::TrivialSplit => "trivial-split",
+            AmoBaselineKind::TwoProcess => "two-process",
+            AmoBaselineKind::PairsHybrid => "pairs-hybrid",
+            AmoBaselineKind::TasAmo => "tas-amo",
+            AmoBaselineKind::RandomizedKk(_) => "randomized-kk",
+        }
+    }
+
+    /// Worst-case effectiveness of this comparator under `f` crashes (the
+    /// analytic prediction printed next to measurements in Table 6).
+    ///
+    /// `None` when no closed form applies (the randomized ablation shares
+    /// KKβ's bound).
+    pub fn predicted_effectiveness(&self, n: u64, m: usize, f: usize) -> Option<u64> {
+        match self {
+            AmoBaselineKind::TrivialSplit => {
+                Some((m.saturating_sub(f)) as u64 * (n / m as u64))
+            }
+            // Worst case loses exactly the meeting/stuck job: n − max(1, f).
+            AmoBaselineKind::TwoProcess => Some(n.saturating_sub((f as u64).max(1))),
+            AmoBaselineKind::PairsHybrid => {
+                // Adversary kills whole pairs first: each dead pair loses
+                // its chunk (≈ n / ⌈m/2⌉), a lone crash in a pair loses ≤ 1.
+                let groups = m / 2 + m % 2;
+                let dead_pairs = (f / 2) as u64;
+                let lone = (f % 2) as u64;
+                Some(
+                    n.saturating_sub(dead_pairs * (n / groups as u64))
+                        .saturating_sub(lone + groups as u64 - dead_pairs),
+                )
+            }
+            AmoBaselineKind::TasAmo => Some(n - f as u64),
+            AmoBaselineKind::RandomizedKk(_) => None,
+        }
+    }
+}
+
+/// Options shared by the baseline runners.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOptions {
+    /// Seeded random schedule; `None` = round-robin.
+    pub schedule_seed: Option<u64>,
+    /// Deterministic crash injection.
+    pub crash_plan: CrashPlan,
+    /// Step cap.
+    pub limits: EngineLimits,
+}
+
+impl BaselineOptions {
+    /// Random schedule from a seed.
+    pub fn random(seed: u64) -> Self {
+        Self { schedule_seed: Some(seed), ..Self::default() }
+    }
+
+    /// Adds a crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+}
+
+fn to_report(exec: Execution, label: &'static str) -> AmoReport {
+    AmoReport {
+        effectiveness: exec.effectiveness(),
+        violations: exec.violations(),
+        performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+        crashed: exec.crashed.clone(),
+        completed: exec.completed,
+        mem_work: exec.mem_work,
+        local_work: exec.local_work,
+        total_steps: exec.total_steps,
+        collisions: None,
+        scheduler_label: label,
+    }
+}
+
+fn run_generic<P: Process<VecRegisters>>(
+    cells: usize,
+    fleet: Vec<P>,
+    options: &BaselineOptions,
+    label: &'static str,
+) -> AmoReport {
+    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
+        cells: usize,
+        fleet: Vec<P>,
+        sched: S,
+        options: &BaselineOptions,
+        label: &'static str,
+    ) -> AmoReport {
+        let sched = WithCrashes::new(sched, options.crash_plan.clone());
+        let exec = Engine::new(VecRegisters::new(cells), fleet, sched).run(options.limits);
+        to_report(exec, label)
+    }
+    match options.schedule_seed {
+        Some(seed) => go(cells, fleet, RandomScheduler::new(seed), options, label),
+        None => go(cells, fleet, RoundRobin::new(), options, label),
+    }
+}
+
+/// Runs a comparator in the simulator.
+///
+/// [`AmoBaselineKind::TwoProcess`] requires `m == 2`; everything else
+/// accepts any `m ≥ 1` (with `n ≥ m`).
+///
+/// # Panics
+///
+/// Panics on invalid `(n, m)` combinations for the chosen kind.
+pub fn run_baseline_simulated(
+    kind: AmoBaselineKind,
+    n: usize,
+    m: usize,
+    options: BaselineOptions,
+) -> AmoReport {
+    let n64 = n as u64;
+    match kind {
+        AmoBaselineKind::TrivialSplit => {
+            let fleet: Vec<_> = (1..=m).map(|p| TrivialSplit::new(p, m, n64)).collect();
+            run_generic(0, fleet, &options, kind.label())
+        }
+        AmoBaselineKind::TwoProcess => {
+            assert_eq!(m, 2, "TwoProcess is defined for m = 2");
+            let (l, r) = TwoProcess::pair(n64);
+            run_generic(2, vec![l, r], &options, kind.label())
+        }
+        AmoBaselineKind::PairsHybrid => {
+            let fleet = PairsHybrid::fleet(n64, m);
+            run_generic(PairsHybrid::cells(m), fleet, &options, kind.label())
+        }
+        AmoBaselineKind::TasAmo => {
+            let fleet: Vec<_> = (1..=m).map(|p| TasAmo::new(p, m, n64)).collect();
+            run_generic(TasAmo::cells(n), fleet, &options, kind.label())
+        }
+        AmoBaselineKind::RandomizedKk(seed) => {
+            let config = KkConfig::new(n, m).expect("valid n/m");
+            let (layout, fleet) = randomized_kk_fleet(&config, seed, false);
+            run_generic(layout.cells(), fleet, &options, kind.label())
+        }
+    }
+}
+
+/// Runs a comparator on OS threads.
+pub fn run_baseline_threads(
+    kind: AmoBaselineKind,
+    n: usize,
+    m: usize,
+    crash_plan: CrashPlan,
+    order: MemOrder,
+) -> AmoReport {
+    let n64 = n as u64;
+    fn go<P: Process<AtomicRegisters> + Send>(
+        cells: usize,
+        fleet: Vec<P>,
+        crash_plan: CrashPlan,
+        order: MemOrder,
+        label: &'static str,
+    ) -> AmoReport {
+        let mem = AtomicRegisters::new(cells, order);
+        let exec = sim_run_threads(
+            &mem,
+            fleet,
+            ThreadOptions { crash_plan, max_steps_per_proc: None },
+        );
+        AmoReport {
+            effectiveness: exec.effectiveness(),
+            violations: exec.violations(),
+            performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+            crashed: exec.crashed.clone(),
+            completed: exec.completed,
+            mem_work: exec.mem_work,
+            local_work: exec.local_work,
+            total_steps: exec.per_proc_steps.iter().sum(),
+            collisions: None,
+            scheduler_label: label,
+        }
+    }
+    match kind {
+        AmoBaselineKind::TrivialSplit => {
+            let fleet: Vec<_> = (1..=m).map(|p| TrivialSplit::new(p, m, n64)).collect();
+            go(0, fleet, crash_plan, order, kind.label())
+        }
+        AmoBaselineKind::TwoProcess => {
+            assert_eq!(m, 2, "TwoProcess is defined for m = 2");
+            let (l, r) = TwoProcess::pair(n64);
+            go(2, vec![l, r], crash_plan, order, kind.label())
+        }
+        AmoBaselineKind::PairsHybrid => {
+            let fleet = PairsHybrid::fleet(n64, m);
+            go(PairsHybrid::cells(m), fleet, crash_plan, order, kind.label())
+        }
+        AmoBaselineKind::TasAmo => {
+            let fleet: Vec<_> = (1..=m).map(|p| TasAmo::new(p, m, n64)).collect();
+            go(TasAmo::cells(n), fleet, crash_plan, order, kind.label())
+        }
+        AmoBaselineKind::RandomizedKk(seed) => {
+            let config = KkConfig::new(n, m).expect("valid n/m");
+            let (layout, fleet) = randomized_kk_fleet(&config, seed, false);
+            go(layout.cells(), fleet, crash_plan, order, kind.label())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_safe_crash_free() {
+        for kind in [
+            AmoBaselineKind::TrivialSplit,
+            AmoBaselineKind::PairsHybrid,
+            AmoBaselineKind::TasAmo,
+            AmoBaselineKind::RandomizedKk(3),
+        ] {
+            let report = run_baseline_simulated(kind, 48, 4, BaselineOptions::random(1));
+            assert!(report.violations.is_empty(), "{}", kind.label());
+            assert!(report.completed, "{}", kind.label());
+        }
+        let two = run_baseline_simulated(AmoBaselineKind::TwoProcess, 48, 2, BaselineOptions::default());
+        assert!(two.violations.is_empty());
+        assert!(two.effectiveness >= 47);
+    }
+
+    #[test]
+    fn trivial_split_prediction_matches_measurement() {
+        let n = 100;
+        let m = 4;
+        let f = 2;
+        let report = run_baseline_simulated(
+            AmoBaselineKind::TrivialSplit,
+            n,
+            m,
+            BaselineOptions::default().with_crash_plan(CrashPlan::first_f_immediately(f)),
+        );
+        let predicted = AmoBaselineKind::TrivialSplit
+            .predicted_effectiveness(n as u64, m, f)
+            .unwrap();
+        assert_eq!(report.effectiveness, predicted);
+    }
+
+    #[test]
+    fn tas_prediction_is_n_minus_f() {
+        assert_eq!(
+            AmoBaselineKind::TasAmo.predicted_effectiveness(100, 4, 3),
+            Some(97)
+        );
+    }
+
+    #[test]
+    fn threads_run_all_kinds() {
+        for kind in [
+            AmoBaselineKind::TrivialSplit,
+            AmoBaselineKind::PairsHybrid,
+            AmoBaselineKind::TasAmo,
+            AmoBaselineKind::RandomizedKk(9),
+        ] {
+            let report =
+                run_baseline_threads(kind, 40, 4, CrashPlan::none(), MemOrder::SeqCst);
+            assert!(report.violations.is_empty(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m = 2")]
+    fn two_process_wrong_m_rejected() {
+        let _ = run_baseline_simulated(AmoBaselineKind::TwoProcess, 10, 3, BaselineOptions::default());
+    }
+}

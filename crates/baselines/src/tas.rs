@@ -1,0 +1,138 @@
+use amo_sim::{JobSpan, Process, Registers, StepEvent};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TasAmoPhase {
+    Claim,
+    Perform { job: u64 },
+}
+
+/// Test-and-set at-most-once: one claim bit per job; a process performs a
+/// job iff its atomic swap on the bit returns 0.
+///
+/// This realises the paper's §1 remark: *"one can associate a test-and-set
+/// bit with each job, ensuring that the job is assigned to the only process
+/// that successfully sets the shared bit"* — effectiveness-optimal
+/// (`n − f`: only a claim held by a crashed process is lost) but requiring
+/// read-modify-write registers, which the paper's algorithms deliberately
+/// avoid. Experiment E6 uses it as the effectiveness ceiling.
+///
+/// Layout: claim bits at cells `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TasAmo {
+    pid: usize,
+    n: u64,
+    start: u64,
+    scanned: u64,
+    phase: TasAmoPhase,
+    terminated: bool,
+}
+
+impl TasAmo {
+    /// Creates the claimer for process `pid` of `m` over `1..=n` (scan
+    /// starts at a per-process offset to reduce contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `pid ∉ 1..=m`, or `n == 0`.
+    pub fn new(pid: usize, m: usize, n: u64) -> Self {
+        assert!(m > 0 && (1..=m).contains(&pid) && n > 0);
+        let start = (pid as u64 - 1) * n / m as u64;
+        Self { pid, n, start, scanned: 0, phase: TasAmoPhase::Claim, terminated: false }
+    }
+
+    /// Cells needed over `n` jobs.
+    pub fn cells(n: usize) -> usize {
+        n
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for TasAmo {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        match self.phase {
+            TasAmoPhase::Claim => {
+                if self.scanned >= self.n {
+                    self.terminated = true;
+                    return StepEvent::Terminated;
+                }
+                let job = (self.start + self.scanned) % self.n + 1;
+                let cell = job as usize - 1;
+                let prev = mem.swap(cell, 1);
+                if prev == 0 {
+                    self.phase = TasAmoPhase::Perform { job };
+                } else {
+                    self.scanned += 1;
+                }
+                StepEvent::Rmw { cell }
+            }
+            TasAmoPhase::Perform { job } => {
+                self.scanned += 1;
+                self.phase = TasAmoPhase::Claim;
+                StepEvent::Perform { span: JobSpan::single(job) }
+            }
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::{CrashPlan, Engine, EngineLimits, RoundRobin, VecRegisters, WithCrashes};
+
+    fn run(n: u64, m: usize, plan: CrashPlan) -> amo_sim::Execution {
+        let fleet: Vec<_> = (1..=m).map(|p| TasAmo::new(p, m, n)).collect();
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        Engine::new(VecRegisters::new(TasAmo::cells(n as usize)), fleet, sched)
+            .run(EngineLimits::default())
+    }
+
+    #[test]
+    fn crash_free_performs_everything() {
+        let exec = run(50, 4, CrashPlan::none());
+        assert!(exec.violations().is_empty());
+        assert_eq!(exec.effectiveness(), 50, "TAS is effectiveness-optimal");
+    }
+
+    #[test]
+    fn each_crash_loses_at_most_one_job() {
+        // Crash f processes right after a claim (odd step counts land
+        // between swap and perform in the worst case).
+        for f in 1..=3usize {
+            let plan = CrashPlan::at_steps((1..=f).map(|p| (p, 1u64)));
+            let exec = run(60, 4, plan);
+            assert!(exec.violations().is_empty());
+            assert!(
+                exec.effectiveness() >= 60 - f as u64,
+                "f={f}: got {}",
+                exec.effectiveness()
+            );
+        }
+    }
+
+    #[test]
+    fn uses_rmw_not_plain_writes() {
+        let exec = run(10, 2, CrashPlan::none());
+        assert!(exec.mem_work.rmws > 0);
+        assert_eq!(exec.mem_work.writes, 0, "no plain writes at all");
+    }
+
+    #[test]
+    fn exhaustive_small_instance() {
+        use amo_sim::{explore, ExploreConfig};
+        let fleet: Vec<_> = (1..=2).map(|p| TasAmo::new(p, 2, 3)).collect();
+        let out = explore(
+            VecRegisters::new(3),
+            fleet,
+            ExploreConfig { max_crashes: 1, ..ExploreConfig::default() },
+        );
+        assert!(out.verified());
+        assert!(out.min_effectiveness.unwrap() >= 2, "n − f = 3 − 1");
+    }
+}

@@ -1,0 +1,113 @@
+use amo_sim::{JobSpan, Process, Registers, StepEvent};
+
+/// The trivial at-most-once algorithm of §2.2: split the `n` jobs into `m`
+/// static chunks, one per process, no communication.
+///
+/// At-most-once is immediate (chunks are disjoint); effectiveness collapses
+/// to `(m − f)·⌊n/m⌋` — a crash loses the victim's whole remaining chunk,
+/// which is the comparison point that motivates KKβ.
+///
+/// Uses no shared memory at all (each step is a local `do`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrivialSplit {
+    pid: usize,
+    next: u64,
+    hi: u64,
+    terminated: bool,
+}
+
+impl TrivialSplit {
+    /// Creates the worker for chunk `pid` of `m` over `1..=n`.
+    ///
+    /// Chunk boundaries follow §2.2's `n/m` split: process `p` owns
+    /// `((p−1)·n/m, p·n/m]` (integer division), so all chunks are within
+    /// one job of each other and cover `1..=n` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `pid ∉ 1..=m`.
+    pub fn new(pid: usize, m: usize, n: u64) -> Self {
+        assert!(m > 0 && (1..=m).contains(&pid), "pid {pid} out of 1..={m}");
+        let lo = (pid as u64 - 1) * n / m as u64 + 1;
+        let hi = pid as u64 * n / m as u64;
+        Self { pid, next: lo, hi, terminated: false }
+    }
+
+    /// Remaining jobs in this worker's chunk.
+    pub fn remaining(&self) -> u64 {
+        (self.hi + 1).saturating_sub(self.next)
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for TrivialSplit {
+    fn step(&mut self, _mem: &R) -> StepEvent {
+        if self.next > self.hi {
+            self.terminated = true;
+            return StepEvent::Terminated;
+        }
+        let job = self.next;
+        self.next += 1;
+        StepEvent::Perform { span: JobSpan::single(job) }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::{Engine, EngineLimits, RoundRobin, VecRegisters};
+
+    #[test]
+    fn chunks_partition_the_jobs() {
+        let n = 11u64;
+        let m = 3;
+        let mut covered = Vec::new();
+        for p in 1..=m {
+            let w = TrivialSplit::new(p, m, n);
+            covered.extend(w.next..=w.hi);
+        }
+        assert_eq!(covered, (1..=n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_fleet_performs_everything() {
+        let procs: Vec<_> = (1..=4).map(|p| TrivialSplit::new(p, 4, 20)).collect();
+        let exec = Engine::new(VecRegisters::new(0), procs, RoundRobin::new())
+            .run(EngineLimits::default());
+        assert!(exec.violations().is_empty());
+        assert_eq!(exec.effectiveness(), 20);
+        assert_eq!(exec.mem_work.total(), 0, "no shared memory used");
+    }
+
+    #[test]
+    fn crash_loses_whole_chunk() {
+        use amo_sim::{CrashPlan, WithCrashes};
+        let n = 20u64;
+        let procs: Vec<_> = (1..=4).map(|p| TrivialSplit::new(p, 4, n)).collect();
+        let sched = WithCrashes::new(RoundRobin::new(), CrashPlan::first_f_immediately(1));
+        let exec = Engine::new(VecRegisters::new(0), procs, sched).run(EngineLimits::default());
+        assert_eq!(exec.effectiveness(), 15, "(m-f) * n/m = 3 * 5");
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut w = TrivialSplit::new(1, 2, 10);
+        assert_eq!(w.remaining(), 5);
+        let mem = VecRegisters::new(0);
+        w.step(&mem);
+        assert_eq!(w.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn bad_pid_rejected() {
+        TrivialSplit::new(5, 4, 10);
+    }
+}

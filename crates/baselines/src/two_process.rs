@@ -1,0 +1,233 @@
+use amo_sim::{JobSpan, Process, Registers, StepEvent};
+
+/// Which end of the job range this process works from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoProcessRole {
+    /// Ascends from the low end (`l = lo, lo+1, …`).
+    Left,
+    /// Descends from the high end (`r = hi, hi−1, …`).
+    Right,
+    /// No partner: performs the whole range (used by
+    /// [`PairsHybrid`](crate::PairsHybrid) for an odd process count).
+    Solo,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Tp {
+    Announce,
+    ReadPeer,
+    Do,
+    End,
+}
+
+/// The optimal two-process at-most-once algorithm — the building block of
+/// the prior deterministic work (Kentros et al. \[26\], which achieves
+/// effectiveness `n − 1` for `m = 2`).
+///
+/// `Left` ascends, `Right` descends; each *announces* its candidate in its
+/// single-writer register before reading the peer's announcement, and
+/// performs the candidate only if the ranges have not met.
+///
+/// **At-most-once.** Suppose both perform job `j`. Left wrote `next_L = j`
+/// before reading `next_R > j`; announcements are monotone, so Right had
+/// not yet announced `j` at that read, i.e. `L.write(j) < L.read <
+/// R.write(j)`. Symmetrically `R.write(j) < R.read < L.write(j)` — a cycle;
+/// contradiction.
+///
+/// **Effectiveness `n − 1`.** Only the meeting job can be skipped by both
+/// (each seeing the other's announcement of it); a crashed peer freezes its
+/// announcement, so the survivor performs everything up to it — losing at
+/// most the one announced job (`n − f` with `f = 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TwoProcess {
+    pid: usize,
+    role: TwoProcessRole,
+    /// This process's announcement cell.
+    own_cell: usize,
+    /// The peer's announcement cell (ignored for `Solo`).
+    peer_cell: usize,
+    /// Range being shared with the peer.
+    lo: u64,
+    hi: u64,
+    /// Current candidate.
+    cur: u64,
+    /// Peer announcement as last read (mapped sentinel).
+    peer: u64,
+    phase: Tp,
+}
+
+impl TwoProcess {
+    /// Creates a worker over `lo..=hi` announcing in `own_cell` and reading
+    /// the peer from `peer_cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    pub fn new(
+        pid: usize,
+        role: TwoProcessRole,
+        own_cell: usize,
+        peer_cell: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid range {lo}..={hi}");
+        let cur = match role {
+            TwoProcessRole::Left | TwoProcessRole::Solo => lo,
+            TwoProcessRole::Right => hi,
+        };
+        Self { pid, role, own_cell, peer_cell, lo, hi, cur, peer: 0, phase: Tp::Announce }
+    }
+
+    /// Convenience pair over `1..=n` with cells `0` and `1` (pids 1 and 2).
+    pub fn pair(n: u64) -> (TwoProcess, TwoProcess) {
+        (
+            TwoProcess::new(1, TwoProcessRole::Left, 0, 1, 1, n),
+            TwoProcess::new(2, TwoProcessRole::Right, 1, 0, 1, n),
+        )
+    }
+
+    fn in_range(&self) -> bool {
+        (self.lo..=self.hi).contains(&self.cur)
+    }
+
+    /// Is the candidate safe given the peer's (sentinel-mapped) position?
+    fn safe(&self) -> bool {
+        match self.role {
+            TwoProcessRole::Left => self.cur < self.peer,
+            TwoProcessRole::Right => self.cur > self.peer,
+            TwoProcessRole::Solo => true,
+        }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for TwoProcess {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        match self.phase {
+            Tp::Announce => {
+                if !self.in_range() {
+                    self.phase = Tp::End;
+                    return StepEvent::Terminated;
+                }
+                mem.write(self.own_cell, self.cur);
+                self.phase = match self.role {
+                    TwoProcessRole::Solo => Tp::Do,
+                    _ => Tp::ReadPeer,
+                };
+                StepEvent::Write { cell: self.own_cell }
+            }
+            Tp::ReadPeer => {
+                let raw = mem.read(self.peer_cell);
+                // 0 = peer has not announced yet: no constraint.
+                self.peer = match (raw, self.role) {
+                    (0, TwoProcessRole::Left) => self.hi + 1,
+                    (0, _) => 0,
+                    (v, _) => v,
+                };
+                self.phase = if self.safe() { Tp::Do } else { Tp::End };
+                if self.phase == Tp::End {
+                    return StepEvent::Read { cell: self.peer_cell };
+                }
+                StepEvent::Read { cell: self.peer_cell }
+            }
+            Tp::Do => {
+                let job = self.cur;
+                match self.role {
+                    TwoProcessRole::Left | TwoProcessRole::Solo => self.cur += 1,
+                    TwoProcessRole::Right => {
+                        if self.cur == self.lo {
+                            // Avoid u64 underflow at the range floor.
+                            self.cur = 0;
+                        } else {
+                            self.cur -= 1;
+                        }
+                    }
+                }
+                self.phase = Tp::Announce;
+                StepEvent::Perform { span: JobSpan::single(job) }
+            }
+            Tp::End => StepEvent::Terminated,
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.phase == Tp::End
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::{
+        explore, CrashPlan, Engine, EngineLimits, ExploreConfig, RoundRobin, VecRegisters,
+        WithCrashes,
+    };
+
+    fn run_pair(n: u64, plan: CrashPlan) -> amo_sim::Execution {
+        let (l, r) = TwoProcess::pair(n);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        Engine::new(VecRegisters::new(2), vec![l, r], sched).run(EngineLimits::default())
+    }
+
+    #[test]
+    fn crash_free_round_robin_loses_at_most_one() {
+        for n in [1u64, 2, 3, 10, 101] {
+            let exec = run_pair(n, CrashPlan::none());
+            assert!(exec.violations().is_empty(), "n={n}");
+            assert!(exec.effectiveness() >= n - 1, "n={n}: {}", exec.effectiveness());
+        }
+    }
+
+    #[test]
+    fn crashed_peer_does_not_block_survivor() {
+        // Right crashes immediately: Left must perform all n jobs.
+        let exec = run_pair(50, CrashPlan::at_steps([(2usize, 0u64)]));
+        assert_eq!(exec.effectiveness(), 50);
+        // Right crashes after announcing job 50 (1 step): job 50 is stuck.
+        let exec = run_pair(50, CrashPlan::at_steps([(2usize, 1u64)]));
+        assert_eq!(exec.effectiveness(), 49, "n − f with f = 1");
+        assert!(exec.violations().is_empty());
+    }
+
+    #[test]
+    fn exhaustive_at_most_once_small() {
+        // Every interleaving and up-to-one crash for n ≤ 4.
+        for n in 1u64..=4 {
+            let (l, r) = TwoProcess::pair(n);
+            let out = explore(
+                VecRegisters::new(2),
+                vec![l, r],
+                ExploreConfig { max_crashes: 1, ..ExploreConfig::default() },
+            );
+            assert!(out.verified(), "n={n}: {:?}", out.violation);
+            assert!(
+                out.min_effectiveness.unwrap() >= n - 1,
+                "n={n}: min eff {}",
+                out.min_effectiveness.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn solo_role_performs_whole_range() {
+        let mut p = TwoProcess::new(1, TwoProcessRole::Solo, 0, 0, 3, 7);
+        let mem = VecRegisters::new(1);
+        let mut jobs = Vec::new();
+        while !Process::<VecRegisters>::is_terminated(&p) {
+            if let StepEvent::Perform { span } = p.step(&mem) {
+                jobs.push(span.lo);
+            }
+        }
+        assert_eq!(jobs, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn empty_range_rejected() {
+        TwoProcess::new(1, TwoProcessRole::Left, 0, 1, 5, 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates every table of the experiment index (DESIGN.md §3) in order.
+//! Pass `--quick` for the CI-scale grids; the full grids are the ones
+//! recorded in EXPERIMENTS.md.
+
+fn main() {
+    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
+    let started = std::time::Instant::now();
+    for table in amo_bench::experiments::run_all(scale) {
+        println!("{table}");
+    }
+    eprintln!("[exp_all] completed in {:.1?} ({scale:?})", started.elapsed());
+}

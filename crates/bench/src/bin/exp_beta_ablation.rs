@@ -1,0 +1,6 @@
+//! Regenerates table(s) for experiment: beta_ablation. Pass `--quick` for the CI grid.
+
+fn main() {
+    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
+    println!("{}", amo_bench::experiments::exp_beta_ablation(scale));
+}

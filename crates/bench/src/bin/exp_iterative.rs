@@ -1,0 +1,8 @@
+//! Regenerates table(s) for experiment: iterative. Pass `--quick` for the CI grid.
+
+fn main() {
+    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
+    for t in amo_bench::experiments::exp_iterative(scale) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,51 @@
+//! One module per experiment of the index in DESIGN.md §3.
+//!
+//! | id | module | paper artefact |
+//! |----|--------|----------------|
+//! | E1 | [`effectiveness`] | Theorem 4.4 (exact worst-case effectiveness) |
+//! | E2 | [`safety`] | Lemma 4.1 (at-most-once, all execution classes) |
+//! | E3 | [`work`] | Theorem 5.6 (work `O(nm log n log m)` at `β = 3m²`) |
+//! | E4 | [`iterative`] | Theorem 6.4 (IterativeKK effectiveness + work) |
+//! | E5 | [`write_all`] | Theorem 7.1 (Write-All work + baseline crossover) |
+//! | E6 | [`comparison`] | §1 ordering vs prior work |
+//! | E7 | [`collisions`] | Lemma 5.5 (pairwise collision bound) |
+//! | A1/A4 | [`ablations`] | DESIGN.md design-choice ablations |
+//! | E8 | [`threads`] | real-thread throughput + ordering ablation |
+
+pub mod ablations;
+pub mod collisions;
+pub mod comparison;
+pub mod effectiveness;
+pub mod iterative;
+pub mod safety;
+pub mod threads;
+pub mod work;
+pub mod write_all;
+
+pub use ablations::{exp_beta_ablation, exp_pick_ablation};
+pub use collisions::exp_collisions;
+pub use comparison::exp_comparison;
+pub use effectiveness::exp_effectiveness;
+pub use iterative::exp_iterative;
+pub use safety::exp_safety;
+pub use threads::exp_threads;
+pub use work::exp_work_kk;
+pub use write_all::exp_write_all;
+
+use crate::{Scale, Table};
+
+/// Runs every experiment and returns all tables in index order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.push(exp_effectiveness(scale));
+    tables.push(exp_safety(scale));
+    tables.push(exp_work_kk(scale));
+    tables.extend(exp_iterative(scale));
+    tables.extend(exp_write_all(scale));
+    tables.push(exp_comparison(scale));
+    tables.push(exp_collisions(scale));
+    tables.push(exp_beta_ablation(scale));
+    tables.push(exp_pick_ablation(scale));
+    tables.push(exp_threads(scale));
+    tables
+}

@@ -1,0 +1,135 @@
+//! E5 — Theorem 7.1: WA_IterativeKK(ε) solves Write-All with work
+//! `O(n + m^{3+ε}·log n)`; §7's comparison against the baselines.
+//!
+//! Table 5a sweeps `n` and `m` with and without crashes: WA_IterativeKK
+//! must always certify complete, with work/n flattening in `n`. Table 5b
+//! pits it against the baselines: who completes under crashes, at what
+//! work and redundancy — the shape to reproduce is that static partition
+//! *fails* under crashes, TAS needs RMW, the permutation scan pays `Θ(nm)`
+//! reads, and WA_IterativeKK completes with near-`n` work for small `m`.
+
+use amo_iterative::IterSimOptions;
+use amo_sim::CrashPlan;
+use amo_write_all::{run_baseline_simulated, run_wa_simulated, WaBaselineKind, WaConfig};
+
+use crate::{fmt_f64, fmt_ratio, Scale, Table};
+
+/// Runs E5 and returns Tables 5a and 5b.
+pub fn exp_write_all(scale: Scale) -> Vec<Table> {
+    let (ns, ms): (Vec<usize>, Vec<usize>) = match scale {
+        Scale::Quick => (vec![1 << 10, 1 << 12], vec![2, 4]),
+        Scale::Full => (vec![1 << 12, 1 << 14, 1 << 16], vec![2, 4, 8]),
+    };
+
+    let mut scaling = Table::new(
+        "Table 5a (E5, Thm 7.1): WA_IterativeKK(ε=1) completes; work/n flattens in n",
+        &["n", "m", "f", "complete", "work", "work/n", "work/envelope", "redundancy"],
+    );
+    for &n in &ns {
+        for &m in &ms {
+            let config = WaConfig::new(n, m, 1).expect("valid");
+            let mut fs = vec![0usize, m / 2, m - 1];
+            fs.dedup();
+            for f in fs {
+                let plan =
+                    CrashPlan::at_steps((1..=f).map(|p| (p, 40 * p as u64 + n as u64 / 8)));
+                let r = run_wa_simulated(
+                    &config,
+                    IterSimOptions::random(0xE5).with_crash_plan(plan),
+                );
+                assert!(r.complete, "Thm 7.1: must complete (n={n} m={m} f={f})");
+                scaling.row([
+                    n.to_string(),
+                    m.to_string(),
+                    f.to_string(),
+                    r.complete.to_string(),
+                    r.work().to_string(),
+                    fmt_f64(r.work() as f64 / n as f64),
+                    fmt_ratio(r.work() as f64, config.work_envelope()),
+                    fmt_f64(r.redundancy()),
+                ]);
+            }
+        }
+    }
+
+    let mut cmp = Table::new(
+        "Table 5b (E5, §7): Write-All algorithms under f = m−1 crashes (n fixed)",
+        &["algorithm", "n", "m", "f", "complete", "rmw?", "reads", "writes", "work", "redundancy"],
+    );
+    let n = match scale {
+        Scale::Quick => 1 << 10,
+        Scale::Full => 1 << 14,
+    };
+    for &m in &ms {
+        let f = m - 1;
+        let plan = || CrashPlan::at_steps((1..=f).map(|p| (p, 25 * p as u64 + 11)));
+        let mut rows: Vec<(String, amo_write_all::WaReport)> = Vec::new();
+        let config = WaConfig::new(n, m, 1).expect("valid");
+        rows.push((
+            "wa-iterative-kk".to_owned(),
+            run_wa_simulated(&config, IterSimOptions::random(5).with_crash_plan(plan())),
+        ));
+        for kind in [
+            WaBaselineKind::Sequential,
+            WaBaselineKind::StaticPartition,
+            WaBaselineKind::Tas,
+            WaBaselineKind::PermutationScan(7),
+        ] {
+            rows.push((
+                kind.label().to_owned(),
+                run_baseline_simulated(
+                    kind,
+                    n,
+                    m,
+                    IterSimOptions::random(5).with_crash_plan(plan()),
+                ),
+            ));
+        }
+        for (label, r) in rows {
+            cmp.row([
+                label,
+                n.to_string(),
+                m.to_string(),
+                f.to_string(),
+                r.complete.to_string(),
+                (r.mem_work.rmws > 0).to_string(),
+                r.mem_work.reads.to_string(),
+                r.mem_work.writes.to_string(),
+                r.work().to_string(),
+                fmt_f64(r.redundancy()),
+            ]);
+        }
+    }
+    vec![scaling, cmp]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_iterative_always_completes() {
+        let tables = exp_write_all(Scale::Quick);
+        for c in tables[0].column("complete") {
+            assert_eq!(c, "true");
+        }
+    }
+
+    #[test]
+    fn static_partition_fails_with_crashes_in_comparison() {
+        let tables = exp_write_all(Scale::Quick);
+        let cmp = &tables[1];
+        let algos = cmp.column("algorithm");
+        let complete = cmp.column("complete");
+        let mut saw_static_fail = false;
+        for i in 0..algos.len() {
+            if algos[i] == "static-partition" && complete[i] == "false" {
+                saw_static_fail = true;
+            }
+            if algos[i] == "wa-iterative-kk" {
+                assert_eq!(complete[i], "true");
+            }
+        }
+        assert!(saw_static_fail, "the fault-intolerant baseline must fail somewhere");
+    }
+}

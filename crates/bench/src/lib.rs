@@ -1,0 +1,46 @@
+//! Experiment harness: regenerates every quantitative claim of the paper as
+//! a measured table (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results).
+//!
+//! Each `exp_*` function returns [`Table`]s; the binaries under `src/bin/`
+//! print them (`cargo run --release -p amo-bench --bin exp_all`), and the
+//! criterion benches under `benches/` measure wall-clock on real threads.
+//!
+//! Every experiment takes a [`Scale`]: [`Scale::Quick`] keeps the harness
+//! runnable in CI and in `#[test]`s; [`Scale::Full`] is the configuration
+//! whose output is recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+
+pub mod experiments;
+
+pub use table::{fmt_f64, fmt_ratio, Table};
+
+/// Experiment scale: parameter grids for CI vs the recorded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small grids (seconds): used by tests and smoke runs.
+    Quick,
+    /// The full grids recorded in EXPERIMENTS.md (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick`/`--full` style argv; defaults to `Full`.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        for a in args {
+            if a == "--quick" || a == "-q" {
+                return Scale::Quick;
+            }
+        }
+        Scale::Full
+    }
+
+    /// `true` for [`Scale::Quick`].
+    pub fn is_quick(self) -> bool {
+        self == Scale::Quick
+    }
+}

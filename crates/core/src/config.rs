@@ -1,0 +1,244 @@
+use std::error::Error;
+use std::fmt;
+
+/// Problem-instance parameters for KKβ: `n` jobs, `m` processes, and the
+/// termination parameter `β`.
+///
+/// Invariants enforced at construction (paper §3):
+///
+/// * `n ≥ m ≥ 1` — at least as many jobs as processes (§2.2);
+/// * `β ≥ m` — required for *termination* (wait-freedom). Correctness
+///   (at-most-once) would hold for smaller `β`, but a process could then
+///   run forever, so such configurations are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use amo_core::KkConfig;
+///
+/// let c = KkConfig::new(1_000, 8)?; // β defaults to m (best effectiveness)
+/// assert_eq!(c.beta(), 8);
+/// assert_eq!(c.effectiveness_bound(), 1_000 - (8 + 8 - 2));
+///
+/// let w = KkConfig::with_beta(1_000, 8, KkConfig::work_optimal_beta(8))?;
+/// assert_eq!(w.beta(), 3 * 64); // β = 3m² enables the O(nm log n log m) work bound
+/// # Ok::<(), amo_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KkConfig {
+    n: usize,
+    m: usize,
+    beta: u64,
+}
+
+/// Rejected [`KkConfig`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `m` was zero.
+    NoProcesses,
+    /// `n < m`: fewer jobs than processes.
+    FewerJobsThanProcesses {
+        /// Requested job count.
+        n: usize,
+        /// Requested process count.
+        m: usize,
+    },
+    /// `β < m`: termination cannot be guaranteed (§3).
+    BetaTooSmall {
+        /// Requested termination parameter.
+        beta: u64,
+        /// Requested process count.
+        m: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoProcesses => write!(f, "at least one process is required"),
+            ConfigError::FewerJobsThanProcesses { n, m } => {
+                write!(f, "need n >= m jobs, got n = {n} < m = {m}")
+            }
+            ConfigError::BetaTooSmall { beta, m } => {
+                write!(f, "termination requires beta >= m, got beta = {beta} < m = {m}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+impl KkConfig {
+    /// Configuration with `β = m`, the effectiveness-optimal choice
+    /// (effectiveness `n − 2m + 2`, Theorem 4.4 with `β = m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0` or `n < m`.
+    pub fn new(n: usize, m: usize) -> Result<Self, ConfigError> {
+        Self::with_beta(n, m, m as u64)
+    }
+
+    /// Configuration with an explicit termination parameter `β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0`, `n < m`, or `β < m`.
+    pub fn with_beta(n: usize, m: usize, beta: u64) -> Result<Self, ConfigError> {
+        if m == 0 {
+            return Err(ConfigError::NoProcesses);
+        }
+        if n < m {
+            return Err(ConfigError::FewerJobsThanProcesses { n, m });
+        }
+        if beta < m as u64 {
+            return Err(ConfigError::BetaTooSmall { beta, m });
+        }
+        Ok(Self { n, m, beta })
+    }
+
+    /// Number of jobs `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processes `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Termination parameter `β`.
+    pub fn beta(&self) -> u64 {
+        self.beta
+    }
+
+    /// The `β = 3m²` setting under which Theorem 5.6 bounds work by
+    /// `O(n·m·log n·log m)`.
+    pub fn work_optimal_beta(m: usize) -> u64 {
+        3 * (m as u64) * (m as u64)
+    }
+
+    /// Theorem 4.4: worst-case effectiveness `n − (β + m − 2)` of KKβ
+    /// (saturating at zero).
+    pub fn effectiveness_bound(&self) -> u64 {
+        (self.n as u64).saturating_sub(self.beta + self.m as u64 - 2)
+    }
+
+    /// Theorem 2.1: the `n − f` upper bound on the effectiveness of *any*
+    /// at-most-once algorithm under `f` crashes.
+    pub fn effectiveness_upper_bound(&self, f: usize) -> u64 {
+        (self.n as u64).saturating_sub(f as u64)
+    }
+
+    /// The Theorem 5.6 work envelope `n·m·log₂n·log₂m` (unit constant),
+    /// against which measured work is normalised in experiment E3.
+    ///
+    /// Logarithms are clamped to at least 1 so the envelope is meaningful
+    /// for tiny instances.
+    pub fn work_envelope(&self) -> f64 {
+        let n = self.n as f64;
+        let m = self.m as f64;
+        n * m * n.log2().max(1.0) * m.log2().max(1.0)
+    }
+
+    /// Effectiveness of the trivial static-split algorithm,
+    /// `(m − f)·(n / m)` (§2.2), for comparison tables.
+    pub fn trivial_split_effectiveness(&self, f: usize) -> u64 {
+        ((self.m - f.min(self.m)) as u64) * (self.n as u64 / self.m as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_beta_is_m() {
+        let c = KkConfig::new(10, 3).unwrap();
+        assert_eq!((c.n(), c.m(), c.beta()), (10, 3, 3));
+    }
+
+    #[test]
+    fn zero_processes_rejected() {
+        assert_eq!(KkConfig::new(10, 0), Err(ConfigError::NoProcesses));
+    }
+
+    #[test]
+    fn fewer_jobs_than_processes_rejected() {
+        assert_eq!(
+            KkConfig::new(2, 5),
+            Err(ConfigError::FewerJobsThanProcesses { n: 2, m: 5 })
+        );
+    }
+
+    #[test]
+    fn small_beta_rejected() {
+        assert_eq!(
+            KkConfig::with_beta(10, 4, 3),
+            Err(ConfigError::BetaTooSmall { beta: 3, m: 4 })
+        );
+    }
+
+    #[test]
+    fn effectiveness_bound_matches_theorem_4_4() {
+        // E(n, m, f) = n − (β + m − 2)
+        let c = KkConfig::with_beta(100, 5, 5).unwrap();
+        assert_eq!(c.effectiveness_bound(), 100 - (5 + 5 - 2));
+        let c = KkConfig::with_beta(100, 5, 75).unwrap();
+        assert_eq!(c.effectiveness_bound(), 100 - (75 + 5 - 2));
+    }
+
+    #[test]
+    fn effectiveness_bound_saturates() {
+        let c = KkConfig::with_beta(10, 5, 10).unwrap();
+        // n − (β + m − 2) = 10 − 13 < 0 → 0
+        assert_eq!(c.effectiveness_bound(), 0);
+    }
+
+    #[test]
+    fn upper_bound_is_n_minus_f() {
+        let c = KkConfig::new(50, 4).unwrap();
+        assert_eq!(c.effectiveness_upper_bound(0), 50);
+        assert_eq!(c.effectiveness_upper_bound(3), 47);
+    }
+
+    #[test]
+    fn work_optimal_beta_is_3m_squared() {
+        assert_eq!(KkConfig::work_optimal_beta(1), 3);
+        assert_eq!(KkConfig::work_optimal_beta(4), 48);
+        assert_eq!(KkConfig::work_optimal_beta(10), 300);
+    }
+
+    #[test]
+    fn trivial_split_formula() {
+        let c = KkConfig::new(100, 4).unwrap();
+        assert_eq!(c.trivial_split_effectiveness(0), 100);
+        assert_eq!(c.trivial_split_effectiveness(1), 75);
+        assert_eq!(c.trivial_split_effectiveness(4), 0);
+        assert_eq!(c.trivial_split_effectiveness(99), 0, "f clamps at m");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = KkConfig::new(2, 5).unwrap_err();
+        assert!(e.to_string().contains("n = 2"));
+        let e = KkConfig::with_beta(10, 4, 1).unwrap_err();
+        assert!(e.to_string().contains("beta = 1"));
+    }
+
+    #[test]
+    fn work_envelope_positive_and_monotone() {
+        let small = KkConfig::new(64, 2).unwrap().work_envelope();
+        let big = KkConfig::new(1024, 2).unwrap().work_envelope();
+        assert!(small > 0.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn single_process_config_valid() {
+        let c = KkConfig::new(5, 1).unwrap();
+        assert_eq!(c.beta(), 1);
+        // n − (1 + 1 − 2) = n: a lone process performs everything.
+        assert_eq!(c.effectiveness_bound(), 5);
+    }
+}

@@ -1,0 +1,1062 @@
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use amo_ostree::{rank_excluding, FenwickSet};
+use amo_sim::{JobSpan, Process, Registers, StepEvent};
+
+use crate::config::KkConfig;
+use crate::layout::KkLayout;
+
+/// Which variant of the automaton runs (§3 vs §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KkMode {
+    /// Plain KKβ (Fig. 1–2): terminate silently when `|FREE \ TRY| < β`.
+    Plain,
+    /// `IterStepKK` (§6): a shared termination flag is set by the first
+    /// process that runs out of candidates, every process re-checks the flag
+    /// before each `do`, and a terminating process performs a final gather
+    /// and emits an *output set* for the next iteration stage.
+    IterStep {
+        /// `true` → output `FREE` (the Write-All variant `WA_IterStepKK`,
+        /// §7); `false` → output `FREE \ TRY` (§6).
+        output_free: bool,
+    },
+}
+
+/// How a universe identifier translates into performed jobs.
+///
+/// Plain KKβ performs job `i` for identifier `i`; the iterated algorithms
+/// run KKβ over *super-jobs* — blocks of consecutive jobs — so identifier
+/// `k` performs the whole block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanMap {
+    /// Identifier `i` is job `i`.
+    Identity,
+    /// Identifier `k` is the block `[(k−1)·size + 1, min(k·size, total_jobs)]`.
+    Blocks {
+        /// Jobs per block.
+        size: u64,
+        /// Total jobs `n` (the last block may be partial).
+        total_jobs: u64,
+    },
+}
+
+impl SpanMap {
+    /// The jobs performed by a `do` on identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero or maps outside `1..=total_jobs`.
+    pub fn span(&self, id: u64) -> JobSpan {
+        match *self {
+            SpanMap::Identity => JobSpan::single(id),
+            SpanMap::Blocks { size, total_jobs } => {
+                let lo = (id - 1) * size + 1;
+                let hi = (id * size).min(total_jobs);
+                JobSpan::new(lo, hi)
+            }
+        }
+    }
+}
+
+/// How `compNext` chooses the candidate's rank inside `FREE \ TRY`
+/// (ablation A4, DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PickRule {
+    /// The paper's deterministic rank-splitting (Fig. 2).
+    RankSplit,
+    /// Uniformly random rank, from an embedded xorshift64 state —
+    /// the randomized ablation isolating the value of rank-splitting.
+    /// Safety is unaffected (the `check` logic is unchanged); collision
+    /// behaviour and work change.
+    Uniform {
+        /// Current xorshift64 state (must be non-zero).
+        state: u64,
+    },
+}
+
+impl PickRule {
+    /// A uniform rule seeded per process.
+    pub fn uniform(seed: u64) -> Self {
+        PickRule::Uniform { state: seed | 1 }
+    }
+
+    /// Draws the 1-based rank to pick among `avail` candidates; advances
+    /// the internal state for `Uniform`.
+    fn pick(&mut self, pid: u64, m: u64, f_len: u64, avail: u64) -> u64 {
+        match self {
+            PickRule::RankSplit => {
+                // TMP ← (|FREE| − (m−1)) / m; if TMP ≥ 1 use the rank-split
+                // index ⌊(p−1)·TMP⌋ + 1, else fall back to rank p.
+                let num = f_len.saturating_sub(m - 1);
+                if num >= m {
+                    (pid - 1) * num / m + 1
+                } else {
+                    pid
+                }
+            }
+            PickRule::Uniform { state } => {
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                x % avail + 1
+            }
+        }
+    }
+}
+
+/// The `STATUS` component of the automaton state (Fig. 1), plus the §6
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KkPhase {
+    /// `comp_next`: choose the next candidate by rank-splitting.
+    CompNext,
+    /// `set_next`: announce the candidate in `next_p`.
+    SetNext,
+    /// `gather_try`: read the other processes' announcements.
+    GatherTry,
+    /// `gather_done`: read the other processes' completion logs.
+    GatherDone,
+    /// `check`: is the candidate safe to perform?
+    Check,
+    /// IterStep only: read the shared termination flag before `do`.
+    FlagRead,
+    /// `do`: perform the candidate.
+    Do,
+    /// `done`: log the completed candidate in `done_{p,POS(p)}`.
+    DoneWrite,
+    /// IterStep only: raise the shared termination flag.
+    SetFlag,
+    /// IterStep only: terminal re-read of the announcements.
+    FinalGatherTry,
+    /// IterStep only: terminal re-read of the completion logs.
+    FinalGatherDone,
+    /// IterStep only: compute the output set and terminate.
+    Output,
+    /// `end`: terminated.
+    End,
+}
+
+/// The KKβ I/O automaton of one process — a field-for-field transcription of
+/// paper Fig. 1 (state) and Fig. 2 (transitions).
+///
+/// Deviation D4 (DESIGN.md): `gatherDone` checks `POS(q) ≤ n` *before*
+/// reading `done_{q,POS(q)}` instead of after, because reading out of bounds
+/// is not expressible in safe Rust; the read value is ignored in that case
+/// either way, so the behaviour is identical.
+///
+/// # Examples
+///
+/// Stepping a single process by hand in the simulator:
+///
+/// ```
+/// use amo_core::{KkConfig, KkLayout, KkPhase, KkProcess};
+/// use amo_sim::{Process, VecRegisters};
+///
+/// let config = KkConfig::new(4, 1)?;
+/// let layout = KkLayout::contiguous(1, 4, false);
+/// let mem = VecRegisters::new(layout.cells());
+/// let mut p = KkProcess::from_config(1, &config, layout);
+/// assert_eq!(p.phase(), KkPhase::CompNext);
+/// while !p.is_terminated() {
+///     p.step(&mem);
+/// }
+/// // A lone process with β = m = 1 performs all n jobs.
+/// assert_eq!(p.performs(), 4);
+/// # Ok::<(), amo_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KkProcess {
+    pid: usize,
+    m: usize,
+    beta: u64,
+    layout: KkLayout,
+    mode: KkMode,
+    span_map: SpanMap,
+
+    pick_rule: PickRule,
+    phase: KkPhase,
+    free: FenwickSet,
+    done_set: FenwickSet,
+    /// `TRY`, kept sorted; `|TRY| ≤ m − 1` by construction.
+    try_set: Vec<u64>,
+    /// `POS(q)` for `q ∈ 1..=m` at index `q − 1`; 1-based log positions.
+    pos: Vec<u64>,
+    /// `NEXT` (0 = undefined, matching the paper's init).
+    next_job: u64,
+    /// `Q` loop index, `1..=m`.
+    q: usize,
+    /// Output set of the IterStep variant, available after termination.
+    output: Option<FenwickSet>,
+
+    // ---- instrumentation (excluded from Eq/Hash) ----
+    track_collisions: bool,
+    /// Source pid aligned with `try_set` (collision attribution).
+    try_src: Vec<usize>,
+    /// Source pid per entry of `done_set` (collision attribution).
+    done_src: HashMap<u64, usize>,
+    /// Collisions detected against each other process, index `q − 1`.
+    collisions_with: Vec<u64>,
+    local_ops: u64,
+    performs: u64,
+}
+
+impl KkProcess {
+    /// A plain-mode process for a whole [`KkConfig`] instance
+    /// (`FREE = J = 1..=n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ∉ 1..=m` or the layout does not match the config.
+    pub fn from_config(pid: usize, config: &KkConfig, layout: KkLayout) -> Self {
+        Self::new(
+            pid,
+            config.m(),
+            config.beta(),
+            layout,
+            FenwickSet::with_all(config.n()),
+            KkMode::Plain,
+            SpanMap::Identity,
+        )
+    }
+
+    /// Fully general constructor, used by the iterated algorithms: an
+    /// arbitrary initial `FREE ⊆ 1..=layout.n()`, a mode, and a span map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ∉ 1..=m`, the layout's `m`/`n` disagree with the
+    /// arguments, `β < m`, or IterStep mode is requested without a flag cell.
+    pub fn new(
+        pid: usize,
+        m: usize,
+        beta: u64,
+        layout: KkLayout,
+        free: FenwickSet,
+        mode: KkMode,
+        span_map: SpanMap,
+    ) -> Self {
+        assert!((1..=m).contains(&pid), "pid {pid} out of 1..={m}");
+        assert_eq!(layout.m(), m, "layout process count mismatch");
+        assert_eq!(layout.n(), free.universe(), "layout universe mismatch");
+        assert!(beta >= m as u64, "beta {beta} < m {m}: termination not guaranteed");
+        if matches!(mode, KkMode::IterStep { .. }) {
+            assert!(layout.flag_cell().is_some(), "IterStep mode requires a flag cell");
+        }
+        let n = layout.n();
+        Self {
+            pid,
+            m,
+            beta,
+            layout,
+            mode,
+            span_map,
+            pick_rule: PickRule::RankSplit,
+            phase: KkPhase::CompNext,
+            free,
+            done_set: FenwickSet::new(n),
+            try_set: Vec::with_capacity(m),
+            pos: vec![1; m],
+            next_job: 0,
+            q: 1,
+            output: None,
+            track_collisions: false,
+            try_src: Vec::new(),
+            done_src: HashMap::new(),
+            collisions_with: vec![0; m],
+            local_ops: 0,
+            performs: 0,
+        }
+    }
+
+    /// Enables per-pair collision counting (experiment E7 / Lemma 5.5).
+    pub fn with_collision_tracking(mut self) -> Self {
+        self.track_collisions = true;
+        self
+    }
+
+    /// Replaces the candidate-selection rule (ablation A4).
+    pub fn with_pick_rule(mut self, rule: PickRule) -> Self {
+        self.pick_rule = rule;
+        self
+    }
+
+    /// Current automaton phase.
+    pub fn phase(&self) -> KkPhase {
+        self.phase
+    }
+
+    /// `true` once the automaton reached `end` (inherent twin of the
+    /// [`Process`] trait method, callable without naming a register type).
+    pub fn is_terminated(&self) -> bool {
+        self.phase == KkPhase::End
+    }
+
+    /// Local basic operations executed so far (inherent twin of the
+    /// [`Process`] trait method).
+    pub fn local_work(&self) -> u64 {
+        self.local_ops + self.free.ops() + self.done_set.ops()
+    }
+
+    /// The announced candidate (`NEXT`), if one has been computed.
+    pub fn current_job(&self) -> Option<u64> {
+        (self.next_job != 0).then_some(self.next_job)
+    }
+
+    /// `true` once the process has written its current candidate to
+    /// `next_p` (i.e. it is at or past `gather_try` in this cycle).
+    pub fn has_announced(&self) -> bool {
+        matches!(
+            self.phase,
+            KkPhase::GatherTry | KkPhase::GatherDone | KkPhase::Check | KkPhase::FlagRead
+        )
+    }
+
+    /// Number of `do` actions executed.
+    pub fn performs(&self) -> u64 {
+        self.performs
+    }
+
+    /// Size of the current `FREE` estimate.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Size of the current `DONE` estimate.
+    pub fn done_len(&self) -> usize {
+        self.done_set.len()
+    }
+
+    /// `true` if this process already knows `job` to be performed (it is in
+    /// its `DONE` estimate). Used by the omniscient adversaries of §5.
+    pub fn has_done(&self, job: u64) -> bool {
+        self.done_set.contains(job)
+    }
+
+    /// Collisions detected against each other process (index `q − 1`);
+    /// meaningful only with collision tracking enabled.
+    pub fn collisions_with(&self) -> &[u64] {
+        &self.collisions_with
+    }
+
+    /// The IterStep output set (`FREE \ TRY`, or `FREE` in the WA variant);
+    /// `Some` only after termination in IterStep mode.
+    pub fn output(&self) -> Option<&FenwickSet> {
+        self.output.as_ref()
+    }
+
+    /// Consumes the process and returns the IterStep output set.
+    pub fn into_output(self) -> Option<FenwickSet> {
+        self.output
+    }
+
+    /// Checks the state invariants the paper's analysis relies on.
+    ///
+    /// * `FREE ∩ DONE = ∅` — a job leaves `FREE` exactly when it enters
+    ///   `DONE` (§3's set maintenance);
+    /// * `|TRY| ≤ m − 1`, sorted, within the universe — one announcement
+    ///   slot per other process;
+    /// * `Q ∈ 1..=m`, `POS(q) ∈ 1..=n+1` — loop and log cursors in range;
+    /// * `NEXT` is defined in every phase that uses it.
+    ///
+    /// Intended for tests and the exhaustive explorer (it walks `TRY`
+    /// and is `O(|TRY|·log n)`); production steps do not call it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.layout.n() as u64;
+        for t in &self.try_set {
+            if self.done_set.contains(*t) && self.free.contains(*t) {
+                return Err(format!("job {t} in both FREE and DONE"));
+            }
+        }
+        // FREE ∩ DONE emptiness via sizes: every done job was removed from
+        // free by done_insert, so |FREE| + |DONE| ≤ n always.
+        if self.free.len() + self.done_set.len() > self.layout.n() {
+            return Err(format!(
+                "|FREE| + |DONE| = {} + {} exceeds n = {}",
+                self.free.len(),
+                self.done_set.len(),
+                self.layout.n()
+            ));
+        }
+        if self.try_set.len() > self.m.saturating_sub(1) {
+            return Err(format!("|TRY| = {} > m − 1", self.try_set.len()));
+        }
+        if self.try_set.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("TRY not strictly sorted".to_owned());
+        }
+        if self.try_set.iter().any(|&v| v == 0 || v > n) {
+            return Err("TRY holds an out-of-universe id".to_owned());
+        }
+        if !(1..=self.m).contains(&self.q) {
+            return Err(format!("Q = {} out of 1..={}", self.q, self.m));
+        }
+        for (i, &pos) in self.pos.iter().enumerate() {
+            if pos == 0 || pos > n + 1 {
+                return Err(format!("POS({}) = {pos} out of 1..={}", i + 1, n + 1));
+            }
+        }
+        let needs_next = matches!(
+            self.phase,
+            KkPhase::SetNext
+                | KkPhase::GatherTry
+                | KkPhase::GatherDone
+                | KkPhase::Check
+                | KkPhase::FlagRead
+                | KkPhase::Do
+                | KkPhase::DoneWrite
+        );
+        if needs_next && (self.next_job == 0 || self.next_job > n) {
+            return Err(format!("NEXT = {} undefined in phase {:?}", self.next_job, self.phase));
+        }
+        if self.output.is_some() && self.phase != KkPhase::End {
+            return Err("output set before termination".to_owned());
+        }
+        Ok(())
+    }
+
+    // ---- transitions (Fig. 2) ----
+
+    /// `compNext_p`.
+    fn comp_next(&mut self) -> StepEvent {
+        self.local_ops += 1;
+        let in_free = self.try_set.iter().filter(|&&t| self.free.contains(t)).count();
+        let avail = (self.free.len() - in_free) as u64;
+        if avail >= self.beta {
+            let f_len = self.free.len() as u64;
+            let m = self.m as u64;
+            let p = self.pid as u64;
+            let idx = self.pick_rule.pick(p, m, f_len, avail);
+            self.next_job = rank_excluding(&self.free, &self.try_set, idx as usize)
+                .expect("rank index within FREE \\ TRY (see §3 bounds)");
+            self.q = 1;
+            self.try_set.clear();
+            self.try_src.clear();
+            self.phase = KkPhase::SetNext;
+            StepEvent::Local
+        } else {
+            match self.mode {
+                KkMode::Plain => {
+                    self.phase = KkPhase::End;
+                    StepEvent::Terminated
+                }
+                KkMode::IterStep { .. } => {
+                    self.phase = KkPhase::SetFlag;
+                    StepEvent::Local
+                }
+            }
+        }
+    }
+
+    /// `setNext_p`.
+    fn set_next<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
+        let cell = self.layout.next_cell(self.pid);
+        mem.write(cell, self.next_job);
+        self.phase = KkPhase::GatherTry;
+        StepEvent::Write { cell }
+    }
+
+    /// One iteration of the `gatherTry_p` loop.
+    fn gather_try<R: Registers + ?Sized>(&mut self, mem: &R, terminal: bool) -> StepEvent {
+        let event = if self.q != self.pid {
+            let cell = self.layout.next_cell(self.q);
+            let v = mem.read(cell);
+            if v > 0 {
+                self.try_insert(v, self.q);
+            }
+            StepEvent::Read { cell }
+        } else {
+            StepEvent::Local
+        };
+        if self.q + 1 <= self.m {
+            self.q += 1;
+        } else {
+            self.q = 1;
+            self.phase = if terminal { KkPhase::FinalGatherDone } else { KkPhase::GatherDone };
+        }
+        event
+    }
+
+    /// One iteration of the `gatherDone_p` loop.
+    fn gather_done<R: Registers + ?Sized>(&mut self, mem: &R, terminal: bool) -> StepEvent {
+        let n = self.layout.n() as u64;
+        let mut event = StepEvent::Local;
+        if self.q != self.pid {
+            let pos_q = self.pos[self.q - 1];
+            if pos_q <= n {
+                let cell = self.layout.done_cell(self.q, pos_q);
+                let v = mem.read(cell);
+                event = StepEvent::Read { cell };
+                if v > 0 {
+                    self.done_insert(v, self.q);
+                    self.pos[self.q - 1] += 1;
+                    // Stay on the same row: more entries may follow.
+                } else {
+                    self.q += 1;
+                }
+            } else {
+                self.q += 1;
+            }
+        } else {
+            self.q += 1;
+        }
+        if self.q > self.m {
+            self.q = 1;
+            self.phase = if terminal { KkPhase::Output } else { KkPhase::Check };
+        }
+        event
+    }
+
+    /// `check_p`.
+    fn check(&mut self) -> StepEvent {
+        self.local_ops += 1;
+        let try_hit = self.try_set.binary_search(&self.next_job).ok();
+        let done_hit = self.done_set.contains(self.next_job);
+        if try_hit.is_none() && !done_hit {
+            self.phase = match self.mode {
+                KkMode::Plain => KkPhase::Do,
+                KkMode::IterStep { .. } => KkPhase::FlagRead,
+            };
+        } else {
+            if self.track_collisions {
+                let src = try_hit
+                    .map(|i| self.try_src[i])
+                    .or_else(|| self.done_src.get(&self.next_job).copied());
+                if let Some(src) = src {
+                    if src != self.pid {
+                        self.collisions_with[src - 1] += 1;
+                    }
+                }
+            }
+            self.phase = KkPhase::CompNext;
+        }
+        StepEvent::Local
+    }
+
+    /// IterStep: read the shared termination flag before performing.
+    fn flag_read<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
+        let cell = self.layout.flag_cell().expect("IterStep layout has a flag");
+        let v = mem.read(cell);
+        if v == 0 {
+            self.phase = KkPhase::Do;
+        } else {
+            self.begin_final_gather();
+        }
+        StepEvent::Read { cell }
+    }
+
+    /// `do_{p,j}`.
+    fn do_job(&mut self) -> StepEvent {
+        self.performs += 1;
+        let span = self.span_map.span(self.next_job);
+        self.phase = KkPhase::DoneWrite;
+        StepEvent::Perform { span }
+    }
+
+    /// `done_p`.
+    fn done_write<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
+        let pos_p = self.pos[self.pid - 1];
+        let cell = self.layout.done_cell(self.pid, pos_p);
+        mem.write(cell, self.next_job);
+        self.done_insert(self.next_job, self.pid);
+        self.pos[self.pid - 1] += 1;
+        self.phase = KkPhase::CompNext;
+        StepEvent::Write { cell }
+    }
+
+    /// IterStep: raise the shared termination flag.
+    fn set_flag<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
+        let cell = self.layout.flag_cell().expect("IterStep layout has a flag");
+        mem.write(cell, 1);
+        self.begin_final_gather();
+        StepEvent::Write { cell }
+    }
+
+    /// IterStep: compute the output set and terminate.
+    fn output_and_end(&mut self) -> StepEvent {
+        self.local_ops += 1;
+        let output_free = match self.mode {
+            KkMode::IterStep { output_free } => output_free,
+            KkMode::Plain => unreachable!("Output phase is IterStep-only"),
+        };
+        let mut out = self.free.clone();
+        if !output_free {
+            for &t in &self.try_set {
+                out.remove(t);
+            }
+        }
+        self.output = Some(out);
+        self.phase = KkPhase::End;
+        StepEvent::Terminated
+    }
+
+    fn begin_final_gather(&mut self) {
+        self.try_set.clear();
+        self.try_src.clear();
+        self.q = 1;
+        self.phase = KkPhase::FinalGatherTry;
+    }
+
+    fn try_insert(&mut self, v: u64, src: usize) {
+        self.local_ops += 1;
+        match self.try_set.binary_search(&v) {
+            Ok(_) => {}
+            Err(i) => {
+                self.try_set.insert(i, v);
+                if self.track_collisions {
+                    self.try_src.insert(i, src);
+                }
+            }
+        }
+    }
+
+    fn done_insert(&mut self, v: u64, src: usize) {
+        if self.done_set.insert(v) {
+            self.free.remove(v);
+            if self.track_collisions {
+                self.done_src.insert(v, src);
+            }
+        }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for KkProcess {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        debug_assert!(self.phase != KkPhase::End, "stepped after termination");
+        match self.phase {
+            KkPhase::CompNext => self.comp_next(),
+            KkPhase::SetNext => self.set_next(mem),
+            KkPhase::GatherTry => self.gather_try(mem, false),
+            KkPhase::GatherDone => self.gather_done(mem, false),
+            KkPhase::Check => self.check(),
+            KkPhase::FlagRead => self.flag_read(mem),
+            KkPhase::Do => self.do_job(),
+            KkPhase::DoneWrite => self.done_write(mem),
+            KkPhase::SetFlag => self.set_flag(mem),
+            KkPhase::FinalGatherTry => self.gather_try(mem, true),
+            KkPhase::FinalGatherDone => self.gather_done(mem, true),
+            KkPhase::Output => self.output_and_end(),
+            KkPhase::End => StepEvent::Terminated,
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        KkProcess::is_terminated(self)
+    }
+
+    fn local_work(&self) -> u64 {
+        KkProcess::local_work(self)
+    }
+}
+
+// Equality and hashing cover the *semantic* state (everything the automaton's
+// future behaviour depends on) and exclude instrumentation counters, so the
+// exhaustive explorer merges states that differ only in bookkeeping.
+impl PartialEq for KkProcess {
+    fn eq(&self, other: &Self) -> bool {
+        self.pid == other.pid
+            && self.m == other.m
+            && self.beta == other.beta
+            && self.mode == other.mode
+            && self.pick_rule == other.pick_rule
+            && self.phase == other.phase
+            && self.next_job == other.next_job
+            && self.q == other.q
+            && self.try_set == other.try_set
+            && self.pos == other.pos
+            && self.free == other.free
+            && self.done_set == other.done_set
+            && self.output == other.output
+    }
+}
+
+impl Eq for KkProcess {}
+
+impl Hash for KkProcess {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pid.hash(state);
+        self.pick_rule.hash(state);
+        self.phase.hash(state);
+        self.next_job.hash(state);
+        self.q.hash(state);
+        self.try_set.hash(state);
+        self.pos.hash(state);
+        self.free.hash(state);
+        self.done_set.hash(state);
+        self.output.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::VecRegisters;
+
+    fn single(n: usize) -> (KkProcess, VecRegisters) {
+        let config = KkConfig::new(n, 1).unwrap();
+        let layout = KkLayout::contiguous(1, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        (KkProcess::from_config(1, &config, layout), mem)
+    }
+
+    fn drive(p: &mut KkProcess, mem: &VecRegisters) -> Vec<JobSpan> {
+        let mut performed = Vec::new();
+        let mut guard = 0;
+        while !p.is_terminated() {
+            if let StepEvent::Perform { span } = p.step(mem) {
+                performed.push(span);
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "automaton did not terminate");
+        }
+        performed
+    }
+
+    #[test]
+    fn initial_state_matches_figure_1() {
+        let (p, _) = single(5);
+        assert_eq!(p.phase(), KkPhase::CompNext);
+        assert_eq!(p.free_len(), 5, "FREE = J");
+        assert_eq!(p.done_len(), 0, "DONE = ∅");
+        assert_eq!(p.current_job(), None, "NEXT undefined");
+        assert_eq!(p.performs(), 0);
+    }
+
+    #[test]
+    fn lone_process_with_beta_1_performs_everything() {
+        let (mut p, mem) = single(6);
+        let performed = drive(&mut p, &mem);
+        let mut jobs: Vec<u64> = performed.iter().map(|s| s.lo).collect();
+        jobs.sort_unstable();
+        assert_eq!(jobs, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(p.performs(), 6);
+    }
+
+    #[test]
+    fn lone_process_terminates_with_beta_jobs_left() {
+        let config = KkConfig::with_beta(10, 1, 4).unwrap();
+        let layout = KkLayout::contiguous(1, 10, false);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = KkProcess::from_config(1, &config, layout);
+        let performed = drive(&mut p, &mem);
+        // Terminates when |FREE| < β = 4, i.e. after n − β + 1 = 7 jobs.
+        assert_eq!(performed.len(), 7);
+        assert_eq!(p.free_len(), 3);
+    }
+
+    #[test]
+    fn announcement_goes_through_shared_memory() {
+        let (mut p, mem) = single(5);
+        p.step(&mem); // compNext
+        assert_eq!(p.phase(), KkPhase::SetNext);
+        let job = p.current_job().expect("candidate chosen");
+        p.step(&mem); // setNext
+        assert_eq!(mem.snapshot()[0], job, "next_1 holds the announcement");
+        assert!(p.has_announced());
+    }
+
+    #[test]
+    fn rank_split_puts_processes_in_disjoint_intervals() {
+        // With m = 4, n = 100: process p picks rank ⌊(p−1)·97/4⌋ + 1 of FREE.
+        let m = 4;
+        let n = 100;
+        let layout = KkLayout::contiguous(m, n, false);
+        let mut picks = Vec::new();
+        for pid in 1..=m {
+            let config = KkConfig::new(n, m).unwrap();
+            let mem = VecRegisters::new(layout.cells());
+            let mut p = KkProcess::from_config(pid, &config, layout);
+            p.step(&mem); // compNext only
+            picks.push(p.current_job().unwrap());
+        }
+        let num = (n - (m - 1)) as u64;
+        let want: Vec<u64> =
+            (1..=m as u64).map(|p| (p - 1) * num / m as u64 + 1).collect();
+        assert_eq!(picks, want);
+        let mut dedup = picks.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), m, "distinct first picks");
+    }
+
+    #[test]
+    fn gather_try_collects_announcements() {
+        let m = 3;
+        let n = 9;
+        let config = KkConfig::new(n, m).unwrap();
+        let layout = KkLayout::contiguous(m, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        // Others announced jobs 4 and 7.
+        mem.write(layout.next_cell(2), 4);
+        mem.write(layout.next_cell(3), 7);
+        let mut p = KkProcess::from_config(1, &config, layout);
+        p.step(&mem); // compNext
+        p.step(&mem); // setNext
+        assert_eq!(p.phase(), KkPhase::GatherTry);
+        for _ in 0..m {
+            p.step(&mem);
+        }
+        assert_eq!(p.phase(), KkPhase::GatherDone);
+        assert_eq!(p.try_set, vec![4, 7]);
+    }
+
+    #[test]
+    fn gather_done_walks_rows_and_updates_free() {
+        let m = 2;
+        let n = 8;
+        let config = KkConfig::new(n, m).unwrap();
+        let layout = KkLayout::contiguous(m, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        // Process 2 has logged jobs 5 and 6.
+        mem.write(layout.done_cell(2, 1), 5);
+        mem.write(layout.done_cell(2, 2), 6);
+        let mut p = KkProcess::from_config(1, &config, layout);
+        p.step(&mem); // compNext
+        p.step(&mem); // setNext
+        p.step(&mem); // gatherTry q=1 (self)
+        p.step(&mem); // gatherTry q=2
+        assert_eq!(p.phase(), KkPhase::GatherDone);
+        // gatherDone: q=1 self-skip, then row 2: read 5, read 6, read 0.
+        for _ in 0..4 {
+            p.step(&mem);
+        }
+        assert_eq!(p.phase(), KkPhase::Check);
+        assert_eq!(p.done_len(), 2);
+        assert_eq!(p.free_len(), n - 2);
+        assert!(!p.free_contains(5) && !p.free_contains(6));
+    }
+
+    #[test]
+    fn check_fails_on_announced_job_and_recomputes() {
+        let m = 2;
+        let n = 8;
+        let config = KkConfig::new(n, m).unwrap();
+        let layout = KkLayout::contiguous(m, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = KkProcess::from_config(1, &config, layout);
+        p.step(&mem); // compNext → picks job 1 (p = 1)
+        let first = p.current_job().unwrap();
+        // Process 2 announces the same job before p gathers.
+        mem.write(layout.next_cell(2), first);
+        p.step(&mem); // setNext
+        p.step(&mem); // gatherTry self
+        p.step(&mem); // gatherTry q=2 → TRY = {first}
+        p.step(&mem); // gatherDone self
+        p.step(&mem); // gatherDone q=2 → empty row
+        assert_eq!(p.phase(), KkPhase::Check);
+        p.step(&mem); // check fails
+        assert_eq!(p.phase(), KkPhase::CompNext);
+        p.step(&mem); // compNext picks a different job
+        assert_ne!(p.current_job().unwrap(), first);
+        assert_eq!(p.performs(), 0, "nothing performed on a collision");
+    }
+
+    #[test]
+    fn done_write_appends_to_own_row() {
+        let (mut p, mem) = single(3);
+        // compNext, setNext, gatherTry(self), gatherDone(self), check, do, done
+        for _ in 0..7 {
+            p.step(&mem);
+        }
+        let layout = KkLayout::contiguous(1, 3, false);
+        let row0 = mem.snapshot()[layout.done_cell(1, 1)];
+        assert_eq!(row0, 1, "first performed job logged at POS 1");
+        assert_eq!(p.performs(), 1);
+    }
+
+    #[test]
+    fn collision_tracking_attributes_to_source() {
+        let m = 2;
+        let n = 8;
+        let config = KkConfig::new(n, m).unwrap();
+        let layout = KkLayout::contiguous(m, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = KkProcess::from_config(1, &config, layout).with_collision_tracking();
+        p.step(&mem);
+        let first = p.current_job().unwrap();
+        mem.write(layout.next_cell(2), first);
+        for _ in 0..6 {
+            p.step(&mem);
+        }
+        assert_eq!(p.collisions_with()[1], 1, "collision attributed to pid 2");
+        assert_eq!(p.collisions_with()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a flag cell")]
+    fn iter_step_requires_flag_cell() {
+        let layout = KkLayout::contiguous(1, 4, false);
+        let free = FenwickSet::with_all(4);
+        let _ = KkProcess::new(
+            1,
+            1,
+            1,
+            layout,
+            free,
+            KkMode::IterStep { output_free: false },
+            SpanMap::Identity,
+        );
+    }
+
+    #[test]
+    fn iter_step_terminates_with_output_and_sets_flag() {
+        let n = 10;
+        let layout = KkLayout::contiguous(1, n, true);
+        let mem = VecRegisters::new(layout.cells());
+        let free = FenwickSet::with_all(n);
+        // β = 4: stops once fewer than 4 candidates remain.
+        let mut p = KkProcess::new(
+            1,
+            1,
+            4,
+            layout,
+            free,
+            KkMode::IterStep { output_free: false },
+            SpanMap::Identity,
+        );
+        let mut performed = 0;
+        while !p.is_terminated() {
+            if let StepEvent::Perform { .. } = Process::<VecRegisters>::step(&mut p, &mem) {
+                performed += 1;
+            }
+        }
+        assert_eq!(performed, n - 4 + 1);
+        assert_eq!(mem.snapshot()[layout.flag_cell().unwrap()], 1, "flag raised");
+        let out = p.output().expect("output available");
+        assert_eq!(out.len(), 3, "the 3 unperformed jobs are handed on");
+    }
+
+    #[test]
+    fn iter_step_aborts_do_when_flag_already_set() {
+        let n = 10;
+        let layout = KkLayout::contiguous(1, n, true);
+        let mem = VecRegisters::new(layout.cells());
+        mem.write(layout.flag_cell().unwrap(), 1); // flag pre-set by "someone"
+        let free = FenwickSet::with_all(n);
+        let mut p = KkProcess::new(
+            1,
+            1,
+            4,
+            layout,
+            free,
+            KkMode::IterStep { output_free: false },
+            SpanMap::Identity,
+        );
+        let mut performed = 0;
+        while !p.is_terminated() {
+            if let StepEvent::Perform { .. } = Process::<VecRegisters>::step(&mut p, &mem) {
+                performed += 1;
+            }
+        }
+        assert_eq!(performed, 0, "flag read before every do");
+        assert_eq!(p.output().unwrap().len(), n, "everything handed on");
+    }
+
+    #[test]
+    fn wa_variant_outputs_free_including_try() {
+        let n = 10;
+        let m = 2;
+        let layout = KkLayout::contiguous(m, n, true);
+        let mem = VecRegisters::new(layout.cells());
+        mem.write(layout.flag_cell().unwrap(), 1);
+        // Process 2 announces job 3, so 3 lands in TRY of process 1.
+        mem.write(layout.next_cell(2), 3);
+        let free = FenwickSet::with_all(n);
+        let mut p = KkProcess::new(
+            1,
+            m,
+            m as u64,
+            layout,
+            free,
+            KkMode::IterStep { output_free: true },
+            SpanMap::Identity,
+        );
+        while !p.is_terminated() {
+            Process::<VecRegisters>::step(&mut p, &mem);
+        }
+        assert_eq!(p.output().unwrap().len(), n, "WA output keeps TRY jobs");
+    }
+
+    #[test]
+    fn blocks_span_map() {
+        let map = SpanMap::Blocks { size: 4, total_jobs: 10 };
+        assert_eq!(map.span(1), JobSpan::new(1, 4));
+        assert_eq!(map.span(2), JobSpan::new(5, 8));
+        assert_eq!(map.span(3), JobSpan::new(9, 10), "last block is clipped");
+    }
+
+    #[test]
+    fn invariants_hold_at_every_step_of_an_execution() {
+        let m = 3;
+        let n = 24;
+        let config = KkConfig::new(n, m).unwrap();
+        let layout = KkLayout::contiguous(m, n, false);
+        let mem = VecRegisters::new(layout.cells());
+        let mut fleet: Vec<KkProcess> =
+            (1..=m).map(|p| KkProcess::from_config(p, &config, layout)).collect();
+        let mut rr = 0usize;
+        let mut guard = 0;
+        while fleet.iter().any(|p| !p.is_terminated()) {
+            rr = (rr + 1) % m;
+            if fleet[rr].is_terminated() {
+                continue;
+            }
+            fleet[rr].step(&mem);
+            fleet[rr].check_invariants().expect("invariant");
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_in_iter_mode() {
+        let n = 16;
+        let layout = KkLayout::contiguous(1, n, true);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = KkProcess::new(
+            1,
+            1,
+            3,
+            layout,
+            FenwickSet::with_all(n),
+            KkMode::IterStep { output_free: false },
+            SpanMap::Identity,
+        );
+        while !p.is_terminated() {
+            Process::<VecRegisters>::step(&mut p, &mem);
+            p.check_invariants().expect("invariant");
+        }
+        p.check_invariants().expect("terminal invariant");
+    }
+
+    #[test]
+    fn semantic_equality_ignores_instrumentation() {
+        let (a, mem) = single(4);
+        let mut b = a.clone().with_collision_tracking();
+        let mut a = a;
+        a.step(&mem);
+        b.step(&mem);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |p: &KkProcess| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    impl KkProcess {
+        fn free_contains(&self, id: u64) -> bool {
+            self.free.contains(id)
+        }
+    }
+}

@@ -1,0 +1,178 @@
+/// Maps the paper's named shared variables onto a flat register file.
+///
+/// KKβ uses (Fig. 1):
+///
+/// * `next[1..m]` — single-writer announcement registers, one per process;
+/// * `done[1..m][1..n]` — per-process append-only logs of completed jobs;
+/// * optionally one `flag` register — the termination flag of the
+///   `IterStepKK` variant (§6).
+///
+/// All cells are zero-initialised, matching the paper's `init` values
+/// (`next_q = 0`, `done_{q,i} = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use amo_core::KkLayout;
+///
+/// let layout = KkLayout::contiguous(3, 10, false);
+/// assert_eq!(layout.cells(), 3 + 3 * 10);
+/// assert_eq!(layout.next_cell(1), 0);
+/// assert_eq!(layout.done_cell(2, 1), 3 + 10); // row of process 2, first slot
+/// assert!(layout.flag_cell().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KkLayout {
+    m: usize,
+    n: usize,
+    base: usize,
+    flag: Option<usize>,
+}
+
+impl KkLayout {
+    /// Lays out `next`, `done` and (optionally) `flag` contiguously starting
+    /// at cell 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn contiguous(m: usize, n: usize, with_flag: bool) -> Self {
+        Self::at_base(m, n, 0, with_flag)
+    }
+
+    /// Lays the variables out starting at `base` — used by the iterated
+    /// algorithms, which stack one layout per stage in a single register
+    /// file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn at_base(m: usize, n: usize, base: usize, with_flag: bool) -> Self {
+        assert!(m > 0, "layout needs at least one process");
+        let flag = with_flag.then_some(base + m + m * n);
+        Self { m, n, base, flag }
+    }
+
+    /// Number of processes.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Size of the job universe (row length of `done`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// First cell of this layout.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Total cells occupied: `m + m·n` plus one if the flag is present.
+    pub fn cells(&self) -> usize {
+        self.m + self.m * self.n + usize::from(self.flag.is_some())
+    }
+
+    /// One past the last cell of this layout.
+    pub fn end(&self) -> usize {
+        self.base + self.cells()
+    }
+
+    /// The announcement register `next_q` of process `q ∈ 1..=m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `q` is out of range.
+    #[inline]
+    pub fn next_cell(&self, q: usize) -> usize {
+        debug_assert!((1..=self.m).contains(&q), "pid {q} out of 1..={}", self.m);
+        self.base + (q - 1)
+    }
+
+    /// The log slot `done_{q,pos}` of process `q ∈ 1..=m`, `pos ∈ 1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `q` or `pos` is out of range.
+    #[inline]
+    pub fn done_cell(&self, q: usize, pos: u64) -> usize {
+        debug_assert!((1..=self.m).contains(&q), "pid {q} out of 1..={}", self.m);
+        debug_assert!(
+            pos >= 1 && pos <= self.n as u64,
+            "pos {pos} out of 1..={}",
+            self.n
+        );
+        self.base + self.m + (q - 1) * self.n + (pos as usize - 1)
+    }
+
+    /// The termination-flag cell, if this layout has one.
+    pub fn flag_cell(&self) -> Option<usize> {
+        self.flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_cells_are_the_first_m() {
+        let l = KkLayout::contiguous(4, 7, false);
+        assert_eq!((1..=4).map(|q| l.next_cell(q)).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn done_rows_are_disjoint_and_dense() {
+        let l = KkLayout::contiguous(3, 5, false);
+        let mut seen = std::collections::HashSet::new();
+        for q in 1..=3 {
+            for pos in 1..=5u64 {
+                assert!(seen.insert(l.done_cell(q, pos)), "cell reused");
+            }
+        }
+        assert_eq!(seen.len(), 15);
+        let min = *seen.iter().min().unwrap();
+        let max = *seen.iter().max().unwrap();
+        assert_eq!(min, 3);
+        assert_eq!(max, 3 + 15 - 1);
+    }
+
+    #[test]
+    fn flag_sits_after_done() {
+        let l = KkLayout::contiguous(2, 4, true);
+        assert_eq!(l.flag_cell(), Some(2 + 8));
+        assert_eq!(l.cells(), 2 + 8 + 1);
+    }
+
+    #[test]
+    fn based_layout_offsets_everything() {
+        let l = KkLayout::at_base(2, 3, 100, true);
+        assert_eq!(l.next_cell(1), 100);
+        assert_eq!(l.done_cell(1, 1), 102);
+        assert_eq!(l.done_cell(2, 3), 102 + 3 + 2);
+        assert_eq!(l.flag_cell(), Some(108));
+        assert_eq!(l.end(), 109);
+    }
+
+    #[test]
+    fn stacked_layouts_do_not_overlap() {
+        let a = KkLayout::at_base(2, 3, 0, true);
+        let b = KkLayout::at_base(2, 5, a.end(), true);
+        assert_eq!(b.base(), a.end());
+        assert!(b.next_cell(1) >= a.end());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_m_rejected() {
+        KkLayout::contiguous(0, 3, false);
+    }
+
+    #[test]
+    fn zero_universe_layout() {
+        // A stage whose universe collapsed to nothing still has next cells.
+        let l = KkLayout::contiguous(2, 0, true);
+        assert_eq!(l.cells(), 3);
+        assert_eq!(l.flag_cell(), Some(2));
+    }
+}

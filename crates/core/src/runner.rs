@@ -1,0 +1,401 @@
+//! Convenience runners: build a KKβ fleet, execute it (simulated or on
+//! threads), and summarise the outcome as an [`AmoReport`].
+
+use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::{
+    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, JobSpan, MemOrder, MemWork,
+    RandomScheduler, RoundRobin, Scheduler, VecRegisters, Violation, WithCrashes,
+};
+
+use crate::adversary::{LockstepScheduler, StalenessAdversary, StuckAnnouncementAdversary};
+use crate::config::KkConfig;
+use crate::kk::KkProcess;
+use crate::layout::KkLayout;
+use crate::stats::CollisionMatrix;
+
+/// Scheduling strategy selector for [`run_simulated`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Fair round-robin.
+    #[default]
+    RoundRobin,
+    /// Seeded uniform-random.
+    Random(
+        /// RNG seed.
+        u64,
+    ),
+    /// Seeded bursty schedule with the given burst length.
+    Block(
+        /// RNG seed.
+        u64,
+        /// Actions per burst.
+        u64,
+    ),
+    /// Collision-maximising lockstep ([`LockstepScheduler`]).
+    Lockstep,
+    /// The Theorem 4.4 lower-bound adversary
+    /// ([`StuckAnnouncementAdversary`]).
+    StuckAnnouncement,
+    /// The Lemma 5.5 collision-forcing adversary ([`StalenessAdversary`]).
+    Staleness,
+}
+
+/// Options for a simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Scheduling strategy.
+    pub scheduler: SchedulerKind,
+    /// Deterministic crash injection (combined with the scheduler through
+    /// [`WithCrashes`]). Ignored by [`SchedulerKind::StuckAnnouncement`],
+    /// which crashes processes itself.
+    pub crash_plan: CrashPlan,
+    /// Step cap.
+    pub limits: EngineLimits,
+    /// Enable per-pair collision counting (costs memory and time).
+    pub track_collisions: bool,
+}
+
+impl SimOptions {
+    /// Round-robin, no crashes.
+    pub fn round_robin() -> Self {
+        Self::default()
+    }
+
+    /// Seeded random schedule, no crashes.
+    pub fn random(seed: u64) -> Self {
+        Self { scheduler: SchedulerKind::Random(seed), ..Self::default() }
+    }
+
+    /// Bursty schedule.
+    pub fn block(seed: u64, burst: u64) -> Self {
+        Self { scheduler: SchedulerKind::Block(seed, burst), ..Self::default() }
+    }
+
+    /// Collision-maximising lockstep.
+    pub fn lockstep() -> Self {
+        Self { scheduler: SchedulerKind::Lockstep, ..Self::default() }
+    }
+
+    /// The Theorem 4.4 adversary.
+    pub fn stuck_announcement() -> Self {
+        Self { scheduler: SchedulerKind::StuckAnnouncement, ..Self::default() }
+    }
+
+    /// The Lemma 5.5 collision-forcing adversary.
+    pub fn staleness() -> Self {
+        Self { scheduler: SchedulerKind::Staleness, ..Self::default() }
+    }
+
+    /// Adds a crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Enables collision tracking.
+    pub fn with_collision_tracking(mut self) -> Self {
+        self.track_collisions = true;
+        self
+    }
+}
+
+/// Options for a threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadRunOptions {
+    /// Crash injection (per-thread step budgets).
+    pub crash_plan: CrashPlan,
+    /// Memory-ordering regime (SeqCst is the verified default).
+    pub order: MemOrder,
+    /// Wait-freedom watchdog per process.
+    pub max_steps_per_proc: Option<u64>,
+}
+
+/// Summary of one at-most-once execution, simulated or threaded.
+#[derive(Debug, Clone)]
+pub struct AmoReport {
+    /// `Do(α)`: distinct jobs performed (Definition 2.1).
+    pub effectiveness: u64,
+    /// At-most-once violations (empty iff Definition 2.2 holds).
+    pub violations: Vec<Violation>,
+    /// Every `do` as `(pid, span)`.
+    pub performed: Vec<(usize, JobSpan)>,
+    /// Crashed pids.
+    pub crashed: Vec<usize>,
+    /// `true` when every surviving process terminated within limits
+    /// (wait-freedom observed).
+    pub completed: bool,
+    /// Shared-memory traffic.
+    pub mem_work: MemWork,
+    /// Local basic operations (set-structure iterations etc.).
+    pub local_work: u64,
+    /// Total actions (simulated runs) or summed per-thread actions.
+    pub total_steps: u64,
+    /// Pairwise collision counts, when tracking was enabled.
+    pub collisions: Option<CollisionMatrix>,
+    /// Which scheduler produced this run (for table labelling).
+    pub scheduler_label: &'static str,
+}
+
+impl AmoReport {
+    /// Total work: shared traffic plus local basic operations
+    /// (Definition 2.5).
+    pub fn work(&self) -> u64 {
+        self.mem_work.total() + self.local_work
+    }
+}
+
+impl std::fmt::Display for AmoReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "at-most-once report ({} schedule)",
+            self.scheduler_label
+        )?;
+        writeln!(f, "  effectiveness : {} distinct jobs", self.effectiveness)?;
+        writeln!(
+            f,
+            "  safety        : {} violation(s)",
+            self.violations.len()
+        )?;
+        writeln!(
+            f,
+            "  crashes       : {:?} ({} of the fleet)",
+            self.crashed,
+            self.crashed.len()
+        )?;
+        writeln!(
+            f,
+            "  work          : {} shared + {} local = {}",
+            self.mem_work.total(),
+            self.local_work,
+            self.work()
+        )?;
+        write!(
+            f,
+            "  termination   : {}",
+            if self.completed { "all survivors terminated" } else { "step cap hit" }
+        )
+    }
+}
+
+/// Builds the layout and the `m` KKβ automatons for a config.
+pub fn kk_fleet(config: &KkConfig, track_collisions: bool) -> (KkLayout, Vec<KkProcess>) {
+    let layout = KkLayout::contiguous(config.m(), config.n(), false);
+    let fleet = (1..=config.m())
+        .map(|pid| {
+            let p = KkProcess::from_config(pid, config, layout);
+            if track_collisions {
+                p.with_collision_tracking()
+            } else {
+                p
+            }
+        })
+        .collect();
+    (layout, fleet)
+}
+
+fn finish_sim(
+    exec: amo_sim::Execution,
+    fleet_collisions: Option<CollisionMatrix>,
+    label: &'static str,
+) -> AmoReport {
+    AmoReport {
+        effectiveness: exec.effectiveness(),
+        violations: exec.violations(),
+        performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+        crashed: exec.crashed.clone(),
+        completed: exec.completed,
+        mem_work: exec.mem_work,
+        local_work: exec.local_work,
+        total_steps: exec.total_steps,
+        collisions: fleet_collisions,
+        scheduler_label: label,
+    }
+}
+
+/// Runs KKβ in the deterministic simulator.
+///
+/// # Examples
+///
+/// ```
+/// use amo_core::{run_simulated, KkConfig, SimOptions};
+///
+/// let config = KkConfig::new(64, 4)?;
+/// let report = run_simulated(&config, SimOptions::round_robin());
+/// assert!(report.violations.is_empty());
+/// assert!(report.effectiveness >= config.effectiveness_bound());
+/// # Ok::<(), amo_core::ConfigError>(())
+/// ```
+pub fn run_simulated(config: &KkConfig, options: SimOptions) -> AmoReport {
+    let (layout, fleet) = kk_fleet(config, options.track_collisions);
+    let mem = VecRegisters::new(layout.cells());
+    run_fleet_simulated(mem, fleet, config.n(), options)
+}
+
+/// Runs an arbitrary pre-built KKβ fleet in the simulator (used by the
+/// iterated algorithms and the ablations).
+pub fn run_fleet_simulated(
+    mem: VecRegisters,
+    fleet: Vec<KkProcess>,
+    n: usize,
+    options: SimOptions,
+) -> AmoReport {
+    let track = options.track_collisions;
+    let label = scheduler_label(options.scheduler);
+    macro_rules! go {
+        ($sched:expr) => {{
+            let sched = WithCrashes::new($sched, options.crash_plan.clone());
+            run_and_drain(mem, fleet, sched, options.limits, n, track, label)
+        }};
+    }
+    match options.scheduler {
+        SchedulerKind::RoundRobin => go!(RoundRobin::new()),
+        SchedulerKind::Random(seed) => go!(RandomScheduler::new(seed)),
+        SchedulerKind::Block(seed, burst) => go!(BlockScheduler::new(seed, burst)),
+        SchedulerKind::Lockstep => go!(LockstepScheduler::new()),
+        SchedulerKind::StuckAnnouncement => go!(StuckAnnouncementAdversary::new()),
+        SchedulerKind::Staleness => go!(StalenessAdversary::new()),
+    }
+}
+
+fn scheduler_label(kind: SchedulerKind) -> &'static str {
+    match kind {
+        SchedulerKind::RoundRobin => "round-robin",
+        SchedulerKind::Random(_) => "random",
+        SchedulerKind::Block(..) => "block",
+        SchedulerKind::Lockstep => "lockstep",
+        SchedulerKind::StuckAnnouncement => "stuck-announcement",
+        SchedulerKind::Staleness => "staleness",
+    }
+}
+
+fn run_and_drain<S: Scheduler<KkProcess>>(
+    mem: VecRegisters,
+    fleet: Vec<KkProcess>,
+    scheduler: S,
+    limits: EngineLimits,
+    n: usize,
+    track: bool,
+    label: &'static str,
+) -> AmoReport {
+    let engine = Engine::new(mem, fleet, scheduler);
+    let (exec, slots) = engine.run_into(limits);
+    let collisions = track.then(|| {
+        let rows = slots.iter().map(|s| s.process.collisions_with().to_vec()).collect();
+        CollisionMatrix::new(rows, n)
+    });
+    finish_sim(exec, collisions, label)
+}
+
+/// Runs KKβ on OS threads over hardware atomics.
+///
+/// # Examples
+///
+/// ```
+/// use amo_core::{run_threads, KkConfig, ThreadRunOptions};
+///
+/// let config = KkConfig::new(128, 4)?;
+/// let report = run_threads(&config, ThreadRunOptions::default());
+/// assert!(report.violations.is_empty());
+/// assert!(report.effectiveness >= config.effectiveness_bound());
+/// # Ok::<(), amo_core::ConfigError>(())
+/// ```
+pub fn run_threads(config: &KkConfig, options: ThreadRunOptions) -> AmoReport {
+    let (layout, fleet) = kk_fleet(config, false);
+    let mem = AtomicRegisters::new(layout.cells(), options.order);
+    let exec = sim_run_threads(
+        &mem,
+        fleet,
+        ThreadOptions {
+            crash_plan: options.crash_plan,
+            max_steps_per_proc: options.max_steps_per_proc,
+        },
+    );
+    AmoReport {
+        effectiveness: exec.effectiveness(),
+        violations: exec.violations(),
+        performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+        crashed: exec.crashed.clone(),
+        completed: exec.completed,
+        mem_work: exec.mem_work,
+        local_work: exec.local_work,
+        total_steps: exec.per_proc_steps.iter().sum(),
+        collisions: None,
+        scheduler_label: "threads",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_no_crash_performs_nearly_everything() {
+        let config = KkConfig::new(60, 3).unwrap();
+        let report = run_simulated(&config, SimOptions::round_robin());
+        assert!(report.violations.is_empty());
+        assert!(report.completed);
+        assert!(report.effectiveness >= config.effectiveness_bound());
+        assert!(report.effectiveness <= 60);
+    }
+
+    #[test]
+    fn crash_plan_is_respected() {
+        let config = KkConfig::new(40, 4).unwrap();
+        let options = SimOptions::round_robin()
+            .with_crash_plan(CrashPlan::at_steps([(1usize, 5u64), (2, 9)]));
+        let report = run_simulated(&config, options);
+        assert_eq!(report.crashed, vec![1, 2]);
+        assert!(report.violations.is_empty());
+        assert!(report.effectiveness >= config.effectiveness_bound());
+    }
+
+    #[test]
+    fn collision_tracking_produces_matrix() {
+        let config = KkConfig::new(50, 4).unwrap();
+        let report =
+            run_simulated(&config, SimOptions::lockstep().with_collision_tracking());
+        let m = report.collisions.expect("matrix present");
+        assert_eq!(m.m(), 4);
+    }
+
+    #[test]
+    fn threads_respect_effectiveness_bound() {
+        let config = KkConfig::new(120, 4).unwrap();
+        let report = run_threads(&config, ThreadRunOptions::default());
+        assert!(report.violations.is_empty());
+        assert!(report.completed);
+        assert!(report.effectiveness >= config.effectiveness_bound());
+    }
+
+    #[test]
+    fn threads_with_crashes_stay_safe() {
+        let config = KkConfig::new(80, 4).unwrap();
+        let options = ThreadRunOptions {
+            crash_plan: CrashPlan::at_steps([(1usize, 30u64), (2, 60)]),
+            ..ThreadRunOptions::default()
+        };
+        let report = run_threads(&config, options);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.crashed, vec![1, 2]);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let config = KkConfig::new(20, 2).unwrap();
+        let report = run_simulated(&config, SimOptions::round_robin());
+        let text = report.to_string();
+        assert!(text.contains("effectiveness"));
+        assert!(text.contains("0 violation(s)"));
+        assert!(text.contains("round-robin"));
+        assert!(text.contains("all survivors terminated"));
+    }
+
+    #[test]
+    fn work_is_mem_plus_local() {
+        let config = KkConfig::new(30, 2).unwrap();
+        let report = run_simulated(&config, SimOptions::round_robin());
+        assert_eq!(report.work(), report.mem_work.total() + report.local_work);
+        assert!(report.local_work > 0, "set structures counted");
+    }
+}

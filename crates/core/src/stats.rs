@@ -1,0 +1,118 @@
+/// Pairwise collision counts for an execution (experiment E7).
+///
+/// `counts[p − 1][q − 1]` is the number of times process `p` *detected a
+/// collision with* process `q` in the sense of Definition 5.2: `p` abandoned
+/// its announced candidate because it saw `q`'s announcement or `q`'s
+/// completion log entry for the same job.
+///
+/// Lemma 5.5 bounds each entry, for `β ≥ 3m²`, by `2·⌈n / (m·|q − p|)⌉`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollisionMatrix {
+    counts: Vec<Vec<u64>>,
+    n: usize,
+}
+
+impl CollisionMatrix {
+    /// Builds the matrix from per-process collision rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not square.
+    pub fn new(counts: Vec<Vec<u64>>, n: usize) -> Self {
+        let m = counts.len();
+        for row in &counts {
+            assert_eq!(row.len(), m, "collision matrix must be square");
+        }
+        Self { counts, n }
+    }
+
+    /// Number of processes `m`.
+    pub fn m(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Collisions process `p` detected with process `q` (both 1-based).
+    pub fn between(&self, p: usize, q: usize) -> u64 {
+        self.counts[p - 1][q - 1]
+    }
+
+    /// Total collisions detected across all pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// The Lemma 5.5 bound `2·⌈n / (m·|q − p|)⌉` for a pair, or `None` for
+    /// `p == q` (a process never collides with itself).
+    pub fn lemma_bound(&self, p: usize, q: usize) -> Option<u64> {
+        if p == q {
+            return None;
+        }
+        let m = self.m() as u64;
+        let dist = p.abs_diff(q) as u64;
+        Some(2 * (self.n as u64).div_ceil(m * dist))
+    }
+
+    /// Pairs `(p, q, count, bound)` that exceed the Lemma 5.5 bound.
+    ///
+    /// The lemma requires `β ≥ 3m²`; calling this for smaller `β` simply
+    /// reports which pairs would violate it.
+    pub fn exceeding_lemma_bound(&self) -> Vec<(usize, usize, u64, u64)> {
+        let m = self.m();
+        let mut out = Vec::new();
+        for p in 1..=m {
+            for q in 1..=m {
+                if let Some(bound) = self.lemma_bound(p, q) {
+                    let c = self.between(p, q);
+                    if c > bound {
+                        out.push((p, q, c, bound));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_and_total() {
+        let m = CollisionMatrix::new(vec![vec![0, 2], vec![3, 0]], 100);
+        assert_eq!(m.m(), 2);
+        assert_eq!(m.between(1, 2), 2);
+        assert_eq!(m.between(2, 1), 3);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn lemma_bound_formula() {
+        let m = CollisionMatrix::new(vec![vec![0; 4]; 4], 100);
+        // 2 * ceil(100 / (4 * 1)) = 50; distance 3: 2 * ceil(100/12) = 18.
+        assert_eq!(m.lemma_bound(1, 2), Some(50));
+        assert_eq!(m.lemma_bound(1, 4), Some(18));
+        assert_eq!(m.lemma_bound(2, 2), None);
+    }
+
+    #[test]
+    fn exceeding_detects_overflow() {
+        let mut rows = vec![vec![0u64; 2]; 2];
+        rows[0][1] = 1_000; // way over 2*ceil(10/2) = 10
+        let m = CollisionMatrix::new(rows, 10);
+        let bad = m.exceeding_lemma_bound();
+        assert_eq!(bad, vec![(1, 2, 1_000, 10)]);
+    }
+
+    #[test]
+    fn clean_matrix_has_no_excess() {
+        let m = CollisionMatrix::new(vec![vec![0, 1], vec![1, 0]], 64);
+        assert!(m.exceeding_lemma_bound().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        CollisionMatrix::new(vec![vec![0, 1], vec![0]], 8);
+    }
+}

@@ -1,0 +1,128 @@
+use amo_core::KkLayout;
+
+use crate::superjob::block_count;
+
+/// One stage of the iterated algorithm: its block size, its super-job
+/// universe, and where its shared variables live in the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageInfo {
+    /// Jobs per super-job at this stage.
+    pub size: u64,
+    /// Number of super-jobs (`⌈n / size⌉`).
+    pub universe: usize,
+    /// The stage's `next`/`done`/`flag` layout.
+    pub layout: KkLayout,
+}
+
+/// Register-file layout for all stages of `IterativeKK(ε)`.
+///
+/// Stage `k` gets its own `next[1..m]`, `done[1..m][1..Nₖ]` and termination
+/// flag, stacked contiguously; processes at different stages therefore never
+/// interfere (§6 keeps "3 + 1/ε distinct matrices `done` and vectors
+/// `next`").
+///
+/// # Examples
+///
+/// ```
+/// use amo_iterative::IterLayout;
+///
+/// let layout = IterLayout::new(1_000, 4, &[64, 8, 1]);
+/// assert_eq!(layout.stages().len(), 3);
+/// assert_eq!(layout.stage(2).size, 1);
+/// assert_eq!(layout.stage(2).universe, 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterLayout {
+    n: usize,
+    m: usize,
+    stages: Vec<StageInfo>,
+    cells: usize,
+}
+
+impl IterLayout {
+    /// Builds the stacked layout for the given stage sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `sizes` is empty.
+    pub fn new(n: usize, m: usize, sizes: &[u64]) -> Self {
+        assert!(m > 0, "need at least one process");
+        assert!(!sizes.is_empty(), "need at least one stage");
+        let mut stages = Vec::with_capacity(sizes.len());
+        let mut base = 0usize;
+        for &size in sizes {
+            let universe = block_count(n as u64, size) as usize;
+            let layout = KkLayout::at_base(m, universe, base, true);
+            base = layout.end();
+            stages.push(StageInfo { size, universe, layout });
+        }
+        Self { n, m, stages, cells: base }
+    }
+
+    /// Total jobs `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processes `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// All stages, coarsest first.
+    pub fn stages(&self) -> &[StageInfo] {
+        &self.stages
+    }
+
+    /// Stage `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn stage(&self, k: usize) -> &StageInfo {
+        &self.stages[k]
+    }
+
+    /// Total register cells across all stages.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_disjoint_and_contiguous() {
+        let l = IterLayout::new(100, 3, &[16, 4, 1]);
+        let mut expected_base = 0;
+        for s in l.stages() {
+            assert_eq!(s.layout.base(), expected_base);
+            assert!(s.layout.flag_cell().is_some(), "every stage has a flag");
+            expected_base = s.layout.end();
+        }
+        assert_eq!(l.cells(), expected_base);
+    }
+
+    #[test]
+    fn universes_match_block_counts() {
+        let l = IterLayout::new(100, 2, &[16, 4, 1]);
+        assert_eq!(l.stage(0).universe, 7); // ceil(100/16)
+        assert_eq!(l.stage(1).universe, 25);
+        assert_eq!(l.stage(2).universe, 100);
+    }
+
+    #[test]
+    fn cell_budget_formula() {
+        let l = IterLayout::new(64, 2, &[8, 1]);
+        // stage 0: m + m*8 + 1 = 19; stage 1: m + m*64 + 1 = 131.
+        assert_eq!(l.cells(), 19 + 131);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_sizes_rejected() {
+        IterLayout::new(10, 2, &[]);
+    }
+}

@@ -1,0 +1,286 @@
+use std::hash::{Hash, Hasher};
+
+use amo_core::{KkMode, KkProcess, SpanMap};
+use amo_ostree::FenwickSet;
+use amo_sim::{Process, Registers, StepEvent};
+
+use crate::layout::IterLayout;
+use crate::superjob::map_blocks;
+
+/// One process of `IterativeKK(ε)`: a driver automaton that runs the
+/// per-stage `IterStepKK` instances back to back (Fig. 3 lines 00–13).
+///
+/// Processes advance through stages *independently* — one may be two stages
+/// ahead of another; the stacked per-stage register layouts keep them from
+/// interfering. The stage transition (taking the output set, re-blocking it
+/// with `map`, and instantiating the next stage) happens inside a single
+/// driver step and is purely local.
+///
+/// # Examples
+///
+/// ```
+/// use amo_iterative::{IterLayout, IterativeProcess};
+/// use amo_sim::{Process, VecRegisters};
+///
+/// let layout = IterLayout::new(64, 1, &[8, 1]);
+/// let mem = VecRegisters::new(layout.cells());
+/// let mut p = IterativeProcess::new(1, layout, 3, false);
+/// while !p.is_terminated() {
+///     p.step(&mem);
+/// }
+/// assert!(p.performs() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterativeProcess {
+    pid: usize,
+    beta: u64,
+    output_free: bool,
+    layout: IterLayout,
+    stage: usize,
+    inner: KkProcess,
+    final_output: Option<FenwickSet>,
+    terminated: bool,
+    /// Performs completed in *previous* stages.
+    performs_done: u64,
+    /// Local work accrued in previous stages plus mapping costs.
+    carried_local_work: u64,
+}
+
+impl IterativeProcess {
+    /// Creates the driver for process `pid` with termination parameter
+    /// `beta` (the paper fixes `β = 3m²`; smaller values — still `≥ m` — are
+    /// allowed for ablations).
+    ///
+    /// `output_free` selects the Write-All variant (`WA_IterStepKK`): stage
+    /// outputs are `FREE` instead of `FREE \ TRY` (§7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ∉ 1..=m` or `beta < m`.
+    pub fn new(pid: usize, layout: IterLayout, beta: u64, output_free: bool) -> Self {
+        let stage0 = *layout.stage(0);
+        let free = FenwickSet::with_all(stage0.universe);
+        let inner = KkProcess::new(
+            pid,
+            layout.m(),
+            beta,
+            stage0.layout,
+            free,
+            KkMode::IterStep { output_free },
+            SpanMap::Blocks { size: stage0.size, total_jobs: layout.n() as u64 },
+        );
+        Self {
+            pid,
+            beta,
+            output_free,
+            layout,
+            stage: 0,
+            inner,
+            final_output: None,
+            terminated: false,
+            performs_done: 0,
+            carried_local_work: 0,
+        }
+    }
+
+    /// Current stage index (0-based).
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Total `do` actions across all stages so far.
+    pub fn performs(&self) -> u64 {
+        self.performs_done + self.inner.performs()
+    }
+
+    /// `true` once the final stage has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Local basic operations across all stages (inherent twin of the
+    /// [`Process`] trait method).
+    pub fn local_work(&self) -> u64 {
+        self.carried_local_work + self.inner.local_work()
+    }
+
+    /// The last stage's output set (over single jobs), available after
+    /// termination. For the Write-All variant these are the jobs the caller
+    /// must still perform (Fig. 4 lines 14–16).
+    pub fn final_output(&self) -> Option<&FenwickSet> {
+        self.final_output.as_ref()
+    }
+
+    /// The current stage's inner automaton (inspection/debugging).
+    pub fn inner(&self) -> &KkProcess {
+        &self.inner
+    }
+
+    fn advance_stage(&mut self) -> StepEvent {
+        let out = self
+            .inner
+            .output()
+            .cloned()
+            .expect("IterStep termination always yields an output set");
+        if self.stage + 1 < self.layout.stages().len() {
+            self.performs_done += self.inner.performs();
+            self.carried_local_work += self.inner.local_work();
+            let cur = *self.layout.stage(self.stage);
+            let nxt = *self.layout.stage(self.stage + 1);
+            let mapped = map_blocks(&out, cur.size, nxt.size, self.layout.n() as u64);
+            // Mapping cost: touching each input and output block once.
+            self.carried_local_work += (out.len() + mapped.len()) as u64 + 1;
+            self.stage += 1;
+            self.inner = KkProcess::new(
+                self.pid,
+                self.layout.m(),
+                self.beta,
+                nxt.layout,
+                mapped,
+                KkMode::IterStep { output_free: self.output_free },
+                SpanMap::Blocks { size: nxt.size, total_jobs: self.layout.n() as u64 },
+            );
+            StepEvent::Local
+        } else {
+            self.final_output = Some(out);
+            self.terminated = true;
+            StepEvent::Terminated
+        }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for IterativeProcess {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        debug_assert!(!self.terminated, "stepped after termination");
+        match self.inner.step(mem) {
+            StepEvent::Terminated => self.advance_stage(),
+            other => other,
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        IterativeProcess::is_terminated(self)
+    }
+
+    fn local_work(&self) -> u64 {
+        IterativeProcess::local_work(self)
+    }
+}
+
+impl PartialEq for IterativeProcess {
+    fn eq(&self, other: &Self) -> bool {
+        self.pid == other.pid
+            && self.stage == other.stage
+            && self.terminated == other.terminated
+            && self.inner == other.inner
+            && self.final_output == other.final_output
+    }
+}
+
+impl Eq for IterativeProcess {}
+
+impl Hash for IterativeProcess {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pid.hash(state);
+        self.stage.hash(state);
+        self.terminated.hash(state);
+        self.inner.hash(state);
+        self.final_output.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amo_sim::VecRegisters;
+
+    fn drive(p: &mut IterativeProcess, mem: &VecRegisters) -> Vec<amo_sim::JobSpan> {
+        let mut spans = Vec::new();
+        let mut guard = 0u64;
+        while !p.is_terminated() {
+            if let StepEvent::Perform { span } = p.step(mem) {
+                spans.push(span);
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "driver did not terminate");
+        }
+        spans
+    }
+
+    #[test]
+    fn lone_process_walks_all_stages() {
+        let layout = IterLayout::new(256, 1, &[16, 4, 1]);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = IterativeProcess::new(1, layout, 3, false);
+        let spans = drive(&mut p, &mem);
+        assert_eq!(p.stage(), 2, "ended on the last stage");
+        assert!(p.final_output().is_some());
+        // No overlap between performed spans.
+        let violations = amo_sim::at_most_once_violations(spans.iter().copied());
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn spans_at_stage_granularity() {
+        let layout = IterLayout::new(64, 1, &[8, 1]);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = IterativeProcess::new(1, layout, 2, false);
+        let spans = drive(&mut p, &mem);
+        assert!(spans.iter().any(|s| s.count() == 8), "stage-0 blocks of 8");
+        // β = 2 leaves one block unperformed at stage 0, refined later.
+        assert!(spans.iter().any(|s| s.count() == 1), "final-stage singletons");
+    }
+
+    #[test]
+    fn performs_accumulate_across_stages() {
+        let layout = IterLayout::new(128, 1, &[16, 1]);
+        let mem = VecRegisters::new(layout.cells());
+        let mut p = IterativeProcess::new(1, layout, 2, false);
+        let spans = drive(&mut p, &mem);
+        assert_eq!(p.performs(), spans.len() as u64);
+        assert!(p.local_work() > 0);
+    }
+
+    #[test]
+    fn beta_below_m_rejected_by_inner() {
+        let layout = IterLayout::new(64, 4, &[8, 1]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            IterativeProcess::new(1, layout, 2, false)
+        }));
+        assert!(r.is_err(), "beta 2 < m 4 must be rejected");
+    }
+
+    #[test]
+    fn output_free_variant_keeps_try_blocks() {
+        // With a pre-announced block by a phantom process 2, the WA variant
+        // output keeps it while the plain variant drops it.
+        let layout = IterLayout::new(32, 2, &[4, 1]);
+        let n_stage0 = layout.stage(0).universe;
+        for (output_free, expect_full) in [(true, true), (false, false)] {
+            let mem = VecRegisters::new(layout.cells());
+            // Pre-set the stage-0 flag and an announcement from pid 2.
+            use amo_sim::Registers;
+            let s0 = layout.stage(0).layout;
+            mem.write(s0.flag_cell().unwrap(), 1);
+            mem.write(s0.next_cell(2), 3);
+            let mut p = IterativeProcess::new(1, layout.clone(), 2, output_free);
+            // Drive through stage 0 only: run until stage changes.
+            let mut guard = 0;
+            while p.stage() == 0 && !p.is_terminated() {
+                Process::<VecRegisters>::step(&mut p, &mem);
+                guard += 1;
+                assert!(guard < 100_000);
+            }
+            // Stage-0 output had n_stage0 blocks (flag aborted everything);
+            // the plain variant dropped announced block 3.
+            let expected_blocks = if expect_full { n_stage0 } else { n_stage0 - 1 };
+            let stage1_free = p.inner().free_len();
+            let ratio = (layout.stage(0).size / layout.stage(1).size) as usize;
+            assert_eq!(stage1_free, expected_blocks * ratio, "output_free={output_free}");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Configuration and runners for `IterativeKK(ε)`.
+
+use amo_core::{AmoReport, ConfigError, KkConfig, LockstepScheduler};
+use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::{
+    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, Execution, MemOrder,
+    Process, RandomScheduler, RoundRobin, Scheduler, Slot, VecRegisters, WithCrashes,
+};
+
+use crate::layout::IterLayout;
+use crate::process::IterativeProcess;
+use crate::schedule::stage_sizes;
+
+/// Problem-instance parameters for `IterativeKK(ε)`.
+///
+/// `inv_eps` is `1/ε`; the paper requires `1/ε` to be a positive integer.
+/// `β` is fixed to `3m²` (Theorem 6.4's setting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterConfig {
+    n: usize,
+    m: usize,
+    inv_eps: u32,
+    sizes: Vec<u64>,
+}
+
+impl IterConfig {
+    /// Validates and builds a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m == 0` or `n < m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inv_eps == 0`.
+    pub fn new(n: usize, m: usize, inv_eps: u32) -> Result<Self, ConfigError> {
+        // Reuse the KKβ validation for n/m; β is fixed below.
+        let _ = KkConfig::new(n, m)?;
+        let sizes = stage_sizes(n, m, inv_eps);
+        Ok(Self { n, m, inv_eps, sizes })
+    }
+
+    /// Number of jobs `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of processes `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `1/ε`.
+    pub fn inv_eps(&self) -> u32 {
+        self.inv_eps
+    }
+
+    /// The fixed termination parameter `β = 3m²`.
+    pub fn beta(&self) -> u64 {
+        KkConfig::work_optimal_beta(self.m)
+    }
+
+    /// The stage block sizes, coarsest first, ending in 1.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Builds the stacked register layout.
+    pub fn layout(&self) -> IterLayout {
+        IterLayout::new(self.n, self.m, &self.sizes)
+    }
+
+    /// Conservative worst-case job loss of this implementation:
+    /// `Σₖ m·sizeₖ` over the non-final stages (stuck announcements, §6's
+    /// per-stage `(m−1)`-blocks argument with slack) plus `3m² + m` for the
+    /// discarded final-stage outputs (the first flagger's `< β` window plus
+    /// announcements). The Theorem 6.4 asymptotic form is
+    /// `O(m²·log n·log m)`.
+    pub fn loss_envelope(&self) -> u64 {
+        let stage_loss: u64 = self.sizes[..self.sizes.len() - 1]
+            .iter()
+            .map(|s| s * self.m as u64)
+            .sum();
+        stage_loss + self.beta() + self.m as u64
+    }
+
+    /// Guaranteed effectiveness floor `n − loss_envelope` (saturating),
+    /// asserted by the property tests.
+    pub fn effectiveness_floor(&self) -> u64 {
+        (self.n as u64).saturating_sub(self.loss_envelope())
+    }
+
+    /// The Theorem 6.4 work envelope `n + m^{3+ε}·log₂ n` (unit constant),
+    /// used to normalise measured work in experiment E4.
+    pub fn work_envelope(&self) -> f64 {
+        let n = self.n as f64;
+        let m = self.m as f64;
+        let eps = 1.0 / self.inv_eps as f64;
+        n + m.powf(3.0 + eps) * n.log2().max(1.0)
+    }
+}
+
+/// Scheduler selector for the iterated runners (the KKβ-specific
+/// stuck-announcement adversary does not apply here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BasicSched {
+    /// Fair round-robin.
+    #[default]
+    RoundRobin,
+    /// Seeded uniform-random.
+    Random(
+        /// RNG seed.
+        u64,
+    ),
+    /// Seeded bursty schedule.
+    Block(
+        /// RNG seed.
+        u64,
+        /// Actions per burst.
+        u64,
+    ),
+    /// Collision-maximising lockstep.
+    Lockstep,
+}
+
+/// Options for [`run_iterative_simulated`].
+#[derive(Debug, Clone, Default)]
+pub struct IterSimOptions {
+    /// Scheduling strategy.
+    pub scheduler: BasicSched,
+    /// Deterministic crash injection.
+    pub crash_plan: CrashPlan,
+    /// Step cap.
+    pub limits: EngineLimits,
+}
+
+impl IterSimOptions {
+    /// Round-robin, no crashes.
+    pub fn round_robin() -> Self {
+        Self::default()
+    }
+
+    /// Seeded random schedule.
+    pub fn random(seed: u64) -> Self {
+        Self { scheduler: BasicSched::Random(seed), ..Self::default() }
+    }
+
+    /// Seeded bursty schedule.
+    pub fn block(seed: u64, burst: u64) -> Self {
+        Self { scheduler: BasicSched::Block(seed, burst), ..Self::default() }
+    }
+
+    /// Lockstep schedule.
+    pub fn lockstep() -> Self {
+        Self { scheduler: BasicSched::Lockstep, ..Self::default() }
+    }
+
+    /// Adds a crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+}
+
+/// Builds the layout and the `m` driver automatons.
+pub fn iter_fleet(config: &IterConfig) -> (IterLayout, Vec<IterativeProcess>) {
+    iter_fleet_with(config, false)
+}
+
+/// Fleet builder with the Write-All output variant switch (used by
+/// `amo-write-all`).
+pub fn iter_fleet_with(
+    config: &IterConfig,
+    output_free: bool,
+) -> (IterLayout, Vec<IterativeProcess>) {
+    let layout = config.layout();
+    let fleet = (1..=config.m())
+        .map(|pid| IterativeProcess::new(pid, layout.clone(), config.beta(), output_free))
+        .collect();
+    (layout, fleet)
+}
+
+fn basic_label(kind: BasicSched) -> &'static str {
+    match kind {
+        BasicSched::RoundRobin => "round-robin",
+        BasicSched::Random(_) => "random",
+        BasicSched::Block(..) => "block",
+        BasicSched::Lockstep => "lockstep",
+    }
+}
+
+/// Runs `IterativeKK(ε)` in the deterministic simulator.
+pub fn run_iterative_simulated(config: &IterConfig, options: IterSimOptions) -> AmoReport {
+    let (layout, fleet) = iter_fleet(config);
+    let mem = VecRegisters::new(layout.cells());
+    run_iter_fleet_simulated(mem, fleet, options)
+}
+
+/// Runs any fleet under a [`BasicSched`] with crash injection, returning
+/// the raw execution and the final process slots. Shared by this crate's
+/// runners and `amo-write-all`.
+pub fn run_basic_fleet<P: Process<VecRegisters>>(
+    mem: VecRegisters,
+    fleet: Vec<P>,
+    options: &IterSimOptions,
+) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
+        mem: VecRegisters,
+        fleet: Vec<P>,
+        sched: S,
+        options: &IterSimOptions,
+    ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+        let sched = WithCrashes::new(sched, options.crash_plan.clone());
+        Engine::new(mem, fleet, sched).run_full(options.limits)
+    }
+    match options.scheduler {
+        BasicSched::RoundRobin => go(mem, fleet, RoundRobin::new(), options),
+        BasicSched::Random(seed) => go(mem, fleet, RandomScheduler::new(seed), options),
+        BasicSched::Block(seed, burst) => {
+            go(mem, fleet, BlockScheduler::new(seed, burst), options)
+        }
+        BasicSched::Lockstep => go(mem, fleet, LockstepScheduler::new(), options),
+    }
+}
+
+/// The human-readable label of a [`BasicSched`] (for table rows).
+pub fn basic_sched_label(kind: BasicSched) -> &'static str {
+    basic_label(kind)
+}
+
+/// Runs an arbitrary pre-built iterated fleet in the simulator (shared with
+/// `amo-write-all`).
+pub fn run_iter_fleet_simulated(
+    mem: VecRegisters,
+    fleet: Vec<IterativeProcess>,
+    options: IterSimOptions,
+) -> AmoReport {
+    let label = basic_label(options.scheduler);
+    let (exec, _slots, _mem) = run_basic_fleet(mem, fleet, &options);
+    AmoReport {
+        effectiveness: exec.effectiveness(),
+        violations: exec.violations(),
+        performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+        crashed: exec.crashed.clone(),
+        completed: exec.completed,
+        mem_work: exec.mem_work,
+        local_work: exec.local_work,
+        total_steps: exec.total_steps,
+        collisions: None,
+        scheduler_label: label,
+    }
+}
+
+/// Runs `IterativeKK(ε)` on OS threads over hardware atomics.
+pub fn run_iterative_threads(
+    config: &IterConfig,
+    crash_plan: CrashPlan,
+    order: MemOrder,
+) -> AmoReport {
+    let (layout, fleet) = iter_fleet(config);
+    let mem = AtomicRegisters::new(layout.cells(), order);
+    let exec = sim_run_threads(
+        &mem,
+        fleet,
+        ThreadOptions { crash_plan, max_steps_per_proc: None },
+    );
+    AmoReport {
+        effectiveness: exec.effectiveness(),
+        violations: exec.violations(),
+        performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
+        crashed: exec.crashed.clone(),
+        completed: exec.completed,
+        mem_work: exec.mem_work,
+        local_work: exec.local_work,
+        total_steps: exec.per_proc_steps.iter().sum(),
+        collisions: None,
+        scheduler_label: "threads",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_delegates() {
+        assert!(IterConfig::new(10, 0, 1).is_err());
+        assert!(IterConfig::new(2, 5, 1).is_err());
+        assert!(IterConfig::new(100, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn beta_is_3m_squared() {
+        let c = IterConfig::new(100, 4, 1).unwrap();
+        assert_eq!(c.beta(), 48);
+    }
+
+    #[test]
+    fn round_robin_run_is_safe_and_complete() {
+        let c = IterConfig::new(512, 2, 1).unwrap();
+        let report = run_iterative_simulated(&c, IterSimOptions::round_robin());
+        assert!(report.violations.is_empty());
+        assert!(report.completed);
+        assert!(report.effectiveness >= c.effectiveness_floor());
+        assert!(report.effectiveness <= 512);
+    }
+
+    #[test]
+    fn random_run_with_crashes_is_safe() {
+        let c = IterConfig::new(400, 3, 1).unwrap();
+        let options = IterSimOptions::random(5)
+            .with_crash_plan(CrashPlan::at_steps([(1usize, 100u64), (2, 400)]));
+        let report = run_iterative_simulated(&c, options);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.crashed, vec![1, 2]);
+        assert!(report.effectiveness >= c.effectiveness_floor());
+    }
+
+    #[test]
+    fn threads_run_is_safe() {
+        let c = IterConfig::new(600, 4, 1).unwrap();
+        let report = run_iterative_threads(&c, CrashPlan::none(), MemOrder::SeqCst);
+        assert!(report.violations.is_empty());
+        assert!(report.completed);
+        assert!(report.effectiveness >= c.effectiveness_floor());
+    }
+
+    #[test]
+    fn loss_envelope_shrinks_relative_share() {
+        // As n grows at fixed m, the envelope's share of n vanishes —
+        // the asymptotic optimality claim of Theorem 6.4.
+        let small = IterConfig::new(1 << 10, 4, 1).unwrap();
+        let large = IterConfig::new(1 << 16, 4, 1).unwrap();
+        let share = |c: &IterConfig| c.loss_envelope() as f64 / c.n() as f64;
+        assert!(share(&large) < share(&small));
+    }
+
+    #[test]
+    fn lockstep_run_is_safe() {
+        let c = IterConfig::new(300, 3, 2).unwrap();
+        let report = run_iterative_simulated(&c, IterSimOptions::lockstep());
+        assert!(report.violations.is_empty());
+        assert!(report.effectiveness >= c.effectiveness_floor());
+    }
+}

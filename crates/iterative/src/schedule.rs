@@ -1,0 +1,140 @@
+//! The stage-size schedule of Fig. 3, rounded to nesting powers of two.
+
+/// Rounds to the nearest power of two (ties up), minimum 1.
+fn round_pow2(x: f64) -> u64 {
+    if x <= 1.0 {
+        return 1;
+    }
+    let exp = x.log2().round() as u32;
+    1u64 << exp.min(62)
+}
+
+/// Stage sizes for `IterativeKK(ε)` with `ε = 1 / inv_eps` (Fig. 3 lines
+/// 01, 06, 11), adapted per DESIGN.md D3:
+///
+/// * first stage: `m · ⌈log₂ n⌉ · ⌈log₂ m⌉`,
+/// * stage `i ∈ 1..=1/ε`: `m^{1−iε} · ⌈log₂ n⌉ · ⌈log₂ m⌉^{1+i}`,
+/// * final stage: `1`,
+///
+/// each rounded to the nearest power of two, clamped to be non-increasing,
+/// with consecutive duplicates removed (a duplicate stage would re-run KKβ
+/// at an unchanged granularity, costing work and effectiveness for
+/// nothing). The result always ends in `1` and is strictly decreasing.
+///
+/// # Panics
+///
+/// Panics if `inv_eps == 0` or `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use amo_iterative::stage_sizes;
+///
+/// let sizes = stage_sizes(100_000, 8, 2); // ε = 1/2
+/// assert_eq!(*sizes.last().unwrap(), 1);
+/// assert!(sizes.windows(2).all(|w| w[0] > w[1]), "strictly decreasing");
+/// assert!(sizes.iter().all(|s| s.is_power_of_two()));
+/// ```
+pub fn stage_sizes(n: usize, m: usize, inv_eps: u32) -> Vec<u64> {
+    assert!(inv_eps > 0, "1/ε must be a positive integer (paper §6)");
+    assert!(m > 0, "need at least one process");
+    let log_n = (n.max(2) as f64).log2().ceil().max(1.0);
+    let log_m = (m.max(2) as f64).log2().ceil().max(1.0);
+    let mf = m as f64;
+
+    let mut raw: Vec<f64> = Vec::with_capacity(inv_eps as usize + 2);
+    raw.push(mf * log_n * log_m);
+    for i in 1..=inv_eps {
+        let exp = 1.0 - i as f64 / inv_eps as f64;
+        raw.push(mf.powf(exp) * log_n * log_m.powi(1 + i as i32));
+    }
+
+    let mut sizes: Vec<u64> = Vec::with_capacity(raw.len() + 1);
+    let mut prev = u64::MAX;
+    for r in raw {
+        let mut s = round_pow2(r);
+        if s >= prev {
+            // Enforce non-increasing nesting; skip exact duplicates.
+            if prev == 1 {
+                continue;
+            }
+            s = prev / 2;
+        }
+        if s <= 1 {
+            break;
+        }
+        sizes.push(s);
+        prev = s;
+    }
+    sizes.push(1);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_pow2_basics() {
+        assert_eq!(round_pow2(0.3), 1);
+        assert_eq!(round_pow2(1.0), 1);
+        assert_eq!(round_pow2(3.0), 4, "ties round up via log2(3) ≈ 1.58");
+        assert_eq!(round_pow2(6.0), 8);
+        assert_eq!(round_pow2(5.0), 4);
+        assert_eq!(round_pow2(1024.0), 1024);
+    }
+
+    #[test]
+    fn always_ends_in_one() {
+        for (n, m, e) in [(100usize, 2usize, 1u32), (10_000, 8, 2), (64, 4, 3), (2, 1, 1)] {
+            let s = stage_sizes(n, m, e);
+            assert_eq!(*s.last().unwrap(), 1, "n={n} m={m} 1/ε={e}");
+        }
+    }
+
+    #[test]
+    fn strictly_decreasing_powers_of_two() {
+        for (n, m, e) in [(1_000usize, 4usize, 1u32), (100_000, 16, 2), (500, 3, 4)] {
+            let s = stage_sizes(n, m, e);
+            assert!(s.iter().all(|x| x.is_power_of_two()), "{s:?}");
+            assert!(s.windows(2).all(|w| w[0] > w[1]), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn nesting_divisibility() {
+        let s = stage_sizes(1 << 20, 32, 2);
+        for w in s.windows(2) {
+            assert_eq!(w[0] % w[1], 0, "{:?} must nest", w);
+        }
+    }
+
+    #[test]
+    fn first_stage_tracks_m_logn_logm() {
+        let n = 1 << 16; // log n = 16
+        let m = 16; // log m = 4
+        let s = stage_sizes(n, m, 1);
+        // raw = 16 * 16 * 4 = 1024, already a power of two.
+        assert_eq!(s[0], 1024);
+    }
+
+    #[test]
+    fn single_process_degenerates() {
+        let s = stage_sizes(100, 1, 1);
+        assert_eq!(*s.last().unwrap(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_inv_eps_rejected() {
+        stage_sizes(100, 2, 0);
+    }
+
+    #[test]
+    fn more_stages_with_smaller_eps() {
+        let a = stage_sizes(1 << 20, 64, 1).len();
+        let b = stage_sizes(1 << 20, 64, 4).len();
+        assert!(b >= a, "smaller ε (larger 1/ε) yields at least as many stages");
+    }
+}

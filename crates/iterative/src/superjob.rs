@@ -1,0 +1,144 @@
+//! Super-job (block) geometry.
+//!
+//! A *super-job of size `s`* with identifier `k` is the block of jobs
+//! `[(k−1)·s + 1, min(k·s, n)]`. Because all stage sizes are powers of two
+//! (DESIGN.md D3), a block of size `s₁` is the exact union of `s₁ / s₂`
+//! blocks of any smaller stage size `s₂` — the paper's requirement that "a
+//! job is always mapped to the same super-job of a specific size and there
+//! is no intersection between the jobs in super-jobs of the same size"
+//! (§6), strengthened to perfect nesting.
+
+use amo_ostree::FenwickSet;
+use amo_sim::JobSpan;
+
+/// Number of size-`size` blocks covering `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn block_count(n: u64, size: u64) -> u64 {
+    assert!(size > 0, "block size must be positive");
+    n.div_ceil(size)
+}
+
+/// The jobs covered by block `k` of size `size` over `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the block lies outside `1..=n`.
+pub fn block_span(k: u64, size: u64, n: u64) -> JobSpan {
+    assert!(k >= 1 && k <= block_count(n, size), "block {k} out of range");
+    let lo = (k - 1) * size + 1;
+    let hi = (k * size).min(n);
+    JobSpan::new(lo, hi)
+}
+
+/// The paper's `map(SET1, size1, size2)`: re-expresses a set of size-`size1`
+/// blocks as the equivalent set of size-`size2` blocks (`size2 ≤ size1`,
+/// both powers of two, `size2` divides `size1`).
+///
+/// The input set lives over the universe `1..=block_count(n, size1)`; the
+/// output over `1..=block_count(n, size2)`. Exactly the same jobs are
+/// covered before and after (tested by `prop_map_preserves_jobs`).
+///
+/// # Panics
+///
+/// Panics if `size2` is zero or does not divide `size1`, or if the set's
+/// universe does not match `block_count(n, size1)`.
+pub fn map_blocks(set: &FenwickSet, size1: u64, size2: u64, n: u64) -> FenwickSet {
+    assert!(size2 > 0, "target size must be positive");
+    assert_eq!(size1 % size2, 0, "sizes must nest: {size2} does not divide {size1}");
+    assert_eq!(
+        set.universe() as u64,
+        block_count(n, size1),
+        "input universe mismatch"
+    );
+    let ratio = size1 / size2;
+    let out_universe = block_count(n, size2);
+    let mut out = FenwickSet::new(out_universe as usize);
+    for k in set.iter() {
+        let first = (k - 1) * ratio + 1;
+        let last = (k * ratio).min(out_universe);
+        for c in first..=last {
+            out.insert(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_rounds_up() {
+        assert_eq!(block_count(10, 4), 3);
+        assert_eq!(block_count(8, 4), 2);
+        assert_eq!(block_count(1, 4), 1);
+        assert_eq!(block_count(0, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        block_count(10, 0);
+    }
+
+    #[test]
+    fn block_span_covers_and_clips() {
+        assert_eq!(block_span(1, 4, 10), JobSpan::new(1, 4));
+        assert_eq!(block_span(2, 4, 10), JobSpan::new(5, 8));
+        assert_eq!(block_span(3, 4, 10), JobSpan::new(9, 10), "clipped at n");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn span_beyond_universe_rejected() {
+        block_span(4, 4, 10);
+    }
+
+    #[test]
+    fn map_identity_when_sizes_equal() {
+        let set = FenwickSet::with_members(3, [1u64, 3]);
+        let out = map_blocks(&set, 4, 4, 10);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn map_splits_blocks() {
+        // n = 16, blocks of 8 → blocks of 2: block 2 covers jobs 9..=16,
+        // i.e. size-2 blocks 5, 6, 7, 8.
+        let set = FenwickSet::with_members(2, [2u64]);
+        let out = map_blocks(&set, 8, 2, 16);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn map_clips_partial_tail() {
+        // n = 10, one block of 8 → size-2 blocks: block 2 covers 9..=10,
+        // which is size-2 block 5 only (universe has 5 blocks).
+        let set = FenwickSet::with_members(2, [2u64]);
+        let out = map_blocks(&set, 8, 2, 10);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn non_nesting_sizes_rejected() {
+        let set = FenwickSet::with_all(2);
+        let _ = map_blocks(&set, 6, 4, 12);
+    }
+
+    #[test]
+    fn covered_jobs_preserved_exactly() {
+        let n = 37u64;
+        let size1 = 8u64;
+        let size2 = 2u64;
+        let set = FenwickSet::with_members(block_count(n, size1) as usize, [1u64, 3, 5]);
+        let out = map_blocks(&set, size1, size2, n);
+        let jobs_in = |s: &FenwickSet, size: u64| -> Vec<u64> {
+            s.iter().flat_map(|k| block_span(k, size, n).jobs()).collect()
+        };
+        assert_eq!(jobs_in(&set, size1), jobs_in(&out, size2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Stage-isolation tests: processes progressing through different stages
+//! concurrently must not interfere (§6 keeps one `next`/`done`/flag set per
+//! granularity).
+
+use amo_iterative::{IterConfig, IterLayout, IterativeProcess};
+use amo_sim::{
+    BlockScheduler, CrashPlan, Engine, EngineLimits, VecRegisters, WithCrashes,
+};
+
+#[test]
+fn processes_can_be_stages_apart() {
+    // A very bursty schedule lets one process race ahead through stages
+    // while the other sleeps; safety must hold throughout.
+    let config = IterConfig::new(1024, 2, 2).unwrap();
+    let (layout, fleet) = amo_iterative::iter_fleet(&config);
+    let mem = VecRegisters::new(layout.cells());
+    // Bursts longer than a whole stage's work.
+    let exec = Engine::new(mem, fleet, BlockScheduler::new(3, 50_000))
+        .run(EngineLimits::default());
+    assert!(exec.violations().is_empty());
+    assert!(exec.completed);
+}
+
+#[test]
+fn laggard_waking_into_finished_stage_is_safe() {
+    // Process 2 sleeps until process 1 has fully terminated (all stages),
+    // then runs from scratch: every stage it enters is already flagged and
+    // logged; it must pass through without performing anything twice.
+    let config = IterConfig::new(512, 2, 1).unwrap();
+    let (layout, fleet) = amo_iterative::iter_fleet(&config);
+    let mem = VecRegisters::new(layout.cells());
+    let sched = |view: &amo_sim::SchedView<'_, IterativeProcess>| {
+        // Step pid 1 while it runs; then pid 2.
+        let i = view.running().next().expect("someone runs");
+        amo_sim::Decision::Step(i)
+    };
+    let exec = Engine::new(mem, fleet, sched).run(EngineLimits::default());
+    assert!(exec.violations().is_empty());
+    // Process 1 performed nearly everything; process 2 almost nothing.
+    let by_pid_1: u64 = exec
+        .performed
+        .iter()
+        .filter(|r| r.pid == 1)
+        .map(|r| r.span.count())
+        .sum();
+    assert!(by_pid_1 >= exec.effectiveness() - 8, "laggard re-performs almost nothing");
+}
+
+#[test]
+fn stage_memory_is_disjoint_across_stage_pairs() {
+    let layout = IterLayout::new(200, 3, &[16, 4, 1]);
+    let mut seen = std::collections::HashSet::new();
+    for s in layout.stages() {
+        for q in 1..=3 {
+            assert!(seen.insert(s.layout.next_cell(q)));
+            for pos in 1..=s.universe as u64 {
+                assert!(seen.insert(s.layout.done_cell(q, pos)));
+            }
+        }
+        assert!(seen.insert(s.layout.flag_cell().unwrap()));
+    }
+    assert_eq!(seen.len(), layout.cells());
+}
+
+#[test]
+fn crash_mid_stage_transition_is_safe() {
+    // Crash a process right around its stage boundary (the advance_stage
+    // local step): the other must still finish everything it can reach.
+    let config = IterConfig::new(400, 2, 1).unwrap();
+    for budget in [50u64, 500, 2_000, 10_000] {
+        let (layout, fleet) = amo_iterative::iter_fleet(&config);
+        let mem = VecRegisters::new(layout.cells());
+        let sched = WithCrashes::new(
+            amo_sim::RoundRobin::new(),
+            CrashPlan::at_steps([(1usize, budget)]),
+        );
+        let exec = Engine::new(mem, fleet, sched).run(EngineLimits::default());
+        assert!(exec.violations().is_empty(), "budget {budget}");
+        assert!(exec.completed, "budget {budget}");
+        assert!(
+            exec.effectiveness() >= config.effectiveness_floor(),
+            "budget {budget}: {}",
+            exec.effectiveness()
+        );
+    }
+}
+
+#[test]
+fn final_outputs_cover_everything_unperformed() {
+    // AMO variant: jobs not performed must appear in at least one process's
+    // final output or have been held by a crashed process's announcement
+    // (the ≤ m−1 loss budget per stage).
+    let config = IterConfig::new(300, 2, 1).unwrap();
+    let (layout, fleet) = amo_iterative::iter_fleet(&config);
+    let mem = VecRegisters::new(layout.cells());
+    let (exec, slots) = Engine::new(mem, fleet, amo_sim::RoundRobin::new())
+        .run_into(EngineLimits::default());
+    assert!(exec.violations().is_empty());
+    let mut performed = std::collections::HashSet::new();
+    for r in &exec.performed {
+        performed.extend(r.span.jobs());
+    }
+    let mut covered = performed.clone();
+    for slot in &slots {
+        if let Some(out) = slot.process.final_output() {
+            covered.extend(out.iter());
+        }
+    }
+    for job in 1..=300u64 {
+        assert!(covered.contains(&job), "job {job} lost without a crash");
+    }
+}

@@ -1,0 +1,49 @@
+//! Order-statistics set structures for the at-most-once algorithms.
+//!
+//! The KKβ algorithm of Kentros & Kiayias manipulates three sets of job
+//! identifiers — `FREE`, `DONE` and `TRY` — and repeatedly needs the
+//! *rank-`i` element of `FREE \ TRY`* (the paper's `rank(SET1, SET2, i)`
+//! helper, §3). The paper prescribes "some tree structure like red-black tree
+//! or some variant of B-tree" so that insertion, deletion and rank queries
+//! cost `O(log n)` and `rank(SET1, SET2, i)` costs `O(|SET2| · log n)`.
+//!
+//! This crate provides two interchangeable implementations:
+//!
+//! * [`FenwickSet`] — a bitmap + Fenwick (binary indexed) tree over the dense
+//!   job universe `1..=n`. All operations are `O(log n)` and the structure
+//!   counts the *exact* number of elementary loop iterations it performs,
+//!   which the benchmark harness uses as the paper's "basic operations"
+//!   (Definition 2.5) when measuring work complexity.
+//! * [`OrderStatTree`] — a size-augmented randomized search tree (treap with
+//!   deterministic priorities) over arbitrary `u64` keys, used for the
+//!   data-structure ablation and for sparse identifier spaces.
+//!
+//! Both implement [`RankedSet`], and [`rank_excluding`] implements the
+//! paper's `rank(SET1, SET2, i)` on top of any [`RankedSet`].
+//!
+//! # Examples
+//!
+//! ```
+//! use amo_ostree::{FenwickSet, RankedSet, rank_excluding};
+//!
+//! let mut free = FenwickSet::with_all(10); // {1, 2, ..., 10}
+//! free.remove(3);
+//! assert_eq!(free.select(3), Some(4)); // 3rd smallest of {1,2,4,...,10}
+//!
+//! // rank(FREE, TRY, 2) with TRY = {2, 4}: 2nd smallest of FREE \ TRY.
+//! let try_set = [2, 4];
+//! assert_eq!(rank_excluding(&free, &try_set, 2), Some(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod fenwick;
+mod rank;
+mod tree;
+
+pub use counter::OpCounter;
+pub use fenwick::FenwickSet;
+pub use rank::{rank_excluding, RankedSet};
+pub use tree::OrderStatTree;

@@ -1,0 +1,164 @@
+/// Common interface of order-statistics sets.
+///
+/// Both [`FenwickSet`](crate::FenwickSet) and
+/// [`OrderStatTree`](crate::OrderStatTree) implement this trait, so the KKβ
+/// automaton (and the data-structure ablation) can be generic over the
+/// backing structure.
+pub trait RankedSet {
+    /// Number of elements in the set.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the set has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `id` is a member.
+    fn contains(&self, id: u64) -> bool;
+
+    /// The `rank`-th smallest member (1-based), or `None` when out of range.
+    fn select(&self, rank: usize) -> Option<u64>;
+
+    /// Number of members `≤ id`.
+    fn count_le(&self, id: u64) -> usize;
+}
+
+/// The paper's `rank(SET1, SET2, i)`: the `i`-th smallest element (1-based)
+/// of `free \ excl`, or `None` if `free \ excl` has fewer than `i` elements.
+///
+/// `excl` must be sorted in increasing order (the KKβ automaton maintains its
+/// `TRY` set as a sorted vector of fewer than `m` entries). Elements of
+/// `excl` that are not members of `free` are ignored, exactly as in the
+/// paper where `rank` is defined on `SET1 \ SET2`.
+///
+/// Runs in `O(|excl| · log n)`: at most `|excl| + 1` [`select`] probes, as the
+/// probe index is monotone and strictly increases with the count of excluded
+/// elements below the probe (this is the cost the paper quotes in §3).
+///
+/// [`select`]: RankedSet::select
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `excl` is not sorted.
+///
+/// # Examples
+///
+/// ```
+/// use amo_ostree::{FenwickSet, rank_excluding};
+///
+/// let free = FenwickSet::with_all(10);
+/// assert_eq!(rank_excluding(&free, &[1, 2, 3], 1), Some(4));
+/// assert_eq!(rank_excluding(&free, &[], 7), Some(7));
+/// assert_eq!(rank_excluding(&free, &[10], 10), None); // only 9 remain
+/// ```
+pub fn rank_excluding<S: RankedSet + ?Sized>(free: &S, excl: &[u64], i: usize) -> Option<u64> {
+    debug_assert!(excl.windows(2).all(|w| w[0] <= w[1]), "excl must be sorted");
+    if i == 0 {
+        return None;
+    }
+    if free.len() < i {
+        return None;
+    }
+    // Only exclusions that are members of `free` affect ranks.
+    let t: Vec<u64> = excl.iter().copied().filter(|&e| free.contains(e)).collect();
+    let mut idx = i;
+    loop {
+        let x = free.select(idx)?;
+        // Number of excluded members ≤ x.
+        let k = t.partition_point(|&e| e <= x);
+        let target = i + k;
+        if target == idx {
+            // Fixpoint. `x` cannot itself be excluded here: if it were, the
+            // i-th element of free \ excl would be ≤ x and < x, contradicting
+            // that the iteration is monotone from below (see module tests).
+            debug_assert!(t.binary_search(&x).is_err());
+            return Some(x);
+        }
+        idx = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FenwickSet;
+
+    fn naive(free: &FenwickSet, excl: &[u64], i: usize) -> Option<u64> {
+        free.iter().filter(|x| !excl.contains(x)).nth(i.wrapping_sub(1))
+    }
+
+    #[test]
+    fn empty_exclusions() {
+        let free = FenwickSet::with_all(5);
+        for i in 1..=5 {
+            assert_eq!(rank_excluding(&free, &[], i), Some(i as u64));
+        }
+        assert_eq!(rank_excluding(&free, &[], 6), None);
+        assert_eq!(rank_excluding(&free, &[], 0), None);
+    }
+
+    #[test]
+    fn exclusions_shift_ranks() {
+        let free = FenwickSet::with_all(10);
+        // FREE \ {2, 4} = {1, 3, 5, 6, 7, 8, 9, 10}
+        let excl = [2u64, 4];
+        let expect = [1u64, 3, 5, 6, 7, 8, 9, 10];
+        for (i, &want) in expect.iter().enumerate() {
+            assert_eq!(rank_excluding(&free, &excl, i + 1), Some(want));
+        }
+        assert_eq!(rank_excluding(&free, &excl, 9), None);
+    }
+
+    #[test]
+    fn exclusions_not_in_free_are_ignored() {
+        let free = FenwickSet::with_members(10, [2u64, 4, 6, 8]);
+        // 3, 5, 100 are not members; only 4 matters.
+        let excl = [3u64, 4, 5, 100];
+        assert_eq!(rank_excluding(&free, &excl, 1), Some(2));
+        assert_eq!(rank_excluding(&free, &excl, 2), Some(6));
+        assert_eq!(rank_excluding(&free, &excl, 3), Some(8));
+        assert_eq!(rank_excluding(&free, &excl, 4), None);
+    }
+
+    #[test]
+    fn prefix_of_exclusions() {
+        let free = FenwickSet::with_all(100);
+        let excl: Vec<u64> = (1..=50).collect();
+        assert_eq!(rank_excluding(&free, &excl, 1), Some(51));
+        assert_eq!(rank_excluding(&free, &excl, 50), Some(100));
+        assert_eq!(rank_excluding(&free, &excl, 51), None);
+    }
+
+    #[test]
+    fn interleaved_exclusions_match_naive() {
+        let free = FenwickSet::with_members(64, (1..=64).filter(|x| x % 3 != 0).map(|x| x as u64));
+        let excl: Vec<u64> = (1..=64).filter(|x| x % 5 == 0).collect();
+        for i in 0..=free.len() + 1 {
+            assert_eq!(
+                rank_excluding(&free, &excl, i),
+                naive(&free, &excl, i),
+                "rank {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn everything_excluded() {
+        let free = FenwickSet::with_all(4);
+        let excl = [1u64, 2, 3, 4];
+        assert_eq!(rank_excluding(&free, &excl, 1), None);
+    }
+
+    #[test]
+    fn probe_count_is_bounded() {
+        // The iteration makes at most |excl ∩ free| + 1 select probes; each
+        // probe costs O(log n) Fenwick iterations. With |excl| = 3 on a
+        // universe of 1024 the op count must stay well under a full scan.
+        let free = FenwickSet::with_all(1024);
+        free.reset_ops();
+        let excl = [1u64, 2, 3];
+        assert_eq!(rank_excluding(&free, &excl, 1), Some(4));
+        // 4 probes * ceil(log2(1024))+1 iterations, plus 3 contains checks.
+        assert!(free.ops() < 64, "ops = {}", free.ops());
+    }
+}

@@ -1,0 +1,407 @@
+//! Bounded exhaustive exploration of schedules and crash patterns.
+//!
+//! The at-most-once property (Lemma 4.1) is a statement over *all*
+//! executions. Randomized testing samples that space; this module walks it
+//! exhaustively for small instances: a depth-first search over every
+//! scheduler decision (which process steps next, who crashes), with state
+//! memoization. Because an automaton's future behaviour depends only on its
+//! current state and shared memory, two search paths reaching the same
+//! global state explore identical futures and can be merged.
+//!
+//! For the KK-family automatons the set of already-performed jobs is itself
+//! a function of the global state (a performed job is visible either in the
+//! `done` matrix or as a process frozen between its `do` and its `done`
+//! write), so memoizing on state alone ([`MemoMode::StateOnly`]) is sound
+//! for violation detection. For arbitrary automatons, use
+//! [`MemoMode::StateAndHistory`], which also folds the performed multiset
+//! into the memo key — always sound, but visits more states.
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use crate::engine::LifeState;
+use crate::process::{JobSpan, Process, StepEvent};
+use crate::registers::VecRegisters;
+use crate::sched::Decision;
+use crate::verify::{JobCounts, Violation};
+
+/// Memoization regime of the explorer (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoMode {
+    /// Key = (process states, life states, memory). Sound when the performed
+    /// set is a function of global state (true for the KK-family automatons).
+    #[default]
+    StateOnly,
+    /// Key additionally includes the performed-jobs multiset. Sound for any
+    /// automaton.
+    StateAndHistory,
+}
+
+/// Search bounds and options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Stop after memoizing this many distinct states (search then reports
+    /// `complete == false`).
+    pub max_states: usize,
+    /// Crash budget `f`: the search branches on crashing any running process
+    /// while fewer than `f` crashes have happened. `0` disables crash
+    /// branching.
+    pub max_crashes: usize,
+    /// Maximum search depth (actions along one execution).
+    pub max_depth: usize,
+    /// Memoization regime.
+    pub memo: MemoMode,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self { max_states: 1_000_000, max_crashes: 0, max_depth: 1_000_000, memo: MemoMode::default() }
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Distinct states memoized.
+    pub states_visited: usize,
+    /// `true` if the search space was exhausted within every bound.
+    pub complete: bool,
+    /// First at-most-once violation encountered, if any.
+    pub violation: Option<Violation>,
+    /// Decision sequence reproducing the violation (feed to
+    /// [`ScriptedScheduler`](crate::ScriptedScheduler)).
+    pub violation_trace: Option<Vec<Decision>>,
+    /// Number of terminal states reached (every process terminated or
+    /// crashed). Merged paths are counted once.
+    pub terminal_states: u64,
+    /// Minimum `Do(α)` over terminal states reached.
+    pub min_effectiveness: Option<u64>,
+    /// Maximum `Do(α)` over terminal states reached.
+    pub max_effectiveness: Option<u64>,
+}
+
+impl ExploreOutcome {
+    /// `true` when the search completed and found no violation.
+    pub fn verified(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+struct Node<P> {
+    procs: Vec<P>,
+    life: Vec<LifeState>,
+    mem: Vec<u64>,
+    crashes: usize,
+    choices: Vec<Decision>,
+    next_choice: usize,
+    /// Jobs performed by the edge that led into this node.
+    entered_by_perform: Option<JobSpan>,
+    /// The decision that led into this node (for trace reconstruction).
+    entered_by: Option<Decision>,
+}
+
+fn fingerprint<P: Hash>(
+    procs: &[P],
+    life: &[LifeState],
+    mem: &[u64],
+    ledger: Option<&JobCounts>,
+) -> (u64, u64) {
+    // Order-independent digest of the performed multiset (history mode).
+    let digest = ledger.map(|l| {
+        let mut pairs: Vec<(u64, u32)> = l.iter().collect();
+        pairs.sort_unstable();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pairs.hash(&mut h);
+        h.finish()
+    });
+    // Two independent fingerprints, decorrelated by distinct prefixes, to
+    // make accidental memo collisions negligible.
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    0xA5A5_5A5A_u64.hash(&mut h2);
+    for h in [&mut h1, &mut h2] {
+        procs.hash(h);
+        life.hash(h);
+        mem.hash(h);
+        digest.hash(h);
+    }
+    (h1.finish(), h2.finish())
+}
+
+fn choices(life: &[LifeState], crashes: usize, cfg: &ExploreConfig) -> Vec<Decision> {
+    let mut out = Vec::new();
+    for (i, l) in life.iter().enumerate() {
+        if *l == LifeState::Running {
+            out.push(Decision::Step(i));
+        }
+    }
+    if crashes < cfg.max_crashes {
+        for (i, l) in life.iter().enumerate() {
+            if *l == LifeState::Running {
+                out.push(Decision::Crash(i));
+            }
+        }
+    }
+    out
+}
+
+/// Exhaustively explores every schedule (and crash pattern, if enabled) of
+/// the given fleet, checking the at-most-once property along all paths.
+///
+/// `registers` provides the initial shared memory; `procs` the initial
+/// automaton states (pids must be `1..=m` in order).
+///
+/// # Examples
+///
+/// Exhaustively proving that two racy read-then-write claimers *can*
+/// double-perform (the explorer finds the interleaving):
+///
+/// ```
+/// use amo_sim::testing::RacyClaimProcess;
+/// use amo_sim::{explore, ExploreConfig, VecRegisters};
+///
+/// let mem = VecRegisters::new(1);
+/// let procs = vec![RacyClaimProcess::new(1, 0, 9), RacyClaimProcess::new(2, 0, 9)];
+/// let out = explore(mem, procs, ExploreConfig::default());
+/// assert!(out.violation.is_some());
+/// ```
+pub fn explore<P>(registers: VecRegisters, procs: Vec<P>, cfg: ExploreConfig) -> ExploreOutcome
+where
+    P: Process<VecRegisters> + Clone + Hash,
+{
+    for (i, p) in procs.iter().enumerate() {
+        assert_eq!(p.pid(), i + 1, "processes must be ordered by pid 1..=m");
+    }
+    let m = procs.len();
+    let life = vec![LifeState::Running; m];
+    let mem0 = registers.snapshot();
+
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    let mut ledger = JobCounts::new();
+    let mut outcome = ExploreOutcome {
+        states_visited: 0,
+        complete: true,
+        violation: None,
+        violation_trace: None,
+        terminal_states: 0,
+        min_effectiveness: None,
+        max_effectiveness: None,
+    };
+
+    let root_choices = choices(&life, 0, &cfg);
+    let root = Node {
+        procs,
+        life,
+        mem: mem0,
+        crashes: 0,
+        choices: root_choices,
+        next_choice: 0,
+        entered_by_perform: None,
+        entered_by: None,
+    };
+    let ledger_ref = matches!(cfg.memo, MemoMode::StateAndHistory);
+    visited.insert(fingerprint(
+        &root.procs,
+        &root.life,
+        &root.mem,
+        ledger_ref.then_some(&ledger),
+    ));
+    outcome.states_visited += 1;
+
+    let mut stack: Vec<Node<P>> = vec![root];
+
+    while let Some(top_idx) = stack.len().checked_sub(1) {
+        // Terminal state: no running process.
+        let top_is_terminal = stack[top_idx].choices.is_empty();
+        if top_is_terminal {
+            outcome.terminal_states += 1;
+            let eff = ledger.distinct();
+            outcome.min_effectiveness =
+                Some(outcome.min_effectiveness.map_or(eff, |e| e.min(eff)));
+            outcome.max_effectiveness =
+                Some(outcome.max_effectiveness.map_or(eff, |e| e.max(eff)));
+        }
+        if top_is_terminal || stack[top_idx].next_choice >= stack[top_idx].choices.len() {
+            // Backtrack.
+            let node = stack.pop().expect("stack non-empty");
+            if let Some(span) = node.entered_by_perform {
+                ledger.unrecord(span);
+            }
+            continue;
+        }
+        if outcome.states_visited >= cfg.max_states || stack.len() > cfg.max_depth {
+            outcome.complete = false;
+            // Unwind the ledger fully before returning.
+            while let Some(node) = stack.pop() {
+                if let Some(span) = node.entered_by_perform {
+                    ledger.unrecord(span);
+                }
+            }
+            return outcome;
+        }
+
+        let decision = stack[top_idx].choices[stack[top_idx].next_choice];
+        stack[top_idx].next_choice += 1;
+
+        // Materialise the child state.
+        let mut procs = stack[top_idx].procs.clone();
+        let mut life = stack[top_idx].life.clone();
+        let mut crashes = stack[top_idx].crashes;
+        registers.restore(&stack[top_idx].mem);
+        let mut performed = None;
+        match decision {
+            Decision::Step(i) => {
+                let event = procs[i].step(&registers);
+                match event {
+                    StepEvent::Perform { span } => {
+                        performed = Some(span);
+                        if let Some(job) = ledger.record(span) {
+                            outcome.violation =
+                                Some(Violation { job, count: ledger.count(job) });
+                            let mut trace: Vec<Decision> =
+                                stack.iter().filter_map(|n| n.entered_by).collect();
+                            trace.push(decision);
+                            outcome.violation_trace = Some(trace);
+                            ledger.unrecord(span);
+                            while let Some(node) = stack.pop() {
+                                if let Some(span) = node.entered_by_perform {
+                                    ledger.unrecord(span);
+                                }
+                            }
+                            return outcome;
+                        }
+                    }
+                    StepEvent::Terminated => life[i] = LifeState::Terminated,
+                    _ => {}
+                }
+            }
+            Decision::Crash(i) => {
+                life[i] = LifeState::Crashed;
+                crashes += 1;
+            }
+        }
+        let mem = registers.snapshot();
+
+        let fp = fingerprint(&procs, &life, &mem, ledger_ref.then_some(&ledger));
+        if !visited.insert(fp) {
+            // Already explored this state; undo the edge.
+            if let Some(span) = performed {
+                ledger.unrecord(span);
+            }
+            continue;
+        }
+        outcome.states_visited += 1;
+
+        let child_choices = choices(&life, crashes, &cfg);
+        stack.push(Node {
+            procs,
+            life,
+            mem,
+            crashes,
+            choices: child_choices,
+            next_choice: 0,
+            entered_by_perform: performed,
+            entered_by: Some(decision),
+        });
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{PerformOnceProcess, RacyClaimProcess, WriterProcess};
+
+    #[test]
+    fn single_process_is_trivially_verified() {
+        let out = explore(
+            VecRegisters::new(1),
+            vec![WriterProcess::new(1, 0, 2)],
+            ExploreConfig::default(),
+        );
+        assert!(out.verified());
+        assert_eq!(out.terminal_states, 1);
+    }
+
+    #[test]
+    fn disjoint_performers_are_verified() {
+        let out = explore(
+            VecRegisters::new(0),
+            vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)],
+            ExploreConfig::default(),
+        );
+        assert!(out.verified());
+        assert_eq!(out.min_effectiveness, Some(2));
+        assert_eq!(out.max_effectiveness, Some(2));
+    }
+
+    #[test]
+    fn racy_claim_violation_is_found_and_replayable() {
+        let mem = VecRegisters::new(1);
+        let procs = vec![RacyClaimProcess::new(1, 0, 9), RacyClaimProcess::new(2, 0, 9)];
+        let out = explore(mem, procs, ExploreConfig::default());
+        assert_eq!(out.violation, Some(Violation { job: 9, count: 2 }));
+        let trace = out.violation_trace.expect("trace available");
+
+        // Replay the trace through the engine and confirm the violation.
+        use crate::engine::{Engine, EngineLimits};
+        use crate::sched::ScriptedScheduler;
+        let mem = VecRegisters::new(1);
+        let procs = vec![RacyClaimProcess::new(1, 0, 9), RacyClaimProcess::new(2, 0, 9)];
+        let exec = Engine::new(mem, procs, ScriptedScheduler::new(trace))
+            .run(EngineLimits::default());
+        assert_eq!(exec.violations().len(), 1, "trace replays the double-perform");
+    }
+
+    #[test]
+    fn duplicate_job_processes_always_violate() {
+        let out = explore(
+            VecRegisters::new(0),
+            vec![PerformOnceProcess::new(1, 5), PerformOnceProcess::new(2, 5)],
+            ExploreConfig::default(),
+        );
+        assert!(out.violation.is_some());
+    }
+
+    #[test]
+    fn crash_branching_reaches_lower_effectiveness() {
+        let cfg = ExploreConfig { max_crashes: 1, ..ExploreConfig::default() };
+        let out = explore(
+            VecRegisters::new(0),
+            vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)],
+            cfg,
+        );
+        assert!(out.verified());
+        // One process may crash before performing: min Do = 1; nobody forces
+        // both to crash (f = 1), so max Do = 2.
+        assert_eq!(out.min_effectiveness, Some(1));
+        assert_eq!(out.max_effectiveness, Some(2));
+    }
+
+    #[test]
+    fn state_cap_reports_incomplete() {
+        let cfg = ExploreConfig { max_states: 3, ..ExploreConfig::default() };
+        let out = explore(
+            VecRegisters::new(2),
+            vec![WriterProcess::new(1, 0, 4), WriterProcess::new(2, 1, 4)],
+            cfg,
+        );
+        assert!(!out.complete);
+    }
+
+    #[test]
+    fn history_memo_agrees_with_state_memo_on_kk_like_processes() {
+        // For automatons whose performed set is state-derivable, both modes
+        // must agree on the verdict.
+        for memo in [MemoMode::StateOnly, MemoMode::StateAndHistory] {
+            let cfg = ExploreConfig { memo, ..ExploreConfig::default() };
+            let out = explore(
+                VecRegisters::new(0),
+                vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)],
+                cfg,
+            );
+            assert!(out.verified(), "memo mode {memo:?}");
+        }
+    }
+}

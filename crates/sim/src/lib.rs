@@ -1,0 +1,65 @@
+//! Asynchronous shared-memory substrate for the at-most-once algorithms.
+//!
+//! The paper (§2.1) models a multiprocessor as `m` asynchronous, crash-prone
+//! processes — I/O automata — communicating through atomic read/write
+//! registers, driven by an *omniscient on-line adversary* that controls both
+//! the interleaving and up to `f < m` crashes. This crate is a from-scratch
+//! implementation of that model, plus a real-thread runtime so the same
+//! automatons can execute on actual hardware atomics:
+//!
+//! * [`Registers`] — the shared-memory abstraction: a flat file of `u64`
+//!   cells with `read`/`write` (and `swap` for RMW-based baselines).
+//!   Implementations: [`VecRegisters`] (deterministic simulation) and
+//!   [`AtomicRegisters`] (real `AtomicU64`s with configurable ordering).
+//! * [`Process`] — an automaton executed one *action* at a time; each action
+//!   performs **at most one shared-memory access**, which is exactly the
+//!   atomicity granularity of the paper's model.
+//! * [`Scheduler`] — the adversary: decides at every step which process acts
+//!   or crashes. Ships with round-robin, seeded-random, bursty and scripted
+//!   strategies; paper-specific adversaries live in `amo-core`.
+//! * [`Engine`] — runs a fleet of processes under a scheduler and records an
+//!   [`Execution`]: who performed which jobs, at which step, with full work
+//!   accounting (Definition 2.5).
+//! * [`explore`] — a bounded exhaustive explorer (a small model checker)
+//!   that enumerates *every* schedule and crash pattern of small instances
+//!   and machine-checks the at-most-once property along all of them.
+//! * [`thread`] — the same fleet on OS threads over [`AtomicRegisters`].
+//!
+//! # Examples
+//!
+//! ```
+//! use amo_sim::{Engine, EngineLimits, RoundRobin, VecRegisters};
+//! use amo_sim::testing::WriterProcess;
+//!
+//! // Two trivial automatons each write their pid into their own cell.
+//! let mem = VecRegisters::new(2);
+//! let procs = vec![WriterProcess::new(1, 0, 3), WriterProcess::new(2, 1, 3)];
+//! let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
+//! assert!(exec.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crash;
+mod engine;
+mod explore;
+mod process;
+mod registers;
+mod sched;
+pub mod testing;
+pub mod thread;
+mod timeline;
+mod verify;
+
+pub use crash::CrashPlan;
+pub use engine::{Engine, EngineLimits, Execution, LifeState, PerformRecord, Slot, TraceEntry};
+pub use explore::{explore, ExploreConfig, ExploreOutcome, MemoMode};
+pub use process::{JobSpan, Process, StepEvent};
+pub use registers::{AtomicRegisters, MemOrder, MemWork, Registers, VecRegisters};
+pub use sched::{
+    BlockScheduler, Decision, RandomScheduler, RoundRobin, SchedView, Scheduler, ScriptedScheduler,
+    WithCrashes,
+};
+pub use timeline::render_timeline;
+pub use verify::{at_most_once_violations, distinct_jobs, JobCounts, Violation};

@@ -1,0 +1,190 @@
+use crate::registers::Registers;
+
+/// An inclusive, non-empty range of job identifiers `lo..=hi`.
+///
+/// Plain jobs are spans with `lo == hi`; the iterated algorithms perform
+/// *super-jobs* — groups of consecutive jobs — in one `do` action, reported
+/// as a wider span.
+///
+/// # Examples
+///
+/// ```
+/// use amo_sim::JobSpan;
+///
+/// let single = JobSpan::single(7);
+/// assert_eq!(single.count(), 1);
+/// let block = JobSpan::new(9, 16);
+/// assert_eq!(block.count(), 8);
+/// assert!(block.contains(12));
+/// assert_eq!(block.jobs().collect::<Vec<_>>(), (9..=16).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobSpan {
+    /// First job of the span (1-based job identifier).
+    pub lo: u64,
+    /// Last job of the span, inclusive.
+    pub hi: u64,
+}
+
+impl JobSpan {
+    /// Creates the span `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi` (job identifiers are 1-based and
+    /// spans are non-empty).
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid job span {lo}..={hi}");
+        Self { lo, hi }
+    }
+
+    /// The single-job span `job..=job`.
+    pub fn single(job: u64) -> Self {
+        Self::new(job, job)
+    }
+
+    /// Number of jobs in the span.
+    pub fn count(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Returns `true` if `job` lies within the span.
+    pub fn contains(&self, job: u64) -> bool {
+        (self.lo..=self.hi).contains(&job)
+    }
+
+    /// Iterates over the individual jobs of the span.
+    pub fn jobs(&self) -> impl Iterator<Item = u64> {
+        self.lo..=self.hi
+    }
+}
+
+impl From<u64> for JobSpan {
+    fn from(job: u64) -> Self {
+        JobSpan::single(job)
+    }
+}
+
+impl std::fmt::Display for JobSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}..={}", self.lo, self.hi)
+        }
+    }
+}
+
+/// What a single automaton action did.
+///
+/// Every [`Process::step`] call executes exactly one action of the automaton
+/// and reports it through this event, which the engine uses for tracing,
+/// work accounting and the `do` ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A purely local action (no shared access).
+    Local,
+    /// The action read one shared cell.
+    Read {
+        /// Index of the cell read.
+        cell: usize,
+    },
+    /// The action wrote one shared cell.
+    Write {
+        /// Index of the cell written.
+        cell: usize,
+    },
+    /// The action performed one read-modify-write on a shared cell
+    /// (baselines only; the paper's algorithms never emit this).
+    Rmw {
+        /// Index of the cell.
+        cell: usize,
+    },
+    /// The action was a `do`: the process performed these jobs.
+    ///
+    /// For the at-most-once algorithms a correct execution never performs
+    /// any job in two `Perform` events (Definition 2.2).
+    Perform {
+        /// The jobs performed by this action.
+        span: JobSpan,
+    },
+    /// The process reached its final state; it must not be stepped again.
+    Terminated,
+}
+
+/// A crash-stop I/O automaton executed one action per [`step`](Self::step).
+///
+/// Contract:
+///
+/// * each `step` performs **at most one** shared-memory access on `mem`
+///   (the model's atomicity granularity, DESIGN.md D1);
+/// * after returning [`StepEvent::Terminated`] the process must not be
+///   stepped again (the engine guarantees it will not be);
+/// * `step` must never block: wait-freedom means every action is enabled in
+///   bounded local computation regardless of other processes.
+///
+/// The type parameter `R` is the register-file flavour; algorithm automatons
+/// are written once and instantiated for both [`VecRegisters`] (simulation)
+/// and [`AtomicRegisters`] (threads).
+///
+/// [`VecRegisters`]: crate::VecRegisters
+/// [`AtomicRegisters`]: crate::AtomicRegisters
+pub trait Process<R: Registers + ?Sized> {
+    /// Executes one action of the automaton.
+    fn step(&mut self, mem: &R) -> StepEvent;
+
+    /// The process identifier, `1..=m` (the paper's `p ∈ P`).
+    fn pid(&self) -> usize;
+
+    /// Returns `true` once the process has terminated.
+    fn is_terminated(&self) -> bool;
+
+    /// Local basic operations (comparisons, set-structure iterations, …)
+    /// executed so far — the non-shared-memory part of Definition 2.5.
+    fn local_work(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_single() {
+        let s = JobSpan::single(5);
+        assert_eq!(s, JobSpan::new(5, 5));
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.to_string(), "5");
+    }
+
+    #[test]
+    fn span_range() {
+        let s = JobSpan::new(3, 10);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.jobs().count(), 8);
+        assert_eq!(s.to_string(), "3..=10");
+        assert_eq!(JobSpan::from(9u64), JobSpan::single(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid job span")]
+    fn zero_lo_panics() {
+        JobSpan::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid job span")]
+    fn inverted_span_panics() {
+        JobSpan::new(5, 4);
+    }
+
+    #[test]
+    fn span_ordering_is_by_lo_then_hi() {
+        let mut spans = vec![JobSpan::new(5, 9), JobSpan::new(1, 2), JobSpan::new(5, 6)];
+        spans.sort();
+        assert_eq!(spans, vec![JobSpan::new(1, 2), JobSpan::new(5, 6), JobSpan::new(5, 9)]);
+    }
+}

@@ -1,0 +1,342 @@
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Memory-ordering regime for [`AtomicRegisters`].
+///
+/// The paper's proofs assume *linearizable* (atomic) registers, which
+/// [`MemOrder::SeqCst`] delivers unconditionally. The algorithm uses only
+/// single-writer multi-reader registers, for which release/acquire coherence
+/// is conjectured sufficient; [`MemOrder::AcqRel`] exposes that regime for
+/// the ablation study (DESIGN.md D5) — it is *not* the verified default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemOrder {
+    /// Sequentially consistent loads and stores (the verified default).
+    #[default]
+    SeqCst,
+    /// `Acquire` loads, `Release` stores, `AcqRel` swaps.
+    AcqRel,
+}
+
+impl MemOrder {
+    #[inline]
+    fn load(self) -> Ordering {
+        match self {
+            MemOrder::SeqCst => Ordering::SeqCst,
+            MemOrder::AcqRel => Ordering::Acquire,
+        }
+    }
+
+    #[inline]
+    fn store(self) -> Ordering {
+        match self {
+            MemOrder::SeqCst => Ordering::SeqCst,
+            MemOrder::AcqRel => Ordering::Release,
+        }
+    }
+
+    #[inline]
+    fn swap(self) -> Ordering {
+        match self {
+            MemOrder::SeqCst => Ordering::SeqCst,
+            MemOrder::AcqRel => Ordering::AcqRel,
+        }
+    }
+}
+
+/// Counters of shared-memory traffic (part of the paper's work measure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemWork {
+    /// Number of shared reads performed.
+    pub reads: u64,
+    /// Number of shared writes performed.
+    pub writes: u64,
+    /// Number of read-modify-write operations (used only by RMW baselines;
+    /// always zero for the paper's read/write algorithms).
+    pub rmws: u64,
+}
+
+impl MemWork {
+    /// Total shared-memory operations.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.rmws
+    }
+}
+
+impl std::ops::Add for MemWork {
+    type Output = MemWork;
+
+    fn add(self, rhs: MemWork) -> MemWork {
+        MemWork {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+            rmws: self.rmws + rhs.rmws,
+        }
+    }
+}
+
+/// A flat file of atomic `u64` registers — the shared memory of the model.
+///
+/// Algorithms address cells by index; layout structs (e.g. `KkLayout` in
+/// `amo-core`) map the paper's named arrays (`next`, `done[·][·]`, …) onto
+/// this flat space. The `swap` operation exists solely for the test-and-set
+/// *baselines*; the paper's algorithms never invoke it, which is asserted in
+/// their tests.
+pub trait Registers {
+    /// Atomically reads cell `cell`.
+    fn read(&self, cell: usize) -> u64;
+
+    /// Atomically writes `value` into cell `cell`.
+    fn write(&self, cell: usize, value: u64);
+
+    /// Atomically swaps `value` into `cell`, returning the previous value.
+    fn swap(&self, cell: usize, value: u64) -> u64;
+
+    /// Number of cells in the register file.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the register file has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared-memory traffic counters accumulated so far.
+    fn work(&self) -> MemWork;
+}
+
+/// Deterministic, single-threaded register file for the simulator.
+///
+/// Cells are `Cell<u64>` so that reads can be accounted through a shared
+/// reference; the whole structure is cheap to snapshot, which the exhaustive
+/// explorer uses to enumerate states.
+#[derive(Debug, Clone, Default)]
+pub struct VecRegisters {
+    cells: Vec<Cell<u64>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    rmws: Cell<u64>,
+}
+
+impl VecRegisters {
+    /// Creates `cells` zero-initialised registers (the model's `init` value).
+    pub fn new(cells: usize) -> Self {
+        Self {
+            cells: vec![Cell::new(0); cells],
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            rmws: Cell::new(0),
+        }
+    }
+
+    /// Snapshot of all cell values (used by the explorer and for debugging).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(Cell::get).collect()
+    }
+
+    /// Restores a snapshot previously taken with
+    /// [`snapshot`](VecRegisters::snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length differs from the register count.
+    pub fn restore(&self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), self.cells.len(), "snapshot size mismatch");
+        for (c, &v) in self.cells.iter().zip(snapshot) {
+            c.set(v);
+        }
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_work(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.rmws.set(0);
+    }
+}
+
+impl Registers for VecRegisters {
+    #[inline]
+    fn read(&self, cell: usize) -> u64 {
+        self.reads.set(self.reads.get() + 1);
+        self.cells[cell].get()
+    }
+
+    #[inline]
+    fn write(&self, cell: usize, value: u64) {
+        self.writes.set(self.writes.get() + 1);
+        self.cells[cell].set(value);
+    }
+
+    #[inline]
+    fn swap(&self, cell: usize, value: u64) -> u64 {
+        self.rmws.set(self.rmws.get() + 1);
+        self.cells[cell].replace(value)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn work(&self) -> MemWork {
+        MemWork { reads: self.reads.get(), writes: self.writes.get(), rmws: self.rmws.get() }
+    }
+}
+
+/// Real hardware-atomic register file for the thread runtime.
+///
+/// Traffic counters use relaxed atomics so accounting does not perturb the
+/// ordering under test.
+#[derive(Debug, Default)]
+pub struct AtomicRegisters {
+    cells: Vec<AtomicU64>,
+    order: MemOrder,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    rmws: AtomicU64,
+}
+
+impl AtomicRegisters {
+    /// Creates `cells` zero-initialised registers with the given ordering.
+    pub fn new(cells: usize, order: MemOrder) -> Self {
+        let mut v = Vec::with_capacity(cells);
+        v.resize_with(cells, || AtomicU64::new(0));
+        Self {
+            cells: v,
+            order,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            rmws: AtomicU64::new(0),
+        }
+    }
+
+    /// The ordering regime this file was created with.
+    pub fn order(&self) -> MemOrder {
+        self.order
+    }
+
+    /// Snapshot of all cell values (quiescent use only).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    }
+}
+
+impl Registers for AtomicRegisters {
+    #[inline]
+    fn read(&self, cell: usize) -> u64 {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.cells[cell].load(self.order.load())
+    }
+
+    #[inline]
+    fn write(&self, cell: usize, value: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.cells[cell].store(value, self.order.store());
+    }
+
+    #[inline]
+    fn swap(&self, cell: usize, value: u64) -> u64 {
+        self.rmws.fetch_add(1, Ordering::Relaxed);
+        self.cells[cell].swap(value, self.order.swap())
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn work(&self) -> MemWork {
+        MemWork {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rmws: self.rmws.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_registers_read_write() {
+        let m = VecRegisters::new(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.read(0), 0, "cells start zeroed");
+        m.write(2, 77);
+        assert_eq!(m.read(2), 77);
+        assert_eq!(m.swap(2, 5), 77);
+        assert_eq!(m.read(2), 5);
+    }
+
+    #[test]
+    fn vec_registers_work_accounting() {
+        let m = VecRegisters::new(2);
+        m.read(0);
+        m.read(1);
+        m.write(0, 1);
+        m.swap(1, 2);
+        let w = m.work();
+        assert_eq!(w, MemWork { reads: 2, writes: 1, rmws: 1 });
+        assert_eq!(w.total(), 4);
+        m.reset_work();
+        assert_eq!(m.work().total(), 0);
+    }
+
+    #[test]
+    fn vec_registers_snapshot_restore() {
+        let m = VecRegisters::new(3);
+        m.write(0, 10);
+        m.write(1, 20);
+        let snap = m.snapshot();
+        m.write(0, 99);
+        m.write(2, 99);
+        m.restore(&snap);
+        assert_eq!(m.snapshot(), vec![10, 20, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot size mismatch")]
+    fn restore_size_mismatch_panics() {
+        VecRegisters::new(2).restore(&[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        VecRegisters::new(1).read(1);
+    }
+
+    #[test]
+    fn atomic_registers_basic() {
+        for order in [MemOrder::SeqCst, MemOrder::AcqRel] {
+            let m = AtomicRegisters::new(3, order);
+            assert_eq!(m.order(), order);
+            m.write(1, 42);
+            assert_eq!(m.read(1), 42);
+            assert_eq!(m.swap(1, 7), 42);
+            assert_eq!(m.snapshot(), vec![0, 7, 0]);
+            assert_eq!(m.work(), MemWork { reads: 1, writes: 1, rmws: 1 });
+        }
+    }
+
+    #[test]
+    fn atomic_registers_cross_thread() {
+        let m = AtomicRegisters::new(1, MemOrder::SeqCst);
+        std::thread::scope(|s| {
+            s.spawn(|| m.write(0, 123));
+        });
+        assert_eq!(m.read(0), 123);
+    }
+
+    #[test]
+    fn memwork_addition() {
+        let a = MemWork { reads: 1, writes: 2, rmws: 3 };
+        let b = MemWork { reads: 10, writes: 20, rmws: 30 };
+        assert_eq!(a + b, MemWork { reads: 11, writes: 22, rmws: 33 });
+    }
+
+    #[test]
+    fn empty_register_file() {
+        let m = VecRegisters::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.snapshot(), Vec::<u64>::new());
+    }
+}

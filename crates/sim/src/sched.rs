@@ -1,0 +1,307 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::crash::CrashPlan;
+use crate::engine::{LifeState, Slot};
+
+/// The adversary's move at one step of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let the process in slot `index` (0-based) execute one action.
+    Step(usize),
+    /// Crash the process in slot `index` (the model's `stop_p` action).
+    Crash(usize),
+}
+
+/// What the adversary can see when deciding.
+///
+/// The paper's adversary is *omniscient*: it knows the full state of every
+/// process and of shared memory. `SchedView` therefore hands the scheduler
+/// the process slots themselves (internal state included) plus run counters.
+#[derive(Debug)]
+pub struct SchedView<'a, P> {
+    /// All process slots, in pid order (slot `i` holds pid `i + 1`).
+    pub slots: &'a [Slot<P>],
+    /// Total actions executed so far.
+    pub total_steps: u64,
+    /// Crashes injected so far.
+    pub crashes: usize,
+    /// Crash budget `f ≤ m − 1`; the engine rejects crashes beyond it.
+    pub max_crashes: usize,
+}
+
+impl<P> SchedView<'_, P> {
+    /// Indices of slots that can still take steps.
+    pub fn running(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == LifeState::Running)
+            .map(|(i, _)| i)
+    }
+
+    /// Number of running processes.
+    pub fn running_count(&self) -> usize {
+        self.running().count()
+    }
+
+    /// Remaining crash budget.
+    pub fn crashes_left(&self) -> usize {
+        self.max_crashes.saturating_sub(self.crashes)
+    }
+}
+
+/// An adversary strategy: decides, at every point, which process acts next
+/// or which process crashes (§2.1's omniscient on-line adversary).
+///
+/// Invariants the engine enforces: the chosen slot must be
+/// [`Running`](LifeState::Running), and `Crash` must not exceed
+/// `max_crashes`. A scheduler returning an invalid decision is a bug in the
+/// harness, and the engine panics.
+pub trait Scheduler<P> {
+    /// Chooses the next move. Called only while at least one process runs.
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision;
+}
+
+impl<P, F: FnMut(&SchedView<'_, P>) -> Decision> Scheduler<P> for F {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        self(view)
+    }
+}
+
+/// Fair round-robin over the running processes.
+///
+/// This is the "benign" schedule: every process advances in turn, which is a
+/// fair execution in the sense of §2.1 (every enabled action eventually
+/// runs).
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at slot 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<P> Scheduler<P> for RoundRobin {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        let n = view.slots.len();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            if view.slots[i].state == LifeState::Running {
+                self.cursor = (i + 1) % n;
+                return Decision::Step(i);
+            }
+        }
+        unreachable!("decide called with no running process")
+    }
+}
+
+/// Uniform random choice among running processes (seeded, reproducible).
+///
+/// Random schedules are fair with probability 1 and are the workhorse of the
+/// randomized safety experiments (Table 2 / experiment E2).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl<P> Scheduler<P> for RandomScheduler {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        let running: Vec<usize> = view.running().collect();
+        debug_assert!(!running.is_empty());
+        Decision::Step(running[self.rng.gen_range(0..running.len())])
+    }
+}
+
+/// Adversarial "bursty" schedule: runs a randomly chosen process for a burst
+/// of consecutive actions before switching.
+///
+/// Long bursts maximise the staleness of other processes' views of shared
+/// memory, which is what drives collisions in KKβ (§5).
+#[derive(Debug, Clone)]
+pub struct BlockScheduler {
+    rng: StdRng,
+    burst: u64,
+    current: Option<usize>,
+    left: u64,
+}
+
+impl BlockScheduler {
+    /// Creates a bursty scheduler with bursts of `burst` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn new(seed: u64, burst: u64) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        Self { rng: StdRng::seed_from_u64(seed), burst, current: None, left: 0 }
+    }
+}
+
+impl<P> Scheduler<P> for BlockScheduler {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        if let Some(i) = self.current {
+            if self.left > 0 && view.slots[i].state == LifeState::Running {
+                self.left -= 1;
+                return Decision::Step(i);
+            }
+        }
+        let running: Vec<usize> = view.running().collect();
+        debug_assert!(!running.is_empty());
+        let i = running[self.rng.gen_range(0..running.len())];
+        self.current = Some(i);
+        self.left = self.burst - 1;
+        Decision::Step(i)
+    }
+}
+
+/// Replays a fixed decision script, then falls back to round-robin.
+///
+/// Used to reproduce specific interleavings (e.g. counter-example traces
+/// from the explorer) and in unit tests of the engine itself.
+#[derive(Debug, Clone)]
+pub struct ScriptedScheduler {
+    script: std::vec::IntoIter<Decision>,
+    fallback: RoundRobin,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler that replays `script` decision by decision.
+    pub fn new(script: Vec<Decision>) -> Self {
+        Self { script: script.into_iter(), fallback: RoundRobin::new() }
+    }
+}
+
+impl<P> Scheduler<P> for ScriptedScheduler {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        match self.script.next() {
+            Some(d) => d,
+            None => self.fallback.decide(view),
+        }
+    }
+}
+
+/// Wraps a scheduler with a [`CrashPlan`]: processes crash as soon as they
+/// reach their planned step count, regardless of what the inner strategy
+/// would do.
+///
+/// This is how deterministic failure injection composes with any schedule.
+#[derive(Debug, Clone)]
+pub struct WithCrashes<S> {
+    inner: S,
+    plan: CrashPlan,
+}
+
+impl<S> WithCrashes<S> {
+    /// Wraps `inner`, injecting the crashes of `plan`.
+    pub fn new(inner: S, plan: CrashPlan) -> Self {
+        Self { inner, plan }
+    }
+}
+
+impl<P, S: Scheduler<P>> Scheduler<P> for WithCrashes<S> {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        for (i, slot) in view.slots.iter().enumerate() {
+            if slot.state == LifeState::Running
+                && view.crashes < view.max_crashes
+                && self.plan.should_crash(i + 1, slot.steps)
+            {
+                return Decision::Crash(i);
+            }
+        }
+        self.inner.decide(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineLimits};
+    use crate::registers::VecRegisters;
+    use crate::testing::WriterProcess;
+
+    fn fleet(k: u64) -> (VecRegisters, Vec<WriterProcess>) {
+        let mem = VecRegisters::new(3);
+        let procs =
+            vec![WriterProcess::new(1, 0, k), WriterProcess::new(2, 1, k), WriterProcess::new(3, 2, k)];
+        (mem, procs)
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let (mem, procs) = fleet(2);
+        let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
+        assert!(exec.completed);
+        // 3 procs * (2 writes + 1 terminate step each)
+        assert_eq!(exec.total_steps, 9);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let run = |seed| {
+            let (mem, procs) = fleet(5);
+            Engine::new(mem, procs, RandomScheduler::new(seed))
+                .run(EngineLimits::default())
+                .per_proc_steps
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn block_scheduler_runs_bursts() {
+        let (mem, procs) = fleet(10);
+        let exec =
+            Engine::new(mem, procs, BlockScheduler::new(3, 4)).run(EngineLimits::default());
+        assert!(exec.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be positive")]
+    fn zero_burst_rejected() {
+        BlockScheduler::new(0, 0);
+    }
+
+    #[test]
+    fn scripted_then_fallback() {
+        let (mem, procs) = fleet(2);
+        let script = vec![Decision::Step(2), Decision::Step(2), Decision::Step(2)];
+        let exec = Engine::new(mem, procs, ScriptedScheduler::new(script))
+            .run(EngineLimits::default());
+        assert!(exec.completed);
+        assert_eq!(exec.per_proc_steps[2], 3, "pid 3 moved first per script");
+    }
+
+    #[test]
+    fn with_crashes_injects_at_step() {
+        let (mem, procs) = fleet(10);
+        let plan = CrashPlan::at_steps([(2usize, 1u64)]);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        let exec = Engine::new(mem, procs, sched)
+            .with_max_crashes(2)
+            .run(EngineLimits::default());
+        assert_eq!(exec.crashed, vec![2]);
+        assert_eq!(exec.per_proc_steps[1], 1, "pid 2 took exactly one step");
+        assert!(exec.completed);
+    }
+
+    #[test]
+    fn closure_scheduler_works() {
+        let (mem, procs) = fleet(1);
+        let sched = |view: &SchedView<'_, WriterProcess>| {
+            Decision::Step(view.running().next().expect("someone runs"))
+        };
+        let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+        assert!(exec.completed);
+    }
+}

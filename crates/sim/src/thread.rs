@@ -1,0 +1,242 @@
+//! Real-thread runtime: the same automatons on OS threads over hardware
+//! atomics.
+//!
+//! The simulator explores *which* interleavings are possible; this runtime
+//! demonstrates the algorithms on an actual multiprocessor, where the
+//! interleaving is chosen by the machine. Each process runs on its own
+//! thread, stepping its automaton to completion; crash-stop failures are
+//! injected as per-thread step budgets from a [`CrashPlan`].
+//!
+//! # Examples
+//!
+//! ```
+//! use amo_sim::testing::PerformOnceProcess;
+//! use amo_sim::thread::{run_threads, ThreadOptions};
+//! use amo_sim::{AtomicRegisters, MemOrder};
+//!
+//! let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
+//! let procs = vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)];
+//! let exec = run_threads(&mem, procs, ThreadOptions::default());
+//! assert!(exec.completed);
+//! assert_eq!(exec.effectiveness(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::crash::CrashPlan;
+use crate::process::{JobSpan, Process, StepEvent};
+use crate::registers::{AtomicRegisters, MemWork, Registers};
+use crate::verify::{at_most_once_violations, distinct_jobs, Violation};
+
+/// Options for a threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadOptions {
+    /// Crash-stop injection: a process stops silently once it has executed
+    /// its planned number of actions.
+    pub crash_plan: CrashPlan,
+    /// Upper bound on actions per process, as a wait-freedom watchdog. A
+    /// process exceeding it is reported via `completed == false`. `None`
+    /// means unbounded.
+    pub max_steps_per_proc: Option<u64>,
+}
+
+/// One `do` action observed on a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPerform {
+    /// Performing process.
+    pub pid: usize,
+    /// Jobs performed.
+    pub span: JobSpan,
+}
+
+/// Outcome of a threaded execution.
+#[derive(Debug, Clone)]
+pub struct ThreadExecution {
+    /// Every `do` action (ordered by pid, then program order within a pid;
+    /// there is no meaningful global order across threads).
+    pub performed: Vec<ThreadPerform>,
+    /// Pids that were crash-injected.
+    pub crashed: Vec<usize>,
+    /// Actions executed per process (index `i` holds pid `i + 1`).
+    pub per_proc_steps: Vec<u64>,
+    /// `true` when every non-crashed process terminated within the watchdog.
+    pub completed: bool,
+    /// Shared-memory traffic.
+    pub mem_work: MemWork,
+    /// Local basic operations summed over all processes.
+    pub local_work: u64,
+    /// Wall-clock duration of the parallel phase.
+    pub elapsed: std::time::Duration,
+}
+
+impl ThreadExecution {
+    /// `Do(α)`: distinct jobs performed.
+    pub fn effectiveness(&self) -> u64 {
+        distinct_jobs(self.performed.iter().map(|r| r.span))
+    }
+
+    /// At-most-once violations (must be empty for a correct algorithm).
+    pub fn violations(&self) -> Vec<Violation> {
+        at_most_once_violations(self.performed.iter().map(|r| r.span))
+    }
+}
+
+/// Runs the fleet on OS threads over `mem`, one thread per process.
+///
+/// All threads start behind a barrier so the contention window opens
+/// simultaneously. Returns once every thread has terminated, crashed (per
+/// plan) or exhausted the watchdog.
+///
+/// # Panics
+///
+/// Panics if `procs` is empty or pids are not `1..=m` in order, or if a
+/// worker thread panics.
+pub fn run_threads<P>(mem: &AtomicRegisters, procs: Vec<P>, options: ThreadOptions) -> ThreadExecution
+where
+    P: Process<AtomicRegisters> + Send,
+{
+    assert!(!procs.is_empty(), "need at least one process");
+    for (i, p) in procs.iter().enumerate() {
+        assert_eq!(p.pid(), i + 1, "processes must be ordered by pid 1..=m");
+    }
+    let m = procs.len();
+    let barrier = Barrier::new(m);
+    let incomplete = AtomicU64::new(0);
+
+    struct WorkerResult {
+        pid: usize,
+        performed: Vec<ThreadPerform>,
+        steps: u64,
+        crashed: bool,
+        local_work: u64,
+    }
+
+    let start = std::time::Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(m);
+        for mut p in procs {
+            let barrier = &barrier;
+            let incomplete = &incomplete;
+            let options = &options;
+            handles.push(s.spawn(move || {
+                let pid = p.pid();
+                let budget = options.crash_plan.budget(pid);
+                let mut performed = Vec::new();
+                let mut steps: u64 = 0;
+                let mut crashed = false;
+                barrier.wait();
+                loop {
+                    if budget.is_some_and(|b| steps >= b) {
+                        crashed = true;
+                        break;
+                    }
+                    if options.max_steps_per_proc.is_some_and(|w| steps >= w) {
+                        incomplete.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    match p.step(mem) {
+                        StepEvent::Perform { span } => {
+                            steps += 1;
+                            performed.push(ThreadPerform { pid, span });
+                        }
+                        StepEvent::Terminated => {
+                            steps += 1;
+                            break;
+                        }
+                        _ => steps += 1,
+                    }
+                }
+                WorkerResult { pid, performed, steps, crashed, local_work: p.local_work() }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut performed = Vec::new();
+    let mut crashed = Vec::new();
+    let mut per_proc_steps = vec![0u64; m];
+    let mut local_work = 0u64;
+    for r in results {
+        per_proc_steps[r.pid - 1] = r.steps;
+        if r.crashed {
+            crashed.push(r.pid);
+        }
+        local_work += r.local_work;
+        performed.extend(r.performed);
+    }
+
+    ThreadExecution {
+        performed,
+        crashed,
+        per_proc_steps,
+        completed: incomplete.load(Ordering::Relaxed) == 0,
+        mem_work: mem.work(),
+        local_work,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registers::MemOrder;
+    use crate::testing::{PerformOnceProcess, WriterProcess};
+
+    #[test]
+    fn threads_complete() {
+        let mem = AtomicRegisters::new(4, MemOrder::SeqCst);
+        let procs: Vec<WriterProcess> =
+            (1..=4).map(|p| WriterProcess::new(p, p - 1, 50)).collect();
+        let exec = run_threads(&mem, procs, ThreadOptions::default());
+        assert!(exec.completed);
+        assert!(exec.crashed.is_empty());
+        assert_eq!(exec.per_proc_steps, vec![51; 4]);
+        assert_eq!(exec.mem_work.writes, 200);
+    }
+
+    #[test]
+    fn crash_plan_limits_steps() {
+        let mem = AtomicRegisters::new(2, MemOrder::SeqCst);
+        let procs = vec![WriterProcess::new(1, 0, 1_000), WriterProcess::new(2, 1, 5)];
+        let options = ThreadOptions {
+            crash_plan: CrashPlan::at_steps([(1usize, 7u64)]),
+            ..ThreadOptions::default()
+        };
+        let exec = run_threads(&mem, procs, options);
+        assert_eq!(exec.crashed, vec![1]);
+        assert_eq!(exec.per_proc_steps[0], 7);
+        assert!(exec.completed, "pid 2 still terminated normally");
+    }
+
+    #[test]
+    fn watchdog_reports_incomplete() {
+        let mem = AtomicRegisters::new(1, MemOrder::SeqCst);
+        let procs = vec![WriterProcess::new(1, 0, 1_000)];
+        let options = ThreadOptions { max_steps_per_proc: Some(10), ..ThreadOptions::default() };
+        let exec = run_threads(&mem, procs, options);
+        assert!(!exec.completed);
+    }
+
+    #[test]
+    fn performs_are_collected_across_threads() {
+        let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
+        let procs: Vec<PerformOnceProcess> =
+            (1..=8).map(|p| PerformOnceProcess::new(p, p as u64)).collect();
+        let exec = run_threads(&mem, procs, ThreadOptions::default());
+        assert_eq!(exec.effectiveness(), 8);
+        assert!(exec.violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered by pid")]
+    fn pid_order_enforced() {
+        let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
+        let _ = run_threads(
+            &mem,
+            vec![PerformOnceProcess::new(2, 1)],
+            ThreadOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Engine/scheduler integration properties: fairness, determinism, crash
+//! semantics, and explorer/engine agreement.
+
+use amo_sim::testing::{PerformOnceProcess, RacyClaimProcess, WriterProcess};
+use amo_sim::{
+    explore, CrashPlan, Decision, Engine, EngineLimits, ExploreConfig, RandomScheduler,
+    RoundRobin, ScriptedScheduler, VecRegisters, WithCrashes,
+};
+use proptest::prelude::*;
+
+#[test]
+fn round_robin_is_fair() {
+    // With equal workloads, round-robin gives every process the same number
+    // of steps (±1 at the end).
+    let mem = VecRegisters::new(4);
+    let procs: Vec<WriterProcess> = (1..=4).map(|p| WriterProcess::new(p, p - 1, 25)).collect();
+    let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
+    let max = *exec.per_proc_steps.iter().max().unwrap();
+    let min = *exec.per_proc_steps.iter().min().unwrap();
+    assert!(max - min <= 1, "{:?}", exec.per_proc_steps);
+}
+
+#[test]
+fn random_scheduler_is_fair_in_the_limit() {
+    let mem = VecRegisters::new(3);
+    let procs: Vec<WriterProcess> = (1..=3).map(|p| WriterProcess::new(p, p - 1, 2_000)).collect();
+    let exec =
+        Engine::new(mem, procs, RandomScheduler::new(5)).run(EngineLimits::default());
+    assert!(exec.completed, "all terminate despite randomness");
+    for &s in &exec.per_proc_steps {
+        assert_eq!(s, 2_001);
+    }
+}
+
+#[test]
+fn explorer_min_effectiveness_matches_engine_worst_case() {
+    // For the racy claimers the explorer knows the worst and best cases;
+    // scripted engine runs can realise both.
+    let build = || vec![RacyClaimProcess::new(1, 0, 3), RacyClaimProcess::new(2, 0, 3)];
+    let out = explore(VecRegisters::new(1), build(), ExploreConfig::default());
+    // Racy claimers can double-perform, so a violation is found...
+    assert!(out.violation.is_some());
+    // ...and its trace replays in the engine.
+    let trace = out.violation_trace.unwrap();
+    let exec = Engine::new(VecRegisters::new(1), build(), ScriptedScheduler::new(trace))
+        .run(EngineLimits::default());
+    assert!(!exec.violations().is_empty());
+}
+
+#[test]
+fn crash_plan_with_zero_budget_prevents_all_steps() {
+    let mem = VecRegisters::new(2);
+    let procs = vec![WriterProcess::new(1, 0, 10), WriterProcess::new(2, 1, 10)];
+    let sched = WithCrashes::new(RoundRobin::new(), CrashPlan::first_f_immediately(1));
+    let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+    assert_eq!(exec.per_proc_steps[0], 0);
+    assert_eq!(exec.crashed, vec![1]);
+    assert_eq!(exec.mem_work.writes, 10, "survivor unaffected");
+}
+
+#[test]
+fn scripted_decisions_execute_verbatim() {
+    let mem = VecRegisters::new(2);
+    let procs = vec![WriterProcess::new(1, 0, 3), WriterProcess::new(2, 1, 3)];
+    let script = vec![
+        Decision::Step(1),
+        Decision::Step(1),
+        Decision::Crash(0),
+        Decision::Step(1),
+        Decision::Step(1),
+    ];
+    let exec = Engine::new(mem, procs, ScriptedScheduler::new(script))
+        .run(EngineLimits::default());
+    assert_eq!(exec.crashed, vec![1]);
+    assert_eq!(exec.per_proc_steps, vec![0, 4]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of writers and performers completes under any seed, and the
+    /// step accounting always balances.
+    #[test]
+    fn engine_accounting_balances(
+        writers in 1usize..5,
+        k in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let mem = VecRegisters::new(writers);
+        let procs: Vec<WriterProcess> =
+            (1..=writers).map(|p| WriterProcess::new(p, p - 1, k)).collect();
+        let exec = Engine::new(mem, procs, RandomScheduler::new(seed))
+            .run(EngineLimits::default());
+        prop_assert!(exec.completed);
+        prop_assert_eq!(exec.per_proc_steps.iter().sum::<u64>(), exec.total_steps);
+        prop_assert_eq!(exec.mem_work.writes, writers as u64 * k);
+    }
+
+    /// Disjoint performers can never violate, under any schedule or crash
+    /// plan (control experiment for the verifier).
+    #[test]
+    fn disjoint_performers_never_violate(
+        m in 1usize..6,
+        seed in any::<u64>(),
+        f in 0usize..3,
+    ) {
+        let f = f.min(m - 1);
+        let mem = VecRegisters::new(0);
+        let procs: Vec<PerformOnceProcess> =
+            (1..=m).map(|p| PerformOnceProcess::new(p, p as u64)).collect();
+        let sched = WithCrashes::new(
+            RandomScheduler::new(seed),
+            CrashPlan::random(m, f, 3, seed),
+        );
+        let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+        prop_assert!(exec.violations().is_empty());
+        prop_assert!(exec.effectiveness() >= (m - f) as u64);
+    }
+}

@@ -1,0 +1,352 @@
+//! Write-All baselines (§1/§7 comparison set).
+//!
+//! All baselines use the layout `wa[1..n]` at cells `0..n`; [`TasWa`]
+//! additionally uses claim bits at cells `n..2n`.
+
+use amo_sim::{Process, Registers, StepEvent};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Cells needed by a baseline over `n` jobs: `n` for the `wa` array, plus
+/// `n` claim bits for the test-and-set baseline.
+pub(crate) fn baseline_cells(uses_claims: bool, n: usize) -> usize {
+    if uses_claims {
+        2 * n
+    } else {
+        n
+    }
+}
+
+#[inline]
+fn wa_cell(job: u64) -> usize {
+    job as usize - 1
+}
+
+#[inline]
+fn claim_cell(n: u64, job: u64) -> usize {
+    (n + job) as usize - 1
+}
+
+/// One process writes every cell: the `n`-writes floor any parallel
+/// algorithm is compared against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SequentialWa {
+    pid: usize,
+    n: u64,
+    next: u64,
+    terminated: bool,
+}
+
+impl SequentialWa {
+    /// Creates the sequential writer.
+    pub fn new(pid: usize, n: u64) -> Self {
+        Self { pid, n, next: 1, terminated: false }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for SequentialWa {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        if self.next > self.n {
+            self.terminated = true;
+            return StepEvent::Terminated;
+        }
+        let cell = wa_cell(self.next);
+        mem.write(cell, 1);
+        self.next += 1;
+        StepEvent::Write { cell }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+/// Static partition: process `p` writes its own `n/m` chunk and stops.
+///
+/// Optimal work (`n` writes total, zero coordination) but **no fault
+/// tolerance**: if any process crashes, its chunk is never written and the
+/// Write-All certification fails. Experiment E5 uses it to show why the
+/// problem is non-trivial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StaticPartitionWa {
+    pid: usize,
+    next: u64,
+    hi: u64,
+    terminated: bool,
+}
+
+impl StaticPartitionWa {
+    /// Creates the writer for chunk `p` of `m` over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ∉ 1..=m` or `m == 0`.
+    pub fn new(pid: usize, m: usize, n: u64) -> Self {
+        assert!(m > 0 && (1..=m).contains(&pid));
+        let lo = (pid as u64 - 1) * n / m as u64 + 1;
+        let hi = pid as u64 * n / m as u64;
+        Self { pid, next: lo, hi, terminated: false }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for StaticPartitionWa {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        if self.next > self.hi {
+            self.terminated = true;
+            return StepEvent::Terminated;
+        }
+        let cell = wa_cell(self.next);
+        mem.write(cell, 1);
+        self.next += 1;
+        StepEvent::Write { cell }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TasPhase {
+    Claim,
+    WriteWon { job: u64 },
+}
+
+/// Test-and-set claiming: scan all jobs (from a per-process offset), claim
+/// each with an atomic swap on its claim bit, and write only the cells won.
+///
+/// This is the RMW-based comparator the paper's §1 mentions ("one can
+/// associate a test-and-set bit with each job") and our stand-in for
+/// Malewicz's TAS-based algorithm: wins are disjoint, so `wa` writes total
+/// exactly `n`, but every process still scans all `n` claim bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TasWa {
+    pid: usize,
+    n: u64,
+    start: u64,
+    scanned: u64,
+    phase: TasPhase,
+    terminated: bool,
+}
+
+impl TasWa {
+    /// Creates the claimer for process `p` of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ∉ 1..=m` or `m == 0` or `n == 0`.
+    pub fn new(pid: usize, m: usize, n: u64) -> Self {
+        assert!(m > 0 && (1..=m).contains(&pid) && n > 0);
+        let start = (pid as u64 - 1) * n / m as u64;
+        Self { pid, n, start, scanned: 0, phase: TasPhase::Claim, terminated: false }
+    }
+
+    fn current_job(&self) -> u64 {
+        (self.start + self.scanned) % self.n + 1
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for TasWa {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        match self.phase {
+            TasPhase::Claim => {
+                if self.scanned >= self.n {
+                    self.terminated = true;
+                    return StepEvent::Terminated;
+                }
+                let job = self.current_job();
+                let cell = claim_cell(self.n, job);
+                let prev = mem.swap(cell, 1);
+                if prev == 0 {
+                    self.phase = TasPhase::WriteWon { job };
+                } else {
+                    self.scanned += 1;
+                }
+                StepEvent::Rmw { cell }
+            }
+            TasPhase::WriteWon { job } => {
+                let cell = wa_cell(job);
+                mem.write(cell, 1);
+                self.scanned += 1;
+                self.phase = TasPhase::Claim;
+                StepEvent::Write { cell }
+            }
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ScanPhase {
+    Check,
+    Write { job: u64 },
+}
+
+/// Anderson–Woll-flavoured read/write baseline: each process traverses all
+/// of `1..=n` in its own seeded random permutation, reading each cell and
+/// writing only if it is still zero.
+///
+/// Tolerates any `f ≤ m − 1` crashes (every survivor covers everything).
+/// Random permutations have contention `O(q log q)` w.h.p. — the standard
+/// substitute for the deterministic low-contention families that are not
+/// constructible in polynomial time (paper §1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PermutationScanWa {
+    pid: usize,
+    perm: Vec<u64>,
+    idx: usize,
+    phase: ScanPhase,
+    terminated: bool,
+}
+
+impl PermutationScanWa {
+    /// Creates the scanner with a permutation derived from `seed` and `pid`.
+    pub fn new(pid: usize, n: u64, seed: u64) -> Self {
+        let mut perm: Vec<u64> = (1..=n).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ (pid as u64).wrapping_mul(0x9E37_79B9));
+        perm.shuffle(&mut rng);
+        Self { pid, perm, idx: 0, phase: ScanPhase::Check, terminated: false }
+    }
+}
+
+impl<R: Registers + ?Sized> Process<R> for PermutationScanWa {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        match self.phase {
+            ScanPhase::Check => {
+                if self.idx >= self.perm.len() {
+                    self.terminated = true;
+                    return StepEvent::Terminated;
+                }
+                let job = self.perm[self.idx];
+                let cell = wa_cell(job);
+                if mem.read(cell) == 0 {
+                    self.phase = ScanPhase::Write { job };
+                } else {
+                    self.idx += 1;
+                }
+                StepEvent::Read { cell }
+            }
+            ScanPhase::Write { job } => {
+                let cell = wa_cell(job);
+                mem.write(cell, 1);
+                self.idx += 1;
+                self.phase = ScanPhase::Check;
+                StepEvent::Write { cell }
+            }
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::certify_snapshot;
+    use amo_sim::VecRegisters;
+
+    /// Drives all processes round-robin against a caller-held memory.
+    fn drive_all<P: Process<VecRegisters>>(mem: &VecRegisters, mut procs: Vec<P>) {
+        let mut active: Vec<usize> = (0..procs.len()).collect();
+        let mut cursor = 0usize;
+        let mut guard = 0u64;
+        while !active.is_empty() {
+            cursor %= active.len();
+            let i = active[cursor];
+            if matches!(procs[i].step(mem), StepEvent::Terminated) {
+                active.remove(cursor);
+            } else {
+                cursor += 1;
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "baseline did not terminate");
+        }
+    }
+
+    #[test]
+    fn sequential_completes() {
+        let n = 50u64;
+        let mem = VecRegisters::new(baseline_cells(false, n as usize));
+        drive_all(&mem, vec![SequentialWa::new(1, n)]);
+        assert!(certify_snapshot(&mem.snapshot(), 0, n as usize).complete);
+        assert_eq!(mem.work().writes, n);
+    }
+
+    #[test]
+    fn static_partition_completes_without_crashes() {
+        let n = 31u64;
+        let m = 4;
+        let mem = VecRegisters::new(baseline_cells(false, n as usize));
+        let procs: Vec<_> = (1..=m).map(|p| StaticPartitionWa::new(p, m, n)).collect();
+        drive_all(&mem, procs);
+        assert!(certify_snapshot(&mem.snapshot(), 0, n as usize).complete);
+        assert_eq!(mem.work().writes, n, "each cell written exactly once");
+    }
+
+    #[test]
+    fn static_partition_chunks_cover_exactly() {
+        let n = 10u64;
+        let chunks: Vec<(u64, u64)> = (1..=3)
+            .map(|p| {
+                let w = StaticPartitionWa::new(p, 3, n);
+                (w.next, w.hi)
+            })
+            .collect();
+        assert_eq!(chunks, vec![(1, 3), (4, 6), (7, 10)]);
+    }
+
+    #[test]
+    fn tas_wins_are_disjoint() {
+        let n = 64u64;
+        let m = 4;
+        let mem = VecRegisters::new(baseline_cells(true, n as usize));
+        let procs: Vec<_> = (1..=m).map(|p| TasWa::new(p, m, n)).collect();
+        drive_all(&mem, procs);
+        assert!(certify_snapshot(&mem.snapshot(), 0, n as usize).complete);
+        assert_eq!(mem.work().writes, n, "TAS makes wa writes disjoint");
+        assert_eq!(mem.work().rmws, n * m as u64, "every process scans all claims");
+    }
+
+    #[test]
+    fn permutation_scan_completes_with_bounded_writes() {
+        let n = 64u64;
+        let m = 3;
+        let mem = VecRegisters::new(baseline_cells(false, n as usize));
+        let procs: Vec<_> = (1..=m).map(|p| PermutationScanWa::new(p, n, 42)).collect();
+        drive_all(&mem, procs);
+        assert!(certify_snapshot(&mem.snapshot(), 0, n as usize).complete);
+        let w = mem.work();
+        assert!(w.writes >= n);
+        assert!(w.writes <= n * m as u64);
+        assert_eq!(w.reads, n * m as u64, "exactly one check read per slot per process");
+    }
+
+    #[test]
+    fn permutations_differ_across_processes() {
+        let a = PermutationScanWa::new(1, 32, 7);
+        let b = PermutationScanWa::new(2, 32, 7);
+        assert_ne!(a.perm, b.perm);
+    }
+}

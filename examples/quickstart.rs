@@ -1,0 +1,30 @@
+//! Quickstart: run the KKβ at-most-once algorithm on real threads.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use at_most_once::core::{run_threads, KkConfig, ThreadRunOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 256 jobs, 8 processes, β = m (the effectiveness-optimal setting).
+    let config = KkConfig::new(256, 8)?;
+
+    let report = run_threads(&config, ThreadRunOptions::default());
+
+    println!("jobs performed : {} / {}", report.effectiveness, config.n());
+    println!("violations     : {} (must be 0)", report.violations.len());
+    println!(
+        "guarantee      : ≥ {} in the worst case (Theorem 4.4: n − (β + m − 2))",
+        config.effectiveness_bound()
+    );
+    println!(
+        "work           : {} shared ops + {} local basic ops",
+        report.mem_work.total(),
+        report.local_work
+    );
+
+    assert!(report.violations.is_empty(), "at-most-once must hold");
+    assert!(report.effectiveness >= config.effectiveness_bound());
+    Ok(())
+}

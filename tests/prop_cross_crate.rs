@@ -1,0 +1,88 @@
+//! Cross-crate property tests through the umbrella API: arbitrary
+//! instances, schedules, crash plans — at-most-once, bounds, Write-All
+//! completeness, and simulator/thread consistency.
+
+use at_most_once::baselines::{run_baseline_simulated, AmoBaselineKind, BaselineOptions};
+use at_most_once::core::{run_simulated, KkConfig, SimOptions};
+use at_most_once::iterative::IterSimOptions;
+use at_most_once::sim::CrashPlan;
+use at_most_once::write_all::{run_wa_simulated, WaConfig};
+use proptest::prelude::*;
+
+fn crash_plan(m: usize, seed: u64) -> CrashPlan {
+    let f = (seed as usize) % m;
+    CrashPlan::at_steps((1..=f).map(|p| (p, seed % 313 * p as u64)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant, across the whole stack.
+    #[test]
+    fn kk_at_most_once_everywhere(
+        m in 1usize..=6,
+        n_mult in 2usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let n = n_mult * m + (seed % 7) as usize;
+        let config = KkConfig::new(n, m).unwrap();
+        let r = run_simulated(
+            &config,
+            SimOptions::random(seed).with_crash_plan(crash_plan(m, seed)),
+        );
+        prop_assert!(r.violations.is_empty());
+        prop_assert!(r.completed);
+        prop_assert!(r.effectiveness >= config.effectiveness_bound());
+    }
+
+    /// Write-All completes for arbitrary instances and crash plans.
+    #[test]
+    fn write_all_completes(
+        m in 1usize..=4,
+        n_mult in 3usize..=40,
+        seed in any::<u64>(),
+    ) {
+        let n = n_mult * m;
+        let config = WaConfig::new(n, m, 1).unwrap();
+        let r = run_wa_simulated(
+            &config,
+            IterSimOptions::random(seed).with_crash_plan(crash_plan(m, seed)),
+        );
+        prop_assert!(r.complete, "missing {}", r.certified.missing.len());
+    }
+
+    /// Baseline safety under the same generator.
+    #[test]
+    fn baselines_at_most_once(
+        m in 2usize..=5,
+        n_mult in 2usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let n = n_mult * m;
+        for kind in [
+            AmoBaselineKind::TrivialSplit,
+            AmoBaselineKind::PairsHybrid,
+            AmoBaselineKind::TasAmo,
+        ] {
+            let r = run_baseline_simulated(
+                kind,
+                n,
+                m,
+                BaselineOptions::random(seed).with_crash_plan(crash_plan(m, seed)),
+            );
+            prop_assert!(r.violations.is_empty(), "{}", kind.label());
+        }
+    }
+
+    /// Work accounting is internally consistent: total = shared + local,
+    /// and shared traffic matches step structure (each step ≤ 1 access).
+    #[test]
+    fn work_accounting_consistent(m in 1usize..=5, n_mult in 2usize..=15, seed in any::<u64>()) {
+        let n = n_mult * m;
+        let config = KkConfig::new(n, m).unwrap();
+        let r = run_simulated(&config, SimOptions::random(seed));
+        prop_assert_eq!(r.work(), r.mem_work.total() + r.local_work);
+        prop_assert!(r.mem_work.total() <= r.total_steps, "≤ one shared access per action");
+        prop_assert_eq!(r.mem_work.rmws, 0, "KKβ never uses RMW");
+    }
+}
