@@ -57,11 +57,9 @@ fn bench_rank_excluding(c: &mut Criterion) {
     let tree = OrderStatTree::from_keys(1..=UNIVERSE as u64);
     for excl_len in [0usize, 4, 16, 64] {
         let excl: Vec<u64> = (1..=excl_len as u64).map(|i| i * 37).collect();
-        group.bench_with_input(
-            BenchmarkId::new("fenwick", excl_len),
-            &excl,
-            |b, excl| b.iter(|| rank_excluding(&fen, excl, UNIVERSE / 2)),
-        );
+        group.bench_with_input(BenchmarkId::new("fenwick", excl_len), &excl, |b, excl| {
+            b.iter(|| rank_excluding(&fen, excl, UNIVERSE / 2))
+        });
         group.bench_with_input(BenchmarkId::new("treap", excl_len), &excl, |b, excl| {
             b.iter(|| rank_excluding(&tree, excl, UNIVERSE / 2))
         });

@@ -20,13 +20,17 @@ fn bench_schedulers(c: &mut Criterion) {
         ("lockstep", SimOptions::lockstep()),
         ("block", SimOptions::block(42, 32)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |b, options| {
-            b.iter(|| {
-                let r = run_simulated(&config, options.clone());
-                assert!(r.violations.is_empty());
-                r.total_steps
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    let r = run_simulated(&config, options.clone());
+                    assert!(r.violations.is_empty());
+                    r.total_steps
+                });
+            },
+        );
     }
     group.finish();
 }

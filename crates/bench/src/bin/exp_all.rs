@@ -8,5 +8,8 @@ fn main() {
     for table in amo_bench::experiments::run_all(scale) {
         println!("{table}");
     }
-    eprintln!("[exp_all] completed in {:.1?} ({scale:?})", started.elapsed());
+    eprintln!(
+        "[exp_all] completed in {:.1?} ({scale:?})",
+        started.elapsed()
+    );
 }

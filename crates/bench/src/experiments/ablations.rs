@@ -11,7 +11,7 @@ use amo_baselines::randomized_kk_fleet;
 use amo_core::{run_fleet_simulated, run_simulated, KkConfig, SimOptions};
 use amo_sim::VecRegisters;
 
-use crate::{fmt_f64, Scale, Table};
+use crate::{fmt_f64, par_map, Scale, Table};
 
 /// Runs A1 and returns Table 8.
 pub fn exp_beta_ablation(scale: Scale) -> Table {
@@ -33,13 +33,14 @@ pub fn exp_beta_ablation(scale: Scale) -> Table {
         ],
     );
     let m64 = m as u64;
-    for beta in [m64, 2 * m64, m64 * m64, 3 * m64 * m64] {
+    let betas = vec![m64, 2 * m64, m64 * m64, 3 * m64 * m64];
+    for row in par_map(betas, |beta| {
         let config = KkConfig::with_beta(n, m, beta).expect("valid");
         let adv = run_simulated(&config, SimOptions::stuck_announcement());
         let lock = run_simulated(&config, SimOptions::staleness().with_collision_tracking());
         assert!(adv.violations.is_empty() && lock.violations.is_empty());
         let collisions = lock.collisions.as_ref().map(|c| c.total()).unwrap_or(0);
-        t.row([
+        [
             n.to_string(),
             m.to_string(),
             beta.to_string(),
@@ -48,7 +49,9 @@ pub fn exp_beta_ablation(scale: Scale) -> Table {
             collisions.to_string(),
             lock.work().to_string(),
             fmt_f64(lock.work() as f64 / n as f64),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -61,40 +64,50 @@ pub fn exp_pick_ablation(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "Table 9 (A4): rank-splitting vs uniform-random candidate picks (lockstep schedule)",
-        &["n", "m", "pick rule", "collisions", "work", "effectiveness", "violations"],
+        &[
+            "n",
+            "m",
+            "pick rule",
+            "collisions",
+            "work",
+            "effectiveness",
+            "violations",
+        ],
     );
+    let mut cells = Vec::new();
     for &m in &ms {
+        cells.push((m, "rank-split"));
+        cells.push((m, "uniform-random"));
+    }
+    for row in par_map(cells, |(m, rule)| {
         let beta = KkConfig::work_optimal_beta(m);
         let config = KkConfig::with_beta(n, m, beta).expect("valid");
-
-        // Deterministic rank-splitting.
-        let det = run_simulated(&config, SimOptions::lockstep().with_collision_tracking());
-        t.row([
+        let r = if rule == "rank-split" {
+            run_simulated(&config, SimOptions::lockstep().with_collision_tracking())
+        } else {
+            let (layout, fleet) = randomized_kk_fleet(&config, 0xA4, true);
+            run_fleet_simulated(
+                VecRegisters::new(layout.cells()),
+                fleet,
+                config.n(),
+                SimOptions::lockstep().with_collision_tracking(),
+            )
+        };
+        [
             n.to_string(),
             m.to_string(),
-            "rank-split".to_owned(),
-            det.collisions.as_ref().map(|c| c.total()).unwrap_or(0).to_string(),
-            det.work().to_string(),
-            det.effectiveness.to_string(),
-            det.violations.len().to_string(),
-        ]);
-        // Uniform random picks.
-        let (layout, fleet) = randomized_kk_fleet(&config, 0xA4, true);
-        let rnd = run_fleet_simulated(
-            VecRegisters::new(layout.cells()),
-            fleet,
-            config.n(),
-            SimOptions::lockstep().with_collision_tracking(),
-        );
-        t.row([
-            n.to_string(),
-            m.to_string(),
-            "uniform-random".to_owned(),
-            rnd.collisions.as_ref().map(|c| c.total()).unwrap_or(0).to_string(),
-            rnd.work().to_string(),
-            rnd.effectiveness.to_string(),
-            rnd.violations.len().to_string(),
-        ]);
+            rule.to_owned(),
+            r.collisions
+                .as_ref()
+                .map(|c| c.total())
+                .unwrap_or(0)
+                .to_string(),
+            r.work().to_string(),
+            r.effectiveness.to_string(),
+            r.violations.len().to_string(),
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -106,10 +119,16 @@ mod tests {
     #[test]
     fn beta_sweep_effectiveness_decreases() {
         let t = exp_beta_ablation(Scale::Quick);
-        let eff: Vec<u64> =
-            t.column("eff (adversary)").iter().map(|s| s.parse().unwrap()).collect();
+        let eff: Vec<u64> = t
+            .column("eff (adversary)")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         for w in eff.windows(2) {
-            assert!(w[1] <= w[0], "larger β must not increase worst-case effectiveness");
+            assert!(
+                w[1] <= w[0],
+                "larger β must not increase worst-case effectiveness"
+            );
         }
     }
 

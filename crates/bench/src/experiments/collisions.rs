@@ -22,7 +22,7 @@ use amo_baselines::randomized_kk_fleet;
 use amo_core::{run_fleet_simulated, run_simulated, AmoReport, KkConfig, SimOptions};
 use amo_sim::VecRegisters;
 
-use crate::{fmt_ratio, Scale, Table};
+use crate::{fmt_ratio, par_map, Scale, Table};
 
 /// Runs E7 and returns Table 7.
 pub fn exp_collisions(scale: Scale) -> Table {
@@ -44,65 +44,64 @@ pub fn exp_collisions(scale: Scale) -> Table {
             "4(n+1)·log2(m)",
         ],
     );
+    let mut cells: Vec<(usize, &str, &str)> = Vec::new();
     for &m in &ms {
+        cells.push((m, "rank-split", "staleness"));
+        cells.push((m, "rank-split", "lockstep"));
+        cells.push((m, "uniform-random", "staleness"));
+    }
+    let cases: Vec<(usize, &str, &str, AmoReport)> = par_map(cells, |(m, picks, sched)| {
         let beta = KkConfig::work_optimal_beta(m);
         let config = KkConfig::with_beta(n, m, beta).expect("valid");
-
-        let mut cases: Vec<(&str, &str, AmoReport)> = Vec::new();
-        cases.push((
-            "rank-split",
-            "staleness",
-            run_simulated(&config, SimOptions::staleness().with_collision_tracking()),
-        ));
-        cases.push((
-            "rank-split",
-            "lockstep",
-            run_simulated(&config, SimOptions::lockstep().with_collision_tracking()),
-        ));
-        {
-            let (layout, fleet) = randomized_kk_fleet(&config, 0xE7, true);
-            cases.push((
-                "uniform-random",
-                "staleness",
+        let r = match (picks, sched) {
+            ("rank-split", "staleness") => {
+                run_simulated(&config, SimOptions::staleness().with_collision_tracking())
+            }
+            ("rank-split", "lockstep") => {
+                run_simulated(&config, SimOptions::lockstep().with_collision_tracking())
+            }
+            _ => {
+                let (layout, fleet) = randomized_kk_fleet(&config, 0xE7, true);
                 run_fleet_simulated(
                     VecRegisters::new(layout.cells()),
                     fleet,
                     config.n(),
                     SimOptions::staleness().with_collision_tracking(),
-                ),
-            ));
-        }
+                )
+            }
+        };
+        (m, picks, sched, r)
+    });
 
-        for (picks, sched, r) in cases {
-            assert!(r.violations.is_empty(), "E7 safety ({picks}/{sched})");
-            let matrix = r.collisions.expect("tracking enabled");
-            assert!(
-                matrix.exceeding_lemma_bound().is_empty(),
-                "Lemma 5.5 violated: {:?}",
-                matrix.exceeding_lemma_bound()
-            );
-            let mut max_measured = 0u64;
-            for p in 1..=m {
-                for q in 1..=m {
-                    if p != q {
-                        max_measured = max_measured.max(matrix.between(p, q));
-                    }
+    for (m, picks, sched, r) in cases {
+        assert!(r.violations.is_empty(), "E7 safety ({picks}/{sched})");
+        let matrix = r.collisions.expect("tracking enabled");
+        assert!(
+            matrix.exceeding_lemma_bound().is_empty(),
+            "Lemma 5.5 violated: {:?}",
+            matrix.exceeding_lemma_bound()
+        );
+        let mut max_measured = 0u64;
+        for p in 1..=m {
+            for q in 1..=m {
+                if p != q {
+                    max_measured = max_measured.max(matrix.between(p, q));
                 }
             }
-            let bound_d1 = matrix.lemma_bound(1, 2).expect("m ≥ 2");
-            let aggregate = 4.0 * (n as f64 + 1.0) * (m as f64).log2().max(1.0);
-            t.row([
-                n.to_string(),
-                m.to_string(),
-                picks.to_owned(),
-                sched.to_owned(),
-                max_measured.to_string(),
-                bound_d1.to_string(),
-                fmt_ratio(max_measured as f64, bound_d1 as f64),
-                matrix.total().to_string(),
-                format!("{aggregate:.0}"),
-            ]);
         }
+        let bound_d1 = matrix.lemma_bound(1, 2).expect("m ≥ 2");
+        let aggregate = 4.0 * (n as f64 + 1.0) * (m as f64).log2().max(1.0);
+        t.row([
+            n.to_string(),
+            m.to_string(),
+            picks.to_owned(),
+            sched.to_owned(),
+            max_measured.to_string(),
+            bound_d1.to_string(),
+            fmt_ratio(max_measured as f64, bound_d1 as f64),
+            matrix.total().to_string(),
+            format!("{aggregate:.0}"),
+        ]);
     }
     t
 }
@@ -129,7 +128,11 @@ mod tests {
         let t = exp_collisions(Scale::Quick);
         let picks = t.column("picks");
         let sched = t.column("sched");
-        let totals: Vec<u64> = t.column("total").iter().map(|s| s.parse().unwrap()).collect();
+        let totals: Vec<u64> = t
+            .column("total")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         let mut saw = false;
         for i in 0..picks.len() {
             if sched[i] == "staleness" && totals[i] > 0 {
@@ -137,15 +140,25 @@ mod tests {
             }
             let _ = picks;
         }
-        assert!(saw, "the staleness adversary must force at least one collision");
+        assert!(
+            saw,
+            "the staleness adversary must force at least one collision"
+        );
     }
 
     #[test]
     fn totals_respect_the_aggregate_bound() {
         let t = exp_collisions(Scale::Quick);
-        let totals: Vec<f64> = t.column("total").iter().map(|s| s.parse().unwrap()).collect();
-        let aggs: Vec<f64> =
-            t.column("4(n+1)·log2(m)").iter().map(|s| s.parse().unwrap()).collect();
+        let totals: Vec<f64> = t
+            .column("total")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let aggs: Vec<f64> = t
+            .column("4(n+1)·log2(m)")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         for (tot, agg) in totals.iter().zip(&aggs) {
             assert!(tot <= agg);
         }

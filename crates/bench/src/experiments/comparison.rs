@@ -19,7 +19,7 @@ use amo_baselines::{run_baseline_simulated, AmoBaselineKind, BaselineOptions};
 use amo_core::{run_simulated, KkConfig, SimOptions};
 use amo_sim::CrashPlan;
 
-use crate::{Scale, Table};
+use crate::{par_map, Scale, Table};
 
 /// Runs E6 and returns Table 6.
 pub fn exp_comparison(scale: Scale) -> Table {
@@ -29,16 +29,26 @@ pub fn exp_comparison(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "Table 6 (E6, §1): worst-case effectiveness under f = m−1 crashes",
-        &["m", "f", "algorithm", "registers", "predicted", "measured", "n"],
+        &[
+            "m",
+            "f",
+            "algorithm",
+            "registers",
+            "predicted",
+            "measured",
+            "n",
+        ],
     );
-    for &m in &ms {
+    // One parallel task per m; each emits its rows as a group, in order.
+    for rows in par_map(ms, |m| {
+        let mut group: Vec<[String; 7]> = Vec::new();
         let f = m - 1;
 
         // KKβ with β = m under its tight adversary.
         let config = KkConfig::new(n, m).expect("valid");
         let kk = run_simulated(&config, SimOptions::stuck_announcement());
         assert!(kk.violations.is_empty());
-        t.row([
+        group.push([
             m.to_string(),
             f.to_string(),
             "kk-beta (β=m)".to_owned(),
@@ -85,7 +95,7 @@ pub fn exp_comparison(scale: Scale) -> Table {
                 .predicted_effectiveness(n as u64, m, f)
                 .map(|p| p.to_string())
                 .unwrap_or_else(|| "-".to_owned());
-            t.row([
+            group.push([
                 m.to_string(),
                 f.to_string(),
                 kind.label().to_owned(),
@@ -102,10 +112,9 @@ pub fn exp_comparison(scale: Scale) -> Table {
                 AmoBaselineKind::TwoProcess,
                 n,
                 2,
-                BaselineOptions::default()
-                    .with_crash_plan(CrashPlan::at_steps([(2usize, 1u64)])),
+                BaselineOptions::default().with_crash_plan(CrashPlan::at_steps([(2usize, 1u64)])),
             );
-            t.row([
+            group.push([
                 "2".to_owned(),
                 "1".to_owned(),
                 "two-process".to_owned(),
@@ -114,6 +123,11 @@ pub fn exp_comparison(scale: Scale) -> Table {
                 r.effectiveness.to_string(),
                 n.to_string(),
             ]);
+        }
+        group
+    }) {
+        for row in rows {
+            t.row(row);
         }
     }
     t
@@ -138,7 +152,11 @@ mod tests {
         let t = exp_comparison(Scale::Quick);
         for m in ["4", "8"] {
             let rows = rows_for(&t, m);
-            let kk = rows.iter().find(|(a, _)| a.starts_with("kk-beta")).unwrap().1;
+            let kk = rows
+                .iter()
+                .find(|(a, _)| a.starts_with("kk-beta"))
+                .unwrap()
+                .1;
             let trivial = rows.iter().find(|(a, _)| a == "trivial-split").unwrap().1;
             let pairs = rows.iter().find(|(a, _)| a == "pairs-hybrid").unwrap().1;
             assert!(kk > trivial, "m={m}: KK {kk} ≤ trivial {trivial}");
@@ -153,7 +171,11 @@ mod tests {
         let t = exp_comparison(Scale::Quick);
         for m in ["4", "8"] {
             let rows = rows_for(&t, m);
-            let kk = rows.iter().find(|(a, _)| a.starts_with("kk-beta")).unwrap().1;
+            let kk = rows
+                .iter()
+                .find(|(a, _)| a.starts_with("kk-beta"))
+                .unwrap()
+                .1;
             let tas = rows.iter().find(|(a, _)| a == "tas-amo").unwrap().1;
             let m_val: u64 = m.parse().unwrap();
             assert!(tas >= kk, "RMW ceiling dominates");

@@ -9,7 +9,7 @@
 
 use amo_core::{KkConfig, SimOptions};
 
-use crate::{Scale, Table};
+use crate::{par_map, Scale, Table};
 
 /// Runs E1 and returns Table 1.
 pub fn exp_effectiveness(scale: Scale) -> Table {
@@ -20,10 +20,18 @@ pub fn exp_effectiveness(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 1 (E1, Thm 4.4): worst-case effectiveness of KKβ — measured vs n−(β+m−2)",
         &[
-            "n", "m", "beta", "bound", "adversary", "exact?", "round-robin", "random",
+            "n",
+            "m",
+            "beta",
+            "bound",
+            "adversary",
+            "exact?",
+            "round-robin",
+            "random",
             "upper(n)",
         ],
     );
+    let mut cells = Vec::new();
     for &n in &ns {
         for &m in &ms {
             if n < 2 * m - 1 {
@@ -33,25 +41,31 @@ pub fn exp_effectiveness(scale: Scale) -> Table {
                 if (beta + m as u64 - 1) > n as u64 {
                     continue; // bound saturates; adversary not exact (see tests)
                 }
-                let config = KkConfig::with_beta(n, m, beta).expect("valid");
-                let bound = config.effectiveness_bound();
-                let adv = amo_core::run_simulated(&config, SimOptions::stuck_announcement());
-                assert!(adv.violations.is_empty(), "E1 safety");
-                let rr = amo_core::run_simulated(&config, SimOptions::round_robin());
-                let rnd = amo_core::run_simulated(&config, SimOptions::random(0xE1));
-                t.row([
-                    n.to_string(),
-                    m.to_string(),
-                    beta.to_string(),
-                    bound.to_string(),
-                    adv.effectiveness.to_string(),
-                    (adv.effectiveness == bound).to_string(),
-                    rr.effectiveness.to_string(),
-                    rnd.effectiveness.to_string(),
-                    n.to_string(),
-                ]);
+                cells.push((n, m, beta));
             }
         }
+    }
+    // Each cell runs three independent simulations; fan the grid out.
+    for row in par_map(cells, |(n, m, beta)| {
+        let config = KkConfig::with_beta(n, m, beta).expect("valid");
+        let bound = config.effectiveness_bound();
+        let adv = amo_core::run_simulated(&config, SimOptions::stuck_announcement());
+        assert!(adv.violations.is_empty(), "E1 safety");
+        let rr = amo_core::run_simulated(&config, SimOptions::round_robin());
+        let rnd = amo_core::run_simulated(&config, SimOptions::random(0xE1));
+        [
+            n.to_string(),
+            m.to_string(),
+            beta.to_string(),
+            bound.to_string(),
+            adv.effectiveness.to_string(),
+            (adv.effectiveness == bound).to_string(),
+            rr.effectiveness.to_string(),
+            rnd.effectiveness.to_string(),
+            n.to_string(),
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -72,10 +86,21 @@ mod tests {
     #[test]
     fn benign_schedules_dominate_the_bound() {
         let t = exp_effectiveness(Scale::Quick);
-        let bounds: Vec<u64> = t.column("bound").iter().map(|s| s.parse().unwrap()).collect();
-        let rr: Vec<u64> =
-            t.column("round-robin").iter().map(|s| s.parse().unwrap()).collect();
-        let rnd: Vec<u64> = t.column("random").iter().map(|s| s.parse().unwrap()).collect();
+        let bounds: Vec<u64> = t
+            .column("bound")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let rr: Vec<u64> = t
+            .column("round-robin")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let rnd: Vec<u64> = t
+            .column("random")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         for i in 0..bounds.len() {
             assert!(rr[i] >= bounds[i]);
             assert!(rnd[i] >= bounds[i]);

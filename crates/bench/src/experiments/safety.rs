@@ -12,59 +12,63 @@
 use amo_core::{kk_fleet, run_simulated, run_threads, KkConfig, SimOptions, ThreadRunOptions};
 use amo_sim::{explore, CrashPlan, ExploreConfig, VecRegisters};
 
-use crate::{Scale, Table};
+use crate::{par_map, Scale, Table};
 
 /// Runs E2 and returns Table 2.
 pub fn exp_safety(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 2 (E2, Lemma 4.1): at-most-once violations by execution class (must all be 0)",
-        &["class", "instances", "executions", "jobs performed", "violations"],
+        &[
+            "class",
+            "instances",
+            "executions",
+            "jobs performed",
+            "violations",
+        ],
     );
     let (rand_runs, thread_runs) = match scale {
         Scale::Quick => (60, 8),
         Scale::Full => (600, 64),
     };
 
-    // Class 1: random schedules × crash plans.
+    // Class 1: random schedules × crash plans (independent sims — fan out).
     {
-        let mut execs = 0u64;
-        let mut jobs = 0u64;
-        let mut violations = 0u64;
-        let mut instances = 0u64;
-        for (n, m) in [(64usize, 2usize), (96, 3), (128, 4), (192, 8)] {
-            instances += 1;
+        let instances = [(64usize, 2usize), (96, 3), (128, 4), (192, 8)];
+        let mut cells = Vec::new();
+        for &(n, m) in &instances {
             for seed in 0..rand_runs {
-                let config = KkConfig::new(n, m).unwrap();
-                let f = (seed as usize) % m;
-                let plan =
-                    CrashPlan::at_steps((1..=f).map(|p| (p, seed * 13 + p as u64 * 7)));
-                let r = run_simulated(&config, SimOptions::random(seed).with_crash_plan(plan));
-                execs += 1;
-                jobs += r.effectiveness;
-                violations += r.violations.len() as u64;
+                cells.push((n, m, seed));
             }
         }
+        let results = par_map(cells, |(n, m, seed)| {
+            let config = KkConfig::new(n, m).unwrap();
+            let f = (seed as usize) % m;
+            let plan = CrashPlan::at_steps((1..=f).map(|p| (p, seed * 13 + p as u64 * 7)));
+            let r = run_simulated(&config, SimOptions::random(seed).with_crash_plan(plan));
+            (r.effectiveness, r.violations.len() as u64)
+        });
+        let execs = results.len() as u64;
+        let jobs: u64 = results.iter().map(|&(j, _)| j).sum();
+        let violations: u64 = results.iter().map(|&(_, v)| v).sum();
         t.row([
             "random × crashes".to_owned(),
-            instances.to_string(),
+            instances.len().to_string(),
             execs.to_string(),
             jobs.to_string(),
             violations.to_string(),
         ]);
     }
 
-    // Class 2: bursty adversarial schedules.
+    // Class 2: bursty adversarial schedules (independent sims — fan out).
     {
-        let mut execs = 0u64;
-        let mut jobs = 0u64;
-        let mut violations = 0u64;
-        for seed in 0..rand_runs / 2 {
+        let results = par_map((0..rand_runs / 2).collect(), |seed| {
             let config = KkConfig::new(128, 4).unwrap();
             let r = run_simulated(&config, SimOptions::block(seed, 1 + seed % 64));
-            execs += 1;
-            jobs += r.effectiveness;
-            violations += r.violations.len() as u64;
-        }
+            (r.effectiveness, r.violations.len() as u64)
+        });
+        let execs = results.len() as u64;
+        let jobs: u64 = results.iter().map(|&(j, _)| j).sum();
+        let violations: u64 = results.iter().map(|&(_, v)| v).sum();
         t.row([
             "bursty blocks".to_owned(),
             "1".to_owned(),
@@ -74,7 +78,9 @@ pub fn exp_safety(scale: Scale) -> Table {
         ]);
     }
 
-    // Class 3: real threads (SeqCst) with crash injection.
+    // Class 3: real threads (SeqCst) with crash injection. Deliberately
+    // sequential: each run already saturates the cores with its own fleet,
+    // and overlapping fleets would distort the interleavings under test.
     {
         let mut execs = 0u64;
         let mut jobs = 0u64;
@@ -86,7 +92,10 @@ pub fn exp_safety(scale: Scale) -> Table {
             let plan = CrashPlan::at_steps((1..=f).map(|p| (p, run * 29 + p as u64 * 17)));
             let r = run_threads(
                 &config,
-                ThreadRunOptions { crash_plan: plan, ..ThreadRunOptions::default() },
+                ThreadRunOptions {
+                    crash_plan: plan,
+                    ..ThreadRunOptions::default()
+                },
             );
             execs += 1;
             jobs += r.effectiveness;
@@ -107,21 +116,26 @@ pub fn exp_safety(scale: Scale) -> Table {
             Scale::Quick => &[(3, 2, 1)],
             Scale::Full => &[(3, 2, 1), (4, 2, 1), (3, 3, 2)],
         };
-        let mut states = 0u64;
-        let mut violations = 0u64;
-        let mut instances = 0u64;
-        for &(n, m, f) in small {
-            instances += 1;
+        let results = par_map(small.to_vec(), |(n, m, f)| {
             let config = KkConfig::new(n, m).unwrap();
             let (layout, fleet) = kk_fleet(&config, false);
             let out = explore(
                 VecRegisters::new(layout.cells()),
                 fleet,
-                ExploreConfig { max_crashes: f, max_states: 6_000_000, ..Default::default() },
+                ExploreConfig {
+                    max_crashes: f,
+                    max_states: 6_000_000,
+                    ..Default::default()
+                },
             );
-            states += out.states_visited as u64;
-            violations += u64::from(out.violation.is_some());
-        }
+            (
+                out.states_visited as u64,
+                u64::from(out.violation.is_some()),
+            )
+        });
+        let instances = results.len() as u64;
+        let states: u64 = results.iter().map(|&(s, _)| s).sum();
+        let violations: u64 = results.iter().map(|&(_, v)| v).sum();
         t.row([
             "exhaustive (all schedules)".to_owned(),
             instances.to_string(),

@@ -10,6 +10,12 @@ use amo_sim::MemOrder;
 use crate::{fmt_f64, Scale, Table};
 
 /// Runs E8 and returns Table 10.
+///
+/// Unlike the simulator grids, this experiment is intentionally *not*
+/// fanned out with [`crate::par_map`]: every cell spawns a real OS-thread
+/// fleet whose interleavings (and throughput numbers) are the measurement,
+/// so concurrent cells would both oversubscribe the cores and distort the
+/// schedules under test.
 pub fn exp_threads(scale: Scale) -> Table {
     let (n, ms, reps): (usize, Vec<usize>, u32) = match scale {
         Scale::Quick => (2048, vec![1, 2, 4], 3),
@@ -38,7 +44,10 @@ pub fn exp_threads(scale: Scale) -> Table {
             for _ in 0..reps {
                 let r = run_threads(
                     &config,
-                    ThreadRunOptions { order, ..ThreadRunOptions::default() },
+                    ThreadRunOptions {
+                        order,
+                        ..ThreadRunOptions::default()
+                    },
                 );
                 violations += r.violations.len();
                 min_eff = min_eff.min(r.effectiveness);
@@ -69,9 +78,16 @@ mod tests {
         let t = exp_threads(Scale::Quick);
         let orderings = t.column("ordering");
         let violations = t.column("violations");
-        let min_eff: Vec<u64> =
-            t.column("min effectiveness").iter().map(|s| s.parse().unwrap()).collect();
-        let bounds: Vec<u64> = t.column("bound").iter().map(|s| s.parse().unwrap()).collect();
+        let min_eff: Vec<u64> = t
+            .column("min effectiveness")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let bounds: Vec<u64> = t
+            .column("bound")
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         for i in 0..orderings.len() {
             if orderings[i] == "seqcst" {
                 assert_eq!(violations[i], "0", "SeqCst is the verified configuration");

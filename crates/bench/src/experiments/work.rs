@@ -8,7 +8,7 @@
 
 use amo_core::{run_simulated, KkConfig, SimOptions};
 
-use crate::{fmt_f64, fmt_ratio, Scale, Table};
+use crate::{fmt_f64, fmt_ratio, par_map, Scale, Table};
 
 /// Runs E3 and returns Table 3.
 pub fn exp_work_kk(scale: Scale) -> Table {
@@ -30,34 +30,40 @@ pub fn exp_work_kk(scale: Scale) -> Table {
             "work/n",
         ],
     );
+    let mut cells = Vec::new();
     for &n in &ns {
         for &m in &ms {
             let beta = KkConfig::work_optimal_beta(m);
             if beta + m as u64 >= n as u64 {
                 continue;
             }
-            let config = KkConfig::with_beta(n, m, beta).expect("valid");
             for options in [SimOptions::round_robin(), SimOptions::block(0xE3, 32)] {
-                let label = match options.scheduler {
-                    amo_core::SchedulerKind::RoundRobin => "round-robin",
-                    _ => "block(32)",
-                };
-                let r = run_simulated(&config, options);
-                assert!(r.violations.is_empty(), "E3 safety");
-                let work = r.work();
-                t.row([
-                    n.to_string(),
-                    m.to_string(),
-                    beta.to_string(),
-                    label.to_owned(),
-                    r.mem_work.total().to_string(),
-                    r.local_work.to_string(),
-                    work.to_string(),
-                    fmt_ratio(work as f64, config.work_envelope()),
-                    fmt_f64(work as f64 / n as f64),
-                ]);
+                cells.push((n, m, beta, options));
             }
         }
+    }
+    for row in par_map(cells, |(n, m, beta, options)| {
+        let config = KkConfig::with_beta(n, m, beta).expect("valid");
+        let label = match options.scheduler {
+            amo_core::SchedulerKind::RoundRobin => "round-robin",
+            _ => "block(32)",
+        };
+        let r = run_simulated(&config, options);
+        assert!(r.violations.is_empty(), "E3 safety");
+        let work = r.work();
+        [
+            n.to_string(),
+            m.to_string(),
+            beta.to_string(),
+            label.to_owned(),
+            r.mem_work.total().to_string(),
+            r.local_work.to_string(),
+            work.to_string(),
+            fmt_ratio(work as f64, config.work_envelope()),
+            fmt_f64(work as f64 / n as f64),
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

@@ -12,7 +12,7 @@ use amo_iterative::IterSimOptions;
 use amo_sim::CrashPlan;
 use amo_write_all::{run_baseline_simulated, run_wa_simulated, WaBaselineKind, WaConfig};
 
-use crate::{fmt_f64, fmt_ratio, Scale, Table};
+use crate::{fmt_f64, fmt_ratio, par_map, Scale, Table};
 
 /// Runs E5 and returns Tables 5a and 5b.
 pub fn exp_write_all(scale: Scale) -> Vec<Table> {
@@ -23,82 +23,108 @@ pub fn exp_write_all(scale: Scale) -> Vec<Table> {
 
     let mut scaling = Table::new(
         "Table 5a (E5, Thm 7.1): WA_IterativeKK(ε=1) completes; work/n flattens in n",
-        &["n", "m", "f", "complete", "work", "work/n", "work/envelope", "redundancy"],
+        &[
+            "n",
+            "m",
+            "f",
+            "complete",
+            "work",
+            "work/n",
+            "work/envelope",
+            "redundancy",
+        ],
     );
+    let mut cells = Vec::new();
     for &n in &ns {
         for &m in &ms {
-            let config = WaConfig::new(n, m, 1).expect("valid");
             let mut fs = vec![0usize, m / 2, m - 1];
             fs.dedup();
             for f in fs {
-                let plan =
-                    CrashPlan::at_steps((1..=f).map(|p| (p, 40 * p as u64 + n as u64 / 8)));
-                let r = run_wa_simulated(
-                    &config,
-                    IterSimOptions::random(0xE5).with_crash_plan(plan),
-                );
-                assert!(r.complete, "Thm 7.1: must complete (n={n} m={m} f={f})");
-                scaling.row([
-                    n.to_string(),
-                    m.to_string(),
-                    f.to_string(),
-                    r.complete.to_string(),
-                    r.work().to_string(),
-                    fmt_f64(r.work() as f64 / n as f64),
-                    fmt_ratio(r.work() as f64, config.work_envelope()),
-                    fmt_f64(r.redundancy()),
-                ]);
+                cells.push((n, m, f));
             }
         }
+    }
+    for row in par_map(cells, |(n, m, f)| {
+        let config = WaConfig::new(n, m, 1).expect("valid");
+        let plan = CrashPlan::at_steps((1..=f).map(|p| (p, 40 * p as u64 + n as u64 / 8)));
+        let r = run_wa_simulated(&config, IterSimOptions::random(0xE5).with_crash_plan(plan));
+        assert!(r.complete, "Thm 7.1: must complete (n={n} m={m} f={f})");
+        [
+            n.to_string(),
+            m.to_string(),
+            f.to_string(),
+            r.complete.to_string(),
+            r.work().to_string(),
+            fmt_f64(r.work() as f64 / n as f64),
+            fmt_ratio(r.work() as f64, config.work_envelope()),
+            fmt_f64(r.redundancy()),
+        ]
+    }) {
+        scaling.row(row);
     }
 
     let mut cmp = Table::new(
         "Table 5b (E5, §7): Write-All algorithms under f = m−1 crashes (n fixed)",
-        &["algorithm", "n", "m", "f", "complete", "rmw?", "reads", "writes", "work", "redundancy"],
+        &[
+            "algorithm",
+            "n",
+            "m",
+            "f",
+            "complete",
+            "rmw?",
+            "reads",
+            "writes",
+            "work",
+            "redundancy",
+        ],
     );
     let n = match scale {
         Scale::Quick => 1 << 10,
         Scale::Full => 1 << 14,
     };
+    let mut cmp_cells: Vec<(usize, Option<WaBaselineKind>)> = Vec::new();
     for &m in &ms {
-        let f = m - 1;
-        let plan = || CrashPlan::at_steps((1..=f).map(|p| (p, 25 * p as u64 + 11)));
-        let mut rows: Vec<(String, amo_write_all::WaReport)> = Vec::new();
-        let config = WaConfig::new(n, m, 1).expect("valid");
-        rows.push((
-            "wa-iterative-kk".to_owned(),
-            run_wa_simulated(&config, IterSimOptions::random(5).with_crash_plan(plan())),
-        ));
+        cmp_cells.push((m, None)); // WA_IterativeKK itself
         for kind in [
             WaBaselineKind::Sequential,
             WaBaselineKind::StaticPartition,
             WaBaselineKind::Tas,
             WaBaselineKind::PermutationScan(7),
         ] {
-            rows.push((
+            cmp_cells.push((m, Some(kind)));
+        }
+    }
+    for row in par_map(cmp_cells, |(m, kind)| {
+        let f = m - 1;
+        let plan = CrashPlan::at_steps((1..=f).map(|p| (p, 25 * p as u64 + 11)));
+        let options = IterSimOptions::random(5).with_crash_plan(plan);
+        let (label, r) = match kind {
+            None => {
+                let config = WaConfig::new(n, m, 1).expect("valid");
+                (
+                    "wa-iterative-kk".to_owned(),
+                    run_wa_simulated(&config, options),
+                )
+            }
+            Some(kind) => (
                 kind.label().to_owned(),
-                run_baseline_simulated(
-                    kind,
-                    n,
-                    m,
-                    IterSimOptions::random(5).with_crash_plan(plan()),
-                ),
-            ));
-        }
-        for (label, r) in rows {
-            cmp.row([
-                label,
-                n.to_string(),
-                m.to_string(),
-                f.to_string(),
-                r.complete.to_string(),
-                (r.mem_work.rmws > 0).to_string(),
-                r.mem_work.reads.to_string(),
-                r.mem_work.writes.to_string(),
-                r.work().to_string(),
-                fmt_f64(r.redundancy()),
-            ]);
-        }
+                run_baseline_simulated(kind, n, m, options),
+            ),
+        };
+        [
+            label,
+            n.to_string(),
+            m.to_string(),
+            f.to_string(),
+            r.complete.to_string(),
+            (r.mem_work.rmws > 0).to_string(),
+            r.mem_work.reads.to_string(),
+            r.mem_work.writes.to_string(),
+            r.work().to_string(),
+            fmt_f64(r.redundancy()),
+        ]
+    }) {
+        cmp.row(row);
     }
     vec![scaling, cmp]
 }
@@ -130,6 +156,9 @@ mod tests {
                 assert_eq!(complete[i], "true");
             }
         }
-        assert!(saw_static_fail, "the fault-intolerant baseline must fail somewhere");
+        assert!(
+            saw_static_fail,
+            "the fault-intolerant baseline must fail somewhere"
+        );
     }
 }

@@ -19,6 +19,52 @@ pub mod experiments;
 
 pub use table::{fmt_f64, fmt_ratio, Table};
 
+/// Maps `f` over `items` on scoped OS threads, preserving input order.
+///
+/// Every grid cell of an experiment is an independent deterministic
+/// simulation, so the experiment harnesses fan their grids out across the
+/// machine's cores and emit rows in the original, deterministic order.
+/// Falls back to a plain sequential map when the machine reports a single
+/// core or the input is trivial.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Strided assignment: grids are usually ordered by growing instance
+    // size, so contiguous chunks would pile every heavy cell onto the last
+    // thread; dealing the items round-robin balances the load.
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || bucket.into_iter().map(|(i, x)| (i, f(x))).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                // Re-raise the worker's own panic (e.g. a safety assertion
+                // naming the failing cell) instead of a generic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
 /// Experiment scale: parameter grids for CI vs the recorded runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

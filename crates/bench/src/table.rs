@@ -126,7 +126,14 @@ impl Table {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let esc = |s: &str| s.replace(',', ";");
-        out.push_str(&self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -1,8 +1,8 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use amo_ostree::{rank_excluding, FenwickSet};
-use amo_sim::{JobSpan, Process, Registers, StepEvent};
+use amo_ostree::{rank_excluding_members, FenwickSet, OrderedJobSet};
+use amo_sim::{BatchOutcome, JobSpan, Process, Registers, StepEvent};
 
 use crate::config::KkConfig;
 use crate::layout::KkLayout;
@@ -158,7 +158,7 @@ pub enum KkPhase {
 /// let config = KkConfig::new(4, 1)?;
 /// let layout = KkLayout::contiguous(1, 4, false);
 /// let mem = VecRegisters::new(layout.cells());
-/// let mut p = KkProcess::from_config(1, &config, layout);
+/// let mut p: KkProcess = KkProcess::from_config(1, &config, layout);
 /// assert_eq!(p.phase(), KkPhase::CompNext);
 /// while !p.is_terminated() {
 ///     p.step(&mem);
@@ -168,7 +168,7 @@ pub enum KkPhase {
 /// # Ok::<(), amo_core::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct KkProcess {
+pub struct KkProcess<S: OrderedJobSet = FenwickSet> {
     pid: usize,
     m: usize,
     beta: u64,
@@ -178,8 +178,8 @@ pub struct KkProcess {
 
     pick_rule: PickRule,
     phase: KkPhase,
-    free: FenwickSet,
-    done_set: FenwickSet,
+    free: S,
+    done_set: S,
     /// `TRY`, kept sorted; `|TRY| ≤ m − 1` by construction.
     try_set: Vec<u64>,
     /// `POS(q)` for `q ∈ 1..=m` at index `q − 1`; 1-based log positions.
@@ -189,7 +189,7 @@ pub struct KkProcess {
     /// `Q` loop index, `1..=m`.
     q: usize,
     /// Output set of the IterStep variant, available after termination.
-    output: Option<FenwickSet>,
+    output: Option<S>,
 
     // ---- instrumentation (excluded from Eq/Hash) ----
     track_collisions: bool,
@@ -199,13 +199,21 @@ pub struct KkProcess {
     done_src: HashMap<u64, usize>,
     /// Collisions detected against each other process, index `q − 1`.
     collisions_with: Vec<u64>,
+    /// Reusable buffer for `compNext`'s `TRY ∩ FREE` (avoids a per-cycle
+    /// allocation; transient, excluded from Eq/Hash like the counters).
+    rank_scratch: Vec<u64>,
     local_ops: u64,
     performs: u64,
 }
 
-impl KkProcess {
+impl<S: OrderedJobSet> KkProcess<S> {
     /// A plain-mode process for a whole [`KkConfig`] instance
     /// (`FREE = J = 1..=n`).
+    ///
+    /// The backing order-statistics structure defaults to [`FenwickSet`];
+    /// pass an explicit type parameter (e.g.
+    /// [`DenseFenwickSet`](amo_ostree::DenseFenwickSet)) for the
+    /// data-structure ablation or the perf baseline.
     ///
     /// # Panics
     ///
@@ -216,7 +224,7 @@ impl KkProcess {
             config.m(),
             config.beta(),
             layout,
-            FenwickSet::with_all(config.n()),
+            S::full(config.n()),
             KkMode::Plain,
             SpanMap::Identity,
         )
@@ -234,7 +242,7 @@ impl KkProcess {
         m: usize,
         beta: u64,
         layout: KkLayout,
-        free: FenwickSet,
+        free: S,
         mode: KkMode,
         span_map: SpanMap,
     ) -> Self {
@@ -256,7 +264,7 @@ impl KkProcess {
             pick_rule: PickRule::RankSplit,
             phase: KkPhase::CompNext,
             free,
-            done_set: FenwickSet::new(n),
+            done_set: S::empty(n),
             try_set: Vec::with_capacity(m),
             pos: vec![1; m],
             next_job: 0,
@@ -266,6 +274,7 @@ impl KkProcess {
             try_src: Vec::new(),
             done_src: HashMap::new(),
             collisions_with: vec![0; m],
+            rank_scratch: Vec::with_capacity(m),
             local_ops: 0,
             performs: 0,
         }
@@ -343,12 +352,12 @@ impl KkProcess {
 
     /// The IterStep output set (`FREE \ TRY`, or `FREE` in the WA variant);
     /// `Some` only after termination in IterStep mode.
-    pub fn output(&self) -> Option<&FenwickSet> {
+    pub fn output(&self) -> Option<&S> {
         self.output.as_ref()
     }
 
     /// Consumes the process and returns the IterStep output set.
-    pub fn into_output(self) -> Option<FenwickSet> {
+    pub fn into_output(self) -> Option<S> {
         self.output
     }
 
@@ -425,21 +434,29 @@ impl KkProcess {
     /// `compNext_p`.
     fn comp_next(&mut self) -> StepEvent {
         self.local_ops += 1;
-        let in_free = self.try_set.iter().filter(|&&t| self.free.contains(t)).count();
+        // Intersect TRY with FREE once, into a reusable scratch buffer: the
+        // intersection both sizes `avail` and feeds the allocation-free
+        // `rank_excluding_members` fast path.
+        let mut scratch = std::mem::take(&mut self.rank_scratch);
+        scratch.clear();
+        scratch.extend(self.try_set.iter().copied().filter(|&t| self.free.contains(t)));
+        let in_free = scratch.len();
         let avail = (self.free.len() - in_free) as u64;
         if avail >= self.beta {
             let f_len = self.free.len() as u64;
             let m = self.m as u64;
             let p = self.pid as u64;
             let idx = self.pick_rule.pick(p, m, f_len, avail);
-            self.next_job = rank_excluding(&self.free, &self.try_set, idx as usize)
+            self.next_job = rank_excluding_members(&self.free, &scratch, idx as usize)
                 .expect("rank index within FREE \\ TRY (see §3 bounds)");
+            self.rank_scratch = scratch;
             self.q = 1;
             self.try_set.clear();
             self.try_src.clear();
             self.phase = KkPhase::SetNext;
             StepEvent::Local
         } else {
+            self.rank_scratch = scratch;
             match self.mode {
                 KkMode::Plain => {
                     self.phase = KkPhase::End;
@@ -595,6 +612,27 @@ impl KkProcess {
         StepEvent::Terminated
     }
 
+    /// Dispatches one action of the automaton (shared by the [`Process`]
+    /// `step` and the batched `step_many` fast path).
+    fn step_one<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
+        debug_assert!(self.phase != KkPhase::End, "stepped after termination");
+        match self.phase {
+            KkPhase::CompNext => self.comp_next(),
+            KkPhase::SetNext => self.set_next(mem),
+            KkPhase::GatherTry => self.gather_try(mem, false),
+            KkPhase::GatherDone => self.gather_done(mem, false),
+            KkPhase::Check => self.check(),
+            KkPhase::FlagRead => self.flag_read(mem),
+            KkPhase::Do => self.do_job(),
+            KkPhase::DoneWrite => self.done_write(mem),
+            KkPhase::SetFlag => self.set_flag(mem),
+            KkPhase::FinalGatherTry => self.gather_try(mem, true),
+            KkPhase::FinalGatherDone => self.gather_done(mem, true),
+            KkPhase::Output => self.output_and_end(),
+            KkPhase::End => StepEvent::Terminated,
+        }
+    }
+
     fn begin_final_gather(&mut self) {
         self.try_set.clear();
         self.try_src.clear();
@@ -625,24 +663,103 @@ impl KkProcess {
     }
 }
 
-impl<R: Registers + ?Sized> Process<R> for KkProcess {
+impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
     fn step(&mut self, mem: &R) -> StepEvent {
-        debug_assert!(self.phase != KkPhase::End, "stepped after termination");
-        match self.phase {
-            KkPhase::CompNext => self.comp_next(),
-            KkPhase::SetNext => self.set_next(mem),
-            KkPhase::GatherTry => self.gather_try(mem, false),
-            KkPhase::GatherDone => self.gather_done(mem, false),
-            KkPhase::Check => self.check(),
-            KkPhase::FlagRead => self.flag_read(mem),
-            KkPhase::Do => self.do_job(),
-            KkPhase::DoneWrite => self.done_write(mem),
-            KkPhase::SetFlag => self.set_flag(mem),
-            KkPhase::FinalGatherTry => self.gather_try(mem, true),
-            KkPhase::FinalGatherDone => self.gather_done(mem, true),
-            KkPhase::Output => self.output_and_end(),
-            KkPhase::End => StepEvent::Terminated,
+        self.step_one(mem)
+    }
+
+    /// Macro-stepping fast path (see the [`Process::step_many`] contract).
+    ///
+    /// The `gatherTry` and `gatherDone` loops — the dominant phases, costing
+    /// `m − 1` and up to `n` sequential reads per `do` cycle — run as tight
+    /// batched loops without per-action dispatch; every other phase is
+    /// delegated to the single-action dispatcher. Each loop mirrors its
+    /// single-step twin *action for action*, so a batch of `k` steps is
+    /// indistinguishable from `k` engine-driven steps.
+    fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
+        debug_assert!(budget >= 1, "step_many needs a positive budget");
+        let mut steps: u64 = 0;
+        let mut performed: Vec<(u64, JobSpan)> = Vec::new();
+        while steps < budget {
+            match self.phase {
+                KkPhase::GatherTry | KkPhase::FinalGatherTry => {
+                    // Batched `gatherTry`: one announcement read (or a local
+                    // self-skip) per action. Reads go through `peek` and are
+                    // accounted in bulk at the end of the run.
+                    let terminal = self.phase == KkPhase::FinalGatherTry;
+                    let mut reads = 0u64;
+                    while steps < budget {
+                        if self.q != self.pid {
+                            let v = mem.peek(self.layout.next_cell(self.q));
+                            reads += 1;
+                            if v > 0 {
+                                self.try_insert(v, self.q);
+                            }
+                        }
+                        steps += 1;
+                        if self.q + 1 <= self.m {
+                            self.q += 1;
+                        } else {
+                            self.q = 1;
+                            self.phase = if terminal {
+                                KkPhase::FinalGatherDone
+                            } else {
+                                KkPhase::GatherDone
+                            };
+                            break;
+                        }
+                    }
+                    mem.note_reads(reads);
+                }
+                KkPhase::GatherDone | KkPhase::FinalGatherDone => {
+                    // Batched `gatherDone`: walk the other processes' log
+                    // rows, one read (or row/self skip) per action, with the
+                    // reads accounted in bulk.
+                    let terminal = self.phase == KkPhase::FinalGatherDone;
+                    let n = self.layout.n() as u64;
+                    let mut reads = 0u64;
+                    while steps < budget {
+                        if self.q != self.pid {
+                            let pos_q = self.pos[self.q - 1];
+                            if pos_q <= n {
+                                let v = mem.peek(self.layout.done_cell(self.q, pos_q));
+                                reads += 1;
+                                if v > 0 {
+                                    self.done_insert(v, self.q);
+                                    self.pos[self.q - 1] += 1;
+                                } else {
+                                    self.q += 1;
+                                }
+                            } else {
+                                self.q += 1;
+                            }
+                        } else {
+                            self.q += 1;
+                        }
+                        steps += 1;
+                        if self.q > self.m {
+                            self.q = 1;
+                            self.phase =
+                                if terminal { KkPhase::Output } else { KkPhase::Check };
+                            break;
+                        }
+                    }
+                    mem.note_reads(reads);
+                }
+                _ => {
+                    let event = self.step_one(mem);
+                    steps += 1;
+                    match event {
+                        StepEvent::Perform { span } => performed.push((steps - 1, span)),
+                        StepEvent::Terminated => {
+                            return BatchOutcome { steps, performed, terminated: true }
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
+        BatchOutcome { steps, performed, terminated: false }
     }
 
     fn pid(&self) -> usize {
@@ -661,7 +778,7 @@ impl<R: Registers + ?Sized> Process<R> for KkProcess {
 // Equality and hashing cover the *semantic* state (everything the automaton's
 // future behaviour depends on) and exclude instrumentation counters, so the
 // exhaustive explorer merges states that differ only in bookkeeping.
-impl PartialEq for KkProcess {
+impl<S: OrderedJobSet> PartialEq for KkProcess<S> {
     fn eq(&self, other: &Self) -> bool {
         self.pid == other.pid
             && self.m == other.m
@@ -679,9 +796,9 @@ impl PartialEq for KkProcess {
     }
 }
 
-impl Eq for KkProcess {}
+impl<S: OrderedJobSet> Eq for KkProcess<S> {}
 
-impl Hash for KkProcess {
+impl<S: OrderedJobSet> Hash for KkProcess<S> {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.pid.hash(state);
         self.pick_rule.hash(state);
@@ -746,7 +863,7 @@ mod tests {
         let config = KkConfig::with_beta(10, 1, 4).unwrap();
         let layout = KkLayout::contiguous(1, 10, false);
         let mem = VecRegisters::new(layout.cells());
-        let mut p = KkProcess::from_config(1, &config, layout);
+        let mut p: KkProcess = KkProcess::from_config(1, &config, layout);
         let performed = drive(&mut p, &mem);
         // Terminates when |FREE| < β = 4, i.e. after n − β + 1 = 7 jobs.
         assert_eq!(performed.len(), 7);
@@ -774,7 +891,7 @@ mod tests {
         for pid in 1..=m {
             let config = KkConfig::new(n, m).unwrap();
             let mem = VecRegisters::new(layout.cells());
-            let mut p = KkProcess::from_config(pid, &config, layout);
+            let mut p: KkProcess = KkProcess::from_config(pid, &config, layout);
             p.step(&mem); // compNext only
             picks.push(p.current_job().unwrap());
         }
@@ -797,7 +914,7 @@ mod tests {
         // Others announced jobs 4 and 7.
         mem.write(layout.next_cell(2), 4);
         mem.write(layout.next_cell(3), 7);
-        let mut p = KkProcess::from_config(1, &config, layout);
+        let mut p: KkProcess = KkProcess::from_config(1, &config, layout);
         p.step(&mem); // compNext
         p.step(&mem); // setNext
         assert_eq!(p.phase(), KkPhase::GatherTry);
@@ -818,7 +935,7 @@ mod tests {
         // Process 2 has logged jobs 5 and 6.
         mem.write(layout.done_cell(2, 1), 5);
         mem.write(layout.done_cell(2, 2), 6);
-        let mut p = KkProcess::from_config(1, &config, layout);
+        let mut p: KkProcess = KkProcess::from_config(1, &config, layout);
         p.step(&mem); // compNext
         p.step(&mem); // setNext
         p.step(&mem); // gatherTry q=1 (self)
@@ -841,7 +958,7 @@ mod tests {
         let config = KkConfig::new(n, m).unwrap();
         let layout = KkLayout::contiguous(m, n, false);
         let mem = VecRegisters::new(layout.cells());
-        let mut p = KkProcess::from_config(1, &config, layout);
+        let mut p: KkProcess = KkProcess::from_config(1, &config, layout);
         p.step(&mem); // compNext → picks job 1 (p = 1)
         let first = p.current_job().unwrap();
         // Process 2 announces the same job before p gathers.
@@ -879,7 +996,7 @@ mod tests {
         let config = KkConfig::new(n, m).unwrap();
         let layout = KkLayout::contiguous(m, n, false);
         let mem = VecRegisters::new(layout.cells());
-        let mut p = KkProcess::from_config(1, &config, layout).with_collision_tracking();
+        let mut p: KkProcess = KkProcess::from_config(1, &config, layout).with_collision_tracking();
         p.step(&mem);
         let first = p.current_job().unwrap();
         mem.write(layout.next_cell(2), first);

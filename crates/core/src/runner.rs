@@ -41,7 +41,7 @@ pub enum SchedulerKind {
 }
 
 /// Options for a simulated run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Scheduling strategy.
     pub scheduler: SchedulerKind,
@@ -49,16 +49,47 @@ pub struct SimOptions {
     /// [`WithCrashes`]). Ignored by [`SchedulerKind::StuckAnnouncement`],
     /// which crashes processes itself.
     pub crash_plan: CrashPlan,
-    /// Step cap.
+    /// Step cap (defaults to [`EngineLimits::default`]'s 200M actions;
+    /// override with [`with_max_steps`](Self::with_max_steps)).
     pub limits: EngineLimits,
     /// Enable per-pair collision counting (costs memory and time).
     pub track_collisions: bool,
+    /// Actions granted per scheduler turn for [`SchedulerKind::RoundRobin`]
+    /// (ignored by the other kinds: blocks carry their own burst quantum and
+    /// the adversaries stay single-step by contract). `> 1` opts into the
+    /// engine's macro-stepping fast path via a quantized — still fair —
+    /// round-robin.
+    pub quantum: u64,
+    /// Forces the engine's per-action reference path even when the
+    /// scheduler grants quanta (see [`amo_sim::Engine::single_step`]); used
+    /// by the batching-equivalence tests and for debugging.
+    pub reference_single_step: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerKind::default(),
+            crash_plan: CrashPlan::default(),
+            limits: EngineLimits::default(),
+            track_collisions: false,
+            quantum: 1,
+            reference_single_step: false,
+        }
+    }
 }
 
 impl SimOptions {
     /// Round-robin, no crashes.
     pub fn round_robin() -> Self {
         Self::default()
+    }
+
+    /// Quantized round-robin with [`RoundRobin::BATCH_QUANTUM`] actions per
+    /// turn — the macro-stepping fast path. Fair, but a *different*
+    /// interleaving than strict alternation.
+    pub fn round_robin_batched() -> Self {
+        Self { quantum: RoundRobin::BATCH_QUANTUM, ..Self::default() }
     }
 
     /// Seeded random schedule, no crashes.
@@ -95,6 +126,37 @@ impl SimOptions {
     /// Enables collision tracking.
     pub fn with_collision_tracking(mut self) -> Self {
         self.track_collisions = true;
+        self
+    }
+
+    /// Sets the round-robin quantum (see [`Self::quantum`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Replaces the engine step cap.
+    pub fn with_limits(mut self, limits: EngineLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Caps the execution at `max_steps` total actions (shorthand for
+    /// [`with_limits`](Self::with_limits)).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.limits = EngineLimits::with_max_steps(max_steps);
+        self
+    }
+
+    /// Forces the per-action reference engine path (see
+    /// [`Self::reference_single_step`]).
+    pub fn single_step(mut self) -> Self {
+        self.reference_single_step = true;
         self
     }
 }
@@ -245,11 +307,20 @@ pub fn run_fleet_simulated(
     macro_rules! go {
         ($sched:expr) => {{
             let sched = WithCrashes::new($sched, options.crash_plan.clone());
-            run_and_drain(mem, fleet, sched, options.limits, n, track, label)
+            run_and_drain(
+                mem,
+                fleet,
+                sched,
+                options.limits,
+                options.reference_single_step,
+                n,
+                track,
+                label,
+            )
         }};
     }
     match options.scheduler {
-        SchedulerKind::RoundRobin => go!(RoundRobin::new()),
+        SchedulerKind::RoundRobin => go!(RoundRobin::new().with_quantum(options.quantum.max(1))),
         SchedulerKind::Random(seed) => go!(RandomScheduler::new(seed)),
         SchedulerKind::Block(seed, burst) => go!(BlockScheduler::new(seed, burst)),
         SchedulerKind::Lockstep => go!(LockstepScheduler::new()),
@@ -269,16 +340,21 @@ fn scheduler_label(kind: SchedulerKind) -> &'static str {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_and_drain<S: Scheduler<KkProcess>>(
     mem: VecRegisters,
     fleet: Vec<KkProcess>,
     scheduler: S,
     limits: EngineLimits,
+    reference_single_step: bool,
     n: usize,
     track: bool,
     label: &'static str,
 ) -> AmoReport {
-    let engine = Engine::new(mem, fleet, scheduler);
+    let mut engine = Engine::new(mem, fleet, scheduler);
+    if reference_single_step {
+        engine = engine.single_step();
+    }
     let (exec, slots) = engine.run_into(limits);
     let collisions = track.then(|| {
         let rows = slots.iter().map(|s| s.process.collisions_with().to_vec()).collect();

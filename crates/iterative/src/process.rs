@@ -2,7 +2,7 @@ use std::hash::{Hash, Hasher};
 
 use amo_core::{KkMode, KkProcess, SpanMap};
 use amo_ostree::FenwickSet;
-use amo_sim::{Process, Registers, StepEvent};
+use amo_sim::{BatchOutcome, Process, Registers, StepEvent};
 
 use crate::layout::IterLayout;
 use crate::superjob::map_blocks;
@@ -156,6 +156,28 @@ impl<R: Registers + ?Sized> Process<R> for IterativeProcess {
             StepEvent::Terminated => self.advance_stage(),
             other => other,
         }
+    }
+
+    /// Forwards the batch to the current stage's `KkProcess` fast path. The
+    /// action on which a stage's automaton terminates is the same action
+    /// that (locally) advances the driver to the next stage, exactly as in
+    /// [`step`](Self::step), so batching stays observationally invisible
+    /// across stage boundaries.
+    fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
+        debug_assert!(!self.terminated, "stepped after termination");
+        let mut consumed: u64 = 0;
+        let mut performed: Vec<(u64, amo_sim::JobSpan)> = Vec::new();
+        while consumed < budget {
+            let out = Process::<R>::step_many(&mut self.inner, mem, budget - consumed);
+            performed.extend(out.performed.iter().map(|&(off, span)| (consumed + off, span)));
+            consumed += out.steps;
+            if out.terminated {
+                if let StepEvent::Terminated = self.advance_stage() {
+                    return BatchOutcome { steps: consumed, performed, terminated: true };
+                }
+            }
+        }
+        BatchOutcome { steps: consumed, performed, terminated: false }
     }
 
     fn pid(&self) -> usize {

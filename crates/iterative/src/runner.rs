@@ -124,20 +124,46 @@ pub enum BasicSched {
 }
 
 /// Options for [`run_iterative_simulated`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IterSimOptions {
     /// Scheduling strategy.
     pub scheduler: BasicSched,
     /// Deterministic crash injection.
     pub crash_plan: CrashPlan,
-    /// Step cap.
+    /// Step cap (defaults to [`EngineLimits::default`]'s 200M actions;
+    /// override with [`with_max_steps`](Self::with_max_steps)).
     pub limits: EngineLimits,
+    /// Actions per scheduler turn for [`BasicSched::RoundRobin`] (ignored by
+    /// the other kinds; see `amo_core::SimOptions::quantum`). `> 1` opts
+    /// into the macro-stepping fast path.
+    pub quantum: u64,
+    /// Forces the engine's per-action reference path (equivalence tests and
+    /// debugging).
+    pub reference_single_step: bool,
+}
+
+impl Default for IterSimOptions {
+    fn default() -> Self {
+        Self {
+            scheduler: BasicSched::default(),
+            crash_plan: CrashPlan::default(),
+            limits: EngineLimits::default(),
+            quantum: 1,
+            reference_single_step: false,
+        }
+    }
 }
 
 impl IterSimOptions {
     /// Round-robin, no crashes.
     pub fn round_robin() -> Self {
         Self::default()
+    }
+
+    /// Quantized round-robin with [`RoundRobin::BATCH_QUANTUM`] actions per
+    /// turn — the macro-stepping fast path.
+    pub fn round_robin_batched() -> Self {
+        Self { quantum: RoundRobin::BATCH_QUANTUM, ..Self::default() }
     }
 
     /// Seeded random schedule.
@@ -158,6 +184,35 @@ impl IterSimOptions {
     /// Adds a crash plan.
     pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
         self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the round-robin quantum (see [`Self::quantum`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Replaces the engine step cap.
+    pub fn with_limits(mut self, limits: EngineLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Caps the execution at `max_steps` total actions.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.limits = EngineLimits::with_max_steps(max_steps);
+        self
+    }
+
+    /// Forces the per-action reference engine path.
+    pub fn single_step(mut self) -> Self {
+        self.reference_single_step = true;
         self
     }
 }
@@ -211,10 +266,16 @@ pub fn run_basic_fleet<P: Process<VecRegisters>>(
         options: &IterSimOptions,
     ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
         let sched = WithCrashes::new(sched, options.crash_plan.clone());
-        Engine::new(mem, fleet, sched).run_full(options.limits)
+        let mut engine = Engine::new(mem, fleet, sched);
+        if options.reference_single_step {
+            engine = engine.single_step();
+        }
+        engine.run_full(options.limits)
     }
     match options.scheduler {
-        BasicSched::RoundRobin => go(mem, fleet, RoundRobin::new(), options),
+        BasicSched::RoundRobin => {
+            go(mem, fleet, RoundRobin::new().with_quantum(options.quantum.max(1)), options)
+        }
         BasicSched::Random(seed) => go(mem, fleet, RandomScheduler::new(seed), options),
         BasicSched::Block(seed, burst) => {
             go(mem, fleet, BlockScheduler::new(seed, burst), options)

@@ -4,11 +4,30 @@ use std::hash::{Hash, Hasher};
 use crate::counter::OpCounter;
 use crate::rank::RankedSet;
 
+/// Words per count block: each block covers `8 × 64 = 512` elements.
+///
+/// Membership lives in the bitmap; per-block population counts are kept in
+/// a flat array ~500× smaller than a per-element tree (a few hundred bytes
+/// even for a 100k-job universe), so updates are O(1) and rank scans stay
+/// in L1 cache, while popcounts cover the inside of a block in at most
+/// [`BLOCK_WORDS`] word scans.
+const BLOCK_WORDS: usize = 8;
+
+/// Elements covered by one count block.
+const BLOCK_BITS: usize = BLOCK_WORDS * 64;
+
 /// An order-statistics set over the dense universe `1..=universe`.
 ///
-/// Membership is stored in a bitmap; prefix counts are maintained in a
-/// Fenwick (binary indexed) tree, giving `O(log n)` [`insert`], [`remove`],
-/// [`count_le`] and [`select`] and `O(1)` [`contains`] and [`len`].
+/// Membership is stored in a bitmap; per-*block* population counts (one
+/// block = 512 elements) are maintained in a flat array. This gives `O(1)`
+/// [`contains`], [`insert`] and [`remove`] (a bit flip plus one block-count
+/// adjustment — the simulation's hottest operations, executed once per
+/// observed `done` entry), and `O(n/512 + 512/64)` [`count_le`] and
+/// [`select`] via a linear block scan — a few dozen sequential,
+/// cache-resident iterations for the paper's job universes, executed only
+/// once per `compNext` rank probe. (The historical per-element Fenwick
+/// layout survives as [`DenseFenwickSet`](crate::DenseFenwickSet), the
+/// structure ablation and perf baseline.)
 ///
 /// This is the structure backing the `FREE` and `DONE` sets of the KKβ
 /// automaton. The job universe of the paper is `J = [1..n]`, so a dense
@@ -43,11 +62,18 @@ use crate::rank::RankedSet;
 #[derive(Clone)]
 pub struct FenwickSet {
     universe: usize,
-    /// 1-based Fenwick array over element counts (0 or 1 per position).
-    fen: Vec<u32>,
+    /// Per-block element counts (block `b` covers elements
+    /// `b·512 + 1 ..= (b+1)·512`).
+    blk: Vec<u32>,
     /// Membership bitmap, bit `i-1` set iff element `i` is present.
     bits: Vec<u64>,
     len: usize,
+    /// Lazily maintained cumulative block counts (`prefix[b] = Σ blk[0..=b]`),
+    /// rebuilt on the first rank query after a mutation. `compNext`'s rank
+    /// probes arrive in mutation-free bursts, so one linear rebuild serves a
+    /// whole burst of binary-searched [`select`]s/[`count_le`]s.
+    prefix: std::cell::RefCell<Vec<u32>>,
+    prefix_stale: std::cell::Cell<bool>,
     ops: OpCounter,
 }
 
@@ -56,11 +82,14 @@ impl FenwickSet {
     ///
     /// A `universe` of `0` yields a permanently empty set.
     pub fn new(universe: usize) -> Self {
+        let blocks = universe.div_ceil(BLOCK_BITS);
         Self {
             universe,
-            fen: vec![0; universe + 1],
+            blk: vec![0; blocks],
             bits: vec![0; universe.div_ceil(64)],
             len: 0,
+            prefix: std::cell::RefCell::new(vec![0; blocks]),
+            prefix_stale: std::cell::Cell::new(false),
             ops: OpCounter::new(),
         }
     }
@@ -70,25 +99,18 @@ impl FenwickSet {
     /// This is how the `FREE` set of every process is initialised (`FREEp = J`).
     pub fn with_all(universe: usize) -> Self {
         let mut s = Self::new(universe);
-        // Build the Fenwick array in O(n) instead of n inserts.
-        for i in 1..=universe {
-            s.fen[i] += 1;
-            let parent = i + (i & i.wrapping_neg());
-            if parent <= universe {
-                let add = s.fen[i];
-                s.fen[parent] += add;
-            }
-        }
         for (w, chunk) in s.bits.iter_mut().enumerate() {
             let lo = w * 64;
             let n_in_word = (universe - lo).min(64);
-            *chunk = if n_in_word == 64 {
-                u64::MAX
-            } else {
-                (1u64 << n_in_word) - 1
-            };
+            *chunk = if n_in_word == 64 { u64::MAX } else { (1u64 << n_in_word) - 1 };
+        }
+        // Fill the block counts in O(blocks) instead of n inserts.
+        for (b, cnt) in s.blk.iter_mut().enumerate() {
+            let lo = b * BLOCK_BITS;
+            *cnt = (universe - lo).min(BLOCK_BITS) as u32;
         }
         s.len = universe;
+        s.prefix_stale.set(true);
         s
     }
 
@@ -156,10 +178,12 @@ impl FenwickSet {
         if self.contains(id) {
             return false;
         }
+        self.ops.bump();
         let i = id as usize - 1;
         self.bits[i / 64] |= 1 << (i % 64);
-        self.update(id as usize, 1);
+        self.blk[i / BLOCK_BITS] += 1;
         self.len += 1;
+        self.prefix_stale.set(true);
         true
     }
 
@@ -168,22 +192,55 @@ impl FenwickSet {
         if !self.contains(id) {
             return false;
         }
+        self.ops.bump();
         let i = id as usize - 1;
         self.bits[i / 64] &= !(1 << (i % 64));
-        self.update(id as usize, -1);
+        self.blk[i / BLOCK_BITS] -= 1;
         self.len -= 1;
+        self.prefix_stale.set(true);
         true
+    }
+
+    /// Rebuilds the cumulative block counts if stale, charging one
+    /// elementary operation per block summed.
+    fn refresh_prefix(&self) {
+        if !self.prefix_stale.get() {
+            return;
+        }
+        let mut prefix = self.prefix.borrow_mut();
+        let mut acc = 0u32;
+        for (p, &c) in prefix.iter_mut().zip(&self.blk) {
+            acc += c;
+            *p = acc;
+        }
+        self.ops.add(self.blk.len() as u64);
+        self.prefix_stale.set(false);
     }
 
     /// Number of elements `≤ id`.
     pub fn count_le(&self, id: u64) -> usize {
-        let mut i = (id as usize).min(self.universe);
+        let i = (id as usize).min(self.universe);
+        let mut iters = 0u64;
+        // Whole blocks below the one containing position `i - 1`.
+        let block = i / BLOCK_BITS;
         let mut acc = 0u32;
-        while i > 0 {
-            self.ops.bump();
-            acc += self.fen[i];
-            i &= i - 1;
+        if block > 0 {
+            self.refresh_prefix();
+            iters += 1;
+            acc = self.prefix.borrow()[block - 1];
         }
+        // Whole words of the partial block.
+        let block_word = block * BLOCK_WORDS;
+        for w in block_word..i / 64 {
+            iters += 1;
+            acc += self.bits[w].count_ones();
+        }
+        // The partial word.
+        if i % 64 > 0 {
+            iters += 1;
+            acc += (self.bits[i / 64] & ((1u64 << (i % 64)) - 1)).count_ones();
+        }
+        self.ops.add(iters);
         acc as usize
     }
 
@@ -193,20 +250,34 @@ impl FenwickSet {
         if rank == 0 || rank > self.len {
             return None;
         }
+        self.refresh_prefix();
+        let mut iters = 0u64;
         let mut remaining = rank as u32;
-        let mut pos = 0usize;
-        let mut step = self.universe.next_power_of_two();
-        // For universe == 0 we returned above (len == 0).
-        while step > 0 {
-            self.ops.bump();
-            let next = pos + step;
-            if next <= self.universe && self.fen[next] < remaining {
-                remaining -= self.fen[next];
-                pos = next;
+        // Binary search the cumulative block counts for the first block
+        // whose prefix reaches the rank.
+        let block = {
+            let prefix = self.prefix.borrow();
+            let b = prefix.partition_point(|&cum| cum < remaining);
+            iters += (usize::BITS - self.blk.len().leading_zeros()) as u64;
+            if b > 0 {
+                remaining -= prefix[b - 1];
             }
-            step >>= 1;
+            b
+        };
+        // `block` now holds the answer; scan its at most BLOCK_WORDS words.
+        let mut w = block * BLOCK_WORDS;
+        loop {
+            iters += 1;
+            let pc = self.bits[w].count_ones();
+            if pc >= remaining {
+                break;
+            }
+            remaining -= pc;
+            w += 1;
         }
-        Some(pos as u64 + 1)
+        let bit = select_in_word(self.bits[w], remaining, &mut iters);
+        self.ops.add(iters);
+        Some((w * 64 + bit) as u64 + 1)
     }
 
     /// 1-based rank of `id` if present.
@@ -243,12 +314,32 @@ impl FenwickSet {
         self.ops.reset()
     }
 
-    fn update(&mut self, mut i: usize, delta: i32) {
-        while i <= self.universe {
-            self.ops.bump();
-            self.fen[i] = (self.fen[i] as i64 + delta as i64) as u32;
-            i += i & i.wrapping_neg();
+}
+
+/// Position (0-based bit index) of the `remaining`-th set bit of `word`
+/// (`1 ≤ remaining ≤ popcount(word)`).
+#[inline]
+fn select_in_word(word: u64, mut remaining: u32, iters: &mut u64) -> usize {
+    debug_assert!(remaining >= 1 && remaining <= word.count_ones());
+    let mut base = 0usize;
+    for byte in 0..8 {
+        *iters += 1;
+        let pc = (word >> (byte * 8) & 0xFF).count_ones();
+        if pc >= remaining {
+            base = byte * 8;
+            break;
         }
+        remaining -= pc;
+    }
+    let mut w = word >> base;
+    loop {
+        *iters += 1;
+        let bit = w.trailing_zeros() as usize;
+        if remaining == 1 {
+            return base + bit;
+        }
+        remaining -= 1;
+        w &= !(1u64 << bit);
     }
 }
 
@@ -331,6 +422,32 @@ impl RankedSet for FenwickSet {
     }
 }
 
+impl crate::rank::OrderedJobSet for FenwickSet {
+    fn empty(universe: usize) -> Self {
+        FenwickSet::new(universe)
+    }
+
+    fn full(universe: usize) -> Self {
+        FenwickSet::with_all(universe)
+    }
+
+    fn universe(&self) -> usize {
+        FenwickSet::universe(self)
+    }
+
+    fn insert(&mut self, id: u64) -> bool {
+        FenwickSet::insert(self, id)
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        FenwickSet::remove(self, id)
+    }
+
+    fn ops(&self) -> u64 {
+        FenwickSet::ops(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,7 +477,7 @@ mod tests {
 
     #[test]
     fn with_all_contains_everything() {
-        for n in [1usize, 2, 63, 64, 65, 100, 128, 1000] {
+        for n in [1usize, 2, 63, 64, 65, 100, 128, 511, 512, 513, 1000, 5000] {
             let s = FenwickSet::with_all(n);
             assert_eq!(s.len(), n);
             assert!(s.contains(1));
@@ -477,5 +594,60 @@ mod tests {
         }
         assert_eq!(s.len(), 6);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 65, 127, 128, 129]);
+    }
+
+    #[test]
+    fn block_boundary_elements() {
+        // Elements straddling the 512-element Fenwick blocks.
+        let ids = [511u64, 512, 513, 1023, 1024, 1025, 1536, 2048];
+        let mut s = FenwickSet::new(2048);
+        for &id in &ids {
+            assert!(s.insert(id));
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(s.contains(id), "missing {id}");
+            assert_eq!(s.select(i + 1), Some(id));
+            assert_eq!(s.rank_of(id), Some(i + 1));
+        }
+        assert_eq!(s.count_le(512), 2);
+        assert_eq!(s.count_le(1024), 5);
+        assert!(s.remove(1024));
+        assert_eq!(s.count_le(2048), 7);
+        assert_eq!(s.select(5), Some(1025));
+    }
+
+    #[test]
+    fn dense_random_against_naive_model() {
+        // Deterministic pseudo-random insert/remove stream checked against a
+        // sorted-vec model, across block and word boundaries.
+        let universe = 1500usize;
+        let mut s = FenwickSet::new(universe);
+        let mut model: Vec<u64> = Vec::new();
+        let mut state = 0x9E37_79B9u64;
+        for step in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = (state >> 33) % universe as u64 + 1;
+            if step % 3 == 2 {
+                let was = s.remove(id);
+                let pos = model.binary_search(&id);
+                assert_eq!(was, pos.is_ok(), "remove({id})");
+                if let Ok(p) = pos {
+                    model.remove(p);
+                }
+            } else {
+                let new = s.insert(id);
+                let pos = model.binary_search(&id);
+                assert_eq!(new, pos.is_err(), "insert({id})");
+                if let Err(p) = pos {
+                    model.insert(p, id);
+                }
+            }
+        }
+        assert_eq!(s.len(), model.len());
+        for (i, &id) in model.iter().enumerate() {
+            assert_eq!(s.select(i + 1), Some(id), "select({})", i + 1);
+            assert_eq!(s.count_le(id), i + 1, "count_le({id})");
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), model);
     }
 }

@@ -7,19 +7,27 @@
 //! or some variant of B-tree" so that insertion, deletion and rank queries
 //! cost `O(log n)` and `rank(SET1, SET2, i)` costs `O(|SET2| · log n)`.
 //!
-//! This crate provides two interchangeable implementations:
+//! This crate provides three interchangeable implementations:
 //!
-//! * [`FenwickSet`] — a bitmap + Fenwick (binary indexed) tree over the dense
-//!   job universe `1..=n`. All operations are `O(log n)` and the structure
-//!   counts the *exact* number of elementary loop iterations it performs,
-//!   which the benchmark harness uses as the paper's "basic operations"
-//!   (Definition 2.5) when measuring work complexity.
+//! * [`FenwickSet`] — the production backend: a bitmap with per-block
+//!   population counts and a lazily rebuilt prefix array over the dense job
+//!   universe `1..=n`. Insert/remove (the simulation's hottest operations)
+//!   are `O(1)`; rank queries cost one prefix rebuild per mutation burst
+//!   plus a binary search. The structure counts the *exact* number of
+//!   elementary loop iterations it performs, which the benchmark harness
+//!   uses as the paper's "basic operations" (Definition 2.5) when measuring
+//!   work complexity.
+//! * [`DenseFenwickSet`] — the historical per-element Fenwick (binary
+//!   indexed) tree with `O(log n)` everything, kept as the paper-faithful
+//!   reference, the structure ablation, and the `perf_smoke` baseline.
 //! * [`OrderStatTree`] — a size-augmented randomized search tree (treap with
 //!   deterministic priorities) over arbitrary `u64` keys, used for the
 //!   data-structure ablation and for sparse identifier spaces.
 //!
-//! Both implement [`RankedSet`], and [`rank_excluding`] implements the
-//! paper's `rank(SET1, SET2, i)` on top of any [`RankedSet`].
+//! All implement [`RankedSet`] (the first two also [`OrderedJobSet`], the
+//! mutable interface the KKβ automaton is generic over), and
+//! [`rank_excluding`] / [`rank_excluding_members`] implement the paper's
+//! `rank(SET1, SET2, i)` on top of any [`RankedSet`].
 //!
 //! # Examples
 //!
@@ -39,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod dense;
 mod fenwick;
 mod rank;
 mod tree;
 
 pub use counter::OpCounter;
+pub use dense::DenseFenwickSet;
 pub use fenwick::FenwickSet;
-pub use rank::{rank_excluding, RankedSet};
+pub use rank::{rank_excluding, rank_excluding_members, OrderedJobSet, RankedSet};
 pub use tree::OrderStatTree;

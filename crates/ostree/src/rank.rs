@@ -23,6 +23,37 @@ pub trait RankedSet {
     fn count_le(&self, id: u64) -> usize;
 }
 
+/// A [`RankedSet`] over the dense universe `1..=universe` that supports
+/// mutation and work accounting — the full interface the KKβ automaton
+/// needs for its `FREE` and `DONE` sets.
+///
+/// Implemented by both [`FenwickSet`](crate::FenwickSet) (blocked counts,
+/// O(1) updates — the production backend) and
+/// [`DenseFenwickSet`](crate::DenseFenwickSet) (per-element Fenwick tree,
+/// `O(log n)` updates — the paper-faithful baseline), so the automaton and
+/// the benchmarks can swap backends.
+pub trait OrderedJobSet:
+    RankedSet + Clone + PartialEq + Eq + std::hash::Hash + std::fmt::Debug
+{
+    /// The empty set over `1..=universe`.
+    fn empty(universe: usize) -> Self;
+
+    /// The full set `{1, ..., universe}`.
+    fn full(universe: usize) -> Self;
+
+    /// The universe bound this set ranges over.
+    fn universe(&self) -> usize;
+
+    /// Inserts `id`, returning `true` if newly added.
+    fn insert(&mut self, id: u64) -> bool;
+
+    /// Removes `id`, returning `true` if it was present.
+    fn remove(&mut self, id: u64) -> bool;
+
+    /// Elementary operations executed so far (the paper's work measure).
+    fn ops(&self) -> u64;
+}
+
 /// The paper's `rank(SET1, SET2, i)`: the `i`-th smallest element (1-based)
 /// of `free \ excl`, or `None` if `free \ excl` has fewer than `i` elements.
 ///
@@ -53,25 +84,49 @@ pub trait RankedSet {
 /// ```
 pub fn rank_excluding<S: RankedSet + ?Sized>(free: &S, excl: &[u64], i: usize) -> Option<u64> {
     debug_assert!(excl.windows(2).all(|w| w[0] <= w[1]), "excl must be sorted");
+    // Only exclusions that are members of `free` affect ranks (and the
+    // sorted-but-possibly-duplicated input contract of this wrapper is
+    // tightened to the deduped one of the fast path).
+    let mut t: Vec<u64> = excl.iter().copied().filter(|&e| free.contains(e)).collect();
+    t.dedup();
+    rank_excluding_members(free, &t, i)
+}
+
+/// [`rank_excluding`] for a pre-filtered exclusion list: every element of
+/// `excl` must be a member of `free` (and `excl` sorted, duplicate-free).
+///
+/// This is the allocation-free hot path: the KKβ automaton's `compNext`
+/// already intersects `TRY` with `FREE` to compute the available count, so
+/// it passes the intersection here instead of having it recomputed.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `excl` is not sorted or contains a
+/// non-member of `free`.
+pub fn rank_excluding_members<S: RankedSet + ?Sized>(
+    free: &S,
+    excl: &[u64],
+    i: usize,
+) -> Option<u64> {
+    debug_assert!(excl.windows(2).all(|w| w[0] < w[1]), "excl must be sorted and deduped");
+    debug_assert!(excl.iter().all(|&e| free.contains(e)), "excl must be members of free");
     if i == 0 {
         return None;
     }
     if free.len() < i {
         return None;
     }
-    // Only exclusions that are members of `free` affect ranks.
-    let t: Vec<u64> = excl.iter().copied().filter(|&e| free.contains(e)).collect();
     let mut idx = i;
     loop {
         let x = free.select(idx)?;
         // Number of excluded members ≤ x.
-        let k = t.partition_point(|&e| e <= x);
+        let k = excl.partition_point(|&e| e <= x);
         let target = i + k;
         if target == idx {
             // Fixpoint. `x` cannot itself be excluded here: if it were, the
             // i-th element of free \ excl would be ≤ x and < x, contradicting
             // that the iteration is monotone from below (see module tests).
-            debug_assert!(t.binary_search(&x).is_err());
+            debug_assert!(excl.binary_search(&x).is_err());
             return Some(x);
         }
         idx = target;

@@ -142,6 +142,7 @@ pub struct Engine<R, P, S> {
     scheduler: S,
     max_crashes: usize,
     trace_cap: usize,
+    force_single_step: bool,
 }
 
 impl<R, P, S> Engine<R, P, S>
@@ -168,7 +169,20 @@ where
             .into_iter()
             .map(|p| Slot { process: p, state: LifeState::Running, steps: 0 })
             .collect();
-        Self { mem, slots, scheduler, max_crashes, trace_cap: 0 }
+        Self { mem, slots, scheduler, max_crashes, trace_cap: 0, force_single_step: false }
+    }
+
+    /// Disables the macro-stepping fast path: scheduler quanta are still
+    /// granted, but executed through individual [`Process::step`] calls with
+    /// full per-action bookkeeping.
+    ///
+    /// This is the *reference* semantics the fast path must reproduce — the
+    /// equivalence property tests run every workload through both modes and
+    /// require identical [`Execution`]s. It is also occasionally useful for
+    /// debugging a batched run.
+    pub fn single_step(mut self) -> Self {
+        self.force_single_step = true;
+        self
     }
 
     /// Enables action tracing, recording up to `cap` entries (the first
@@ -218,23 +232,35 @@ where
         let mut total_steps: u64 = 0;
         let mut completed = true;
         let mut trace: Vec<TraceEntry> = Vec::new();
+        // Tracing needs one entry per action, so it forces single-step
+        // granularity; the hot (trace-disabled) path skips trace bookkeeping
+        // entirely.
+        let tracing = self.trace_cap > 0;
+        // Liveness is tracked by counter — the historical `slots.iter().any`
+        // scan cost O(m) per action and dominated small-step loops.
+        let mut running = self.slots.len();
 
-        while self.slots.iter().any(|s| s.state == LifeState::Running) {
+        while running > 0 {
             if total_steps >= limits.max_steps {
                 completed = false;
                 break;
             }
-            let decision = {
-                let view = SchedView {
-                    slots: &self.slots,
-                    total_steps,
-                    crashes: crashed.len(),
-                    max_crashes: self.max_crashes,
-                };
-                self.scheduler.decide(&view)
+            let view = SchedView {
+                slots: &self.slots,
+                total_steps,
+                crashes: crashed.len(),
+                max_crashes: self.max_crashes,
             };
+            let decision = self.scheduler.decide(&view);
             match decision {
                 Decision::Step(i) => {
+                    // The quantum the scheduler grants this decision,
+                    // clamped so the step cap cannot be overshot.
+                    let budget = if tracing {
+                        1
+                    } else {
+                        self.scheduler.quantum(&view, i).max(1).min(limits.max_steps - total_steps)
+                    };
                     let slot = &mut self.slots[i];
                     assert_eq!(
                         slot.state,
@@ -242,27 +268,72 @@ where
                         "scheduler stepped non-running pid {}",
                         i + 1
                     );
-                    let event = slot.process.step(&self.mem);
-                    slot.steps += 1;
-                    total_steps += 1;
-                    if trace.len() < self.trace_cap {
-                        trace.push(TraceEntry {
-                            step: total_steps,
-                            pid: Some(i + 1),
-                            event: Some(event),
-                        });
-                    }
-                    match event {
-                        StepEvent::Perform { span } => {
-                            performed.push(PerformRecord { pid: i + 1, span, step: total_steps });
+                    if budget == 1 || self.force_single_step {
+                        // Reference path: per-action dispatch. Also used by
+                        // every scheduler that keeps the default quantum of
+                        // 1 (all adversarial schedulers), and when tracing.
+                        let mut consumed = 0;
+                        let mut terminated = false;
+                        while consumed < budget && !terminated {
+                            let event = slot.process.step(&self.mem);
+                            consumed += 1;
+                            if tracing && trace.len() < self.trace_cap {
+                                trace.push(TraceEntry {
+                                    step: total_steps + consumed,
+                                    pid: Some(i + 1),
+                                    event: Some(event),
+                                });
+                            }
+                            match event {
+                                StepEvent::Perform { span } => {
+                                    performed.push(PerformRecord {
+                                        pid: i + 1,
+                                        span,
+                                        step: total_steps + consumed,
+                                    });
+                                }
+                                StepEvent::Terminated => terminated = true,
+                                StepEvent::Local
+                                | StepEvent::Read { .. }
+                                | StepEvent::Write { .. }
+                                | StepEvent::Rmw { .. } => {}
+                            }
                         }
-                        StepEvent::Terminated => {
+                        slot.steps += consumed;
+                        total_steps += consumed;
+                        if terminated {
                             slot.state = LifeState::Terminated;
+                            running -= 1;
                         }
-                        StepEvent::Local
-                        | StepEvent::Read { .. }
-                        | StepEvent::Write { .. }
-                        | StepEvent::Rmw { .. } => {}
+                        self.scheduler.note_consumed(i, consumed);
+                    } else {
+                        // Macro-stepping fast path: hand the whole quantum
+                        // to the process as batched calls.
+                        let mut consumed = 0;
+                        let mut terminated = false;
+                        while consumed < budget && !terminated {
+                            let out = slot.process.step_many(&self.mem, budget - consumed);
+                            debug_assert!(
+                                out.steps >= 1 && consumed + out.steps <= budget,
+                                "step_many overran its budget"
+                            );
+                            for &(offset, span) in &out.performed {
+                                performed.push(PerformRecord {
+                                    pid: i + 1,
+                                    span,
+                                    step: total_steps + consumed + offset + 1,
+                                });
+                            }
+                            consumed += out.steps;
+                            terminated = out.terminated;
+                        }
+                        slot.steps += consumed;
+                        total_steps += consumed;
+                        if terminated {
+                            slot.state = LifeState::Terminated;
+                            running -= 1;
+                        }
+                        self.scheduler.note_consumed(i, consumed);
                     }
                 }
                 Decision::Crash(i) => {
@@ -279,8 +350,9 @@ where
                         i + 1
                     );
                     slot.state = LifeState::Crashed;
+                    running -= 1;
                     crashed.push(i + 1);
-                    if trace.len() < self.trace_cap {
+                    if tracing && trace.len() < self.trace_cap {
                         trace.push(TraceEntry { step: total_steps, pid: Some(i + 1), event: None });
                     }
                 }

@@ -55,7 +55,7 @@ mod verify;
 pub use crash::CrashPlan;
 pub use engine::{Engine, EngineLimits, Execution, LifeState, PerformRecord, Slot, TraceEntry};
 pub use explore::{explore, ExploreConfig, ExploreOutcome, MemoMode};
-pub use process::{JobSpan, Process, StepEvent};
+pub use process::{BatchOutcome, JobSpan, Process, StepEvent};
 pub use registers::{AtomicRegisters, MemOrder, MemWork, Registers, VecRegisters};
 pub use sched::{
     BlockScheduler, Decision, RandomScheduler, RoundRobin, SchedView, Scheduler, ScriptedScheduler,

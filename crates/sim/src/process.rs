@@ -112,6 +112,25 @@ pub enum StepEvent {
     Terminated,
 }
 
+/// Result of a batched [`Process::step_many`] call.
+///
+/// The engine's macro-stepping fast path grants a process a contiguous
+/// quantum of actions; this records what the batch did in exactly the terms
+/// the engine would have observed had it single-stepped: how many actions
+/// ran, which `do` actions happened at which offsets, and whether the last
+/// action terminated the process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Actions executed by the batch (`1..=budget`).
+    pub steps: u64,
+    /// Each `do` action of the batch as `(offset, span)`, where `offset` is
+    /// the 0-based position of the action within this batch.
+    pub performed: Vec<(u64, JobSpan)>,
+    /// `true` when the final action of the batch was
+    /// [`StepEvent::Terminated`].
+    pub terminated: bool,
+}
+
 /// A crash-stop I/O automaton executed one action per [`step`](Self::step).
 ///
 /// Contract:
@@ -143,6 +162,40 @@ pub trait Process<R: Registers + ?Sized> {
     /// executed so far — the non-shared-memory part of Definition 2.5.
     fn local_work(&self) -> u64 {
         0
+    }
+
+    /// Executes up to `budget` consecutive actions as one batched call (the
+    /// macro-stepping fast path).
+    ///
+    /// Contract — batching must be **observationally invisible**:
+    ///
+    /// * the batch must behave exactly like `out.steps` successive
+    ///   [`step`](Self::step) calls — same shared-memory accesses in the
+    ///   same order, same `do` actions, same final state;
+    /// * `1 ≤ out.steps ≤ budget`; a batch may stop early (the engine
+    ///   re-invokes until the quantum is exhausted), and must stop
+    ///   immediately after a [`StepEvent::Terminated`] action;
+    /// * implementations may assume no other process acts during the batch
+    ///   (the engine guarantees it).
+    ///
+    /// The default implementation executes a single `step`, which trivially
+    /// satisfies the contract; override it (as `KkProcess` does) to run hot
+    /// loops — e.g. `gatherTry`/`gatherDone` read sweeps — without
+    /// per-action engine dispatch.
+    ///
+    /// # Panics
+    ///
+    /// May panic (like `step`) if invoked after termination or with a zero
+    /// budget.
+    fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
+        debug_assert!(budget >= 1, "step_many needs a positive budget");
+        let mut out = BatchOutcome { steps: 1, performed: Vec::new(), terminated: false };
+        match self.step(mem) {
+            StepEvent::Perform { span } => out.performed.push((0, span)),
+            StepEvent::Terminated => out.terminated = true,
+            _ => {}
+        }
+        out
     }
 }
 

@@ -85,6 +85,26 @@ pub trait Registers {
     /// Atomically reads cell `cell`.
     fn read(&self, cell: usize) -> u64;
 
+    /// Reads cell `cell` like [`read`](Self::read) but defers the traffic
+    /// accounting to the caller: batched hot loops
+    /// ([`Process::step_many`](crate::Process::step_many) implementations)
+    /// issue many `peek`s and report them in one
+    /// [`note_reads`](Self::note_reads) call, replacing a per-access counter
+    /// update with one addition per batch.
+    ///
+    /// The default implementation simply counts through `read` (and the
+    /// default `note_reads` is then a no-op), so accounting stays exact for
+    /// implementations that don't opt in. Implementations must override
+    /// both methods together or neither.
+    fn peek(&self, cell: usize) -> u64 {
+        self.read(cell)
+    }
+
+    /// Accounts `reads` shared reads issued via [`peek`](Self::peek).
+    fn note_reads(&self, reads: u64) {
+        let _ = reads;
+    }
+
     /// Atomically writes `value` into cell `cell`.
     fn write(&self, cell: usize, value: u64);
 
@@ -161,6 +181,16 @@ impl Registers for VecRegisters {
     }
 
     #[inline]
+    fn peek(&self, cell: usize) -> u64 {
+        self.cells[cell].get()
+    }
+
+    #[inline]
+    fn note_reads(&self, reads: u64) {
+        self.reads.set(self.reads.get() + reads);
+    }
+
+    #[inline]
     fn write(&self, cell: usize, value: u64) {
         self.writes.set(self.writes.get() + 1);
         self.cells[cell].set(value);
@@ -224,6 +254,16 @@ impl Registers for AtomicRegisters {
     fn read(&self, cell: usize) -> u64 {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.cells[cell].load(self.order.load())
+    }
+
+    #[inline]
+    fn peek(&self, cell: usize) -> u64 {
+        self.cells[cell].load(self.order.load())
+    }
+
+    #[inline]
+    fn note_reads(&self, reads: u64) {
+        self.reads.fetch_add(reads, Ordering::Relaxed);
     }
 
     #[inline]

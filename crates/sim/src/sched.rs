@@ -61,6 +61,33 @@ impl<P> SchedView<'_, P> {
 pub trait Scheduler<P> {
     /// Chooses the next move. Called only while at least one process runs.
     fn decide(&mut self, view: &SchedView<'_, P>) -> Decision;
+
+    /// The quantum for the process just chosen by [`decide`](Self::decide):
+    /// how many *consecutive* actions the engine may let slot `chosen`
+    /// execute before consulting the scheduler again.
+    ///
+    /// Returning `> 1` opts into the engine's macro-stepping fast path
+    /// (batched [`step_many`](crate::Process::step_many) calls). The default
+    /// is `1` — single-step granularity — so every scheduler, and in
+    /// particular every *adversarial* scheduler, keeps full per-action
+    /// control unless it explicitly opts in. Fair schedulers
+    /// ([`RoundRobin`], [`BlockScheduler`]) override this.
+    ///
+    /// The engine reports how many actions actually ran through
+    /// [`note_consumed`](Self::note_consumed); a process may use fewer
+    /// actions than the quantum (e.g. by terminating).
+    fn quantum(&self, view: &SchedView<'_, P>, chosen: usize) -> u64 {
+        let _ = (view, chosen);
+        1
+    }
+
+    /// Feedback after a decision: slot `chosen` executed `steps` actions
+    /// (`steps ≥ 1`; also called with `steps == 1` on the single-step
+    /// path). Schedulers with per-decision state (e.g. [`BlockScheduler`]
+    /// burst accounting) update it here. Default: ignore.
+    fn note_consumed(&mut self, chosen: usize, steps: u64) {
+        let _ = (chosen, steps);
+    }
 }
 
 impl<P, F: FnMut(&SchedView<'_, P>) -> Decision> Scheduler<P> for F {
@@ -74,15 +101,53 @@ impl<P, F: FnMut(&SchedView<'_, P>) -> Decision> Scheduler<P> for F {
 /// This is the "benign" schedule: every process advances in turn, which is a
 /// fair execution in the sense of §2.1 (every enabled action eventually
 /// runs).
-#[derive(Debug, Clone, Default)]
+///
+/// A quantum may be attached with [`with_quantum`](Self::with_quantum): each
+/// turn then grants that many consecutive actions (a *quantized* round-robin
+/// — still fair), which lets the engine run the turn as one batched
+/// macro-step. [`new`](Self::new) keeps the historical strict alternation
+/// (quantum 1); runners that only rely on fairness use
+/// [`batched`](Self::batched).
+#[derive(Debug, Clone)]
 pub struct RoundRobin {
     cursor: usize,
+    quantum: u64,
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        Self { cursor: 0, quantum: 1 }
+    }
 }
 
 impl RoundRobin {
-    /// Creates a round-robin scheduler starting at slot 0.
+    /// The quantum used by [`batched`](Self::batched) — large enough to
+    /// amortise engine dispatch across a whole `gatherTry`/`gatherDone`
+    /// sweep for any realistic `m`, small enough to stay fair at tiny
+    /// instance sizes.
+    pub const BATCH_QUANTUM: u64 = 256;
+
+    /// Creates a strictly alternating round-robin scheduler (quantum 1).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a fair quantized round-robin with
+    /// [`BATCH_QUANTUM`](Self::BATCH_QUANTUM) actions per turn — the
+    /// macro-stepping fast path.
+    pub fn batched() -> Self {
+        Self::default().with_quantum(Self::BATCH_QUANTUM)
+    }
+
+    /// Sets the actions granted per turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
     }
 }
 
@@ -97,6 +162,10 @@ impl<P> Scheduler<P> for RoundRobin {
             }
         }
         unreachable!("decide called with no running process")
+    }
+
+    fn quantum(&self, _view: &SchedView<'_, P>, _chosen: usize) -> u64 {
+        self.quantum
     }
 }
 
@@ -153,7 +222,6 @@ impl<P> Scheduler<P> for BlockScheduler {
     fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
         if let Some(i) = self.current {
             if self.left > 0 && view.slots[i].state == LifeState::Running {
-                self.left -= 1;
                 return Decision::Step(i);
             }
         }
@@ -161,8 +229,24 @@ impl<P> Scheduler<P> for BlockScheduler {
         debug_assert!(!running.is_empty());
         let i = running[self.rng.gen_range(0..running.len())];
         self.current = Some(i);
-        self.left = self.burst - 1;
+        self.left = self.burst;
         Decision::Step(i)
+    }
+
+    // A burst is by definition a contiguous quantum, so the fast path is
+    // observationally identical to single-stepping the same schedule.
+    fn quantum(&self, _view: &SchedView<'_, P>, chosen: usize) -> u64 {
+        if self.current == Some(chosen) {
+            self.left.max(1)
+        } else {
+            1
+        }
+    }
+
+    fn note_consumed(&mut self, chosen: usize, steps: u64) {
+        if self.current == Some(chosen) {
+            self.left = self.left.saturating_sub(steps);
+        }
     }
 }
 
@@ -212,15 +296,38 @@ impl<S> WithCrashes<S> {
 
 impl<P, S: Scheduler<P>> Scheduler<P> for WithCrashes<S> {
     fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
-        for (i, slot) in view.slots.iter().enumerate() {
-            if slot.state == LifeState::Running
-                && view.crashes < view.max_crashes
-                && self.plan.should_crash(i + 1, slot.steps)
-            {
-                return Decision::Crash(i);
+        // The empty plan (the common benchmarking case) must not tax every
+        // decision with an O(m) budget scan.
+        if !self.plan.is_empty() && view.crashes < view.max_crashes {
+            for (i, slot) in view.slots.iter().enumerate() {
+                if slot.state == LifeState::Running && self.plan.should_crash(i + 1, slot.steps)
+                {
+                    return Decision::Crash(i);
+                }
             }
         }
         self.inner.decide(view)
+    }
+
+    // Pass the inner quantum through, but stop it exactly at the chosen
+    // process's planned crash threshold so the injection happens at the same
+    // action it would under single-stepping. (Other processes' thresholds
+    // cannot fire mid-quantum: their step counts do not advance.)
+    fn quantum(&self, view: &SchedView<'_, P>, chosen: usize) -> u64 {
+        let q = self.inner.quantum(view, chosen);
+        if self.plan.is_empty() {
+            return q;
+        }
+        match self.plan.budget(chosen + 1) {
+            Some(b) if view.crashes < view.max_crashes => {
+                q.min(b.saturating_sub(view.slots[chosen].steps).max(1))
+            }
+            _ => q,
+        }
+    }
+
+    fn note_consumed(&mut self, chosen: usize, steps: u64) {
+        self.inner.note_consumed(chosen, steps);
     }
 }
 

@@ -1,0 +1,106 @@
+//! Engine-level fast-path invariants, independent of any concrete
+//! algorithm: quantized scheduling through the default one-step
+//! [`Process::step_many`] must leave every observable of an execution
+//! unchanged, and the step cap must clamp quanta exactly.
+
+use amo_sim::testing::{PerformOnceProcess, WriterProcess};
+use amo_sim::{
+    BlockScheduler, CrashPlan, Engine, EngineLimits, Execution, RoundRobin, VecRegisters,
+    WithCrashes,
+};
+
+fn exec_eq(fast: &Execution, reference: &Execution, what: &str) {
+    assert_eq!(fast.performed, reference.performed, "{what}: performed differ");
+    assert_eq!(fast.total_steps, reference.total_steps, "{what}: total_steps differ");
+    assert_eq!(fast.crashed, reference.crashed, "{what}: crashes differ");
+    assert_eq!(fast.completed, reference.completed, "{what}: completion differs");
+    assert_eq!(fast.mem_work, reference.mem_work, "{what}: mem work differs");
+    assert_eq!(fast.per_proc_steps, reference.per_proc_steps, "{what}: per-proc steps differ");
+}
+
+fn writers(m: usize, k: u64) -> Vec<WriterProcess> {
+    (1..=m).map(|p| WriterProcess::new(p, p - 1, k)).collect()
+}
+
+#[test]
+fn quantized_round_robin_equals_reference_for_generic_processes() {
+    for &q in &[2u64, 5, 64, 1000] {
+        let run = |single: bool| {
+            let mem = VecRegisters::new(4);
+            let mut engine = Engine::new(mem, writers(4, 25), RoundRobin::new().with_quantum(q));
+            if single {
+                engine = engine.single_step();
+            }
+            engine.run(EngineLimits::default())
+        };
+        exec_eq(&run(false), &run(true), &format!("writers rr-quantum={q}"));
+    }
+}
+
+#[test]
+fn block_bursts_equal_reference_for_generic_processes() {
+    for &(seed, burst) in &[(0u64, 3u64), (9, 17), (42, 200)] {
+        let run = |single: bool| {
+            let mem = VecRegisters::new(3);
+            let mut engine = Engine::new(mem, writers(3, 40), BlockScheduler::new(seed, burst));
+            if single {
+                engine = engine.single_step();
+            }
+            engine.run(EngineLimits::default())
+        };
+        exec_eq(&run(false), &run(true), &format!("writers block({seed},{burst})"));
+    }
+}
+
+#[test]
+fn step_cap_clamps_quanta_exactly() {
+    // With a cap of 10 and a quantum of 64, the batched engine must stop at
+    // exactly 10 actions — the quantum is clamped, never overshot.
+    let run = |single: bool| {
+        let mem = VecRegisters::new(2);
+        let mut engine = Engine::new(mem, writers(2, 1000), RoundRobin::new().with_quantum(64));
+        if single {
+            engine = engine.single_step();
+        }
+        engine.run(EngineLimits::with_max_steps(10))
+    };
+    let fast = run(false);
+    assert_eq!(fast.total_steps, 10);
+    assert!(!fast.completed);
+    exec_eq(&fast, &run(true), "step cap");
+}
+
+#[test]
+fn crash_plans_fire_at_identical_actions_under_quanta() {
+    let run = |single: bool| {
+        let mem = VecRegisters::new(0);
+        let procs: Vec<PerformOnceProcess> =
+            (1..=4).map(|p| PerformOnceProcess::new(p, p as u64)).collect();
+        let sched = WithCrashes::new(
+            RoundRobin::new().with_quantum(8),
+            CrashPlan::at_steps([(2usize, 1u64), (4, 0)]),
+        );
+        let mut engine = Engine::new(mem, procs, sched).with_max_crashes(3);
+        if single {
+            engine = engine.single_step();
+        }
+        engine.run(EngineLimits::default())
+    };
+    let fast = run(false);
+    assert_eq!(fast.crashed, vec![4, 2]);
+    exec_eq(&fast, &run(true), "crash plan under quanta");
+}
+
+#[test]
+fn tracing_forces_per_action_granularity() {
+    // With tracing on, the engine records one entry per action even when the
+    // scheduler grants large quanta.
+    let mem = VecRegisters::new(2);
+    let exec = Engine::new(mem, writers(2, 5), RoundRobin::new().with_quantum(64))
+        .with_trace(1000)
+        .run(EngineLimits::default());
+    assert_eq!(exec.trace.len() as u64, exec.total_steps);
+    for (i, entry) in exec.trace.iter().enumerate() {
+        assert_eq!(entry.step, i as u64 + 1, "trace steps are dense and 1-based");
+    }
+}

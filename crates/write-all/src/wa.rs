@@ -1,7 +1,7 @@
 use std::hash::{Hash, Hasher};
 
 use amo_iterative::{IterConfig, IterLayout, IterativeProcess};
-use amo_sim::{JobSpan, Process, Registers, StepEvent};
+use amo_sim::{BatchOutcome, JobSpan, Process, Registers, StepEvent};
 
 /// Register layout for `WA_IterativeKK(ε)`: the iterated algorithm's stage
 /// layouts followed by the Write-All array `wa[1..n]`.
@@ -183,6 +183,72 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
                 StepEvent::Terminated
             }
         }
+    }
+
+    /// Macro-stepping fast path (see the [`Process::step_many`] contract).
+    ///
+    /// The write loops — `WritingSpan` after each super-job `do` and the
+    /// terminal `FinalLoop` — are the `n`-dominant phases (one `wa`-array
+    /// write per action) and run batched; the `Driving` phase stays
+    /// per-action because the wrapper must intercept every `Perform` of the
+    /// inner driver to splice in its span writes at exactly the same
+    /// actions as under single-stepping.
+    fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
+        debug_assert!(budget >= 1, "step_many needs a positive budget");
+        let mut steps: u64 = 0;
+        let mut performed: Vec<(u64, JobSpan)> = Vec::new();
+        while steps < budget {
+            match &mut self.phase {
+                WaPhase::WritingSpan { next, hi } => {
+                    let mut job = *next;
+                    let hi = *hi;
+                    let mut finished = false;
+                    while steps < budget {
+                        finished = job == hi;
+                        self.wa_writes += 1;
+                        mem.write(self.layout.wa_cell(job), 1);
+                        job += 1;
+                        steps += 1;
+                        if finished {
+                            break;
+                        }
+                    }
+                    if finished {
+                        self.phase = WaPhase::Driving;
+                    } else if let WaPhase::WritingSpan { next, .. } = &mut self.phase {
+                        *next = job;
+                    }
+                }
+                WaPhase::FinalLoop { jobs, idx } => {
+                    while steps < budget {
+                        if *idx < jobs.len() {
+                            let job = jobs[*idx];
+                            *idx += 1;
+                            performed.push((steps, JobSpan::single(job)));
+                            steps += 1;
+                            self.wa_writes += 1;
+                            mem.write(self.layout.wa_cell(job), 1);
+                        } else {
+                            self.phase = WaPhase::Done;
+                            steps += 1;
+                            return BatchOutcome { steps, performed, terminated: true };
+                        }
+                    }
+                }
+                _ => {
+                    let event = self.step(mem);
+                    steps += 1;
+                    match event {
+                        StepEvent::Perform { span } => performed.push((steps - 1, span)),
+                        StepEvent::Terminated => {
+                            return BatchOutcome { steps, performed, terminated: true }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        BatchOutcome { steps, performed, terminated: false }
     }
 
     fn pid(&self) -> usize {
