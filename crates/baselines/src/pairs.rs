@@ -35,7 +35,7 @@ impl PairsHybrid {
             let lo = g as u64 * n / groups as u64 + 1;
             let hi = (g as u64 + 1) * n / groups as u64;
             let p1 = 2 * g + 1;
-            if p1 + 1 <= m {
+            if p1 < m {
                 fleet.push(PairsHybrid {
                     inner: TwoProcess::new(p1, TwoProcessRole::Left, p1 - 1, p1, lo, hi),
                 });

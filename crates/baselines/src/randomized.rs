@@ -51,9 +51,13 @@ mod tests {
         let config = KkConfig::new(40, 2).unwrap();
         let run = |seed| {
             let (layout, fleet) = randomized_kk_fleet(&config, seed, false);
-            Engine::new(VecRegisters::new(layout.cells()), fleet, RandomScheduler::new(7))
-                .run(EngineLimits::default())
-                .performed
+            Engine::new(
+                VecRegisters::new(layout.cells()),
+                fleet,
+                RandomScheduler::new(7),
+            )
+            .run(EngineLimits::default())
+            .performed
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds pick differently");
@@ -64,9 +68,12 @@ mod tests {
         let config = KkConfig::with_beta(80, 4, 16).unwrap();
         for seed in 0..8 {
             let (layout, fleet) = randomized_kk_fleet(&config, seed, false);
-            let exec =
-                Engine::new(VecRegisters::new(layout.cells()), fleet, RandomScheduler::new(seed))
-                    .run(EngineLimits::default());
+            let exec = Engine::new(
+                VecRegisters::new(layout.cells()),
+                fleet,
+                RandomScheduler::new(seed),
+            )
+            .run(EngineLimits::default());
             assert!(exec.violations().is_empty(), "seed {seed}");
             assert!(exec.effectiveness() >= config.effectiveness_bound());
         }

@@ -51,9 +51,7 @@ impl AmoBaselineKind {
     /// KKβ's bound).
     pub fn predicted_effectiveness(&self, n: u64, m: usize, f: usize) -> Option<u64> {
         match self {
-            AmoBaselineKind::TrivialSplit => {
-                Some((m.saturating_sub(f)) as u64 * (n / m as u64))
-            }
+            AmoBaselineKind::TrivialSplit => Some((m.saturating_sub(f)) as u64 * (n / m as u64)),
             // Worst case loses exactly the meeting/stuck job: n − max(1, f).
             AmoBaselineKind::TwoProcess => Some(n.saturating_sub((f as u64).max(1))),
             AmoBaselineKind::PairsHybrid => {
@@ -87,7 +85,10 @@ pub struct BaselineOptions {
 impl BaselineOptions {
     /// Random schedule from a seed.
     pub fn random(seed: u64) -> Self {
-        Self { schedule_seed: Some(seed), ..Self::default() }
+        Self {
+            schedule_seed: Some(seed),
+            ..Self::default()
+        }
     }
 
     /// Adds a crash plan.
@@ -196,7 +197,10 @@ pub fn run_baseline_threads(
         let exec = sim_run_threads(
             &mem,
             fleet,
-            ThreadOptions { crash_plan, max_steps_per_proc: None },
+            ThreadOptions {
+                crash_plan,
+                max_steps_per_proc: None,
+            },
         );
         AmoReport {
             effectiveness: exec.effectiveness(),
@@ -223,7 +227,13 @@ pub fn run_baseline_threads(
         }
         AmoBaselineKind::PairsHybrid => {
             let fleet = PairsHybrid::fleet(n64, m);
-            go(PairsHybrid::cells(m), fleet, crash_plan, order, kind.label())
+            go(
+                PairsHybrid::cells(m),
+                fleet,
+                crash_plan,
+                order,
+                kind.label(),
+            )
         }
         AmoBaselineKind::TasAmo => {
             let fleet: Vec<_> = (1..=m).map(|p| TasAmo::new(p, m, n64)).collect();
@@ -253,7 +263,12 @@ mod tests {
             assert!(report.violations.is_empty(), "{}", kind.label());
             assert!(report.completed, "{}", kind.label());
         }
-        let two = run_baseline_simulated(AmoBaselineKind::TwoProcess, 48, 2, BaselineOptions::default());
+        let two = run_baseline_simulated(
+            AmoBaselineKind::TwoProcess,
+            48,
+            2,
+            BaselineOptions::default(),
+        );
         assert!(two.violations.is_empty());
         assert!(two.effectiveness >= 47);
     }
@@ -291,8 +306,7 @@ mod tests {
             AmoBaselineKind::TasAmo,
             AmoBaselineKind::RandomizedKk(9),
         ] {
-            let report =
-                run_baseline_threads(kind, 40, 4, CrashPlan::none(), MemOrder::SeqCst);
+            let report = run_baseline_threads(kind, 40, 4, CrashPlan::none(), MemOrder::SeqCst);
             assert!(report.violations.is_empty(), "{}", kind.label());
         }
     }
@@ -300,6 +314,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "m = 2")]
     fn two_process_wrong_m_rejected() {
-        let _ = run_baseline_simulated(AmoBaselineKind::TwoProcess, 10, 3, BaselineOptions::default());
+        let _ = run_baseline_simulated(
+            AmoBaselineKind::TwoProcess,
+            10,
+            3,
+            BaselineOptions::default(),
+        );
     }
 }

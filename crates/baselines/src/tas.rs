@@ -37,7 +37,14 @@ impl TasAmo {
     pub fn new(pid: usize, m: usize, n: u64) -> Self {
         assert!(m > 0 && (1..=m).contains(&pid) && n > 0);
         let start = (pid as u64 - 1) * n / m as u64;
-        Self { pid, n, start, scanned: 0, phase: TasAmoPhase::Claim, terminated: false }
+        Self {
+            pid,
+            n,
+            start,
+            scanned: 0,
+            phase: TasAmoPhase::Claim,
+            terminated: false,
+        }
     }
 
     /// Cells needed over `n` jobs.
@@ -67,7 +74,9 @@ impl<R: Registers + ?Sized> Process<R> for TasAmo {
             TasAmoPhase::Perform { job } => {
                 self.scanned += 1;
                 self.phase = TasAmoPhase::Claim;
-                StepEvent::Perform { span: JobSpan::single(job) }
+                StepEvent::Perform {
+                    span: JobSpan::single(job),
+                }
             }
         }
     }
@@ -130,7 +139,10 @@ mod tests {
         let out = explore(
             VecRegisters::new(3),
             fleet,
-            ExploreConfig { max_crashes: 1, ..ExploreConfig::default() },
+            ExploreConfig {
+                max_crashes: 1,
+                ..ExploreConfig::default()
+            },
         );
         assert!(out.verified());
         assert!(out.min_effectiveness.unwrap() >= 2, "n − f = 3 − 1");

@@ -30,7 +30,12 @@ impl TrivialSplit {
         assert!(m > 0 && (1..=m).contains(&pid), "pid {pid} out of 1..={m}");
         let lo = (pid as u64 - 1) * n / m as u64 + 1;
         let hi = pid as u64 * n / m as u64;
-        Self { pid, next: lo, hi, terminated: false }
+        Self {
+            pid,
+            next: lo,
+            hi,
+            terminated: false,
+        }
     }
 
     /// Remaining jobs in this worker's chunk.
@@ -47,7 +52,9 @@ impl<R: Registers + ?Sized> Process<R> for TrivialSplit {
         }
         let job = self.next;
         self.next += 1;
-        StepEvent::Perform { span: JobSpan::single(job) }
+        StepEvent::Perform {
+            span: JobSpan::single(job),
+        }
     }
 
     fn pid(&self) -> usize {

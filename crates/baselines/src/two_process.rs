@@ -76,7 +76,17 @@ impl TwoProcess {
             TwoProcessRole::Left | TwoProcessRole::Solo => lo,
             TwoProcessRole::Right => hi,
         };
-        Self { pid, role, own_cell, peer_cell, lo, hi, cur, peer: 0, phase: Tp::Announce }
+        Self {
+            pid,
+            role,
+            own_cell,
+            peer_cell,
+            lo,
+            hi,
+            cur,
+            peer: 0,
+            phase: Tp::Announce,
+        }
     }
 
     /// Convenience pair over `1..=n` with cells `0` and `1` (pids 1 and 2).
@@ -114,7 +124,9 @@ impl<R: Registers + ?Sized> Process<R> for TwoProcess {
                     TwoProcessRole::Solo => Tp::Do,
                     _ => Tp::ReadPeer,
                 };
-                StepEvent::Write { cell: self.own_cell }
+                StepEvent::Write {
+                    cell: self.own_cell,
+                }
             }
             Tp::ReadPeer => {
                 let raw = mem.read(self.peer_cell);
@@ -126,9 +138,13 @@ impl<R: Registers + ?Sized> Process<R> for TwoProcess {
                 };
                 self.phase = if self.safe() { Tp::Do } else { Tp::End };
                 if self.phase == Tp::End {
-                    return StepEvent::Read { cell: self.peer_cell };
+                    return StepEvent::Read {
+                        cell: self.peer_cell,
+                    };
                 }
-                StepEvent::Read { cell: self.peer_cell }
+                StepEvent::Read {
+                    cell: self.peer_cell,
+                }
             }
             Tp::Do => {
                 let job = self.cur;
@@ -144,7 +160,9 @@ impl<R: Registers + ?Sized> Process<R> for TwoProcess {
                     }
                 }
                 self.phase = Tp::Announce;
-                StepEvent::Perform { span: JobSpan::single(job) }
+                StepEvent::Perform {
+                    span: JobSpan::single(job),
+                }
             }
             Tp::End => StepEvent::Terminated,
         }
@@ -178,7 +196,11 @@ mod tests {
         for n in [1u64, 2, 3, 10, 101] {
             let exec = run_pair(n, CrashPlan::none());
             assert!(exec.violations().is_empty(), "n={n}");
-            assert!(exec.effectiveness() >= n - 1, "n={n}: {}", exec.effectiveness());
+            assert!(
+                exec.effectiveness() >= n - 1,
+                "n={n}: {}",
+                exec.effectiveness()
+            );
         }
     }
 
@@ -201,7 +223,10 @@ mod tests {
             let out = explore(
                 VecRegisters::new(2),
                 vec![l, r],
-                ExploreConfig { max_crashes: 1, ..ExploreConfig::default() },
+                ExploreConfig {
+                    max_crashes: 1,
+                    ..ExploreConfig::default()
+                },
             );
             assert!(out.verified(), "n={n}: {:?}", out.violation);
             assert!(

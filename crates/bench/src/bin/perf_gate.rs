@@ -1,0 +1,86 @@
+//! CI perf-regression gate: diffs a fresh `perf_smoke` output against the
+//! committed baseline and fails on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --baseline BENCH_engine.quick.json --current BENCH_engine.ci.json \
+//!           [--tolerance 0.2] [--summary PATH]
+//! ```
+//!
+//! Deterministic counters (`total_steps`, `shared_ops`, `effectiveness`)
+//! must match exactly; speed ratios may dip at most `tolerance` below the
+//! baseline (see [`amo_bench::gate`] for the rationale). A markdown
+//! comparison table is appended to `--summary` if given, else to
+//! `$GITHUB_STEP_SUMMARY` if set, and always printed to stdout. Exit code 1
+//! on regression.
+
+use amo_bench::gate::{compare, markdown, parse_bench};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("[perf_gate] --baseline PATH is required");
+        std::process::exit(2);
+    });
+    let current_path = arg_value(&args, "--current").unwrap_or_else(|| {
+        eprintln!("[perf_gate] --current PATH is required");
+        std::process::exit(2);
+    });
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.2);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[perf_gate] cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_bench(&read(&baseline_path));
+    let current = parse_bench(&read(&current_path));
+    if baseline.is_empty() {
+        eprintln!("[perf_gate] baseline {baseline_path} parsed to zero workloads");
+        std::process::exit(2);
+    }
+    if current.is_empty() {
+        eprintln!("[perf_gate] current {current_path} parsed to zero workloads");
+        std::process::exit(2);
+    }
+
+    let report = compare(&baseline, &current, tolerance);
+    let md = markdown(&report, tolerance);
+    println!("{md}");
+
+    let summary_path =
+        arg_value(&args, "--summary").or_else(|| std::env::var("GITHUB_STEP_SUMMARY").ok());
+    if let Some(path) = summary_path {
+        use std::io::Write as _;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = f.write_all(md.as_bytes());
+            }
+            Err(e) => eprintln!("[perf_gate] cannot append summary to {path}: {e}"),
+        }
+    }
+
+    if !report.pass {
+        eprintln!("[perf_gate] FAIL: regression against {baseline_path}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[perf_gate] pass ({} findings, tolerance {tolerance})",
+        report.findings.len()
+    );
+}

@@ -15,13 +15,22 @@
 //! 2. **single-step** — today's blocked structures, still one action per
 //!    engine dispatch;
 //! 3. **fast path** — blocked structures plus macro-stepping (quantized
-//!    round-robin + batched `step_many`).
+//!    round-robin + batched `step_many`), the announcement-epoch cache and
+//!    the interleaved (struct-of-arrays) `done` layout.
 //!
 //! `speedup_vs_seed` (1 → 3) is the headline simulated-execution speedup;
-//! `speedup_vs_single_step` (2 → 3) isolates what batching alone buys.
-//! Equivalence is asserted in-run: the fast path must replay its reference
-//! execution record-for-record, and the structure swap must leave every
-//! shared-memory observable unchanged.
+//! `speedup_vs_single_step` (2 → 3) isolates what batching plus caching
+//! buys. Equivalence is asserted in-run: the fast path must replay its
+//! reference execution record-for-record, and the structure swap must leave
+//! every shared-memory observable unchanged.
+//!
+//! Timing takes the **minimum over interleaved rounds** (`ROUNDS` per
+//! configuration): wall-clock on shared runners wobbles by tens of percent,
+//! and the interleaved minimum is the standard way to estimate the
+//! undisturbed cost of each configuration under the same machine state.
+//! The deterministic fields (`total_steps`, `shared_ops`, `effectiveness`)
+//! are what the CI gate pins exactly; the ratio fields carry a tolerance
+//! (see the `perf_gate` binary).
 
 use std::time::Instant;
 
@@ -30,6 +39,9 @@ use amo_iterative::{run_iterative_simulated, IterConfig, IterSimOptions};
 use amo_ostree::DenseFenwickSet;
 use amo_sim::{CrashPlan, Engine, EngineLimits, RoundRobin, VecRegisters, WithCrashes};
 use amo_write_all::{run_wa_simulated, WaConfig};
+
+/// Timed rounds per configuration (minimum is reported).
+const ROUNDS: usize = 3;
 
 struct Entry {
     name: &'static str,
@@ -64,12 +76,11 @@ fn kk_workload(n: usize, m: usize) -> Entry {
     let beta = KkConfig::work_optimal_beta(m);
     let config = KkConfig::with_beta(n, m, beta).expect("valid config");
 
-    // Seed-equivalent baseline: the paper-faithful per-element Fenwick
-    // structures driven one action at a time through the engine's
-    // single-step path under strict round-robin — the configuration the
-    // repo's seed executed.
-    let t = Instant::now();
-    let seed = {
+    let run_seed = || {
+        // Seed-equivalent baseline: the paper-faithful per-element Fenwick
+        // structures driven one action at a time through the engine's
+        // single-step path under strict round-robin — the configuration the
+        // repo's seed executed.
         let layout = KkLayout::contiguous(m, n, false);
         let fleet: Vec<KkProcess<DenseFenwickSet>> = (1..=m)
             .map(|pid| KkProcess::from_config(pid, &config, layout))
@@ -80,28 +91,37 @@ fn kk_workload(n: usize, m: usize) -> Entry {
             .single_step()
             .run(EngineLimits::default())
     };
-    let seed_ms = ms(t);
-
     // The same strict round-robin schedule through today's single-step
     // engine path with the production (blocked) structures.
-    let t = Instant::now();
-    let single = run_simulated(&config, SimOptions::round_robin());
-    let single_ms = ms(t);
+    let run_single = || run_simulated(&config, SimOptions::round_robin());
+    // The macro-stepping fast path (+ epoch cache + interleaved layout).
+    let run_fast = || run_simulated(&config, SimOptions::round_robin_batched());
+
+    let mut seed_ms = f64::MAX;
+    let mut single_ms = f64::MAX;
+    let mut fast_ms = f64::MAX;
+    let mut triple = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let seed = run_seed();
+        seed_ms = seed_ms.min(ms(t));
+        let t = Instant::now();
+        let single = run_single();
+        single_ms = single_ms.min(ms(t));
+        let t = Instant::now();
+        let fast = run_fast();
+        fast_ms = fast_ms.min(ms(t));
+        triple = Some((seed, single, fast));
+    }
+    let (seed, single, fast) = triple.expect("ROUNDS >= 1");
 
     // Quantized round-robin, single-step reference (equivalence witness for
-    // the fast path: identical schedule, per-action dispatch).
-    let t = Instant::now();
+    // the fast path: identical schedule and options, per-action dispatch).
     let reference = run_simulated(&config, SimOptions::round_robin_batched().single_step());
-    let reference_ms = ms(t);
-    let _ = reference_ms;
-
-    // The macro-stepping fast path.
-    let t = Instant::now();
-    let fast = run_simulated(&config, SimOptions::round_robin_batched());
-    let fast_ms = ms(t);
 
     assert!(fast.violations.is_empty(), "kk safety");
-    // Batching must be observationally invisible (same quantized schedule).
+    // Batching + caching must be observationally invisible (same quantized
+    // schedule).
     assert_eq!(
         fast.performed, reference.performed,
         "fast path diverged from reference"
@@ -112,6 +132,10 @@ fn kk_workload(n: usize, m: usize) -> Entry {
     );
     assert_eq!(
         fast.mem_work, reference.mem_work,
+        "fast path diverged from reference"
+    );
+    assert_eq!(
+        fast.local_work, reference.local_work,
         "fast path diverged from reference"
     );
     // The structure swap must be observationally invisible too (same strict
@@ -142,17 +166,60 @@ fn kk_workload(n: usize, m: usize) -> Entry {
     }
 }
 
-fn iter_workload(n: usize, m: usize) -> Entry {
-    let config = IterConfig::new(n, m, 1).expect("valid config");
+/// The at-scale workload (full scale only): a million jobs across a large
+/// fleet, where the `done` region (`m·n` cells) far exceeds every cache
+/// level. No seed baseline here — per-element Fenwick trees for 64
+/// million-element sets would measure the allocator, not the algorithm; the
+/// single-step column is the reference. Runs once per configuration (the
+/// workload is long enough to be noise-stable).
+fn kk_mega_workload(n: usize, m: usize) -> Entry {
+    let beta = KkConfig::work_optimal_beta(m);
+    let config = KkConfig::with_beta(n, m, beta).expect("valid config");
+    let limits = EngineLimits::with_max_steps(2_000_000_000);
 
     let t = Instant::now();
-    let single =
-        run_iterative_simulated(&config, IterSimOptions::round_robin_batched().single_step());
+    let single = run_simulated(&config, SimOptions::round_robin().with_limits(limits));
     let single_ms = ms(t);
 
     let t = Instant::now();
-    let fast = run_iterative_simulated(&config, IterSimOptions::round_robin_batched());
+    let fast = run_simulated(
+        &config,
+        SimOptions::round_robin_batched().with_limits(limits),
+    );
     let fast_ms = ms(t);
+
+    assert!(fast.violations.is_empty(), "kk mega safety");
+    assert!(fast.completed && single.completed, "kk mega termination");
+
+    Entry {
+        name: "kk_mega_rr",
+        params: format!("n={n} m={m} beta={beta}"),
+        seed_ms: None,
+        single_ms,
+        fast_ms,
+        total_steps: fast.total_steps,
+        shared_ops: fast.mem_work.total(),
+        effectiveness: Some(fast.effectiveness),
+    }
+}
+
+fn iter_workload(n: usize, m: usize) -> Entry {
+    let config = IterConfig::new(n, m, 1).expect("valid config");
+
+    let mut single_ms = f64::MAX;
+    let mut fast_ms = f64::MAX;
+    let mut pair = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let single =
+            run_iterative_simulated(&config, IterSimOptions::round_robin_batched().single_step());
+        single_ms = single_ms.min(ms(t));
+        let t = Instant::now();
+        let fast = run_iterative_simulated(&config, IterSimOptions::round_robin_batched());
+        fast_ms = fast_ms.min(ms(t));
+        pair = Some((single, fast));
+    }
+    let (single, fast) = pair.expect("ROUNDS >= 1");
 
     assert!(fast.violations.is_empty(), "iter safety");
     assert_eq!(
@@ -161,6 +228,10 @@ fn iter_workload(n: usize, m: usize) -> Entry {
     );
     assert_eq!(
         fast.total_steps, single.total_steps,
+        "fast path diverged from reference"
+    );
+    assert_eq!(
+        fast.local_work, single.local_work,
         "fast path diverged from reference"
     );
 
@@ -179,13 +250,19 @@ fn iter_workload(n: usize, m: usize) -> Entry {
 fn write_all_workload(n: usize, m: usize) -> Entry {
     let config = WaConfig::new(n, m, 1).expect("valid config");
 
-    let t = Instant::now();
-    let single = run_wa_simulated(&config, IterSimOptions::round_robin_batched().single_step());
-    let single_ms = ms(t);
-
-    let t = Instant::now();
-    let fast = run_wa_simulated(&config, IterSimOptions::round_robin_batched());
-    let fast_ms = ms(t);
+    let mut single_ms = f64::MAX;
+    let mut fast_ms = f64::MAX;
+    let mut pair = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let single = run_wa_simulated(&config, IterSimOptions::round_robin_batched().single_step());
+        single_ms = single_ms.min(ms(t));
+        let t = Instant::now();
+        let fast = run_wa_simulated(&config, IterSimOptions::round_robin_batched());
+        fast_ms = fast_ms.min(ms(t));
+        pair = Some((single, fast));
+    }
+    let (single, fast) = pair.expect("ROUNDS >= 1");
 
     assert!(fast.complete, "write-all must complete");
     assert_eq!(
@@ -211,7 +288,7 @@ fn write_all_workload(n: usize, m: usize) -> Entry {
 
 fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"amo-bench/engine-v2\",\n");
+    out.push_str("  \"schema\": \"amo-bench/engine-v3\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         if scale.is_quick() { "quick" } else { "full" }
@@ -269,6 +346,7 @@ fn main() {
     } else {
         vec![
             kk_workload(100_000, 16),
+            kk_mega_workload(1_000_000, 64),
             iter_workload(50_000, 8),
             write_all_workload(50_000, 8),
         ]
@@ -276,7 +354,7 @@ fn main() {
 
     println!("engine perf smoke ({scale:?})");
     println!(
-        "{:<14} {:<24} {:>9} {:>10} {:>9} {:>9} {:>9} {:>13}",
+        "{:<14} {:<26} {:>9} {:>10} {:>9} {:>9} {:>9} {:>13}",
         "workload",
         "params",
         "seed ms",
@@ -288,7 +366,7 @@ fn main() {
     );
     for e in &entries {
         println!(
-            "{:<14} {:<24} {:>9} {:>10.1} {:>9.1} {:>9} {:>8.2}x {:>13}",
+            "{:<14} {:<26} {:>9} {:>10.1} {:>9.1} {:>9} {:>8.2}x {:>13}",
             e.name,
             e.params,
             e.seed_ms.map_or_else(|| "-".into(), |s| format!("{s:.1}")),
@@ -306,17 +384,18 @@ fn main() {
 
     // Regression gates on the plain-KKβ round-robin workload: the fast path
     // must beat the seed-equivalent configuration by a healthy margin and
-    // must never lose to the single-step path on the same structures.
-    // (Engine dispatch is ~10% of wall-clock on this workload — the bulk of
-    // the win comes from the O(1)-update order-statistics structures — so
-    // the single-step ratio is intentionally a no-regression bound, not a
-    // headline; see ROADMAP.md "Open items".)
+    // must never lose to the single-step path on the same structures. The
+    // hard in-binary gates are deliberately below the recorded values
+    // (shared runners wobble); the committed-baseline comparison with a
+    // ±tolerance lives in the `perf_gate` binary, which CI runs against
+    // BENCH_engine.quick.json.
     let kk = &entries[0];
     let vs_seed = kk
         .speedup_vs_seed()
         .expect("kk workload measures the seed baseline");
-    if vs_seed < 1.4 {
-        eprintln!("[perf_smoke] FAIL: kk_plain_rr speedup vs seed {vs_seed:.2}x < 1.4x");
+    let floor = if scale.is_quick() { 1.8 } else { 3.0 };
+    if vs_seed < floor {
+        eprintln!("[perf_smoke] FAIL: kk_plain_rr speedup vs seed {vs_seed:.2}x < {floor}x");
         std::process::exit(1);
     }
     if kk.speedup_vs_single() < 0.95 {

@@ -19,7 +19,9 @@
 //! (Lemma 5.1).
 
 use amo_baselines::randomized_kk_fleet;
-use amo_core::{run_fleet_simulated, run_simulated, AmoReport, KkConfig, SimOptions};
+use amo_core::{run_fleet_simulated, AmoReport, KkConfig, SimOptions};
+
+use crate::run_simulated_pooled;
 use amo_sim::VecRegisters;
 
 use crate::{fmt_ratio, par_map, Scale, Table};
@@ -55,10 +57,10 @@ pub fn exp_collisions(scale: Scale) -> Table {
         let config = KkConfig::with_beta(n, m, beta).expect("valid");
         let r = match (picks, sched) {
             ("rank-split", "staleness") => {
-                run_simulated(&config, SimOptions::staleness().with_collision_tracking())
+                run_simulated_pooled(&config, SimOptions::staleness().with_collision_tracking())
             }
             ("rank-split", "lockstep") => {
-                run_simulated(&config, SimOptions::lockstep().with_collision_tracking())
+                run_simulated_pooled(&config, SimOptions::lockstep().with_collision_tracking())
             }
             _ => {
                 let (layout, fleet) = randomized_kk_fleet(&config, 0xE7, true);

@@ -16,7 +16,9 @@
 //! `m > 2` and sits within an additive `m` of the TAS/RMW ceiling.
 
 use amo_baselines::{run_baseline_simulated, AmoBaselineKind, BaselineOptions};
-use amo_core::{run_simulated, KkConfig, SimOptions};
+use amo_core::{KkConfig, SimOptions};
+
+use crate::run_simulated_pooled;
 use amo_sim::CrashPlan;
 
 use crate::{par_map, Scale, Table};
@@ -46,7 +48,7 @@ pub fn exp_comparison(scale: Scale) -> Table {
 
         // KKβ with β = m under its tight adversary.
         let config = KkConfig::new(n, m).expect("valid");
-        let kk = run_simulated(&config, SimOptions::stuck_announcement());
+        let kk = run_simulated_pooled(&config, SimOptions::stuck_announcement());
         assert!(kk.violations.is_empty());
         group.push([
             m.to_string(),
@@ -137,7 +139,7 @@ pub fn exp_comparison(scale: Scale) -> Table {
 mod tests {
     use super::*;
 
-    fn rows_for<'t>(t: &'t Table, m: &str) -> Vec<(String, u64)> {
+    fn rows_for(t: &Table, m: &str) -> Vec<(String, u64)> {
         let ms = t.column("m");
         let algo = t.column("algorithm");
         let eff = t.column("measured");

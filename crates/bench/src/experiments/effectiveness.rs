@@ -49,10 +49,10 @@ pub fn exp_effectiveness(scale: Scale) -> Table {
     for row in par_map(cells, |(n, m, beta)| {
         let config = KkConfig::with_beta(n, m, beta).expect("valid");
         let bound = config.effectiveness_bound();
-        let adv = amo_core::run_simulated(&config, SimOptions::stuck_announcement());
+        let adv = crate::run_simulated_pooled(&config, SimOptions::stuck_announcement());
         assert!(adv.violations.is_empty(), "E1 safety");
-        let rr = amo_core::run_simulated(&config, SimOptions::round_robin());
-        let rnd = amo_core::run_simulated(&config, SimOptions::random(0xE1));
+        let rr = crate::run_simulated_pooled(&config, SimOptions::round_robin());
+        let rnd = crate::run_simulated_pooled(&config, SimOptions::random(0xE1));
         [
             n.to_string(),
             m.to_string(),

@@ -9,7 +9,9 @@
 //! 4. exhaustive exploration of small instances (every schedule and crash
 //!    pattern — the machine-checked version of the lemma).
 
-use amo_core::{kk_fleet, run_simulated, run_threads, KkConfig, SimOptions, ThreadRunOptions};
+use amo_core::{kk_fleet, run_threads, KkConfig, SimOptions, ThreadRunOptions};
+
+use crate::run_simulated_pooled;
 use amo_sim::{explore, CrashPlan, ExploreConfig, VecRegisters};
 
 use crate::{par_map, Scale, Table};
@@ -44,7 +46,7 @@ pub fn exp_safety(scale: Scale) -> Table {
             let config = KkConfig::new(n, m).unwrap();
             let f = (seed as usize) % m;
             let plan = CrashPlan::at_steps((1..=f).map(|p| (p, seed * 13 + p as u64 * 7)));
-            let r = run_simulated(&config, SimOptions::random(seed).with_crash_plan(plan));
+            let r = run_simulated_pooled(&config, SimOptions::random(seed).with_crash_plan(plan));
             (r.effectiveness, r.violations.len() as u64)
         });
         let execs = results.len() as u64;
@@ -63,7 +65,7 @@ pub fn exp_safety(scale: Scale) -> Table {
     {
         let results = par_map((0..rand_runs / 2).collect(), |seed| {
             let config = KkConfig::new(128, 4).unwrap();
-            let r = run_simulated(&config, SimOptions::block(seed, 1 + seed % 64));
+            let r = run_simulated_pooled(&config, SimOptions::block(seed, 1 + seed % 64));
             (r.effectiveness, r.violations.len() as u64)
         });
         let execs = results.len() as u64;

@@ -6,7 +6,9 @@
 //! `work / (n·m·log₂n·log₂m)`; the theorem predicts it stays bounded by a
 //! constant as `n` and `m` grow (the column must not trend upward).
 
-use amo_core::{run_simulated, KkConfig, SimOptions};
+use amo_core::{KkConfig, SimOptions};
+
+use crate::run_simulated_pooled;
 
 use crate::{fmt_f64, fmt_ratio, par_map, Scale, Table};
 
@@ -48,7 +50,7 @@ pub fn exp_work_kk(scale: Scale) -> Table {
             amo_core::SchedulerKind::RoundRobin => "round-robin",
             _ => "block(32)",
         };
-        let r = run_simulated(&config, options);
+        let r = run_simulated_pooled(&config, options);
         assert!(r.violations.is_empty(), "E3 safety");
         let work = r.work();
         [

@@ -1,0 +1,487 @@
+//! The CI perf-regression gate: compares a freshly measured
+//! `BENCH_engine.*.json` against the committed baseline.
+//!
+//! Two classes of fields are checked per workload (matched by `name`):
+//!
+//! * **deterministic counters** (`total_steps`, `shared_ops`,
+//!   `effectiveness`) must match the baseline **exactly** — the simulator is
+//!   deterministic, so any drift is a semantic change that must come with a
+//!   baseline update in the same commit;
+//! * **speed ratios** (`speedup_vs_seed`, `speedup_vs_single_step`) must not
+//!   fall below `baseline × (1 − tolerance)` — ratios of two measurements
+//!   taken in one process are far more machine-portable than absolute
+//!   milliseconds, which are reported but never gated.
+//!
+//! A workload present in the baseline but missing from the current run is a
+//! **hard failure** — otherwise renaming or crashing a workload would
+//! silently un-gate it. Workloads only in the current run are informational
+//! (adding one shouldn't need a two-step dance), and a baseline that parses
+//! to zero workloads fails loudly. Ratio floors are only enforced when the
+//! baseline's timed fast-path sample is at least [`MIN_GATED_MS`]
+//! milliseconds — sub-millisecond sections on shared runners wobble far
+//! beyond any honest tolerance, so they are reported but not gated.
+//!
+//! The JSON subset parsed here is exactly what `perf_smoke` emits (flat
+//! string/number fields inside a `workloads` array) — a hand-rolled scanner
+//! keeps the offline workspace free of a serde dependency.
+
+use std::fmt::Write as _;
+
+/// One workload row parsed from a `BENCH_engine*.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// Workload identifier (`kk_plain_rr`, …).
+    pub name: String,
+    /// Human-readable parameter string.
+    pub params: String,
+    /// Measured milliseconds, by field name.
+    pub ms: Vec<(String, f64)>,
+    /// Speed ratios, by field name.
+    pub ratios: Vec<(String, f64)>,
+    /// Deterministic counters, by field name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Workload {
+    fn ratio(&self, key: &str) -> Option<f64> {
+        self.ratios.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn ms(&self, key: &str) -> Option<f64> {
+        self.ms.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Splits the top-level `workloads` array of a `BENCH_engine*.json` into
+/// per-workload field maps. Returns an empty vector on malformed input —
+/// callers treat that as a hard error.
+pub fn parse_bench(json: &str) -> Vec<Workload> {
+    let Some(arr_start) = json.find("\"workloads\"") else {
+        return Vec::new();
+    };
+    let Some(open) = json[arr_start..].find('[') else {
+        return Vec::new();
+    };
+    let body = &json[arr_start + open + 1..];
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i + 1);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = obj_start.take() {
+                        if let Some(w) = parse_workload(&body[s..i]) {
+                            out.push(w);
+                        }
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_workload(obj: &str) -> Option<Workload> {
+    let mut w = Workload::default();
+    for line in obj.split(',') {
+        // Fragments without a `:` (e.g. the tail of a string value that
+        // itself contained a comma) are skipped, not fatal — dropping a
+        // whole workload silently would defeat the gate.
+        let mut parts = line.splitn(2, ':');
+        let Some(key) = parts.next() else { continue };
+        let key = key.trim().trim_matches('"').to_owned();
+        let Some(val) = parts.next() else { continue };
+        let val = val.trim();
+        if key.is_empty() {
+            continue;
+        }
+        if let Some(text) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+            match key.as_str() {
+                "name" => w.name = text.to_owned(),
+                "params" => w.params = text.to_owned(),
+                _ => {}
+            }
+        } else if let Ok(num) = val.parse::<f64>() {
+            if key.ends_with("_ms") {
+                w.ms.push((key, num));
+            } else if key.starts_with("speedup") {
+                w.ratios.push((key, num));
+            } else if num.fract() == 0.0 {
+                w.counters.push((key, num as u64));
+            }
+        }
+    }
+    if w.name.is_empty() {
+        None
+    } else {
+        Some(w)
+    }
+}
+
+/// One gate finding (a row of the markdown report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workload name.
+    pub workload: String,
+    /// Field the finding is about.
+    pub field: String,
+    /// Baseline value rendered for the report.
+    pub baseline: String,
+    /// Current value rendered for the report.
+    pub current: String,
+    /// `true` when this finding fails the gate.
+    pub regression: bool,
+    /// Human-readable verdict.
+    pub verdict: String,
+}
+
+/// Result of a gate run: findings plus the overall pass/fail.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-field findings across all matched workloads.
+    pub findings: Vec<Finding>,
+    /// Workload names present on only one side (informational).
+    pub unmatched: Vec<String>,
+    /// `true` when no finding is a regression.
+    pub pass: bool,
+}
+
+/// Smallest baseline `fast_path_ms` for which speed ratios are enforced;
+/// below it they are reported as informational (see module docs).
+pub const MIN_GATED_MS: f64 = 2.0;
+
+/// Compares `current` against `baseline` with the given relative
+/// `tolerance` on ratio fields (counters are exact).
+pub fn compare(baseline: &[Workload], current: &[Workload], tolerance: f64) -> GateReport {
+    let mut findings = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            // A gated workload vanishing is exactly the failure mode the
+            // gate exists to catch (rename, crash, skipped section).
+            findings.push(Finding {
+                workload: b.name.clone(),
+                field: "presence".into(),
+                baseline: "present".into(),
+                current: "missing".into(),
+                regression: true,
+                verdict: "workload missing from current run".into(),
+            });
+            continue;
+        };
+        for (key, bv) in &b.counters {
+            match c.counter(key) {
+                Some(cv) if cv == *bv => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: bv.to_string(),
+                    current: cv.to_string(),
+                    regression: false,
+                    verdict: "exact".into(),
+                }),
+                Some(cv) => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: bv.to_string(),
+                    current: cv.to_string(),
+                    regression: true,
+                    verdict: "deterministic counter drifted — semantic change without a \
+                              baseline update"
+                        .into(),
+                }),
+                None => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: bv.to_string(),
+                    current: "missing".into(),
+                    regression: true,
+                    verdict: "counter missing from current run".into(),
+                }),
+            }
+        }
+        // (`map_or`, not `is_none_or`: the latter is newer than the 1.75 MSRV.)
+        let gated = b.ms("fast_path_ms").map_or(true, |ms| ms >= MIN_GATED_MS);
+        for (key, bv) in &b.ratios {
+            if !gated {
+                findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: format!("{bv:.2}x"),
+                    current: c
+                        .ratio(key)
+                        .map_or_else(|| "missing".into(), |cv| format!("{cv:.2}x")),
+                    regression: false,
+                    verdict: format!("informational (baseline sample < {MIN_GATED_MS} ms)"),
+                });
+                continue;
+            }
+            let floor = bv * (1.0 - tolerance);
+            match c.ratio(key) {
+                Some(cv) if cv >= floor => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: format!("{bv:.2}x"),
+                    current: format!("{cv:.2}x"),
+                    regression: false,
+                    verdict: format!("ok (≥ {floor:.2}x)"),
+                }),
+                Some(cv) => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: format!("{bv:.2}x"),
+                    current: format!("{cv:.2}x"),
+                    regression: true,
+                    verdict: format!(
+                        "below {floor:.2}x (−{tolerance:.0}% floor)",
+                        tolerance = tolerance * 100.0
+                    ),
+                }),
+                None => findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: format!("{bv:.2}x"),
+                    current: "missing".into(),
+                    regression: true,
+                    verdict: "ratio missing from current run".into(),
+                }),
+            }
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            unmatched.push(format!("{} (current only)", c.name));
+        }
+    }
+    let pass = !findings.iter().any(|f| f.regression);
+    GateReport {
+        findings,
+        unmatched,
+        pass,
+    }
+}
+
+/// Renders the gate report as a GitHub-flavoured markdown table (the
+/// `$GITHUB_STEP_SUMMARY` payload).
+pub fn markdown(report: &GateReport, tolerance: f64) -> String {
+    let mut out = String::new();
+    let verdict = if report.pass {
+        "✅ pass"
+    } else {
+        "❌ regression"
+    };
+    let _ = writeln!(out, "## Engine perf gate — {verdict}");
+    let _ = writeln!(
+        out,
+        "\nDeterministic counters are pinned exactly; speed ratios may dip at most \
+         {:.0}% below the committed baseline.\n",
+        tolerance * 100.0
+    );
+    let _ = writeln!(out, "| workload | field | baseline | current | verdict |");
+    let _ = writeln!(out, "|---|---|---:|---:|---|");
+    for f in &report.findings {
+        let mark = if f.regression { "**❌**" } else { "✅" };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {mark} {} |",
+            f.workload, f.field, f.baseline, f.current, f.verdict
+        );
+    }
+    if !report.unmatched.is_empty() {
+        let _ = writeln!(out, "\nUnmatched workloads (informational):");
+        for u in &report.unmatched {
+            let _ = writeln!(out, "- {u}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "schema": "amo-bench/engine-v3",
+  "scale": "quick",
+  "workloads": [
+    {
+      "name": "kk_plain_rr",
+      "params": "n=20000 m=8 beta=192",
+      "seed_equivalent_ms": 15.07,
+      "single_step_ms": 13.08,
+      "fast_path_ms": 5.93,
+      "speedup_vs_seed": 2.54,
+      "speedup_vs_single_step": 2.21,
+      "total_steps": 554776,
+      "shared_ops": 500394,
+      "effectiveness": 19805
+    },
+    {
+      "name": "write_all",
+      "params": "n=10000 m=4 1/eps=1",
+      "single_step_ms": 0.93,
+      "fast_path_ms": 0.80,
+      "speedup_vs_single_step": 1.16,
+      "total_steps": 60263,
+      "shared_ops": 50878
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_own_format() {
+        let ws = parse_bench(BASE);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].name, "kk_plain_rr");
+        assert_eq!(ws[0].counter("total_steps"), Some(554776));
+        assert_eq!(ws[0].counter("effectiveness"), Some(19805));
+        assert_eq!(ws[0].ratio("speedup_vs_seed"), Some(2.54));
+        assert_eq!(ws[1].name, "write_all");
+        assert_eq!(ws[1].ratio("speedup_vs_seed"), None);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = parse_bench(BASE);
+        let report = compare(&b, &b, 0.2);
+        assert!(report.pass);
+        assert!(report.findings.iter().all(|f| !f.regression));
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn gate_blocks_a_synthetic_25_percent_slowdown() {
+        // The acceptance demo: slow the fast path by 25% (ratios shrink by
+        // the same factor) and the ±20% gate must fail.
+        let b = parse_bench(BASE);
+        let slowed = BASE
+            .replace("\"fast_path_ms\": 5.93", "\"fast_path_ms\": 7.41")
+            .replace("\"speedup_vs_seed\": 2.54", "\"speedup_vs_seed\": 2.03")
+            .replace(
+                "\"speedup_vs_single_step\": 2.21",
+                "\"speedup_vs_single_step\": 1.77",
+            );
+        let c = parse_bench(&slowed);
+        let report = compare(&b, &c, 0.2);
+        assert!(!report.pass, "a 25% slowdown must trip the 20% gate");
+        let bad: Vec<_> = report.findings.iter().filter(|f| f.regression).collect();
+        assert!(
+            bad.iter().any(|f| f.field == "speedup_vs_seed"),
+            "the seed ratio is gated"
+        );
+        let md = markdown(&report, 0.2);
+        assert!(md.contains("❌"));
+        assert!(md.contains("kk_plain_rr"));
+    }
+
+    #[test]
+    fn gate_tolerates_noise_within_20_percent() {
+        let b = parse_bench(BASE);
+        let noisy = BASE
+            .replace("\"speedup_vs_seed\": 2.54", "\"speedup_vs_seed\": 2.11")
+            .replace(
+                "\"speedup_vs_single_step\": 2.21",
+                "\"speedup_vs_single_step\": 1.85",
+            );
+        let c = parse_bench(&noisy);
+        assert!(compare(&b, &c, 0.2).pass, "within-tolerance wobble passes");
+    }
+
+    #[test]
+    fn counter_drift_is_a_hard_failure() {
+        let b = parse_bench(BASE);
+        let drifted = BASE.replace("\"total_steps\": 554776", "\"total_steps\": 554777");
+        let c = parse_bench(&drifted);
+        let report = compare(&b, &c, 0.2);
+        assert!(!report.pass, "deterministic counters are pinned exactly");
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let b = parse_bench(BASE);
+        let faster = BASE
+            .replace("\"speedup_vs_seed\": 2.54", "\"speedup_vs_seed\": 9.99")
+            .replace(
+                "\"speedup_vs_single_step\": 2.21",
+                "\"speedup_vs_single_step\": 5.00",
+            );
+        assert!(compare(&b, &parse_bench(&faster), 0.2).pass);
+    }
+
+    #[test]
+    fn missing_baseline_workload_is_a_hard_failure() {
+        let b = parse_bench(BASE);
+        let current: Vec<Workload> = parse_bench(BASE)
+            .into_iter()
+            .filter(|w| w.name != "kk_plain_rr")
+            .collect();
+        let report = compare(&b, &current, 0.2);
+        assert!(!report.pass, "a vanished gated workload must fail");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.regression && f.field == "presence" && f.workload == "kk_plain_rr"));
+    }
+
+    #[test]
+    fn sub_millisecond_ratios_are_informational() {
+        // write_all's quick fast path is 0.80 ms in BASE — below MIN_GATED_MS
+        // — so even a big ratio drop must not fail the gate (its counters
+        // remain pinned exactly).
+        let b = parse_bench(BASE);
+        let noisy = BASE.replace(
+            "\"speedup_vs_single_step\": 1.16",
+            "\"speedup_vs_single_step\": 0.50",
+        );
+        let report = compare(&b, &parse_bench(&noisy), 0.2);
+        assert!(report.pass, "sub-ms samples are not ratio-gated");
+        assert!(report.findings.iter().any(|f| f.workload == "write_all"
+            && f.field == "speedup_vs_single_step"
+            && f.verdict.contains("informational")));
+    }
+
+    #[test]
+    fn comma_in_a_string_field_does_not_drop_the_workload() {
+        let base = BASE.replace(
+            "\"params\": \"n=20000 m=8 beta=192\"",
+            "\"params\": \"n=20000, m=8, beta=192\"",
+        );
+        let ws = parse_bench(&base);
+        assert_eq!(ws.len(), 2, "workload survives a comma inside params");
+        assert_eq!(ws[0].name, "kk_plain_rr");
+        assert_eq!(ws[0].counter("total_steps"), Some(554776));
+    }
+
+    #[test]
+    fn new_workloads_are_informational() {
+        let b = parse_bench(BASE);
+        let mut c = parse_bench(BASE);
+        c.push(Workload {
+            name: "brand_new".into(),
+            ..Workload::default()
+        });
+        let report = compare(&b, &c, 0.2);
+        assert!(report.pass);
+        assert_eq!(
+            report.unmatched,
+            vec!["brand_new (current only)".to_owned()]
+        );
+    }
+}

@@ -16,8 +16,26 @@
 mod table;
 
 pub mod experiments;
+pub mod gate;
 
 pub use table::{fmt_f64, fmt_ratio, Table};
+
+/// Runs a simulated KKβ instance through this worker thread's
+/// [`FleetArena`](amo_core::FleetArena): consecutive grid cells on one
+/// worker reuse the same warm register buffer instead of allocating (and
+/// page-faulting) a fresh `m + m·n`-cell file per simulation — the
+/// struct-of-arrays arena locality the experiment grids run on.
+pub fn run_simulated_pooled(
+    config: &amo_core::KkConfig,
+    options: amo_core::SimOptions,
+) -> amo_core::AmoReport {
+    use std::cell::RefCell;
+    thread_local! {
+        static ARENA: RefCell<amo_core::FleetArena> =
+            RefCell::new(amo_core::FleetArena::new());
+    }
+    ARENA.with(|a| amo_core::run_simulated_in(&mut a.borrow_mut(), config, options))
+}
 
 /// Maps `f` over `items` on scoped OS threads, preserving input order.
 ///
@@ -32,7 +50,9 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len());
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len());
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -48,7 +68,12 @@ where
         let handles: Vec<_> = buckets
             .into_iter()
             .map(|bucket| {
-                s.spawn(move || bucket.into_iter().map(|(i, x)| (i, f(x))).collect::<Vec<_>>())
+                s.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, x)| (i, f(x)))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         handles

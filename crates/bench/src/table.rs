@@ -219,7 +219,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.12345), "0.1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(12.3456), "12.35");
         assert_eq!(fmt_f64(12345.6), "12346");
         assert_eq!(fmt_ratio(1.0, 0.0), "-");
         assert_eq!(fmt_ratio(1.0, 2.0), "0.5000");

@@ -47,12 +47,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id with a function name and a parameter.
     pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
-        Self { label: format!("{function_name}/{parameter}") }
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Id from a parameter only.
     pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -168,7 +172,11 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, m
         return;
     }
     let per_iter = b.total.as_secs_f64() / b.iters as f64;
-    let mut line = format!("{name:<48} {:>12.3} µs/iter ({} iters)", per_iter * 1e6, b.iters);
+    let mut line = format!(
+        "{name:<48} {:>12.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        b.iters
+    );
     match throughput {
         Some(Throughput::Elements(n)) if per_iter > 0.0 => {
             line.push_str(&format!("  {:>12.0} elem/s", n as f64 / per_iter));

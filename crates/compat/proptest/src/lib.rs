@@ -122,7 +122,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 
     /// Type-erases the strategy (used by [`prop_oneof!`]).
@@ -214,7 +218,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 1000 consecutive values", self.whence);
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        );
     }
 }
 
@@ -423,8 +430,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -442,6 +449,9 @@ macro_rules! proptest {
                     module_path!(), "::", stringify!($name)
                 ));
                 for case in 0..config.cases {
+                    // The immediately-invoked closure gives `?`/early-return
+                    // semantics to the test body, mirroring real proptest.
+                    #[allow(clippy::redundant_closure_call)]
                     let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| {
                             $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
@@ -508,7 +518,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

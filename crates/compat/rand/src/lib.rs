@@ -112,7 +112,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            Self { s: [next(), next(), next(), next()] }
+            Self {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -201,7 +203,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle virtually never is the identity");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle virtually never is the identity"
+        );
     }
 
     #[test]

@@ -209,11 +209,12 @@ mod tests {
     #[test]
     fn staleness_adversary_forces_collisions_safely() {
         let m = 4;
-        let config =
-            KkConfig::with_beta(512, m, KkConfig::work_optimal_beta(m)).unwrap();
-        let report =
-            run_simulated(&config, SimOptions::staleness().with_collision_tracking());
-        assert!(report.violations.is_empty(), "collisions are not violations");
+        let config = KkConfig::with_beta(512, m, KkConfig::work_optimal_beta(m)).unwrap();
+        let report = run_simulated(&config, SimOptions::staleness().with_collision_tracking());
+        assert!(
+            report.violations.is_empty(),
+            "collisions are not violations"
+        );
         assert!(report.completed);
         let matrix = report.collisions.expect("tracking on");
         assert!(matrix.total() > 0, "the adversary must force a collision");
@@ -260,6 +261,9 @@ mod tests {
 
     #[test]
     fn scheduler_kind_default_is_round_robin() {
-        assert!(matches!(SchedulerKind::default(), SchedulerKind::RoundRobin));
+        assert!(matches!(
+            SchedulerKind::default(),
+            SchedulerKind::RoundRobin
+        ));
     }
 }

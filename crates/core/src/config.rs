@@ -60,7 +60,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "need n >= m jobs, got n = {n} < m = {m}")
             }
             ConfigError::BetaTooSmall { beta, m } => {
-                write!(f, "termination requires beta >= m, got beta = {beta} < m = {m}")
+                write!(
+                    f,
+                    "termination requires beta >= m, got beta = {beta} < m = {m}"
+                )
             }
         }
     }

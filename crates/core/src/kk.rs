@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+
 use std::hash::{Hash, Hasher};
 
 use amo_ostree::{rank_excluding_members, FenwickSet, OrderedJobSet};
@@ -191,6 +192,52 @@ pub struct KkProcess<S: OrderedJobSet = FenwickSet> {
     /// Output set of the IterStep variant, available after termination.
     output: Option<S>,
 
+    // ---- announcement-epoch cache (opt-in; see `with_epoch_cache`) ----
+    /// `true` when the cache is enabled. The cache is observationally
+    /// invisible: every gather action still counts one shared read and one
+    /// merge operation exactly like the cache-free automaton, only redundant
+    /// loads and redundant `TRY` rebuilds are skipped (the register file's
+    /// epoch contract proves the skipped values unchanged).
+    epoch_cache: bool,
+    /// Last observed value of `next_q` at index `q − 1` (`0` matches the
+    /// cells' init value, so the initial cache is valid on fresh memory).
+    gt_vals: Vec<u64>,
+    /// Epoch of `next_q` when `gt_vals[q − 1]` was recorded.
+    gt_epochs: Vec<u64>,
+    /// `true` when `gt_vals` changed since `try_set` was last rebuilt.
+    gt_dirty: bool,
+    /// Others' share of the global epoch (global − own writes) during the
+    /// last completed `gatherTry` sweep, provided the sweep ran *atomically
+    /// with respect to other writers* (the stamp at the sweep's first action
+    /// equalled the stamp at its last — see [`Self::finish_try_sweep`]);
+    /// `None` before the first sweep or when foreign writes interleaved.
+    gt_stamp: Option<u64>,
+    /// Same, for `gatherDone` sweeps: when it still matches, every log
+    /// frontier this process watches was read as `0` within one
+    /// foreign-write-free window and nothing has been written since, so a
+    /// whole sweep is `m` actions and `m − 1`-ish reads of provably-zero
+    /// cells.
+    gd_stamp: Option<u64>,
+    /// Others' epoch at the first action of the in-progress `gatherTry`
+    /// sweep (a sweep may span scheduler turns; the stamp is only published
+    /// if no foreign write lands between first and last action).
+    gt_sweep_start: Option<u64>,
+    /// Same, for the in-progress `gatherDone` sweep.
+    gd_sweep_start: Option<u64>,
+    /// `#{q ≠ pid : gt_vals[q−1] > 0}` — the merge-accounting charge of a
+    /// skipped `gatherTry` sweep, maintained so the whole-sweep skip is O(1).
+    gt_nonzero: usize,
+    /// `#{q ≠ pid : POS(q) ≤ n}` — the read count of a skipped `gatherDone`
+    /// sweep, maintained so the whole-sweep skip is O(1).
+    gd_open: usize,
+    /// Epoch of `done_{q,POS(q)}` when it was last read as `0`;
+    /// `u64::MAX` = no valid recording for the current frontier.
+    gd_epochs: Vec<u64>,
+    /// Shared writes performed by this process (subtracted from the global
+    /// epoch so the process's own announcements/log appends never invalidate
+    /// its view of *other* processes' cells).
+    my_writes: u64,
+
     // ---- instrumentation (excluded from Eq/Hash) ----
     track_collisions: bool,
     /// Source pid aligned with `try_set` (collision attribution).
@@ -202,6 +249,11 @@ pub struct KkProcess<S: OrderedJobSet = FenwickSet> {
     /// Reusable buffer for `compNext`'s `TRY ∩ FREE` (avoids a per-cycle
     /// allocation; transient, excluded from Eq/Hash like the counters).
     rank_scratch: Vec<u64>,
+    /// `true` while `rank_scratch` still equals `TRY ∩ FREE`: `TRY` has not
+    /// changed and no *other* process's job has been merged into `DONE`
+    /// since it was built (own performs are provably outside `TRY`).
+    /// Pure memoisation — excluded from Eq/Hash.
+    scratch_valid: bool,
     local_ops: u64,
     performs: u64,
 }
@@ -249,9 +301,15 @@ impl<S: OrderedJobSet> KkProcess<S> {
         assert!((1..=m).contains(&pid), "pid {pid} out of 1..={m}");
         assert_eq!(layout.m(), m, "layout process count mismatch");
         assert_eq!(layout.n(), free.universe(), "layout universe mismatch");
-        assert!(beta >= m as u64, "beta {beta} < m {m}: termination not guaranteed");
+        assert!(
+            beta >= m as u64,
+            "beta {beta} < m {m}: termination not guaranteed"
+        );
         if matches!(mode, KkMode::IterStep { .. }) {
-            assert!(layout.flag_cell().is_some(), "IterStep mode requires a flag cell");
+            assert!(
+                layout.flag_cell().is_some(),
+                "IterStep mode requires a flag cell"
+            );
         }
         let n = layout.n();
         Self {
@@ -270,11 +328,24 @@ impl<S: OrderedJobSet> KkProcess<S> {
             next_job: 0,
             q: 1,
             output: None,
+            epoch_cache: false,
+            gt_vals: vec![0; m],
+            gt_epochs: vec![0; m],
+            gt_dirty: false,
+            gt_stamp: None,
+            gd_stamp: None,
+            gt_sweep_start: None,
+            gd_sweep_start: None,
+            gt_nonzero: 0,
+            gd_open: if n >= 1 { m - 1 } else { 0 },
+            gd_epochs: vec![u64::MAX; m],
+            my_writes: 0,
             track_collisions: false,
             try_src: Vec::new(),
             done_src: HashMap::new(),
             collisions_with: vec![0; m],
             rank_scratch: Vec::with_capacity(m),
+            scratch_valid: false,
             local_ops: 0,
             performs: 0,
         }
@@ -290,6 +361,48 @@ impl<S: OrderedJobSet> KkProcess<S> {
     pub fn with_pick_rule(mut self, rule: PickRule) -> Self {
         self.pick_rule = rule;
         self
+    }
+
+    /// Enables or disables the announcement-epoch cache (builder form of
+    /// [`set_epoch_cache`](Self::set_epoch_cache)).
+    pub fn with_epoch_cache(mut self, enabled: bool) -> Self {
+        self.set_epoch_cache(enabled);
+        self
+    }
+
+    /// Enables or disables the announcement-epoch cache.
+    ///
+    /// With the cache on, the `gatherTry`/`gatherDone` loops consult the
+    /// register file's per-cell epochs ([`Registers::epoch`]) and skip
+    /// re-loading and re-merging announcements whose epoch is unchanged
+    /// since this process last read them; `TRY` is rebuilt incrementally at
+    /// the end of a sweep (and only when some announcement actually changed)
+    /// instead of from scratch every cycle. On register files without epoch
+    /// support ([`Registers::epochs_enabled`] is `false`) every probe
+    /// misses, which degrades to the cache-free behaviour.
+    ///
+    /// The cache is **observationally invisible**: shared-read counts, local
+    /// operation counts, `do` actions and step indices are identical to the
+    /// cache-free automaton (the `batch_equivalence` suites assert
+    /// executions equal field-for-field across cache on/off and batched/
+    /// single-step). On the engine's single-step (and therefore traced)
+    /// path the process still performs full re-reads, reporting a provably
+    /// redundant one as [`StepEvent::CachedRead`] so traces keep attributing
+    /// the access to its cell.
+    pub fn set_epoch_cache(&mut self, enabled: bool) {
+        self.epoch_cache = enabled;
+    }
+
+    /// `true` when the announcement-epoch cache is enabled.
+    pub fn epoch_cache_enabled(&self) -> bool {
+        self.epoch_cache
+    }
+
+    /// The gather-loop cursor `Q` (used by wrappers to bound how many
+    /// actions remain before the next possible `do`; see
+    /// `WaIterativeProcess::step_many` in `amo-write-all`).
+    pub fn gather_cursor(&self) -> usize {
+        self.q
     }
 
     /// Current automaton phase.
@@ -421,7 +534,10 @@ impl<S: OrderedJobSet> KkProcess<S> {
                 | KkPhase::DoneWrite
         );
         if needs_next && (self.next_job == 0 || self.next_job > n) {
-            return Err(format!("NEXT = {} undefined in phase {:?}", self.next_job, self.phase));
+            return Err(format!(
+                "NEXT = {} undefined in phase {:?}",
+                self.next_job, self.phase
+            ));
         }
         if self.output.is_some() && self.phase != KkPhase::End {
             return Err("output set before termination".to_owned());
@@ -436,10 +552,26 @@ impl<S: OrderedJobSet> KkProcess<S> {
         self.local_ops += 1;
         // Intersect TRY with FREE once, into a reusable scratch buffer: the
         // intersection both sizes `avail` and feeds the allocation-free
-        // `rank_excluding_members` fast path.
+        // `rank_excluding_members` fast path. Across cache-skipped cycles
+        // the intersection is provably unchanged — `TRY` did not move, and
+        // the only `FREE` removals were this process's own performs, which
+        // `check` guarantees are outside `TRY` — so it is reused verbatim;
+        // the membership probes it *would* have made are still charged
+        // (one basic operation per `TRY` element), keeping the work measure
+        // identical to the recomputing path.
         let mut scratch = std::mem::take(&mut self.rank_scratch);
-        scratch.clear();
-        scratch.extend(self.try_set.iter().copied().filter(|&t| self.free.contains(t)));
+        if self.scratch_valid {
+            self.local_ops += self.try_set.len() as u64;
+        } else {
+            scratch.clear();
+            scratch.extend(
+                self.try_set
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.free.contains(t)),
+            );
+            self.scratch_valid = self.epoch_cache;
+        }
         let in_free = scratch.len();
         let avail = (self.free.len() - in_free) as u64;
         if avail >= self.beta {
@@ -451,8 +583,13 @@ impl<S: OrderedJobSet> KkProcess<S> {
                 .expect("rank index within FREE \\ TRY (see §3 bounds)");
             self.rank_scratch = scratch;
             self.q = 1;
-            self.try_set.clear();
-            self.try_src.clear();
+            if !self.epoch_cache {
+                self.try_set.clear();
+                self.try_src.clear();
+            }
+            // With the cache on, `TRY` stays as the last sweep's result (it
+            // is the image of `gt_vals`); the upcoming sweep rebuilds it only
+            // if an announcement epoch actually moved.
             self.phase = KkPhase::SetNext;
             StepEvent::Local
         } else {
@@ -474,47 +611,213 @@ impl<S: OrderedJobSet> KkProcess<S> {
     fn set_next<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
         let cell = self.layout.next_cell(self.pid);
         mem.write(cell, self.next_job);
+        self.my_writes += 1;
         self.phase = KkPhase::GatherTry;
         StepEvent::Write { cell }
     }
 
+    /// The part of the global epoch this process did not produce itself —
+    /// the number this process's sweep stamps are recorded against.
+    #[inline]
+    fn others_epoch<R: Registers + ?Sized>(&self, mem: &R) -> u64 {
+        mem.global_epoch() - self.my_writes
+    }
+
+    /// Records a (possibly changed) observed announcement value, keeping the
+    /// nonzero count in sync for O(1) sweep skips.
+    #[inline]
+    fn gt_update(&mut self, idx: usize, v: u64) {
+        let old = self.gt_vals[idx];
+        if old != v {
+            self.gt_nonzero += usize::from(v > 0);
+            self.gt_nonzero -= usize::from(old > 0);
+            self.gt_vals[idx] = v;
+            self.gt_dirty = true;
+        }
+    }
+
+    /// Advances `POS(q)` past a consumed log entry, keeping the open-row
+    /// count in sync for O(1) sweep skips.
+    #[inline]
+    fn advance_pos(&mut self, idx: usize) {
+        self.pos[idx] += 1;
+        if self.pos[idx] > self.layout.n() as u64 {
+            self.gd_open -= 1;
+        }
+    }
+
+    /// Closes a `gatherTry` sweep: rebuilds `TRY` from the announcement
+    /// cache if any announcement changed, and publishes the sweep stamp.
+    /// No-op counterpart of the cache-free path's per-visit inserts — the
+    /// per-visit merge *accounting* already happened, so the rebuild itself
+    /// charges nothing.
+    ///
+    /// The stamp is published only when the others' epoch is unchanged since
+    /// the sweep's **first** action: a sweep may span scheduler turns, and a
+    /// foreign write interleaved mid-sweep means the cached values were
+    /// recorded at incoherent times — the whole-sweep skip must not trust
+    /// them (the per-cell epoch path remains sound either way).
+    fn finish_try_sweep<R: Registers + ?Sized>(&mut self, mem: &R) {
+        if self.gt_dirty {
+            self.scratch_valid = false;
+            self.try_set.clear();
+            self.try_src.clear();
+            for q in 1..=self.m {
+                if q == self.pid {
+                    continue;
+                }
+                let v = self.gt_vals[q - 1];
+                if v > 0 {
+                    self.try_merge(v, q);
+                }
+            }
+            self.gt_dirty = false;
+        }
+        if mem.epochs_enabled() {
+            let now = self.others_epoch(mem);
+            self.gt_stamp = (self.gt_sweep_start == Some(now)).then_some(now);
+        }
+        self.gt_sweep_start = None;
+    }
+
+    /// Closes a `gatherDone` sweep: publishes the sweep stamp (every watched
+    /// frontier was read as `0` within one foreign-write-free window; see
+    /// [`finish_try_sweep`](Self::finish_try_sweep) for why mid-sweep
+    /// foreign writes forfeit the stamp).
+    fn finish_done_sweep<R: Registers + ?Sized>(&mut self, mem: &R) {
+        if mem.epochs_enabled() {
+            let now = self.others_epoch(mem);
+            self.gd_stamp = (self.gd_sweep_start == Some(now)).then_some(now);
+        }
+        self.gd_sweep_start = None;
+    }
+
+    /// Records the start-of-sweep stamp at the sweep's first action
+    /// (`Q == 1`).
+    #[inline]
+    fn note_try_sweep_start<R: Registers + ?Sized>(&mut self, mem: &R) {
+        if self.q == 1 && mem.epochs_enabled() {
+            self.gt_sweep_start = Some(self.others_epoch(mem));
+        }
+    }
+
+    /// Records the start-of-sweep stamp at the sweep's first action
+    /// (`Q == 1`).
+    #[inline]
+    fn note_done_sweep_start<R: Registers + ?Sized>(&mut self, mem: &R) {
+        if self.q == 1 && mem.epochs_enabled() {
+            self.gd_sweep_start = Some(self.others_epoch(mem));
+        }
+    }
+
     /// One iteration of the `gatherTry_p` loop.
     fn gather_try<R: Registers + ?Sized>(&mut self, mem: &R, terminal: bool) -> StepEvent {
+        if self.epoch_cache {
+            self.note_try_sweep_start(mem);
+        }
         let event = if self.q != self.pid {
             let cell = self.layout.next_cell(self.q);
-            let v = mem.read(cell);
-            if v > 0 {
-                self.try_insert(v, self.q);
+            if self.epoch_cache {
+                let idx = self.q - 1;
+                let (hit, e) = if mem.epochs_enabled() {
+                    let e = mem.epoch(cell);
+                    (e == self.gt_epochs[idx], e)
+                } else {
+                    (false, 0)
+                };
+                // Full re-read on the single-step (traced) path; the event
+                // still marks the access as cache-satisfiable.
+                let v = mem.read(cell);
+                if hit {
+                    debug_assert_eq!(v, self.gt_vals[idx], "epoch hit with changed value");
+                } else {
+                    self.gt_epochs[idx] = e;
+                    self.gt_update(idx, v);
+                }
+                if v > 0 {
+                    // Merge accounting parity with the cache-free
+                    // `try_insert`; the structural merge is deferred to the
+                    // sweep-end rebuild.
+                    self.local_ops += 1;
+                }
+                if hit {
+                    StepEvent::CachedRead { cell }
+                } else {
+                    StepEvent::Read { cell }
+                }
+            } else {
+                let v = mem.read(cell);
+                if v > 0 {
+                    self.try_insert(v, self.q);
+                }
+                StepEvent::Read { cell }
             }
-            StepEvent::Read { cell }
         } else {
             StepEvent::Local
         };
-        if self.q + 1 <= self.m {
+        if self.q < self.m {
             self.q += 1;
         } else {
+            if self.epoch_cache {
+                self.finish_try_sweep(mem);
+            }
             self.q = 1;
-            self.phase = if terminal { KkPhase::FinalGatherDone } else { KkPhase::GatherDone };
+            self.phase = if terminal {
+                KkPhase::FinalGatherDone
+            } else {
+                KkPhase::GatherDone
+            };
         }
         event
     }
 
     /// One iteration of the `gatherDone_p` loop.
     fn gather_done<R: Registers + ?Sized>(&mut self, mem: &R, terminal: bool) -> StepEvent {
+        if self.epoch_cache {
+            self.note_done_sweep_start(mem);
+        }
         let n = self.layout.n() as u64;
         let mut event = StepEvent::Local;
         if self.q != self.pid {
             let pos_q = self.pos[self.q - 1];
             if pos_q <= n {
                 let cell = self.layout.done_cell(self.q, pos_q);
-                let v = mem.read(cell);
-                event = StepEvent::Read { cell };
-                if v > 0 {
-                    self.done_insert(v, self.q);
-                    self.pos[self.q - 1] += 1;
-                    // Stay on the same row: more entries may follow.
+                if self.epoch_cache {
+                    let idx = self.q - 1;
+                    let (hit, e) = if mem.epochs_enabled() {
+                        let e = mem.epoch(cell);
+                        (e == self.gd_epochs[idx], e)
+                    } else {
+                        (false, u64::MAX)
+                    };
+                    let v = mem.read(cell);
+                    event = if hit {
+                        debug_assert_eq!(v, 0, "epoch hit on a written log cell");
+                        StepEvent::CachedRead { cell }
+                    } else {
+                        StepEvent::Read { cell }
+                    };
+                    if v > 0 {
+                        self.done_insert(v, self.q);
+                        self.advance_pos(idx);
+                        // Frontier moved: the recorded epoch refers to the
+                        // previous slot.
+                        self.gd_epochs[idx] = u64::MAX;
+                        // Stay on the same row: more entries may follow.
+                    } else {
+                        self.gd_epochs[idx] = e;
+                        self.q += 1;
+                    }
                 } else {
-                    self.q += 1;
+                    let v = mem.read(cell);
+                    event = StepEvent::Read { cell };
+                    if v > 0 {
+                        self.done_insert(v, self.q);
+                        self.advance_pos(self.q - 1);
+                        // Stay on the same row: more entries may follow.
+                    } else {
+                        self.q += 1;
+                    }
                 }
             } else {
                 self.q += 1;
@@ -523,8 +826,15 @@ impl<S: OrderedJobSet> KkProcess<S> {
             self.q += 1;
         }
         if self.q > self.m {
+            if self.epoch_cache {
+                self.finish_done_sweep(mem);
+            }
             self.q = 1;
-            self.phase = if terminal { KkPhase::Output } else { KkPhase::Check };
+            self.phase = if terminal {
+                KkPhase::Output
+            } else {
+                KkPhase::Check
+            };
         }
         event
     }
@@ -580,6 +890,7 @@ impl<S: OrderedJobSet> KkProcess<S> {
         let pos_p = self.pos[self.pid - 1];
         let cell = self.layout.done_cell(self.pid, pos_p);
         mem.write(cell, self.next_job);
+        self.my_writes += 1;
         self.done_insert(self.next_job, self.pid);
         self.pos[self.pid - 1] += 1;
         self.phase = KkPhase::CompNext;
@@ -590,6 +901,7 @@ impl<S: OrderedJobSet> KkProcess<S> {
     fn set_flag<R: Registers + ?Sized>(&mut self, mem: &R) -> StepEvent {
         let cell = self.layout.flag_cell().expect("IterStep layout has a flag");
         mem.write(cell, 1);
+        self.my_writes += 1;
         self.begin_final_gather();
         StepEvent::Write { cell }
     }
@@ -634,14 +946,25 @@ impl<S: OrderedJobSet> KkProcess<S> {
     }
 
     fn begin_final_gather(&mut self) {
-        self.try_set.clear();
-        self.try_src.clear();
+        if !self.epoch_cache {
+            self.scratch_valid = false;
+            self.try_set.clear();
+            self.try_src.clear();
+        }
         self.q = 1;
         self.phase = KkPhase::FinalGatherTry;
     }
 
     fn try_insert(&mut self, v: u64, src: usize) {
         self.local_ops += 1;
+        self.scratch_valid = false;
+        self.try_merge(v, src);
+    }
+
+    /// The structural part of [`try_insert`](Self::try_insert), without the
+    /// work accounting — used by the epoch cache's sweep-end rebuild, whose
+    /// merges were already charged at the per-visit actions.
+    fn try_merge(&mut self, v: u64, src: usize) {
         match self.try_set.binary_search(&v) {
             Ok(_) => {}
             Err(i) => {
@@ -654,6 +977,11 @@ impl<S: OrderedJobSet> KkProcess<S> {
     }
 
     fn done_insert(&mut self, v: u64, src: usize) {
+        if src != self.pid {
+            // A foreign job may be a `TRY` member: the cached intersection
+            // is no longer trustworthy.
+            self.scratch_valid = false;
+        }
         if self.done_set.insert(v) {
             self.free.remove(v);
             if self.track_collisions {
@@ -680,71 +1008,303 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
         debug_assert!(budget >= 1, "step_many needs a positive budget");
         let mut steps: u64 = 0;
         let mut performed: Vec<(u64, JobSpan)> = Vec::new();
+        let epochs = mem.epochs_enabled();
         while steps < budget {
             match self.phase {
+                // Fused cycle tail — announce, both gather sweeps, check,
+                // do, log — taken when the whole remaining cycle is provably
+                // determined: both sweep stamps certify that no other
+                // process has written since this process's own clean sweeps,
+                // so every gather read returns its cached value AND `check`
+                // must pass (the candidate was just picked inside `FREE` and
+                // outside `TRY`, and neither set moved). The block is
+                // action-for-action the reference sequence of `2m + 4`
+                // steps, collapsed to its two writes, one set transfer and
+                // its accounting.
+                KkPhase::SetNext
+                    if self.epoch_cache
+                        && epochs
+                        && matches!(self.mode, KkMode::Plain)
+                        && budget - steps >= 2 * self.m as u64 + 4
+                        && self.gt_stamp == Some(self.others_epoch(mem))
+                        && self.gd_stamp == self.gt_stamp =>
+                {
+                    let m = self.m as u64;
+                    // setNext (action 1).
+                    mem.write(self.layout.next_cell(self.pid), self.next_job);
+                    self.my_writes += 1;
+                    // gatherTry sweep (actions 2 ..= m+1): m − 1 cached
+                    // reads, one merge charge per cached announcement, TRY
+                    // untouched.
+                    self.local_ops += self.gt_nonzero as u64;
+                    // gatherDone sweep (actions m+2 ..= 2m+1): every watched
+                    // frontier provably still 0.
+                    mem.note_reads(m - 1 + self.gd_open as u64);
+                    // Both sweeps completed within one foreign-write-free
+                    // window; re-publish the (unchanged) stamps.
+                    let now = self.others_epoch(mem);
+                    self.gt_stamp = Some(now);
+                    self.gd_stamp = Some(now);
+                    self.gt_sweep_start = None;
+                    self.gd_sweep_start = None;
+                    // check (action 2m+2) — passes, see above; the `DONE`
+                    // membership probe still runs (it is part of the
+                    // measured work, and provably returns false).
+                    self.local_ops += 1;
+                    let done_hit = self.done_set.contains(self.next_job);
+                    debug_assert!(!done_hit, "fused-cycle candidate already performed");
+                    debug_assert!(
+                        self.try_set.binary_search(&self.next_job).is_err(),
+                        "fused-cycle candidate inside TRY"
+                    );
+                    // do (action 2m+3).
+                    self.performs += 1;
+                    let span = self.span_map.span(self.next_job);
+                    performed.push((steps + 2 * m + 2, span));
+                    // doneWrite (action 2m+4).
+                    let pos_p = self.pos[self.pid - 1];
+                    mem.write(self.layout.done_cell(self.pid, pos_p), self.next_job);
+                    self.my_writes += 1;
+                    self.done_insert(self.next_job, self.pid);
+                    self.pos[self.pid - 1] += 1;
+                    steps += 2 * m + 4;
+                    self.phase = KkPhase::CompNext;
+                }
                 KkPhase::GatherTry | KkPhase::FinalGatherTry => {
                     // Batched `gatherTry`: one announcement read (or a local
                     // self-skip) per action. Reads go through `peek` and are
                     // accounted in bulk at the end of the run.
                     let terminal = self.phase == KkPhase::FinalGatherTry;
-                    let mut reads = 0u64;
-                    while steps < budget {
-                        if self.q != self.pid {
-                            let v = mem.peek(self.layout.next_cell(self.q));
-                            reads += 1;
-                            if v > 0 {
-                                self.try_insert(v, self.q);
+                    if self.epoch_cache {
+                        self.note_try_sweep_start(mem);
+                    }
+                    let rem = (self.m - self.q + 1) as u64;
+                    if self.epoch_cache
+                        && epochs
+                        && budget - steps >= rem
+                        && self.gt_stamp == Some(self.others_epoch(mem))
+                    {
+                        // Sweep-stamp fast path: nothing was written by any
+                        // other process since this process's last completed
+                        // sweep, so every remaining announcement provably
+                        // still holds its cached value. The whole rest of
+                        // the sweep collapses to its accounting: one action
+                        // per `q`, one read per non-self `q`, one merge
+                        // operation per cached non-zero announcement — O(1)
+                        // via the maintained counters for the common
+                        // full-sweep case.
+                        let reads = if self.q == 1 {
+                            self.local_ops += self.gt_nonzero as u64;
+                            (self.m - 1) as u64
+                        } else {
+                            let mut r = 0u64;
+                            for q in self.q..=self.m {
+                                if q != self.pid {
+                                    r += 1;
+                                    if self.gt_vals[q - 1] > 0 {
+                                        self.local_ops += 1;
+                                    }
+                                }
+                            }
+                            r
+                        };
+                        steps += rem;
+                        mem.note_reads(reads);
+                        self.finish_try_sweep(mem);
+                        self.q = 1;
+                        self.phase = if terminal {
+                            KkPhase::FinalGatherDone
+                        } else {
+                            KkPhase::GatherDone
+                        };
+                    } else if self.epoch_cache {
+                        // Per-action cache path: announcements are loaded
+                        // (the `next` region is hot — an epoch probe would
+                        // cost as much as the value itself) and compared to
+                        // the cached copy; `TRY` is only rebuilt at sweep
+                        // end when some value actually changed. Stale
+                        // `gt_epochs` are harmless: per-cell epochs are
+                        // monotone, so a stale entry can only miss, never
+                        // falsely hit.
+                        let mut reads = 0u64;
+                        while steps < budget {
+                            if self.q != self.pid {
+                                let idx = self.q - 1;
+                                let v = mem.peek(self.layout.next_cell(self.q));
+                                self.gt_update(idx, v);
+                                reads += 1;
+                                if v > 0 {
+                                    self.local_ops += 1;
+                                }
+                            }
+                            steps += 1;
+                            if self.q < self.m {
+                                self.q += 1;
+                            } else {
+                                self.finish_try_sweep(mem);
+                                self.q = 1;
+                                self.phase = if terminal {
+                                    KkPhase::FinalGatherDone
+                                } else {
+                                    KkPhase::GatherDone
+                                };
+                                break;
                             }
                         }
-                        steps += 1;
-                        if self.q + 1 <= self.m {
-                            self.q += 1;
-                        } else {
-                            self.q = 1;
-                            self.phase = if terminal {
-                                KkPhase::FinalGatherDone
+                        mem.note_reads(reads);
+                    } else {
+                        let mut reads = 0u64;
+                        while steps < budget {
+                            if self.q != self.pid {
+                                let v = mem.peek(self.layout.next_cell(self.q));
+                                reads += 1;
+                                if v > 0 {
+                                    self.try_insert(v, self.q);
+                                }
+                            }
+                            steps += 1;
+                            if self.q < self.m {
+                                self.q += 1;
                             } else {
-                                KkPhase::GatherDone
-                            };
-                            break;
+                                self.q = 1;
+                                self.phase = if terminal {
+                                    KkPhase::FinalGatherDone
+                                } else {
+                                    KkPhase::GatherDone
+                                };
+                                break;
+                            }
                         }
+                        mem.note_reads(reads);
                     }
-                    mem.note_reads(reads);
                 }
                 KkPhase::GatherDone | KkPhase::FinalGatherDone => {
                     // Batched `gatherDone`: walk the other processes' log
                     // rows, one read (or row/self skip) per action, with the
                     // reads accounted in bulk.
                     let terminal = self.phase == KkPhase::FinalGatherDone;
+                    if self.epoch_cache {
+                        self.note_done_sweep_start(mem);
+                    }
                     let n = self.layout.n() as u64;
-                    let mut reads = 0u64;
-                    while steps < budget {
-                        if self.q != self.pid {
-                            let pos_q = self.pos[self.q - 1];
-                            if pos_q <= n {
-                                let v = mem.peek(self.layout.done_cell(self.q, pos_q));
-                                reads += 1;
-                                if v > 0 {
-                                    self.done_insert(v, self.q);
-                                    self.pos[self.q - 1] += 1;
+                    let rem = (self.m - self.q + 1) as u64;
+                    if self.epoch_cache
+                        && epochs
+                        && budget - steps >= rem
+                        && self.gd_stamp == Some(self.others_epoch(mem))
+                    {
+                        // Sweep-stamp fast path: every watched log frontier
+                        // was read as `0` within the last clean sweep and no
+                        // process has written since, so the whole sweep is
+                        // provably `rem` actions reading zeros — no log
+                        // cell (cold, scattered at large `n`) is touched;
+                        // O(1) via the open-row counter for the common
+                        // full-sweep case.
+                        let reads = if self.q == 1 {
+                            self.gd_open as u64
+                        } else {
+                            let mut r = 0u64;
+                            for q in self.q..=self.m {
+                                if q != self.pid && self.pos[q - 1] <= n {
+                                    r += 1;
+                                }
+                            }
+                            r
+                        };
+                        steps += rem;
+                        mem.note_reads(reads);
+                        self.finish_done_sweep(mem);
+                        self.q = 1;
+                        self.phase = if terminal {
+                            KkPhase::Output
+                        } else {
+                            KkPhase::Check
+                        };
+                    } else {
+                        // Per-action path, action-for-action the cache-free
+                        // loop but with the per-row log walk hoisted: a
+                        // backlog of consecutive entries advances the cell
+                        // index by `done_stride` instead of recomputing the
+                        // layout mapping per entry — this walk is the
+                        // algorithm's Θ(n·m) term and dominates simulated
+                        // wall-clock. (No per-cell epoch probes here: the
+                        // frontier cells are cold, so a probe would cost
+                        // exactly the load it replaces; the whole-sweep
+                        // stamp above is where `gatherDone` redundancy is
+                        // harvested. Stale `gd_epochs` entries can only
+                        // miss in the single-step twin, never falsely hit.)
+                        let cache = self.epoch_cache;
+                        let stride = self.layout.done_stride();
+                        let mut reads = 0u64;
+                        'gd: while steps < budget {
+                            if self.q != self.pid {
+                                let idx = self.q - 1;
+                                let pos_q = self.pos[idx];
+                                if pos_q <= n {
+                                    let mut cell = self.layout.done_cell(self.q, pos_q);
+                                    let mut pos = pos_q;
+                                    loop {
+                                        let v = mem.peek(cell);
+                                        reads += 1;
+                                        steps += 1;
+                                        if v > 0 {
+                                            if self.done_set.insert(v) {
+                                                self.free.remove(v);
+                                                if self.track_collisions {
+                                                    self.done_src.insert(v, self.q);
+                                                }
+                                            }
+                                            pos += 1;
+                                            // A freshly exhausted row is
+                                            // left for the outer loop: the
+                                            // `POS(q) > n` skip is its own
+                                            // action, as in single-step.
+                                            if steps >= budget || pos > n {
+                                                break;
+                                            }
+                                            cell += stride;
+                                        } else {
+                                            self.q += 1;
+                                            break;
+                                        }
+                                    }
+                                    if pos != pos_q {
+                                        // Row bookkeeping once per walk, not
+                                        // per entry. Foreign jobs were
+                                        // merged, so the cached `TRY ∩ FREE`
+                                        // intersection is stale.
+                                        self.scratch_valid = false;
+                                        self.pos[idx] = pos;
+                                        if pos > n {
+                                            self.gd_open -= 1;
+                                        }
+                                        if cache {
+                                            self.gd_epochs[idx] = u64::MAX;
+                                        }
+                                    }
                                 } else {
                                     self.q += 1;
+                                    steps += 1;
                                 }
                             } else {
                                 self.q += 1;
+                                steps += 1;
                             }
-                        } else {
-                            self.q += 1;
+                            if self.q > self.m {
+                                if cache {
+                                    self.finish_done_sweep(mem);
+                                }
+                                self.q = 1;
+                                self.phase = if terminal {
+                                    KkPhase::Output
+                                } else {
+                                    KkPhase::Check
+                                };
+                                break 'gd;
+                            }
                         }
-                        steps += 1;
-                        if self.q > self.m {
-                            self.q = 1;
-                            self.phase =
-                                if terminal { KkPhase::Output } else { KkPhase::Check };
-                            break;
-                        }
+                        mem.note_reads(reads);
                     }
-                    mem.note_reads(reads);
                 }
                 _ => {
                     let event = self.step_one(mem);
@@ -752,14 +1312,22 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
                     match event {
                         StepEvent::Perform { span } => performed.push((steps - 1, span)),
                         StepEvent::Terminated => {
-                            return BatchOutcome { steps, performed, terminated: true }
+                            return BatchOutcome {
+                                steps,
+                                performed,
+                                terminated: true,
+                            }
                         }
                         _ => {}
                     }
                 }
             }
         }
-        BatchOutcome { steps, performed, terminated: false }
+        BatchOutcome {
+            steps,
+            performed,
+            terminated: false,
+        }
     }
 
     fn pid(&self) -> usize {
@@ -778,6 +1346,12 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
 // Equality and hashing cover the *semantic* state (everything the automaton's
 // future behaviour depends on) and exclude instrumentation counters, so the
 // exhaustive explorer merges states that differ only in bookkeeping.
+// `gt_vals`/`gt_dirty` are semantic when the epoch cache is on (they feed the
+// sweep-end `TRY` rebuild); with the cache off they are frozen at their
+// initial values, so including them never splits cache-free states. The
+// remaining cache fields (`gt_epochs`, stamps, `gd_epochs`, `my_writes`) are
+// pure memoisation — a hit returns exactly what a re-read would — and stay
+// excluded.
 impl<S: OrderedJobSet> PartialEq for KkProcess<S> {
     fn eq(&self, other: &Self) -> bool {
         self.pid == other.pid
@@ -790,6 +1364,8 @@ impl<S: OrderedJobSet> PartialEq for KkProcess<S> {
             && self.q == other.q
             && self.try_set == other.try_set
             && self.pos == other.pos
+            && self.gt_vals == other.gt_vals
+            && self.gt_dirty == other.gt_dirty
             && self.free == other.free
             && self.done_set == other.done_set
             && self.output == other.output
@@ -807,6 +1383,8 @@ impl<S: OrderedJobSet> Hash for KkProcess<S> {
         self.q.hash(state);
         self.try_set.hash(state);
         self.pos.hash(state);
+        self.gt_vals.hash(state);
+        self.gt_dirty.hash(state);
         self.free.hash(state);
         self.done_set.hash(state);
         self.output.hash(state);
@@ -896,8 +1474,9 @@ mod tests {
             picks.push(p.current_job().unwrap());
         }
         let num = (n - (m - 1)) as u64;
-        let want: Vec<u64> =
-            (1..=m as u64).map(|p| (p - 1) * num / m as u64 + 1).collect();
+        let want: Vec<u64> = (1..=m as u64)
+            .map(|p| (p - 1) * num / m as u64 + 1)
+            .collect();
         assert_eq!(picks, want);
         let mut dedup = picks.clone();
         dedup.dedup();
@@ -1046,7 +1625,11 @@ mod tests {
             }
         }
         assert_eq!(performed, n - 4 + 1);
-        assert_eq!(mem.snapshot()[layout.flag_cell().unwrap()], 1, "flag raised");
+        assert_eq!(
+            mem.snapshot()[layout.flag_cell().unwrap()],
+            1,
+            "flag raised"
+        );
         let out = p.output().expect("output available");
         assert_eq!(out.len(), 3, "the 3 unperformed jobs are handed on");
     }
@@ -1104,7 +1687,10 @@ mod tests {
 
     #[test]
     fn blocks_span_map() {
-        let map = SpanMap::Blocks { size: 4, total_jobs: 10 };
+        let map = SpanMap::Blocks {
+            size: 4,
+            total_jobs: 10,
+        };
         assert_eq!(map.span(1), JobSpan::new(1, 4));
         assert_eq!(map.span(2), JobSpan::new(5, 8));
         assert_eq!(map.span(3), JobSpan::new(9, 10), "last block is clipped");
@@ -1117,8 +1703,9 @@ mod tests {
         let config = KkConfig::new(n, m).unwrap();
         let layout = KkLayout::contiguous(m, n, false);
         let mem = VecRegisters::new(layout.cells());
-        let mut fleet: Vec<KkProcess> =
-            (1..=m).map(|p| KkProcess::from_config(p, &config, layout)).collect();
+        let mut fleet: Vec<KkProcess> = (1..=m)
+            .map(|p| KkProcess::from_config(p, &config, layout))
+            .collect();
         let mut rr = 0usize;
         let mut guard = 0;
         while fleet.iter().any(|p| !p.is_terminated()) {

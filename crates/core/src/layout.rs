@@ -27,6 +27,9 @@ pub struct KkLayout {
     n: usize,
     base: usize,
     flag: Option<usize>,
+    /// `false`: `done` is row-major (process-major, the paper's picture);
+    /// `true`: position-major — the fleet's logs as a struct of arrays.
+    interleaved: bool,
 }
 
 impl KkLayout {
@@ -50,7 +53,39 @@ impl KkLayout {
     pub fn at_base(m: usize, n: usize, base: usize, with_flag: bool) -> Self {
         assert!(m > 0, "layout needs at least one process");
         let flag = with_flag.then_some(base + m + m * n);
-        Self { m, n, base, flag }
+        Self {
+            m,
+            n,
+            base,
+            flag,
+            interleaved: false,
+        }
+    }
+
+    /// Switches the `done` region to the *interleaved* (position-major,
+    /// struct-of-arrays) cell order: `done_{q,pos}` lives at
+    /// `base + m + (pos−1)·m + (q−1)`, so the fleet's log entries at equal
+    /// positions share cache lines.
+    ///
+    /// Under fair schedules all processes append at similar rates, so a
+    /// `gatherDone` sweep — which reads `done_{q,POS(q)}` for every other
+    /// `q` at closely clustered `POS` values — touches a handful of adjacent
+    /// lines instead of `m − 1` lines scattered `n` cells apart (one cold
+    /// miss per row once `m·n` outgrows the cache). The mapping is a
+    /// bijection on the same cell range with all cells zero-initialised
+    /// either way, so executions are isomorphic: every observable —
+    /// performed jobs, step indices, read/write *counts* — is identical;
+    /// only the cell *indices* in traces differ. All processes of a fleet
+    /// must of course agree on one order.
+    pub fn with_interleaved_done(mut self) -> Self {
+        self.interleaved = true;
+        self
+    }
+
+    /// `true` when the `done` region uses the interleaved (position-major)
+    /// order.
+    pub fn interleaved_done(&self) -> bool {
+        self.interleaved
     }
 
     /// Number of processes.
@@ -102,12 +137,28 @@ impl KkLayout {
             "pos {pos} out of 1..={}",
             self.n
         );
-        self.base + self.m + (q - 1) * self.n + (pos as usize - 1)
+        if self.interleaved {
+            self.base + self.m + (pos as usize - 1) * self.m + (q - 1)
+        } else {
+            self.base + self.m + (q - 1) * self.n + (pos as usize - 1)
+        }
     }
 
     /// The termination-flag cell, if this layout has one.
     pub fn flag_cell(&self) -> Option<usize> {
         self.flag
+    }
+
+    /// Cell-index stride between `done_{q,pos}` and `done_{q,pos+1}` —
+    /// `1` row-major, `m` interleaved. Batched log walks hoist
+    /// `done_cell(q, pos)` out of their inner loop and advance by this.
+    #[inline]
+    pub fn done_stride(&self) -> usize {
+        if self.interleaved {
+            self.m
+        } else {
+            1
+        }
     }
 }
 
@@ -118,7 +169,10 @@ mod tests {
     #[test]
     fn next_cells_are_the_first_m() {
         let l = KkLayout::contiguous(4, 7, false);
-        assert_eq!((1..=4).map(|q| l.next_cell(q)).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            (1..=4).map(|q| l.next_cell(q)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -166,6 +220,39 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn zero_m_rejected() {
         KkLayout::contiguous(0, 3, false);
+    }
+
+    #[test]
+    fn interleaved_done_is_a_bijection_on_the_same_range() {
+        let row = KkLayout::at_base(3, 5, 7, true);
+        let soa = row.with_interleaved_done();
+        assert!(soa.interleaved_done() && !row.interleaved_done());
+        assert_eq!(soa.cells(), row.cells());
+        assert_eq!(soa.end(), row.end());
+        assert_eq!(soa.flag_cell(), row.flag_cell());
+        for q in 1..=3 {
+            assert_eq!(soa.next_cell(q), row.next_cell(q), "next region unchanged");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for q in 1..=3 {
+            for pos in 1..=5u64 {
+                let cell = soa.done_cell(q, pos);
+                assert!(seen.insert(cell), "cell reused");
+                assert!(cell >= 7 + 3 && cell < soa.flag_cell().unwrap());
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn interleaved_done_clusters_equal_positions() {
+        let soa = KkLayout::contiguous(4, 100, false).with_interleaved_done();
+        // All four processes' pos-10 slots are adjacent cells.
+        let cells: Vec<usize> = (1..=4).map(|q| soa.done_cell(q, 10)).collect();
+        assert_eq!(
+            cells,
+            vec![cells[0], cells[0] + 1, cells[0] + 2, cells[0] + 3]
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+pub mod arena;
 mod config;
 mod kk;
 mod layout;
@@ -54,11 +55,12 @@ mod runner;
 mod stats;
 
 pub use adversary::{LockstepScheduler, StalenessAdversary, StuckAnnouncementAdversary};
+pub use arena::FleetArena;
 pub use config::{ConfigError, KkConfig};
 pub use kk::{KkMode, KkPhase, KkProcess, PickRule, SpanMap};
 pub use layout::KkLayout;
 pub use runner::{
-    kk_fleet, run_fleet_simulated, run_simulated, run_threads, AmoReport, SchedulerKind,
-    SimOptions, ThreadRunOptions,
+    kk_fleet, kk_fleet_with, run_fleet_simulated, run_simulated, run_simulated_in, run_threads,
+    AmoReport, SchedulerKind, SimOptions, ThreadRunOptions,
 };
 pub use stats::CollisionMatrix;

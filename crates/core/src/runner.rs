@@ -64,6 +64,18 @@ pub struct SimOptions {
     /// scheduler grants quanta (see [`amo_sim::Engine::single_step`]); used
     /// by the batching-equivalence tests and for debugging.
     pub reference_single_step: bool,
+    /// Enables the announcement-epoch cache on the fleet (see
+    /// [`KkProcess::set_epoch_cache`]). Defaults to `true`; it takes effect
+    /// only for schedulers that grant quanta (quantized round-robin, block
+    /// bursts) — under single-action granularity the cache can skip no load
+    /// by design, so it is left off to keep the per-action path lean.
+    pub epoch_cache: bool,
+    /// Lays the fleet's `done` logs out position-major (struct of arrays;
+    /// see [`KkLayout::with_interleaved_done`]) so `gatherDone` sweeps read
+    /// adjacent cells. Off by default — the seed-shaped row-major layout —
+    /// and enabled by [`round_robin_batched`](Self::round_robin_batched),
+    /// the fast-path configuration.
+    pub interleaved_done: bool,
 }
 
 impl Default for SimOptions {
@@ -75,6 +87,8 @@ impl Default for SimOptions {
             track_collisions: false,
             quantum: 1,
             reference_single_step: false,
+            epoch_cache: true,
+            interleaved_done: false,
         }
     }
 }
@@ -86,35 +100,76 @@ impl SimOptions {
     }
 
     /// Quantized round-robin with [`RoundRobin::BATCH_QUANTUM`] actions per
-    /// turn — the macro-stepping fast path. Fair, but a *different*
-    /// interleaving than strict alternation.
+    /// turn — the macro-stepping fast path, with the announcement-epoch
+    /// cache and the interleaved (struct-of-arrays) `done` layout. Fair, but
+    /// a *different* interleaving than strict alternation.
     pub fn round_robin_batched() -> Self {
-        Self { quantum: RoundRobin::BATCH_QUANTUM, ..Self::default() }
+        Self {
+            quantum: RoundRobin::BATCH_QUANTUM,
+            interleaved_done: true,
+            ..Self::default()
+        }
+    }
+
+    /// Enables or disables the announcement-epoch cache (see
+    /// [`Self::epoch_cache`]).
+    pub fn with_epoch_cache(mut self, enabled: bool) -> Self {
+        self.epoch_cache = enabled;
+        self
+    }
+
+    /// Enables or disables the interleaved `done` layout (see
+    /// [`Self::interleaved_done`]).
+    pub fn with_interleaved_done(mut self, enabled: bool) -> Self {
+        self.interleaved_done = enabled;
+        self
+    }
+
+    /// `true` when the configured scheduler grants quanta, i.e. the engine
+    /// will drive processes through `step_many` and the epoch cache can
+    /// actually skip work.
+    fn grants_quanta(&self) -> bool {
+        self.quantum > 1 || matches!(self.scheduler, SchedulerKind::Block(..))
     }
 
     /// Seeded random schedule, no crashes.
     pub fn random(seed: u64) -> Self {
-        Self { scheduler: SchedulerKind::Random(seed), ..Self::default() }
+        Self {
+            scheduler: SchedulerKind::Random(seed),
+            ..Self::default()
+        }
     }
 
     /// Bursty schedule.
     pub fn block(seed: u64, burst: u64) -> Self {
-        Self { scheduler: SchedulerKind::Block(seed, burst), ..Self::default() }
+        Self {
+            scheduler: SchedulerKind::Block(seed, burst),
+            ..Self::default()
+        }
     }
 
     /// Collision-maximising lockstep.
     pub fn lockstep() -> Self {
-        Self { scheduler: SchedulerKind::Lockstep, ..Self::default() }
+        Self {
+            scheduler: SchedulerKind::Lockstep,
+            ..Self::default()
+        }
     }
 
     /// The Theorem 4.4 adversary.
     pub fn stuck_announcement() -> Self {
-        Self { scheduler: SchedulerKind::StuckAnnouncement, ..Self::default() }
+        Self {
+            scheduler: SchedulerKind::StuckAnnouncement,
+            ..Self::default()
+        }
     }
 
     /// The Lemma 5.5 collision-forcing adversary.
     pub fn staleness() -> Self {
-        Self { scheduler: SchedulerKind::Staleness, ..Self::default() }
+        Self {
+            scheduler: SchedulerKind::Staleness,
+            ..Self::default()
+        }
     }
 
     /// Adds a crash plan.
@@ -208,11 +263,7 @@ impl AmoReport {
 
 impl std::fmt::Display for AmoReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "at-most-once report ({} schedule)",
-            self.scheduler_label
-        )?;
+        writeln!(f, "at-most-once report ({} schedule)", self.scheduler_label)?;
         writeln!(f, "  effectiveness : {} distinct jobs", self.effectiveness)?;
         writeln!(
             f,
@@ -235,14 +286,32 @@ impl std::fmt::Display for AmoReport {
         write!(
             f,
             "  termination   : {}",
-            if self.completed { "all survivors terminated" } else { "step cap hit" }
+            if self.completed {
+                "all survivors terminated"
+            } else {
+                "step cap hit"
+            }
         )
     }
 }
 
 /// Builds the layout and the `m` KKβ automatons for a config.
 pub fn kk_fleet(config: &KkConfig, track_collisions: bool) -> (KkLayout, Vec<KkProcess>) {
-    let layout = KkLayout::contiguous(config.m(), config.n(), false);
+    kk_fleet_with(config, track_collisions, false)
+}
+
+/// [`kk_fleet`] with the `done`-layout choice exposed: `interleaved_done`
+/// selects the position-major (struct-of-arrays) log order of
+/// [`KkLayout::with_interleaved_done`].
+pub fn kk_fleet_with(
+    config: &KkConfig,
+    track_collisions: bool,
+    interleaved_done: bool,
+) -> (KkLayout, Vec<KkProcess>) {
+    let mut layout = KkLayout::contiguous(config.m(), config.n(), false);
+    if interleaved_done {
+        layout = layout.with_interleaved_done();
+    }
     let fleet = (1..=config.m())
         .map(|pid| {
             let p = KkProcess::from_config(pid, config, layout);
@@ -289,9 +358,25 @@ fn finish_sim(
 /// # Ok::<(), amo_core::ConfigError>(())
 /// ```
 pub fn run_simulated(config: &KkConfig, options: SimOptions) -> AmoReport {
-    let (layout, fleet) = kk_fleet(config, options.track_collisions);
+    let (layout, fleet) = kk_fleet_with(config, options.track_collisions, options.interleaved_done);
     let mem = VecRegisters::new(layout.cells());
     run_fleet_simulated(mem, fleet, config.n(), options)
+}
+
+/// [`run_simulated`] drawing the register file from a [`FleetArena`]
+/// (`crate::arena`): the buffer of the previous simulation is reused warm
+/// instead of freshly allocated, which is the arena's multi-fleet locality
+/// win for the experiment grids.
+pub fn run_simulated_in(
+    arena: &mut crate::arena::FleetArena,
+    config: &KkConfig,
+    options: SimOptions,
+) -> AmoReport {
+    let (layout, fleet) = kk_fleet_with(config, options.track_collisions, options.interleaved_done);
+    let mem = arena.lease(layout.cells());
+    let (report, mem) = run_fleet_simulated_full(mem, fleet, config.n(), options);
+    arena.reclaim(mem);
+    report
 }
 
 /// Runs an arbitrary pre-built KKβ fleet in the simulator (used by the
@@ -302,6 +387,22 @@ pub fn run_fleet_simulated(
     n: usize,
     options: SimOptions,
 ) -> AmoReport {
+    run_fleet_simulated_full(mem, fleet, n, options).0
+}
+
+/// [`run_fleet_simulated`], additionally handing the register file back so
+/// arenas can recycle it.
+fn run_fleet_simulated_full(
+    mem: VecRegisters,
+    mut fleet: Vec<KkProcess>,
+    n: usize,
+    options: SimOptions,
+) -> (AmoReport, VecRegisters) {
+    if options.epoch_cache && options.grants_quanta() {
+        for p in &mut fleet {
+            p.set_epoch_cache(true);
+        }
+    }
     let track = options.track_collisions;
     let label = scheduler_label(options.scheduler);
     macro_rules! go {
@@ -350,17 +451,20 @@ fn run_and_drain<S: Scheduler<KkProcess>>(
     n: usize,
     track: bool,
     label: &'static str,
-) -> AmoReport {
+) -> (AmoReport, VecRegisters) {
     let mut engine = Engine::new(mem, fleet, scheduler);
     if reference_single_step {
         engine = engine.single_step();
     }
-    let (exec, slots) = engine.run_into(limits);
+    let (exec, slots, mem) = engine.run_full(limits);
     let collisions = track.then(|| {
-        let rows = slots.iter().map(|s| s.process.collisions_with().to_vec()).collect();
+        let rows = slots
+            .iter()
+            .map(|s| s.process.collisions_with().to_vec())
+            .collect();
         CollisionMatrix::new(rows, n)
     });
-    finish_sim(exec, collisions, label)
+    (finish_sim(exec, collisions, label), mem)
 }
 
 /// Runs KKβ on OS threads over hardware atomics.
@@ -429,8 +533,7 @@ mod tests {
     #[test]
     fn collision_tracking_produces_matrix() {
         let config = KkConfig::new(50, 4).unwrap();
-        let report =
-            run_simulated(&config, SimOptions::lockstep().with_collision_tracking());
+        let report = run_simulated(&config, SimOptions::lockstep().with_collision_tracking());
         let m = report.collisions.expect("matrix present");
         assert_eq!(m.m(), 4);
     }

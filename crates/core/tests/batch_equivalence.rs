@@ -20,23 +20,41 @@ use proptest::prelude::*;
 
 /// Field-by-field execution equality with a readable failure message.
 fn assert_exec_eq(fast: &Execution, reference: &Execution, what: &str) {
-    assert_eq!(fast.performed, reference.performed, "{what}: performed records differ");
-    assert_eq!(fast.total_steps, reference.total_steps, "{what}: total_steps differ");
+    assert_eq!(
+        fast.performed, reference.performed,
+        "{what}: performed records differ"
+    );
+    assert_eq!(
+        fast.total_steps, reference.total_steps,
+        "{what}: total_steps differ"
+    );
     assert_eq!(fast.crashed, reference.crashed, "{what}: crashes differ");
-    assert_eq!(fast.completed, reference.completed, "{what}: completion differs");
-    assert_eq!(fast.mem_work, reference.mem_work, "{what}: shared work differs");
-    assert_eq!(fast.local_work, reference.local_work, "{what}: local work differs");
-    assert_eq!(fast.per_proc_steps, reference.per_proc_steps, "{what}: per-proc steps differ");
-    assert_eq!(fast.effectiveness(), reference.effectiveness(), "{what}: effectiveness differs");
+    assert_eq!(
+        fast.completed, reference.completed,
+        "{what}: completion differs"
+    );
+    assert_eq!(
+        fast.mem_work, reference.mem_work,
+        "{what}: shared work differs"
+    );
+    assert_eq!(
+        fast.local_work, reference.local_work,
+        "{what}: local work differs"
+    );
+    assert_eq!(
+        fast.per_proc_steps, reference.per_proc_steps,
+        "{what}: per-proc steps differ"
+    );
+    assert_eq!(
+        fast.effectiveness(),
+        reference.effectiveness(),
+        "{what}: effectiveness differs"
+    );
 }
 
 /// Runs one KKβ fleet twice under the same scheduler — batched and forced
 /// single-step — and requires identical executions.
-fn check_fleet<S: Scheduler<amo_core::KkProcess> + Clone>(
-    config: &KkConfig,
-    sched: S,
-    what: &str,
-) {
+fn check_fleet<S: Scheduler<amo_core::KkProcess> + Clone>(config: &KkConfig, sched: S, what: &str) {
     let run = |single: bool| {
         let (layout, fleet) = kk_fleet(config, false);
         let mem = VecRegisters::new(layout.cells());
@@ -111,15 +129,108 @@ fn adversarial_schedulers_are_untouched_by_the_fast_path() {
     // The adversaries keep the default quantum of 1, so the fast path never
     // engages: forcing the reference path must change nothing.
     let config = KkConfig::new(40, 4).expect("valid config");
-    for options in
-        [SimOptions::lockstep(), SimOptions::stuck_announcement(), SimOptions::staleness()]
-    {
+    for options in [
+        SimOptions::lockstep(),
+        SimOptions::stuck_announcement(),
+        SimOptions::staleness(),
+    ] {
         let fast = run_simulated(&config, options.clone());
         let reference = run_simulated(&config, options.clone().single_step());
-        assert_eq!(fast.performed, reference.performed, "{:?}", options.scheduler);
-        assert_eq!(fast.total_steps, reference.total_steps, "{:?}", options.scheduler);
+        assert_eq!(
+            fast.performed, reference.performed,
+            "{:?}",
+            options.scheduler
+        );
+        assert_eq!(
+            fast.total_steps, reference.total_steps,
+            "{:?}",
+            options.scheduler
+        );
         assert_eq!(fast.mem_work, reference.mem_work, "{:?}", options.scheduler);
-        assert_eq!(fast.effectiveness, reference.effectiveness, "{:?}", options.scheduler);
+        assert_eq!(
+            fast.effectiveness, reference.effectiveness,
+            "{:?}",
+            options.scheduler
+        );
+    }
+}
+
+/// Report-level equality across *every* fast-path ingredient: the batched
+/// run with the announcement-epoch cache (and optionally the interleaved
+/// `done` layout) must match the cache-free, row-major, forced-single-step
+/// reference — the strongest form of the observational-invisibility
+/// contract, covering `local_work` exactly (the cache compensates every
+/// skipped probe's accounting).
+fn assert_cache_equivalent(config: &KkConfig, base: SimOptions, what: &str) {
+    let reference = run_simulated(
+        config,
+        base.clone()
+            .with_epoch_cache(false)
+            .with_interleaved_done(false)
+            .single_step(),
+    );
+    for interleaved in [false, true] {
+        let fast = run_simulated(config, base.clone().with_interleaved_done(interleaved));
+        assert_eq!(
+            fast.performed, reference.performed,
+            "{what} soa={interleaved}: performed differ"
+        );
+        assert_eq!(
+            fast.total_steps, reference.total_steps,
+            "{what} soa={interleaved}: total_steps differ"
+        );
+        assert_eq!(
+            fast.mem_work, reference.mem_work,
+            "{what} soa={interleaved}: shared work differs"
+        );
+        assert_eq!(
+            fast.local_work, reference.local_work,
+            "{what} soa={interleaved}: local work differs"
+        );
+        assert_eq!(
+            fast.crashed, reference.crashed,
+            "{what} soa={interleaved}: crashes differ"
+        );
+        assert_eq!(
+            fast.effectiveness, reference.effectiveness,
+            "{what} soa={interleaved}: effectiveness differs"
+        );
+    }
+}
+
+#[test]
+fn epoch_cache_and_layout_are_observationally_invisible() {
+    for &(n, m) in &[(8usize, 2usize), (40, 4), (77, 3), (150, 6)] {
+        for &beta in &[m as u64, KkConfig::work_optimal_beta(m)] {
+            if beta >= n as u64 {
+                continue;
+            }
+            let config = KkConfig::with_beta(n, m, beta).expect("valid config");
+            for &q in &[2u64, 16, RoundRobin::BATCH_QUANTUM] {
+                assert_cache_equivalent(
+                    &config,
+                    SimOptions::round_robin().with_quantum(q),
+                    &format!("n={n} m={m} beta={beta} q={q}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_cache_is_invisible_under_crashes() {
+    let config = KkConfig::new(64, 4).expect("valid config");
+    for &(p1, s1, p2, s2) in &[(1usize, 5u64, 2usize, 9u64), (3, 1, 4, 40), (1, 31, 2, 7)] {
+        let plan = CrashPlan::at_steps([(p1, s1), (p2, s2)]);
+        for &q in &[3u64, 16, 1024] {
+            assert_cache_equivalent(
+                &config,
+                SimOptions::round_robin()
+                    .with_quantum(q)
+                    .with_crash_plan(plan.clone()),
+                &format!("crashes ({p1}@{s1}, {p2}@{s2}) q={q}"),
+            );
+        }
     }
 }
 

@@ -13,7 +13,11 @@ fn check(n: usize, m: usize, beta: u64, max_crashes: usize, max_states: usize) {
     let config = KkConfig::with_beta(n, m, beta).unwrap();
     let (layout, fleet) = kk_fleet(&config, false);
     let mem = VecRegisters::new(layout.cells());
-    let cfg = ExploreConfig { max_crashes, max_states, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        max_crashes,
+        max_states,
+        ..ExploreConfig::default()
+    };
     let out = explore(mem, fleet, cfg);
     assert!(
         out.violation.is_none(),
@@ -101,10 +105,17 @@ fn min_effectiveness_is_exactly_the_bound_for_tiny_instance() {
     let config = KkConfig::new(4, 2).unwrap();
     let (layout, fleet) = kk_fleet(&config, false);
     let mem = VecRegisters::new(layout.cells());
-    let cfg =
-        ExploreConfig { max_crashes: 1, max_states: 8_000_000, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 1,
+        max_states: 8_000_000,
+        ..ExploreConfig::default()
+    };
     let out = explore(mem, fleet, cfg);
     assert!(out.verified(), "search must complete");
     assert_eq!(out.min_effectiveness, Some(config.effectiveness_bound()));
-    assert_eq!(out.max_effectiveness, Some(4), "some path performs everything");
+    assert_eq!(
+        out.max_effectiveness,
+        Some(4),
+        "some path performs everything"
+    );
 }

@@ -8,9 +8,8 @@ use proptest::prelude::*;
 fn instance() -> impl Strategy<Value = (usize, usize, u64)> {
     (1usize..=6).prop_flat_map(|m| {
         let lo = (2 * m).max(m + 1);
-        (lo..=60usize, Just(m)).prop_flat_map(move |(n, m)| {
-            (Just(n), Just(m), m as u64..=(3 * m * m) as u64)
-        })
+        (lo..=60usize, Just(m))
+            .prop_flat_map(move |(n, m)| (Just(n), Just(m), m as u64..=(3 * m * m) as u64))
     })
 }
 
@@ -121,7 +120,11 @@ mod crash_plan_props {
 
     fn crash_plan_from(m: usize, budgets: &[u64]) -> CrashPlan {
         CrashPlan::at_steps(
-            budgets.iter().take(m - 1).enumerate().map(|(i, &b)| (i + 1, b)),
+            budgets
+                .iter()
+                .take(m - 1)
+                .enumerate()
+                .map(|(i, &b)| (i + 1, b)),
         )
     }
 

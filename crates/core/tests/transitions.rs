@@ -119,7 +119,11 @@ fn zero_announcements_are_ignored() {
     drive_to(&mut p, &mem, KkPhase::Check);
     // next_2 is 0 (init): TRY must remain empty, check must pass.
     step(&mut p, &mem);
-    assert_eq!(p.phase(), KkPhase::Do, "no phantom collision from init values");
+    assert_eq!(
+        p.phase(),
+        KkPhase::Do,
+        "no phantom collision from init values"
+    );
 }
 
 #[test]
@@ -136,10 +140,16 @@ fn done_write_appends_at_increasing_positions() {
         assert!(guard < 100_000);
     }
     let snap = mem.snapshot();
-    let row: Vec<u64> = (1..=n as u64).map(|pos| snap[layout.done_cell(1, pos)]).collect();
+    let row: Vec<u64> = (1..=n as u64)
+        .map(|pos| snap[layout.done_cell(1, pos)])
+        .collect();
     let mut sorted = row.clone();
     sorted.sort_unstable();
-    assert_eq!(sorted, (1..=n as u64).collect::<Vec<_>>(), "all jobs logged once");
+    assert_eq!(
+        sorted,
+        (1..=n as u64).collect::<Vec<_>>(),
+        "all jobs logged once"
+    );
     assert!(row.iter().all(|&v| v != 0), "log is dense");
 }
 
@@ -200,7 +210,10 @@ fn blocks_span_map_partial_tail_in_do() {
         layout,
         FenwickSet::with_all(blocks),
         KkMode::IterStep { output_free: false },
-        SpanMap::Blocks { size: 4, total_jobs: 10 },
+        SpanMap::Blocks {
+            size: 4,
+            total_jobs: 10,
+        },
     );
     let mut spans = Vec::new();
     while !p.is_terminated() {
@@ -208,5 +221,8 @@ fn blocks_span_map_partial_tail_in_do() {
             spans.push(span);
         }
     }
-    assert!(spans.iter().any(|s| s.lo == 9 && s.hi == 10), "tail block clipped: {spans:?}");
+    assert!(
+        spans.iter().any(|s| s.lo == 9 && s.hi == 10),
+        "tail block clipped: {spans:?}"
+    );
 }

@@ -54,9 +54,18 @@ impl IterLayout {
             let universe = block_count(n as u64, size) as usize;
             let layout = KkLayout::at_base(m, universe, base, true);
             base = layout.end();
-            stages.push(StageInfo { size, universe, layout });
+            stages.push(StageInfo {
+                size,
+                universe,
+                layout,
+            });
         }
-        Self { n, m, stages, cells: base }
+        Self {
+            n,
+            m,
+            stages,
+            cells: base,
+        }
     }
 
     /// Total jobs `n`.

@@ -35,6 +35,9 @@ pub struct IterativeProcess {
     pid: usize,
     beta: u64,
     output_free: bool,
+    /// Propagated to every stage's inner `KkProcess` (see
+    /// [`set_epoch_cache`](Self::set_epoch_cache)).
+    epoch_cache: bool,
     layout: IterLayout,
     stage: usize,
     inner: KkProcess,
@@ -67,12 +70,16 @@ impl IterativeProcess {
             stage0.layout,
             free,
             KkMode::IterStep { output_free },
-            SpanMap::Blocks { size: stage0.size, total_jobs: layout.n() as u64 },
+            SpanMap::Blocks {
+                size: stage0.size,
+                total_jobs: layout.n() as u64,
+            },
         );
         Self {
             pid,
             beta,
             output_free,
+            epoch_cache: false,
             layout,
             stage: 0,
             inner,
@@ -81,6 +88,21 @@ impl IterativeProcess {
             performs_done: 0,
             carried_local_work: 0,
         }
+    }
+
+    /// Enables or disables the announcement-epoch cache on the current and
+    /// every future stage's inner `KkProcess` (see
+    /// `amo_core::KkProcess::set_epoch_cache` for the contract). Call before
+    /// the first step.
+    pub fn set_epoch_cache(&mut self, enabled: bool) {
+        self.epoch_cache = enabled;
+        self.inner.set_epoch_cache(enabled);
+    }
+
+    /// Builder form of [`set_epoch_cache`](Self::set_epoch_cache).
+    pub fn with_epoch_cache(mut self, enabled: bool) -> Self {
+        self.set_epoch_cache(enabled);
+        self
     }
 
     /// Current stage index (0-based).
@@ -137,9 +159,15 @@ impl IterativeProcess {
                 self.beta,
                 nxt.layout,
                 mapped,
-                KkMode::IterStep { output_free: self.output_free },
-                SpanMap::Blocks { size: nxt.size, total_jobs: self.layout.n() as u64 },
-            );
+                KkMode::IterStep {
+                    output_free: self.output_free,
+                },
+                SpanMap::Blocks {
+                    size: nxt.size,
+                    total_jobs: self.layout.n() as u64,
+                },
+            )
+            .with_epoch_cache(self.epoch_cache);
             StepEvent::Local
         } else {
             self.final_output = Some(out);
@@ -169,15 +197,27 @@ impl<R: Registers + ?Sized> Process<R> for IterativeProcess {
         let mut performed: Vec<(u64, amo_sim::JobSpan)> = Vec::new();
         while consumed < budget {
             let out = Process::<R>::step_many(&mut self.inner, mem, budget - consumed);
-            performed.extend(out.performed.iter().map(|&(off, span)| (consumed + off, span)));
+            performed.extend(
+                out.performed
+                    .iter()
+                    .map(|&(off, span)| (consumed + off, span)),
+            );
             consumed += out.steps;
             if out.terminated {
                 if let StepEvent::Terminated = self.advance_stage() {
-                    return BatchOutcome { steps: consumed, performed, terminated: true };
+                    return BatchOutcome {
+                        steps: consumed,
+                        performed,
+                        terminated: true,
+                    };
                 }
             }
         }
-        BatchOutcome { steps: consumed, performed, terminated: false }
+        BatchOutcome {
+            steps: consumed,
+            performed,
+            terminated: false,
+        }
     }
 
     fn pid(&self) -> usize {
@@ -254,7 +294,10 @@ mod tests {
         let spans = drive(&mut p, &mem);
         assert!(spans.iter().any(|s| s.count() == 8), "stage-0 blocks of 8");
         // β = 2 leaves one block unperformed at stage 0, refined later.
-        assert!(spans.iter().any(|s| s.count() == 1), "final-stage singletons");
+        assert!(
+            spans.iter().any(|s| s.count() == 1),
+            "final-stage singletons"
+        );
     }
 
     #[test]
@@ -302,7 +345,11 @@ mod tests {
             let expected_blocks = if expect_full { n_stage0 } else { n_stage0 - 1 };
             let stage1_free = p.inner().free_len();
             let ratio = (layout.stage(0).size / layout.stage(1).size) as usize;
-            assert_eq!(stage1_free, expected_blocks * ratio, "output_free={output_free}");
+            assert_eq!(
+                stage1_free,
+                expected_blocks * ratio,
+                "output_free={output_free}"
+            );
         }
     }
 }

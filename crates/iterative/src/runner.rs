@@ -3,8 +3,8 @@
 use amo_core::{AmoReport, ConfigError, KkConfig, LockstepScheduler};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, Execution, MemOrder,
-    Process, RandomScheduler, RoundRobin, Scheduler, Slot, VecRegisters, WithCrashes,
+    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, Execution, MemOrder, Process,
+    RandomScheduler, RoundRobin, Scheduler, Slot, VecRegisters, WithCrashes,
 };
 
 use crate::layout::IterLayout;
@@ -37,7 +37,12 @@ impl IterConfig {
         // Reuse the KKβ validation for n/m; β is fixed below.
         let _ = KkConfig::new(n, m)?;
         let sizes = stage_sizes(n, m, inv_eps);
-        Ok(Self { n, m, inv_eps, sizes })
+        Ok(Self {
+            n,
+            m,
+            inv_eps,
+            sizes,
+        })
     }
 
     /// Number of jobs `n`.
@@ -140,6 +145,11 @@ pub struct IterSimOptions {
     /// Forces the engine's per-action reference path (equivalence tests and
     /// debugging).
     pub reference_single_step: bool,
+    /// Enables the announcement-epoch cache on each stage's inner
+    /// `KkProcess` (see `amo_core::KkProcess::set_epoch_cache`). Defaults to
+    /// `true`; like `amo_core::SimOptions::epoch_cache` it only takes effect
+    /// for schedulers that grant quanta.
+    pub epoch_cache: bool,
 }
 
 impl Default for IterSimOptions {
@@ -150,6 +160,7 @@ impl Default for IterSimOptions {
             limits: EngineLimits::default(),
             quantum: 1,
             reference_single_step: false,
+            epoch_cache: true,
         }
     }
 }
@@ -163,22 +174,34 @@ impl IterSimOptions {
     /// Quantized round-robin with [`RoundRobin::BATCH_QUANTUM`] actions per
     /// turn — the macro-stepping fast path.
     pub fn round_robin_batched() -> Self {
-        Self { quantum: RoundRobin::BATCH_QUANTUM, ..Self::default() }
+        Self {
+            quantum: RoundRobin::BATCH_QUANTUM,
+            ..Self::default()
+        }
     }
 
     /// Seeded random schedule.
     pub fn random(seed: u64) -> Self {
-        Self { scheduler: BasicSched::Random(seed), ..Self::default() }
+        Self {
+            scheduler: BasicSched::Random(seed),
+            ..Self::default()
+        }
     }
 
     /// Seeded bursty schedule.
     pub fn block(seed: u64, burst: u64) -> Self {
-        Self { scheduler: BasicSched::Block(seed, burst), ..Self::default() }
+        Self {
+            scheduler: BasicSched::Block(seed, burst),
+            ..Self::default()
+        }
     }
 
     /// Lockstep schedule.
     pub fn lockstep() -> Self {
-        Self { scheduler: BasicSched::Lockstep, ..Self::default() }
+        Self {
+            scheduler: BasicSched::Lockstep,
+            ..Self::default()
+        }
     }
 
     /// Adds a crash plan.
@@ -215,6 +238,19 @@ impl IterSimOptions {
         self.reference_single_step = true;
         self
     }
+
+    /// Enables or disables the announcement-epoch cache (see
+    /// [`Self::epoch_cache`]).
+    pub fn with_epoch_cache(mut self, enabled: bool) -> Self {
+        self.epoch_cache = enabled;
+        self
+    }
+
+    /// `true` when the configured scheduler grants quanta (the epoch cache
+    /// can then actually skip work).
+    pub fn grants_quanta(&self) -> bool {
+        self.quantum > 1 || matches!(self.scheduler, BasicSched::Block(..))
+    }
 }
 
 /// Builds the layout and the `m` driver automatons.
@@ -246,7 +282,12 @@ fn basic_label(kind: BasicSched) -> &'static str {
 
 /// Runs `IterativeKK(ε)` in the deterministic simulator.
 pub fn run_iterative_simulated(config: &IterConfig, options: IterSimOptions) -> AmoReport {
-    let (layout, fleet) = iter_fleet(config);
+    let (layout, mut fleet) = iter_fleet(config);
+    if options.epoch_cache && options.grants_quanta() {
+        for p in &mut fleet {
+            p.set_epoch_cache(true);
+        }
+    }
     let mem = VecRegisters::new(layout.cells());
     run_iter_fleet_simulated(mem, fleet, options)
 }
@@ -273,13 +314,14 @@ pub fn run_basic_fleet<P: Process<VecRegisters>>(
         engine.run_full(options.limits)
     }
     match options.scheduler {
-        BasicSched::RoundRobin => {
-            go(mem, fleet, RoundRobin::new().with_quantum(options.quantum.max(1)), options)
-        }
+        BasicSched::RoundRobin => go(
+            mem,
+            fleet,
+            RoundRobin::new().with_quantum(options.quantum.max(1)),
+            options,
+        ),
         BasicSched::Random(seed) => go(mem, fleet, RandomScheduler::new(seed), options),
-        BasicSched::Block(seed, burst) => {
-            go(mem, fleet, BlockScheduler::new(seed, burst), options)
-        }
+        BasicSched::Block(seed, burst) => go(mem, fleet, BlockScheduler::new(seed, burst), options),
         BasicSched::Lockstep => go(mem, fleet, LockstepScheduler::new(), options),
     }
 }
@@ -323,7 +365,10 @@ pub fn run_iterative_threads(
     let exec = sim_run_threads(
         &mem,
         fleet,
-        ThreadOptions { crash_plan, max_steps_per_proc: None },
+        ThreadOptions {
+            crash_plan,
+            max_steps_per_proc: None,
+        },
     );
     AmoReport {
         effectiveness: exec.effectiveness(),

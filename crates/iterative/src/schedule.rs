@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn always_ends_in_one() {
-        for (n, m, e) in [(100usize, 2usize, 1u32), (10_000, 8, 2), (64, 4, 3), (2, 1, 1)] {
+        for (n, m, e) in [
+            (100usize, 2usize, 1u32),
+            (10_000, 8, 2),
+            (64, 4, 3),
+            (2, 1, 1),
+        ] {
             let s = stage_sizes(n, m, e);
             assert_eq!(*s.last().unwrap(), 1, "n={n} m={m} 1/ε={e}");
         }
@@ -135,6 +140,9 @@ mod tests {
     fn more_stages_with_smaller_eps() {
         let a = stage_sizes(1 << 20, 64, 1).len();
         let b = stage_sizes(1 << 20, 64, 4).len();
-        assert!(b >= a, "smaller ε (larger 1/ε) yields at least as many stages");
+        assert!(
+            b >= a,
+            "smaller ε (larger 1/ε) yields at least as many stages"
+        );
     }
 }

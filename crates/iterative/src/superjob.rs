@@ -27,7 +27,10 @@ pub fn block_count(n: u64, size: u64) -> u64 {
 ///
 /// Panics if `k == 0` or the block lies outside `1..=n`.
 pub fn block_span(k: u64, size: u64, n: u64) -> JobSpan {
-    assert!(k >= 1 && k <= block_count(n, size), "block {k} out of range");
+    assert!(
+        k >= 1 && k <= block_count(n, size),
+        "block {k} out of range"
+    );
     let lo = (k - 1) * size + 1;
     let hi = (k * size).min(n);
     JobSpan::new(lo, hi)
@@ -47,7 +50,11 @@ pub fn block_span(k: u64, size: u64, n: u64) -> JobSpan {
 /// universe does not match `block_count(n, size1)`.
 pub fn map_blocks(set: &FenwickSet, size1: u64, size2: u64, n: u64) -> FenwickSet {
     assert!(size2 > 0, "target size must be positive");
-    assert_eq!(size1 % size2, 0, "sizes must nest: {size2} does not divide {size1}");
+    assert_eq!(
+        size1 % size2,
+        0,
+        "sizes must nest: {size2} does not divide {size1}"
+    );
     assert_eq!(
         set.universe() as u64,
         block_count(n, size1),
@@ -137,7 +144,9 @@ mod tests {
         let set = FenwickSet::with_members(block_count(n, size1) as usize, [1u64, 3, 5]);
         let out = map_blocks(&set, size1, size2, n);
         let jobs_in = |s: &FenwickSet, size: u64| -> Vec<u64> {
-            s.iter().flat_map(|k| block_span(k, size, n).jobs()).collect()
+            s.iter()
+                .flat_map(|k| block_span(k, size, n).jobs())
+                .collect()
         };
         assert_eq!(jobs_in(&set, size1), jobs_in(&out, size2));
     }

@@ -10,13 +10,31 @@ use proptest::prelude::*;
 fn assert_reports_eq(config: &IterConfig, base: IterSimOptions, what: &str) {
     let fast = run_iterative_simulated(config, base.clone());
     let reference = run_iterative_simulated(config, base.single_step());
-    assert_eq!(fast.performed, reference.performed, "{what}: performed differ");
-    assert_eq!(fast.total_steps, reference.total_steps, "{what}: total_steps differ");
+    assert_eq!(
+        fast.performed, reference.performed,
+        "{what}: performed differ"
+    );
+    assert_eq!(
+        fast.total_steps, reference.total_steps,
+        "{what}: total_steps differ"
+    );
     assert_eq!(fast.crashed, reference.crashed, "{what}: crashes differ");
-    assert_eq!(fast.completed, reference.completed, "{what}: completion differs");
-    assert_eq!(fast.mem_work, reference.mem_work, "{what}: shared work differs");
-    assert_eq!(fast.local_work, reference.local_work, "{what}: local work differs");
-    assert_eq!(fast.effectiveness, reference.effectiveness, "{what}: effectiveness differs");
+    assert_eq!(
+        fast.completed, reference.completed,
+        "{what}: completion differs"
+    );
+    assert_eq!(
+        fast.mem_work, reference.mem_work,
+        "{what}: shared work differs"
+    );
+    assert_eq!(
+        fast.local_work, reference.local_work,
+        "{what}: local work differs"
+    );
+    assert_eq!(
+        fast.effectiveness, reference.effectiveness,
+        "{what}: effectiveness differs"
+    );
 }
 
 #[test]

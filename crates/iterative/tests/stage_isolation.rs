@@ -3,9 +3,7 @@
 //! granularity).
 
 use amo_iterative::{IterConfig, IterLayout, IterativeProcess};
-use amo_sim::{
-    BlockScheduler, CrashPlan, Engine, EngineLimits, VecRegisters, WithCrashes,
-};
+use amo_sim::{BlockScheduler, CrashPlan, Engine, EngineLimits, VecRegisters, WithCrashes};
 
 #[test]
 fn processes_can_be_stages_apart() {
@@ -15,8 +13,7 @@ fn processes_can_be_stages_apart() {
     let (layout, fleet) = amo_iterative::iter_fleet(&config);
     let mem = VecRegisters::new(layout.cells());
     // Bursts longer than a whole stage's work.
-    let exec = Engine::new(mem, fleet, BlockScheduler::new(3, 50_000))
-        .run(EngineLimits::default());
+    let exec = Engine::new(mem, fleet, BlockScheduler::new(3, 50_000)).run(EngineLimits::default());
     assert!(exec.violations().is_empty());
     assert!(exec.completed);
 }
@@ -43,7 +40,10 @@ fn laggard_waking_into_finished_stage_is_safe() {
         .filter(|r| r.pid == 1)
         .map(|r| r.span.count())
         .sum();
-    assert!(by_pid_1 >= exec.effectiveness() - 8, "laggard re-performs almost nothing");
+    assert!(
+        by_pid_1 >= exec.effectiveness() - 8,
+        "laggard re-performs almost nothing"
+    );
 }
 
 #[test]
@@ -93,8 +93,8 @@ fn final_outputs_cover_everything_unperformed() {
     let config = IterConfig::new(300, 2, 1).unwrap();
     let (layout, fleet) = amo_iterative::iter_fleet(&config);
     let mem = VecRegisters::new(layout.cells());
-    let (exec, slots) = Engine::new(mem, fleet, amo_sim::RoundRobin::new())
-        .run_into(EngineLimits::default());
+    let (exec, slots) =
+        Engine::new(mem, fleet, amo_sim::RoundRobin::new()).run_into(EngineLimits::default());
     assert!(exec.violations().is_empty());
     let mut performed = std::collections::HashSet::new();
     for r in &exec.performed {

@@ -233,7 +233,11 @@ impl DenseFenwickSet {
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word: 0, mask: self.bits.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word: 0,
+            mask: self.bits.first().copied().unwrap_or(0),
+        }
     }
 
     /// Total elementary operations performed so far (see [`OpCounter`]).
@@ -505,6 +509,9 @@ mod tests {
             assert!(s.contains(id), "missing {id}");
         }
         assert_eq!(s.len(), 6);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 65, 127, 128, 129]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![63, 64, 65, 127, 128, 129]
+        );
     }
 }

@@ -16,18 +16,29 @@ const BLOCK_WORDS: usize = 8;
 /// Elements covered by one count block.
 const BLOCK_BITS: usize = BLOCK_WORDS * 64;
 
+/// Bounds for the per-instance superblock width (in blocks, as a power of
+/// two): the `select`/`count_le` scans cost `O(sup.len + 2^shift)`, so the
+/// width is chosen near `√blocks` at construction to balance the two scans.
+const MIN_SUP_SHIFT: u32 = 2;
+/// See [`MIN_SUP_SHIFT`].
+const MAX_SUP_SHIFT: u32 = 7;
+
 /// An order-statistics set over the dense universe `1..=universe`.
 ///
-/// Membership is stored in a bitmap; per-*block* population counts (one
-/// block = 512 elements) are maintained in a flat array. This gives `O(1)`
-/// [`contains`], [`insert`] and [`remove`] (a bit flip plus one block-count
-/// adjustment — the simulation's hottest operations, executed once per
-/// observed `done` entry), and `O(n/512 + 512/64)` [`count_le`] and
-/// [`select`] via a linear block scan — a few dozen sequential,
-/// cache-resident iterations for the paper's job universes, executed only
-/// once per `compNext` rank probe. (The historical per-element Fenwick
-/// layout survives as [`DenseFenwickSet`](crate::DenseFenwickSet), the
-/// structure ablation and perf baseline.)
+/// Membership is stored in a bitmap; population counts are maintained
+/// eagerly at two granularities — per *block* (512 elements) and per
+/// *superblock* (64 blocks = 32768 elements). This gives `O(1)`
+/// [`contains`], [`insert`] and [`remove`] (a bit flip plus two count
+/// adjustments — the simulation's hottest operations, executed once per
+/// observed `done` entry), and `O(n/32768 + 64 + 8)` [`count_le`] and
+/// [`select`] via short linear scans of the superblock and block arrays —
+/// a few dozen sequential, cache-resident iterations even for million-job
+/// universes, with **no rebuild after mutations**: the historical lazily
+/// rebuilt prefix array cost `O(n/512)` on the first rank probe of every
+/// `compNext`, which dominated simulated wall-clock once the gather loops
+/// were batched. (The per-element Fenwick layout survives as
+/// [`DenseFenwickSet`](crate::DenseFenwickSet), the structure ablation and
+/// perf baseline.)
 ///
 /// This is the structure backing the `FREE` and `DONE` sets of the KKβ
 /// automaton. The job universe of the paper is `J = [1..n]`, so a dense
@@ -65,15 +76,15 @@ pub struct FenwickSet {
     /// Per-block element counts (block `b` covers elements
     /// `b·512 + 1 ..= (b+1)·512`).
     blk: Vec<u32>,
+    /// Per-superblock element counts (superblock `s` covers the
+    /// `2^sup_shift` blocks `s·2^shift .. (s+1)·2^shift`), maintained
+    /// eagerly alongside `blk`.
+    sup: Vec<u32>,
+    /// `log₂` of the blocks-per-superblock width (chosen near `√blocks`).
+    sup_shift: u32,
     /// Membership bitmap, bit `i-1` set iff element `i` is present.
     bits: Vec<u64>,
     len: usize,
-    /// Lazily maintained cumulative block counts (`prefix[b] = Σ blk[0..=b]`),
-    /// rebuilt on the first rank query after a mutation. `compNext`'s rank
-    /// probes arrive in mutation-free bursts, so one linear rebuild serves a
-    /// whole burst of binary-searched [`select`]s/[`count_le`]s.
-    prefix: std::cell::RefCell<Vec<u32>>,
-    prefix_stale: std::cell::Cell<bool>,
     ops: OpCounter,
 }
 
@@ -83,15 +94,26 @@ impl FenwickSet {
     /// A `universe` of `0` yields a permanently empty set.
     pub fn new(universe: usize) -> Self {
         let blocks = universe.div_ceil(BLOCK_BITS);
+        // Width ≈ √blocks balances the superblock scan against the
+        // in-superblock block scan.
+        let sup_shift =
+            ((usize::BITS - blocks.leading_zeros()) / 2).clamp(MIN_SUP_SHIFT, MAX_SUP_SHIFT);
+        let sup_blocks = blocks.div_ceil(1 << sup_shift);
         Self {
             universe,
             blk: vec![0; blocks],
+            sup: vec![0; sup_blocks],
+            sup_shift,
             bits: vec![0; universe.div_ceil(64)],
             len: 0,
-            prefix: std::cell::RefCell::new(vec![0; blocks]),
-            prefix_stale: std::cell::Cell::new(false),
             ops: OpCounter::new(),
         }
+    }
+
+    /// Elements covered by one superblock.
+    #[inline]
+    fn super_bits(&self) -> usize {
+        BLOCK_BITS << self.sup_shift
     }
 
     /// Creates the full set `{1, 2, ..., universe}`.
@@ -102,15 +124,23 @@ impl FenwickSet {
         for (w, chunk) in s.bits.iter_mut().enumerate() {
             let lo = w * 64;
             let n_in_word = (universe - lo).min(64);
-            *chunk = if n_in_word == 64 { u64::MAX } else { (1u64 << n_in_word) - 1 };
+            *chunk = if n_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << n_in_word) - 1
+            };
         }
-        // Fill the block counts in O(blocks) instead of n inserts.
+        // Fill the count hierarchy in O(blocks) instead of n inserts.
         for (b, cnt) in s.blk.iter_mut().enumerate() {
             let lo = b * BLOCK_BITS;
             *cnt = (universe - lo).min(BLOCK_BITS) as u32;
         }
+        let super_bits = s.super_bits();
+        for (sb, cnt) in s.sup.iter_mut().enumerate() {
+            let lo = sb * super_bits;
+            *cnt = (universe - lo).min(super_bits) as u32;
+        }
         s.len = universe;
-        s.prefix_stale.set(true);
         s
     }
 
@@ -175,59 +205,62 @@ impl FenwickSet {
             "insert of {id} outside universe 1..={}",
             self.universe
         );
-        if self.contains(id) {
+        // One fused word access for the membership test and the flip (the
+        // charge stays the historical test-op + mutate-op pair).
+        let i = id as usize - 1;
+        let word = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask != 0 {
+            self.ops.bump();
             return false;
         }
-        self.ops.bump();
-        let i = id as usize - 1;
-        self.bits[i / 64] |= 1 << (i % 64);
-        self.blk[i / BLOCK_BITS] += 1;
+        self.ops.add(2);
+        *word |= mask;
+        let b = i / BLOCK_BITS;
+        self.blk[b] += 1;
+        self.sup[b >> self.sup_shift] += 1;
         self.len += 1;
-        self.prefix_stale.set(true);
         true
     }
 
     /// Removes `id`, returning `true` if it was present.
     pub fn remove(&mut self, id: u64) -> bool {
-        if !self.contains(id) {
+        if id == 0 || id as usize > self.universe {
+            self.ops.bump();
             return false;
         }
-        self.ops.bump();
         let i = id as usize - 1;
-        self.bits[i / 64] &= !(1 << (i % 64));
-        self.blk[i / BLOCK_BITS] -= 1;
+        let word = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            self.ops.bump();
+            return false;
+        }
+        self.ops.add(2);
+        *word &= !mask;
+        let b = i / BLOCK_BITS;
+        self.blk[b] -= 1;
+        self.sup[b >> self.sup_shift] -= 1;
         self.len -= 1;
-        self.prefix_stale.set(true);
         true
-    }
-
-    /// Rebuilds the cumulative block counts if stale, charging one
-    /// elementary operation per block summed.
-    fn refresh_prefix(&self) {
-        if !self.prefix_stale.get() {
-            return;
-        }
-        let mut prefix = self.prefix.borrow_mut();
-        let mut acc = 0u32;
-        for (p, &c) in prefix.iter_mut().zip(&self.blk) {
-            acc += c;
-            *p = acc;
-        }
-        self.ops.add(self.blk.len() as u64);
-        self.prefix_stale.set(false);
     }
 
     /// Number of elements `≤ id`.
     pub fn count_le(&self, id: u64) -> usize {
         let i = (id as usize).min(self.universe);
         let mut iters = 0u64;
-        // Whole blocks below the one containing position `i - 1`.
-        let block = i / BLOCK_BITS;
         let mut acc = 0u32;
-        if block > 0 {
-            self.refresh_prefix();
+        // Whole superblocks below the one containing position `i - 1`.
+        let block = i / BLOCK_BITS;
+        let sup_block = block >> self.sup_shift;
+        for s in 0..sup_block {
             iters += 1;
-            acc = self.prefix.borrow()[block - 1];
+            acc += self.sup[s];
+        }
+        // Whole blocks of the partial superblock.
+        for b in (sup_block << self.sup_shift)..block {
+            iters += 1;
+            acc += self.blk[b];
         }
         // Whole words of the partial block.
         let block_word = block * BLOCK_WORDS;
@@ -250,20 +283,29 @@ impl FenwickSet {
         if rank == 0 || rank > self.len {
             return None;
         }
-        self.refresh_prefix();
         let mut iters = 0u64;
         let mut remaining = rank as u32;
-        // Binary search the cumulative block counts for the first block
-        // whose prefix reaches the rank.
-        let block = {
-            let prefix = self.prefix.borrow();
-            let b = prefix.partition_point(|&cum| cum < remaining);
-            iters += (usize::BITS - self.blk.len().leading_zeros()) as u64;
-            if b > 0 {
-                remaining -= prefix[b - 1];
+        // Scan superblocks, then the blocks of the target superblock.
+        let mut sb = 0usize;
+        loop {
+            iters += 1;
+            let c = self.sup[sb];
+            if c >= remaining {
+                break;
             }
-            b
-        };
+            remaining -= c;
+            sb += 1;
+        }
+        let mut block = sb << self.sup_shift;
+        loop {
+            iters += 1;
+            let c = self.blk[block];
+            if c >= remaining {
+                break;
+            }
+            remaining -= c;
+            block += 1;
+        }
         // `block` now holds the answer; scan its at most BLOCK_WORDS words.
         let mut w = block * BLOCK_WORDS;
         loop {
@@ -301,7 +343,80 @@ impl FenwickSet {
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word: 0, mask: self.bits.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word: 0,
+            mask: self.bits.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The `remaining`-th member of `self \ excl` counted **from the right**
+    /// (`remaining ≥ 1`), entering the count hierarchy at its upper end —
+    /// the mirror image of the left walk in
+    /// [`select_excluding`](RankedSet::select_excluding).
+    fn select_excluding_from_right(&self, excl: &[u64], mut remaining: u32) -> Option<u64> {
+        let mut iters = 0u64;
+        // Merge pointer from the right: exclusions strictly above the range
+        // under consideration have already been discounted.
+        let mut jr = excl.len();
+        let super_bits = self.super_bits() as u64;
+        let mut sb = self.sup.len() - 1;
+        loop {
+            iters += 1;
+            let lo = sb as u64 * super_bits;
+            let mut jj = jr;
+            while jj > 0 && excl[jj - 1] > lo {
+                jj -= 1;
+            }
+            iters += (jr - jj) as u64;
+            let eff = self.sup[sb] - (jr - jj) as u32;
+            if eff >= remaining {
+                break;
+            }
+            remaining -= eff;
+            jr = jj;
+            sb -= 1;
+        }
+        let mut block = (((sb + 1) << self.sup_shift) - 1).min(self.blk.len() - 1);
+        loop {
+            iters += 1;
+            let lo = block as u64 * BLOCK_BITS as u64;
+            let mut jj = jr;
+            while jj > 0 && excl[jj - 1] > lo {
+                jj -= 1;
+            }
+            iters += (jr - jj) as u64;
+            let eff = self.blk[block] - (jr - jj) as u32;
+            if eff >= remaining {
+                break;
+            }
+            remaining -= eff;
+            jr = jj;
+            block -= 1;
+        }
+        let mut w = ((block + 1) * BLOCK_WORDS - 1).min(self.bits.len() - 1);
+        loop {
+            iters += 1;
+            let lo = w as u64 * 64;
+            let mut jj = jr;
+            let mut word = self.bits[w];
+            while jj > 0 && excl[jj - 1] > lo {
+                jj -= 1;
+                word &= !(1u64 << ((excl[jj] - 1) % 64));
+                iters += 1;
+            }
+            let pc = word.count_ones();
+            if pc >= remaining {
+                // `remaining`-th from the right = `(pc − remaining + 1)`-th
+                // from the left within this word.
+                let bit = select_in_word(word, pc - remaining + 1, &mut iters);
+                self.ops.add(iters);
+                return Some((w * 64 + bit) as u64 + 1);
+            }
+            remaining -= pc;
+            jr = jj;
+            w -= 1;
+        }
     }
 
     /// Total elementary operations performed so far (see [`OpCounter`]).
@@ -313,7 +428,6 @@ impl FenwickSet {
     pub fn reset_ops(&self) {
         self.ops.reset()
     }
-
 }
 
 /// Position (0-based bit index) of the `remaining`-th set bit of `word`
@@ -419,6 +533,96 @@ impl RankedSet for FenwickSet {
 
     fn count_le(&self, id: u64) -> usize {
         FenwickSet::count_le(self, id)
+    }
+
+    /// Single exclusion-aware walk instead of the default's repeated
+    /// [`select`](RankedSet::select) fixpoint: one pass down the
+    /// superblock/block/word hierarchy with a merge pointer over the sorted
+    /// exclusions, discounting excluded members per range and masking them
+    /// out of the final word. Costs one `select` scan plus `O(|excl|)`
+    /// pointer advances — `compNext` calls this once per cycle, where the
+    /// default costs up to `|excl| + 1` full scans.
+    fn select_excluding(&self, excl: &[u64], i: usize) -> Option<u64> {
+        debug_assert!(
+            excl.windows(2).all(|w| w[0] < w[1]),
+            "excl must be sorted and deduped"
+        );
+        debug_assert!(
+            excl.iter().all(|&e| self.contains(e)),
+            "excl must be members"
+        );
+        if i == 0 || self.len < i + excl.len() {
+            return None;
+        }
+        // Enter the hierarchy from whichever end is closer to the target
+        // rank: KKβ's rank-splitting sends process `p` to the `(p−1)/m`
+        // fraction of `FREE`, so left-only scans would cost high pids a
+        // walk across the whole structure every cycle.
+        let total = self.len - excl.len();
+        if 2 * i > total {
+            return self.select_excluding_from_right(excl, (total - i + 1) as u32);
+        }
+        let mut iters = 0u64;
+        let mut remaining = i as u32;
+        // Merge pointer: exclusions strictly before the range under
+        // consideration have already been discounted.
+        let mut j = 0usize;
+        let super_bits = self.super_bits() as u64;
+        let mut sb = 0usize;
+        loop {
+            iters += 1;
+            let hi = (sb as u64 + 1) * super_bits;
+            let mut jj = j;
+            while jj < excl.len() && excl[jj] <= hi {
+                jj += 1;
+            }
+            iters += (jj - j) as u64;
+            let eff = self.sup[sb] - (jj - j) as u32;
+            if eff >= remaining {
+                break;
+            }
+            remaining -= eff;
+            j = jj;
+            sb += 1;
+        }
+        let mut block = sb << self.sup_shift;
+        loop {
+            iters += 1;
+            let hi = (block as u64 + 1) * BLOCK_BITS as u64;
+            let mut jj = j;
+            while jj < excl.len() && excl[jj] <= hi {
+                jj += 1;
+            }
+            iters += (jj - j) as u64;
+            let eff = self.blk[block] - (jj - j) as u32;
+            if eff >= remaining {
+                break;
+            }
+            remaining -= eff;
+            j = jj;
+            block += 1;
+        }
+        let mut w = block * BLOCK_WORDS;
+        loop {
+            iters += 1;
+            let hi = (w as u64 + 1) * 64;
+            let mut jj = j;
+            let mut word = self.bits[w];
+            while jj < excl.len() && excl[jj] <= hi {
+                word &= !(1u64 << ((excl[jj] - 1) % 64));
+                iters += 1;
+                jj += 1;
+            }
+            let pc = word.count_ones();
+            if pc >= remaining {
+                let bit = select_in_word(word, remaining, &mut iters);
+                self.ops.add(iters);
+                return Some((w * 64 + bit) as u64 + 1);
+            }
+            remaining -= pc;
+            j = jj;
+            w += 1;
+        }
     }
 }
 
@@ -593,7 +797,10 @@ mod tests {
             assert!(s.contains(id), "missing {id}");
         }
         assert_eq!(s.len(), 6);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 65, 127, 128, 129]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![63, 64, 65, 127, 128, 129]
+        );
     }
 
     #[test]
@@ -625,7 +832,9 @@ mod tests {
         let mut model: Vec<u64> = Vec::new();
         let mut state = 0x9E37_79B9u64;
         for step in 0..4000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let id = (state >> 33) % universe as u64 + 1;
             if step % 3 == 2 {
                 let was = s.remove(id);

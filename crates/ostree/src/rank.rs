@@ -21,6 +21,50 @@ pub trait RankedSet {
 
     /// Number of members `≤ id`.
     fn count_le(&self, id: u64) -> usize;
+
+    /// The `i`-th smallest member (1-based) of `self \ excl`, where every
+    /// element of `excl` is a member of `self` and `excl` is sorted and
+    /// duplicate-free — the hot core of the paper's `rank(SET1, SET2, i)`.
+    ///
+    /// The default implementation is the classical monotone fixpoint
+    /// iteration (`O(|excl|)` [`select`](RankedSet::select) probes);
+    /// structures with cheap internal scans may override it with a single
+    /// exclusion-aware walk ([`FenwickSet`](crate::FenwickSet) does).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `excl` is not sorted/deduped or contains
+    /// a non-member.
+    fn select_excluding(&self, excl: &[u64], i: usize) -> Option<u64> {
+        debug_assert!(
+            excl.windows(2).all(|w| w[0] < w[1]),
+            "excl must be sorted and deduped"
+        );
+        debug_assert!(
+            excl.iter().all(|&e| self.contains(e)),
+            "excl must be members"
+        );
+        if i == 0 {
+            return None;
+        }
+        if self.len() < i + excl.len() {
+            return None;
+        }
+        let mut idx = i;
+        loop {
+            let x = self.select(idx)?;
+            // Number of excluded members ≤ x.
+            let k = excl.partition_point(|&e| e <= x);
+            let target = i + k;
+            if target == idx {
+                // Fixpoint; `x` cannot itself be excluded (see
+                // `rank_excluding_members`).
+                debug_assert!(excl.binary_search(&x).is_err());
+                return Some(x);
+            }
+            idx = target;
+        }
+    }
 }
 
 /// A [`RankedSet`] over the dense universe `1..=universe` that supports
@@ -108,29 +152,13 @@ pub fn rank_excluding_members<S: RankedSet + ?Sized>(
     excl: &[u64],
     i: usize,
 ) -> Option<u64> {
-    debug_assert!(excl.windows(2).all(|w| w[0] < w[1]), "excl must be sorted and deduped");
-    debug_assert!(excl.iter().all(|&e| free.contains(e)), "excl must be members of free");
-    if i == 0 {
-        return None;
-    }
-    if free.len() < i {
-        return None;
-    }
-    let mut idx = i;
-    loop {
-        let x = free.select(idx)?;
-        // Number of excluded members ≤ x.
-        let k = excl.partition_point(|&e| e <= x);
-        let target = i + k;
-        if target == idx {
-            // Fixpoint. `x` cannot itself be excluded here: if it were, the
-            // i-th element of free \ excl would be ≤ x and < x, contradicting
-            // that the iteration is monotone from below (see module tests).
-            debug_assert!(excl.binary_search(&x).is_err());
-            return Some(x);
-        }
-        idx = target;
-    }
+    // The classical fixpoint argument for why the iteration below (the
+    // default `select_excluding`) terminates at the right element: the probe
+    // index is monotone and strictly increases with the count of excluded
+    // elements below it, and at the fixpoint `x` cannot itself be excluded —
+    // if it were, the i-th element of free \ excl would be < x,
+    // contradicting monotonicity from below (see module tests).
+    free.select_excluding(excl, i)
 }
 
 #[cfg(test)]
@@ -139,7 +167,9 @@ mod tests {
     use crate::FenwickSet;
 
     fn naive(free: &FenwickSet, excl: &[u64], i: usize) -> Option<u64> {
-        free.iter().filter(|x| !excl.contains(x)).nth(i.wrapping_sub(1))
+        free.iter()
+            .filter(|x| !excl.contains(x))
+            .nth(i.wrapping_sub(1))
     }
 
     #[test]

@@ -71,12 +71,18 @@ impl Default for OrderStatTree {
 impl OrderStatTree {
     /// Creates an empty tree with the default priority seed.
     pub fn new() -> Self {
-        Self::with_seed(0x5EED_0F_A_BED_CAFE)
+        Self::with_seed(0x005E_ED0F_ABED_CAFE)
     }
 
     /// Creates an empty tree whose priorities are derived from `seed`.
     pub fn with_seed(seed: u64) -> Self {
-        Self { nodes: Vec::new(), root: NIL, free_list: Vec::new(), seed, ops: OpCounter::new() }
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free_list: Vec::new(),
+            seed,
+            ops: OpCounter::new(),
+        }
     }
 
     /// Builds a tree containing every key produced by the iterator.
@@ -182,7 +188,9 @@ impl OrderStatTree {
     pub fn iter(&self) -> IntoKeys {
         let mut out = Vec::with_capacity(self.len());
         self.collect_in_order(self.root, &mut out);
-        IntoKeys { keys: out.into_iter() }
+        IntoKeys {
+            keys: out.into_iter(),
+        }
     }
 
     /// Total elementary operations performed so far.
@@ -216,7 +224,13 @@ impl OrderStatTree {
 
     fn alloc(&mut self, key: u64) -> u32 {
         let prio = priority(key, self.seed);
-        let node = Node { key, prio, left: NIL, right: NIL, size: 1 };
+        let node = Node {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
         if let Some(idx) = self.free_list.pop() {
             self.nodes[idx as usize] = node;
             idx

@@ -36,7 +36,9 @@ impl CrashPlan {
     /// Builds a plan from `(pid, steps)` pairs: pid crashes once it has
     /// executed `steps` actions.
     pub fn at_steps<I: IntoIterator<Item = (usize, u64)>>(pairs: I) -> Self {
-        Self { budgets: pairs.into_iter().collect() }
+        Self {
+            budgets: pairs.into_iter().collect(),
+        }
     }
 
     /// Plan in which the first `f` processes crash immediately (step 0) —
@@ -64,7 +66,11 @@ impl CrashPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let f = if max_crashes == 0 { 0 } else { (next() as usize) % (max_crashes + 1) };
+        let f = if max_crashes == 0 {
+            0
+        } else {
+            (next() as usize) % (max_crashes + 1)
+        };
         let mut plan = Self::default();
         let mut victims: Vec<usize> = (1..=m).collect();
         for _ in 0..f {
@@ -127,7 +133,10 @@ mod tests {
         let p = CrashPlan::at_steps([(5usize, 3u64)]);
         assert!(!p.should_crash(5, 2));
         assert!(p.should_crash(5, 3));
-        assert!(p.should_crash(5, 4), "staying past the budget still crashes");
+        assert!(
+            p.should_crash(5, 4),
+            "staying past the budget still crashes"
+        );
     }
 
     #[test]

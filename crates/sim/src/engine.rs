@@ -61,7 +61,9 @@ pub struct EngineLimits {
 
 impl Default for EngineLimits {
     fn default() -> Self {
-        Self { max_steps: 200_000_000 }
+        Self {
+            max_steps: 200_000_000,
+        }
     }
 }
 
@@ -167,9 +169,20 @@ where
         let max_crashes = processes.len() - 1;
         let slots = processes
             .into_iter()
-            .map(|p| Slot { process: p, state: LifeState::Running, steps: 0 })
+            .map(|p| Slot {
+                process: p,
+                state: LifeState::Running,
+                steps: 0,
+            })
             .collect();
-        Self { mem, slots, scheduler, max_crashes, trace_cap: 0, force_single_step: false }
+        Self {
+            mem,
+            slots,
+            scheduler,
+            max_crashes,
+            trace_cap: 0,
+            force_single_step: false,
+        }
     }
 
     /// Disables the macro-stepping fast path: scheduler quanta are still
@@ -259,7 +272,10 @@ where
                     let budget = if tracing {
                         1
                     } else {
-                        self.scheduler.quantum(&view, i).max(1).min(limits.max_steps - total_steps)
+                        self.scheduler
+                            .quantum(&view, i)
+                            .max(1)
+                            .min(limits.max_steps - total_steps)
                     };
                     let slot = &mut self.slots[i];
                     assert_eq!(
@@ -295,6 +311,7 @@ where
                                 StepEvent::Terminated => terminated = true,
                                 StepEvent::Local
                                 | StepEvent::Read { .. }
+                                | StepEvent::CachedRead { .. }
                                 | StepEvent::Write { .. }
                                 | StepEvent::Rmw { .. } => {}
                             }
@@ -353,7 +370,11 @@ where
                     running -= 1;
                     crashed.push(i + 1);
                     if tracing && trace.len() < self.trace_cap {
-                        trace.push(TraceEntry { step: total_steps, pid: Some(i + 1), event: None });
+                        trace.push(TraceEntry {
+                            step: total_steps,
+                            pid: Some(i + 1),
+                            event: None,
+                        });
                     }
                 }
             }
@@ -386,7 +407,11 @@ mod tests {
         let procs = vec![WriterProcess::new(1, 0, 4), WriterProcess::new(2, 1, 2)];
         let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
         assert!(exec.completed);
-        assert_eq!(exec.per_proc_steps, vec![5, 3], "k writes + 1 terminating step");
+        assert_eq!(
+            exec.per_proc_steps,
+            vec![5, 3],
+            "k writes + 1 terminating step"
+        );
         assert_eq!(exec.total_steps, 8);
         assert_eq!(exec.mem_work.writes, 6);
         assert_eq!(exec.crash_count(), 0);
@@ -395,7 +420,10 @@ mod tests {
     #[test]
     fn perform_records_carry_pid_and_step() {
         let mem = VecRegisters::new(0);
-        let procs = vec![PerformOnceProcess::new(1, 9), PerformOnceProcess::new(2, 10)];
+        let procs = vec![
+            PerformOnceProcess::new(1, 9),
+            PerformOnceProcess::new(2, 10),
+        ];
         let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
         assert_eq!(exec.performed.len(), 2);
         assert_eq!(exec.performed[0].pid, 1);
@@ -421,8 +449,7 @@ mod tests {
     fn step_limit_reports_incomplete() {
         let mem = VecRegisters::new(1);
         let procs = vec![WriterProcess::new(1, 0, 1_000)];
-        let exec =
-            Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::with_max_steps(10));
+        let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::with_max_steps(10));
         assert!(!exec.completed);
         assert_eq!(exec.total_steps, 10);
     }
@@ -493,7 +520,10 @@ mod tests {
         assert_eq!(exec.trace.len(), 3, "2 writes + 1 terminate");
         assert_eq!(exec.trace[0].step, 1);
         assert_eq!(exec.trace[0].pid, Some(1));
-        assert!(matches!(exec.trace[0].event, Some(StepEvent::Write { cell: 0 })));
+        assert!(matches!(
+            exec.trace[0].event,
+            Some(StepEvent::Write { cell: 0 })
+        ));
         assert!(matches!(exec.trace[2].event, Some(StepEvent::Terminated)));
     }
 
@@ -520,8 +550,14 @@ mod tests {
                 Decision::Step(view.running().next().expect("pid 2 runs"))
             }
         };
-        let exec = Engine::new(mem, procs, sched).with_trace(100).run(EngineLimits::default());
-        let crash_entry = exec.trace.iter().find(|e| e.event.is_none()).expect("crash traced");
+        let exec = Engine::new(mem, procs, sched)
+            .with_trace(100)
+            .run(EngineLimits::default());
+        let crash_entry = exec
+            .trace
+            .iter()
+            .find(|e| e.event.is_none())
+            .expect("crash traced");
         assert_eq!(crash_entry.pid, Some(1));
     }
 

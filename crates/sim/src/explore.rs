@@ -55,7 +55,12 @@ pub struct ExploreConfig {
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        Self { max_states: 1_000_000, max_crashes: 0, max_depth: 1_000_000, memo: MemoMode::default() }
+        Self {
+            max_states: 1_000_000,
+            max_crashes: 0,
+            max_depth: 1_000_000,
+            memo: MemoMode::default(),
+        }
     }
 }
 
@@ -216,10 +221,8 @@ where
         if top_is_terminal {
             outcome.terminal_states += 1;
             let eff = ledger.distinct();
-            outcome.min_effectiveness =
-                Some(outcome.min_effectiveness.map_or(eff, |e| e.min(eff)));
-            outcome.max_effectiveness =
-                Some(outcome.max_effectiveness.map_or(eff, |e| e.max(eff)));
+            outcome.min_effectiveness = Some(outcome.min_effectiveness.map_or(eff, |e| e.min(eff)));
+            outcome.max_effectiveness = Some(outcome.max_effectiveness.map_or(eff, |e| e.max(eff)));
         }
         if top_is_terminal || stack[top_idx].next_choice >= stack[top_idx].choices.len() {
             // Backtrack.
@@ -256,8 +259,10 @@ where
                     StepEvent::Perform { span } => {
                         performed = Some(span);
                         if let Some(job) = ledger.record(span) {
-                            outcome.violation =
-                                Some(Violation { job, count: ledger.count(job) });
+                            outcome.violation = Some(Violation {
+                                job,
+                                count: ledger.count(job),
+                            });
                             let mut trace: Vec<Decision> =
                                 stack.iter().filter_map(|n| n.entered_by).collect();
                             trace.push(decision);
@@ -339,7 +344,10 @@ mod tests {
     #[test]
     fn racy_claim_violation_is_found_and_replayable() {
         let mem = VecRegisters::new(1);
-        let procs = vec![RacyClaimProcess::new(1, 0, 9), RacyClaimProcess::new(2, 0, 9)];
+        let procs = vec![
+            RacyClaimProcess::new(1, 0, 9),
+            RacyClaimProcess::new(2, 0, 9),
+        ];
         let out = explore(mem, procs, ExploreConfig::default());
         assert_eq!(out.violation, Some(Violation { job: 9, count: 2 }));
         let trace = out.violation_trace.expect("trace available");
@@ -348,10 +356,17 @@ mod tests {
         use crate::engine::{Engine, EngineLimits};
         use crate::sched::ScriptedScheduler;
         let mem = VecRegisters::new(1);
-        let procs = vec![RacyClaimProcess::new(1, 0, 9), RacyClaimProcess::new(2, 0, 9)];
-        let exec = Engine::new(mem, procs, ScriptedScheduler::new(trace))
-            .run(EngineLimits::default());
-        assert_eq!(exec.violations().len(), 1, "trace replays the double-perform");
+        let procs = vec![
+            RacyClaimProcess::new(1, 0, 9),
+            RacyClaimProcess::new(2, 0, 9),
+        ];
+        let exec =
+            Engine::new(mem, procs, ScriptedScheduler::new(trace)).run(EngineLimits::default());
+        assert_eq!(
+            exec.violations().len(),
+            1,
+            "trace replays the double-perform"
+        );
     }
 
     #[test]
@@ -366,7 +381,10 @@ mod tests {
 
     #[test]
     fn crash_branching_reaches_lower_effectiveness() {
-        let cfg = ExploreConfig { max_crashes: 1, ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            max_crashes: 1,
+            ..ExploreConfig::default()
+        };
         let out = explore(
             VecRegisters::new(0),
             vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)],
@@ -381,7 +399,10 @@ mod tests {
 
     #[test]
     fn state_cap_reports_incomplete() {
-        let cfg = ExploreConfig { max_states: 3, ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            max_states: 3,
+            ..ExploreConfig::default()
+        };
         let out = explore(
             VecRegisters::new(2),
             vec![WriterProcess::new(1, 0, 4), WriterProcess::new(2, 1, 4)],
@@ -395,7 +416,10 @@ mod tests {
         // For automatons whose performed set is state-derivable, both modes
         // must agree on the verdict.
         for memo in [MemoMode::StateOnly, MemoMode::StateAndHistory] {
-            let cfg = ExploreConfig { memo, ..ExploreConfig::default() };
+            let cfg = ExploreConfig {
+                memo,
+                ..ExploreConfig::default()
+            };
             let out = explore(
                 VecRegisters::new(0),
                 vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)],

@@ -25,6 +25,42 @@
 //!   and machine-checks the at-most-once property along all of them.
 //! * [`thread`] — the same fleet on OS threads over [`AtomicRegisters`].
 //!
+//! # The quantum / `step_many` contract
+//!
+//! Schedulers grant each decision a *quantum* ([`Scheduler::quantum`],
+//! default `1`): how many consecutive actions the chosen process may
+//! execute before the adversary is consulted again. A quantum `> 1` opts
+//! into the engine's macro-stepping fast path, which hands the whole
+//! quantum to the process as batched [`Process::step_many`] calls. Batching
+//! is **observationally invisible** by contract: a batch must behave
+//! exactly like the same number of single [`Process::step`]s — the same
+//! shared accesses in the same order and with the same counts, the same
+//! `do` actions at the same global step indices, the same local-work
+//! accounting, the same final state. The `batch_equivalence` suites (in
+//! this crate, `amo-core`, `amo-iterative` and `amo-write-all`) enforce the
+//! contract by running every workload through both [`Engine::single_step`]
+//! (the per-action reference) and the fast path and requiring identical
+//! [`Execution`]s. Adversarial schedulers keep quantum `1` and are
+//! bit-for-bit unaffected; tracing ([`Engine::with_trace`]) forces
+//! single-step granularity so every action is attributed.
+//!
+//! # Register epochs (the announcement-cache invariant)
+//!
+//! [`Registers`] optionally exposes per-cell *epochs* plus a global
+//! mutation stamp ([`Registers::epochs_enabled`]): a cell's epoch strictly
+//! increases on every mutation of that cell (writes, swaps, snapshot
+//! restores, arena reuse) and the global epoch increases on every mutation
+//! of any cell. A process that recorded `(value, epoch)` for a cell and
+//! later sees the same epoch may therefore serve a re-read from its local
+//! copy, and an unchanged global epoch certifies that *nothing* changed —
+//! which is what lets the KKβ announcement caches collapse whole
+//! `gatherTry`/`gatherDone` sweeps into their accounting between failures.
+//! Model-level observables are untouched: a cached read is still counted
+//! as one shared read and surfaces as [`StepEvent::CachedRead`] on the
+//! traced path. Only the deterministic [`VecRegisters`] enables epochs;
+//! [`AtomicRegisters`] keeps them disabled because an epoch probe and a
+//! value load are not atomic together under real concurrency.
+//!
 //! # Examples
 //!
 //! ```

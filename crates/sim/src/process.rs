@@ -89,6 +89,24 @@ pub enum StepEvent {
         /// Index of the cell read.
         cell: usize,
     },
+    /// The action read one shared cell whose value was provably unchanged
+    /// since the process last read it (the cell's epoch — see
+    /// [`Registers::epoch`] — did not move), so an epoch-caching process
+    /// served it from its local copy.
+    ///
+    /// The access is still a *model* read: it is counted in [`MemWork`]
+    /// exactly like [`StepEvent::Read`], and the cell index attributes it in
+    /// traces. On the engine's single-step (and therefore tracing) path the
+    /// process performs a full re-read anyway — the variant only marks the
+    /// access as cache-satisfiable; the batched fast path is where the load
+    /// is actually skipped.
+    ///
+    /// [`Registers::epoch`]: crate::Registers::epoch
+    /// [`MemWork`]: crate::MemWork
+    CachedRead {
+        /// Index of the cell read (from cache).
+        cell: usize,
+    },
     /// The action wrote one shared cell.
     Write {
         /// Index of the cell written.
@@ -189,7 +207,11 @@ pub trait Process<R: Registers + ?Sized> {
     /// budget.
     fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
         debug_assert!(budget >= 1, "step_many needs a positive budget");
-        let mut out = BatchOutcome { steps: 1, performed: Vec::new(), terminated: false };
+        let mut out = BatchOutcome {
+            steps: 1,
+            performed: Vec::new(),
+            terminated: false,
+        };
         match self.step(mem) {
             StepEvent::Perform { span } => out.performed.push((0, span)),
             StepEvent::Terminated => out.terminated = true,
@@ -238,6 +260,9 @@ mod tests {
     fn span_ordering_is_by_lo_then_hi() {
         let mut spans = vec![JobSpan::new(5, 9), JobSpan::new(1, 2), JobSpan::new(5, 6)];
         spans.sort();
-        assert_eq!(spans, vec![JobSpan::new(1, 2), JobSpan::new(5, 6), JobSpan::new(5, 9)]);
+        assert_eq!(
+            spans,
+            vec![JobSpan::new(1, 2), JobSpan::new(5, 6), JobSpan::new(5, 9)]
+        );
     }
 }

@@ -105,6 +105,46 @@ pub trait Registers {
         let _ = reads;
     }
 
+    /// `true` when this register file maintains per-cell epochs (version
+    /// counters) that announcement-caching processes may rely on.
+    ///
+    /// Epoch contract (the invariant the caches build on):
+    ///
+    /// * [`epoch`](Self::epoch) of a cell strictly increases on **every**
+    ///   mutation of that cell (`write`, `swap`, snapshot `restore`, arena
+    ///   reuse), and never otherwise;
+    /// * therefore, if a process recorded `(value, epoch)` for a cell and a
+    ///   later `epoch` call returns the same number, the cell still holds
+    ///   `value` — a re-read may be served from the recorded copy;
+    /// * [`global_epoch`](Self::global_epoch) increases on every mutation of
+    ///   **any** cell, so an unchanged global epoch certifies that *no* cell
+    ///   changed.
+    ///
+    /// The default is `false` — epoch queries then return constants and a
+    /// cache must never skip a read. Only the deterministic simulator's
+    /// [`VecRegisters`] enables it: under real concurrency the epoch probe
+    /// and the value read are two separate loads, so the pair is not atomic
+    /// and the invariant would be unsound ([`AtomicRegisters`] keeps it
+    /// disabled by design).
+    fn epochs_enabled(&self) -> bool {
+        false
+    }
+
+    /// The epoch (version counter) of `cell`; see
+    /// [`epochs_enabled`](Self::epochs_enabled) for the contract. Without
+    /// epoch support the default returns `0` for every cell, which is safe
+    /// only because `epochs_enabled` is `false`.
+    fn epoch(&self, cell: usize) -> u64 {
+        let _ = cell;
+        0
+    }
+
+    /// Monotone counter of mutations across the whole file; see
+    /// [`epochs_enabled`](Self::epochs_enabled) for the contract.
+    fn global_epoch(&self) -> u64 {
+        0
+    }
+
     /// Atomically writes `value` into cell `cell`.
     fn write(&self, cell: usize, value: u64);
 
@@ -128,9 +168,22 @@ pub trait Registers {
 /// Cells are `Cell<u64>` so that reads can be accounted through a shared
 /// reference; the whole structure is cheap to snapshot, which the exhaustive
 /// explorer uses to enumerate states.
+///
+/// The file maintains per-cell *epochs* (version counters bumped on every
+/// mutation, including snapshot [`restore`](VecRegisters::restore)) plus a
+/// global mutation counter, satisfying the [`Registers::epochs_enabled`]
+/// contract — this is what the announcement-epoch caches of the KKβ
+/// processes key on. Epochs are monotone for the lifetime of the allocation:
+/// they survive [`reset`](VecRegisters::reset) and arena reuse, so a stale
+/// `(value, epoch)` pair recorded against a previous life of the buffer can
+/// never validate.
 #[derive(Debug, Clone, Default)]
 pub struct VecRegisters {
     cells: Vec<Cell<u64>>,
+    /// Per-cell version counters (same length as `cells`).
+    epochs: Vec<Cell<u64>>,
+    /// Mutations across all cells (monotone; never reset).
+    stamp: Cell<u64>,
     reads: Cell<u64>,
     writes: Cell<u64>,
     rmws: Cell<u64>,
@@ -141,10 +194,35 @@ impl VecRegisters {
     pub fn new(cells: usize) -> Self {
         Self {
             cells: vec![Cell::new(0); cells],
+            epochs: vec![Cell::new(0); cells],
+            stamp: Cell::new(0),
             reads: Cell::new(0),
             writes: Cell::new(0),
             rmws: Cell::new(0),
         }
+    }
+
+    /// Resizes the file to `cells` zeroed registers, reusing the existing
+    /// allocation (the arena fast path: no fresh pages, warm cache lines).
+    ///
+    /// Work counters are cleared; epochs and the global stamp are *not* —
+    /// every surviving cell's epoch is bumped instead, so caches primed
+    /// against the previous contents are invalidated, per the
+    /// [`Registers::epochs_enabled`] contract.
+    pub fn reset(&mut self, cells: usize) {
+        self.stamp.set(self.stamp.get() + 1);
+        let stamp = self.stamp.get();
+        for c in self.cells.iter().take(cells) {
+            c.set(0);
+        }
+        self.cells.resize(cells, Cell::new(0));
+        for e in self.epochs.iter().take(cells) {
+            e.set(e.get() + 1);
+        }
+        self.epochs.resize_with(cells, || Cell::new(stamp));
+        self.reads.set(0);
+        self.writes.set(0);
+        self.rmws.set(0);
     }
 
     /// Snapshot of all cell values (used by the explorer and for debugging).
@@ -155,13 +233,19 @@ impl VecRegisters {
     /// Restores a snapshot previously taken with
     /// [`snapshot`](VecRegisters::snapshot).
     ///
+    /// Every cell's epoch is bumped (a restore may change any value, and the
+    /// explorer rewinds memory behind the processes' backs), so epoch caches
+    /// never serve values from a different branch of an exploration.
+    ///
     /// # Panics
     ///
     /// Panics if the snapshot length differs from the register count.
     pub fn restore(&self, snapshot: &[u64]) {
         assert_eq!(snapshot.len(), self.cells.len(), "snapshot size mismatch");
-        for (c, &v) in self.cells.iter().zip(snapshot) {
+        self.stamp.set(self.stamp.get() + 1);
+        for ((c, e), &v) in self.cells.iter().zip(&self.epochs).zip(snapshot) {
             c.set(v);
+            e.set(e.get() + 1);
         }
     }
 
@@ -193,12 +277,18 @@ impl Registers for VecRegisters {
     #[inline]
     fn write(&self, cell: usize, value: u64) {
         self.writes.set(self.writes.get() + 1);
+        self.stamp.set(self.stamp.get() + 1);
+        let e = &self.epochs[cell];
+        e.set(e.get() + 1);
         self.cells[cell].set(value);
     }
 
     #[inline]
     fn swap(&self, cell: usize, value: u64) -> u64 {
         self.rmws.set(self.rmws.get() + 1);
+        self.stamp.set(self.stamp.get() + 1);
+        let e = &self.epochs[cell];
+        e.set(e.get() + 1);
         self.cells[cell].replace(value)
     }
 
@@ -206,8 +296,26 @@ impl Registers for VecRegisters {
         self.cells.len()
     }
 
+    fn epochs_enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn epoch(&self, cell: usize) -> u64 {
+        self.epochs[cell].get()
+    }
+
+    #[inline]
+    fn global_epoch(&self) -> u64 {
+        self.stamp.get()
+    }
+
     fn work(&self) -> MemWork {
-        MemWork { reads: self.reads.get(), writes: self.writes.get(), rmws: self.rmws.get() }
+        MemWork {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            rmws: self.rmws.get(),
+        }
     }
 }
 
@@ -215,6 +323,11 @@ impl Registers for VecRegisters {
 ///
 /// Traffic counters use relaxed atomics so accounting does not perturb the
 /// ordering under test.
+///
+/// Epochs stay **disabled** here ([`Registers::epochs_enabled`] returns
+/// `false`): under real concurrency an epoch probe and the value read are
+/// two separate loads, so a cache could pair a stale value with a fresh
+/// epoch. The announcement-epoch caches are a simulator-only optimisation.
 #[derive(Debug, Default)]
 pub struct AtomicRegisters {
     cells: Vec<AtomicU64>,
@@ -245,7 +358,10 @@ impl AtomicRegisters {
 
     /// Snapshot of all cell values (quiescent use only).
     pub fn snapshot(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .collect()
     }
 }
 
@@ -314,7 +430,14 @@ mod tests {
         m.write(0, 1);
         m.swap(1, 2);
         let w = m.work();
-        assert_eq!(w, MemWork { reads: 2, writes: 1, rmws: 1 });
+        assert_eq!(
+            w,
+            MemWork {
+                reads: 2,
+                writes: 1,
+                rmws: 1
+            }
+        );
         assert_eq!(w.total(), 4);
         m.reset_work();
         assert_eq!(m.work().total(), 0);
@@ -353,7 +476,14 @@ mod tests {
             assert_eq!(m.read(1), 42);
             assert_eq!(m.swap(1, 7), 42);
             assert_eq!(m.snapshot(), vec![0, 7, 0]);
-            assert_eq!(m.work(), MemWork { reads: 1, writes: 1, rmws: 1 });
+            assert_eq!(
+                m.work(),
+                MemWork {
+                    reads: 1,
+                    writes: 1,
+                    rmws: 1
+                }
+            );
         }
     }
 
@@ -368,9 +498,24 @@ mod tests {
 
     #[test]
     fn memwork_addition() {
-        let a = MemWork { reads: 1, writes: 2, rmws: 3 };
-        let b = MemWork { reads: 10, writes: 20, rmws: 30 };
-        assert_eq!(a + b, MemWork { reads: 11, writes: 22, rmws: 33 });
+        let a = MemWork {
+            reads: 1,
+            writes: 2,
+            rmws: 3,
+        };
+        let b = MemWork {
+            reads: 10,
+            writes: 20,
+            rmws: 30,
+        };
+        assert_eq!(
+            a + b,
+            MemWork {
+                reads: 11,
+                writes: 22,
+                rmws: 33
+            }
+        );
     }
 
     #[test]
@@ -378,5 +523,63 @@ mod tests {
         let m = VecRegisters::new(0);
         assert!(m.is_empty());
         assert_eq!(m.snapshot(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn epochs_move_only_on_mutation() {
+        let m = VecRegisters::new(3);
+        assert!(m.epochs_enabled());
+        assert_eq!(m.epoch(1), 0);
+        let g0 = m.global_epoch();
+        m.read(1);
+        m.peek(1);
+        assert_eq!(m.epoch(1), 0, "reads leave epochs untouched");
+        assert_eq!(m.global_epoch(), g0);
+        m.write(1, 7);
+        assert_eq!(m.epoch(1), 1);
+        assert_eq!(m.epoch(0), 0, "other cells untouched");
+        assert!(m.global_epoch() > g0);
+        m.swap(1, 9);
+        assert_eq!(m.epoch(1), 2);
+    }
+
+    #[test]
+    fn restore_invalidates_epochs() {
+        let m = VecRegisters::new(2);
+        let snap = m.snapshot();
+        m.write(0, 5);
+        let (e0, e1, g) = (m.epoch(0), m.epoch(1), m.global_epoch());
+        m.restore(&snap);
+        assert!(m.epoch(0) > e0 && m.epoch(1) > e1, "every cell bumped");
+        assert!(m.global_epoch() > g);
+        assert_eq!(m.snapshot(), snap);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_keeps_epochs_monotone() {
+        let mut m = VecRegisters::new(4);
+        m.write(2, 9);
+        m.read(2);
+        let e2 = m.epoch(2);
+        m.reset(2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.snapshot(), vec![0, 0], "values zeroed");
+        assert_eq!(m.work().total(), 0, "work counters cleared");
+        m.reset(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.snapshot(), vec![0, 0, 0, 0]);
+        assert!(
+            m.epoch(2) > e2,
+            "re-grown cell cannot revalidate a stale cache"
+        );
+    }
+
+    #[test]
+    fn atomic_registers_report_epochs_disabled() {
+        let m = AtomicRegisters::new(2, MemOrder::SeqCst);
+        assert!(!m.epochs_enabled());
+        m.write(0, 1);
+        assert_eq!(m.epoch(0), 0);
+        assert_eq!(m.global_epoch(), 0);
     }
 }

@@ -116,16 +116,20 @@ pub struct RoundRobin {
 
 impl Default for RoundRobin {
     fn default() -> Self {
-        Self { cursor: 0, quantum: 1 }
+        Self {
+            cursor: 0,
+            quantum: 1,
+        }
     }
 }
 
 impl RoundRobin {
-    /// The quantum used by [`batched`](Self::batched) — large enough to
-    /// amortise engine dispatch across a whole `gatherTry`/`gatherDone`
-    /// sweep for any realistic `m`, small enough to stay fair at tiny
-    /// instance sizes.
-    pub const BATCH_QUANTUM: u64 = 256;
+    /// The quantum used by [`batched`](Self::batched) — large enough that a
+    /// turn covers several complete `gatherTry`/`gatherDone` cycles even at
+    /// `m = 64` (a cycle costs `≳ 2m + 5` actions), which is what lets the
+    /// announcement-epoch caches collapse the repeat sweeps of a turn into
+    /// their accounting; small enough to stay fair at tiny instance sizes.
+    pub const BATCH_QUANTUM: u64 = 4096;
 
     /// Creates a strictly alternating round-robin scheduler (quantum 1).
     pub fn new() -> Self {
@@ -181,7 +185,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Creates a random scheduler from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -214,7 +220,12 @@ impl BlockScheduler {
     /// Panics if `burst` is zero.
     pub fn new(seed: u64, burst: u64) -> Self {
         assert!(burst > 0, "burst must be positive");
-        Self { rng: StdRng::seed_from_u64(seed), burst, current: None, left: 0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            burst,
+            current: None,
+            left: 0,
+        }
     }
 }
 
@@ -263,7 +274,10 @@ pub struct ScriptedScheduler {
 impl ScriptedScheduler {
     /// Creates a scheduler that replays `script` decision by decision.
     pub fn new(script: Vec<Decision>) -> Self {
-        Self { script: script.into_iter(), fallback: RoundRobin::new() }
+        Self {
+            script: script.into_iter(),
+            fallback: RoundRobin::new(),
+        }
     }
 }
 
@@ -300,8 +314,7 @@ impl<P, S: Scheduler<P>> Scheduler<P> for WithCrashes<S> {
         // decision with an O(m) budget scan.
         if !self.plan.is_empty() && view.crashes < view.max_crashes {
             for (i, slot) in view.slots.iter().enumerate() {
-                if slot.state == LifeState::Running && self.plan.should_crash(i + 1, slot.steps)
-                {
+                if slot.state == LifeState::Running && self.plan.should_crash(i + 1, slot.steps) {
                     return Decision::Crash(i);
                 }
             }
@@ -340,8 +353,11 @@ mod tests {
 
     fn fleet(k: u64) -> (VecRegisters, Vec<WriterProcess>) {
         let mem = VecRegisters::new(3);
-        let procs =
-            vec![WriterProcess::new(1, 0, k), WriterProcess::new(2, 1, k), WriterProcess::new(3, 2, k)];
+        let procs = vec![
+            WriterProcess::new(1, 0, k),
+            WriterProcess::new(2, 1, k),
+            WriterProcess::new(3, 2, k),
+        ];
         (mem, procs)
     }
 
@@ -368,8 +384,7 @@ mod tests {
     #[test]
     fn block_scheduler_runs_bursts() {
         let (mem, procs) = fleet(10);
-        let exec =
-            Engine::new(mem, procs, BlockScheduler::new(3, 4)).run(EngineLimits::default());
+        let exec = Engine::new(mem, procs, BlockScheduler::new(3, 4)).run(EngineLimits::default());
         assert!(exec.completed);
     }
 
@@ -383,8 +398,8 @@ mod tests {
     fn scripted_then_fallback() {
         let (mem, procs) = fleet(2);
         let script = vec![Decision::Step(2), Decision::Step(2), Decision::Step(2)];
-        let exec = Engine::new(mem, procs, ScriptedScheduler::new(script))
-            .run(EngineLimits::default());
+        let exec =
+            Engine::new(mem, procs, ScriptedScheduler::new(script)).run(EngineLimits::default());
         assert!(exec.completed);
         assert_eq!(exec.per_proc_steps[2], 3, "pid 3 moved first per script");
     }

@@ -19,7 +19,12 @@ pub struct WriterProcess {
 impl WriterProcess {
     /// A writer with pid `pid` targeting `cell`, performing `k` writes.
     pub fn new(pid: usize, cell: usize, k: u64) -> Self {
-        Self { pid, cell, remaining: k, terminated: false }
+        Self {
+            pid,
+            cell,
+            remaining: k,
+            terminated: false,
+        }
     }
 }
 
@@ -56,7 +61,12 @@ pub struct PerformOnceProcess {
 impl PerformOnceProcess {
     /// A process that performs `job` exactly once.
     pub fn new(pid: usize, job: u64) -> Self {
-        Self { pid, job, done: false, terminated: false }
+        Self {
+            pid,
+            job,
+            done: false,
+            terminated: false,
+        }
     }
 }
 
@@ -65,7 +75,9 @@ impl<R: Registers + ?Sized> Process<R> for PerformOnceProcess {
         debug_assert!(!self.terminated, "stepped after termination");
         if !self.done {
             self.done = true;
-            StepEvent::Perform { span: JobSpan::single(self.job) }
+            StepEvent::Perform {
+                span: JobSpan::single(self.job),
+            }
         } else {
             self.terminated = true;
             StepEvent::Terminated
@@ -98,7 +110,13 @@ pub struct RacyClaimProcess {
 impl RacyClaimProcess {
     /// A racy claimer of `job` through claim cell `cell`.
     pub fn new(pid: usize, cell: usize, job: u64) -> Self {
-        Self { pid, cell, job, phase: 0, saw_zero: false }
+        Self {
+            pid,
+            cell,
+            job,
+            phase: 0,
+            saw_zero: false,
+        }
     }
 }
 
@@ -122,7 +140,9 @@ impl<R: Registers + ?Sized> Process<R> for RacyClaimProcess {
             }
             2 => {
                 self.phase = 3;
-                StepEvent::Perform { span: JobSpan::single(self.job) }
+                StepEvent::Perform {
+                    span: JobSpan::single(self.job),
+                }
             }
             3 => {
                 self.phase = 4;
@@ -162,7 +182,10 @@ mod tests {
         // Round-robin: p1 reads 0, p2 reads 0, p1 writes ... both perform!
         // This demonstrates why read-then-write claiming is broken.
         let mem = VecRegisters::new(1);
-        let procs = vec![RacyClaimProcess::new(1, 0, 7), RacyClaimProcess::new(2, 0, 7)];
+        let procs = vec![
+            RacyClaimProcess::new(1, 0, 7),
+            RacyClaimProcess::new(2, 0, 7),
+        ];
         let exec = Engine::new(mem, procs, RoundRobin::new()).run(EngineLimits::default());
         assert_eq!(exec.violations().len(), 1, "round-robin exposes the race");
     }
@@ -170,7 +193,10 @@ mod tests {
     #[test]
     fn racy_claimers_safe_under_sequential_schedule() {
         let mem = VecRegisters::new(1);
-        let procs = vec![RacyClaimProcess::new(1, 0, 7), RacyClaimProcess::new(2, 0, 7)];
+        let procs = vec![
+            RacyClaimProcess::new(1, 0, 7),
+            RacyClaimProcess::new(2, 0, 7),
+        ];
         // Run p1 to completion, then p2.
         let script = vec![
             Decision::Step(0),
@@ -178,9 +204,12 @@ mod tests {
             Decision::Step(0),
             Decision::Step(0),
         ];
-        let exec = Engine::new(mem, procs, ScriptedScheduler::new(script))
-            .run(EngineLimits::default());
-        assert!(exec.violations().is_empty(), "sequential schedule hides the race");
+        let exec =
+            Engine::new(mem, procs, ScriptedScheduler::new(script)).run(EngineLimits::default());
+        assert!(
+            exec.violations().is_empty(),
+            "sequential schedule hides the race"
+        );
         assert_eq!(exec.effectiveness(), 1);
     }
 }

@@ -92,7 +92,11 @@ impl ThreadExecution {
 ///
 /// Panics if `procs` is empty or pids are not `1..=m` in order, or if a
 /// worker thread panics.
-pub fn run_threads<P>(mem: &AtomicRegisters, procs: Vec<P>, options: ThreadOptions) -> ThreadExecution
+pub fn run_threads<P>(
+    mem: &AtomicRegisters,
+    procs: Vec<P>,
+    options: ThreadOptions,
+) -> ThreadExecution
 where
     P: Process<AtomicRegisters> + Send,
 {
@@ -147,10 +151,19 @@ where
                         _ => steps += 1,
                     }
                 }
-                WorkerResult { pid, performed, steps, crashed, local_work: p.local_work() }
+                WorkerResult {
+                    pid,
+                    performed,
+                    steps,
+                    crashed,
+                    local_work: p.local_work(),
+                }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
     let elapsed = start.elapsed();
 
@@ -187,8 +200,7 @@ mod tests {
     #[test]
     fn threads_complete() {
         let mem = AtomicRegisters::new(4, MemOrder::SeqCst);
-        let procs: Vec<WriterProcess> =
-            (1..=4).map(|p| WriterProcess::new(p, p - 1, 50)).collect();
+        let procs: Vec<WriterProcess> = (1..=4).map(|p| WriterProcess::new(p, p - 1, 50)).collect();
         let exec = run_threads(&mem, procs, ThreadOptions::default());
         assert!(exec.completed);
         assert!(exec.crashed.is_empty());
@@ -214,7 +226,10 @@ mod tests {
     fn watchdog_reports_incomplete() {
         let mem = AtomicRegisters::new(1, MemOrder::SeqCst);
         let procs = vec![WriterProcess::new(1, 0, 1_000)];
-        let options = ThreadOptions { max_steps_per_proc: Some(10), ..ThreadOptions::default() };
+        let options = ThreadOptions {
+            max_steps_per_proc: Some(10),
+            ..ThreadOptions::default()
+        };
         let exec = run_threads(&mem, procs, options);
         assert!(!exec.completed);
     }
@@ -222,8 +237,9 @@ mod tests {
     #[test]
     fn performs_are_collected_across_threads() {
         let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
-        let procs: Vec<PerformOnceProcess> =
-            (1..=8).map(|p| PerformOnceProcess::new(p, p as u64)).collect();
+        let procs: Vec<PerformOnceProcess> = (1..=8)
+            .map(|p| PerformOnceProcess::new(p, p as u64))
+            .collect();
         let exec = run_threads(&mem, procs, ThreadOptions::default());
         assert_eq!(exec.effectiveness(), 8);
         assert!(exec.violations().is_empty());

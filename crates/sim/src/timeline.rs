@@ -70,6 +70,7 @@ fn glyph(entry: &TraceEntry) -> char {
         None => '✗',
         Some(StepEvent::Local) => '.',
         Some(StepEvent::Read { .. }) => 'r',
+        Some(StepEvent::CachedRead { .. }) => 'c',
         Some(StepEvent::Write { .. }) => 'W',
         Some(StepEvent::Rmw { .. }) => 's',
         Some(StepEvent::Perform { .. }) => '!',
@@ -112,8 +113,9 @@ mod tests {
                 Decision::Step(view.running().next().expect("p1 runs"))
             }
         };
-        let exec =
-            Engine::new(mem, procs, sched).with_trace(100).run(EngineLimits::default());
+        let exec = Engine::new(mem, procs, sched)
+            .with_trace(100)
+            .run(EngineLimits::default());
         let s = render_timeline(&exec.trace, 2, 80);
         assert!(s.lines().next().unwrap().contains('!'), "{s}");
         assert!(s.lines().nth(1).unwrap().contains('✗'), "{s}");

@@ -10,12 +10,27 @@ use amo_sim::{
 };
 
 fn exec_eq(fast: &Execution, reference: &Execution, what: &str) {
-    assert_eq!(fast.performed, reference.performed, "{what}: performed differ");
-    assert_eq!(fast.total_steps, reference.total_steps, "{what}: total_steps differ");
+    assert_eq!(
+        fast.performed, reference.performed,
+        "{what}: performed differ"
+    );
+    assert_eq!(
+        fast.total_steps, reference.total_steps,
+        "{what}: total_steps differ"
+    );
     assert_eq!(fast.crashed, reference.crashed, "{what}: crashes differ");
-    assert_eq!(fast.completed, reference.completed, "{what}: completion differs");
-    assert_eq!(fast.mem_work, reference.mem_work, "{what}: mem work differs");
-    assert_eq!(fast.per_proc_steps, reference.per_proc_steps, "{what}: per-proc steps differ");
+    assert_eq!(
+        fast.completed, reference.completed,
+        "{what}: completion differs"
+    );
+    assert_eq!(
+        fast.mem_work, reference.mem_work,
+        "{what}: mem work differs"
+    );
+    assert_eq!(
+        fast.per_proc_steps, reference.per_proc_steps,
+        "{what}: per-proc steps differ"
+    );
 }
 
 fn writers(m: usize, k: u64) -> Vec<WriterProcess> {
@@ -48,7 +63,11 @@ fn block_bursts_equal_reference_for_generic_processes() {
             }
             engine.run(EngineLimits::default())
         };
-        exec_eq(&run(false), &run(true), &format!("writers block({seed},{burst})"));
+        exec_eq(
+            &run(false),
+            &run(true),
+            &format!("writers block({seed},{burst})"),
+        );
     }
 }
 
@@ -74,8 +93,9 @@ fn step_cap_clamps_quanta_exactly() {
 fn crash_plans_fire_at_identical_actions_under_quanta() {
     let run = |single: bool| {
         let mem = VecRegisters::new(0);
-        let procs: Vec<PerformOnceProcess> =
-            (1..=4).map(|p| PerformOnceProcess::new(p, p as u64)).collect();
+        let procs: Vec<PerformOnceProcess> = (1..=4)
+            .map(|p| PerformOnceProcess::new(p, p as u64))
+            .collect();
         let sched = WithCrashes::new(
             RoundRobin::new().with_quantum(8),
             CrashPlan::at_steps([(2usize, 1u64), (4, 0)]),
@@ -101,6 +121,10 @@ fn tracing_forces_per_action_granularity() {
         .run(EngineLimits::default());
     assert_eq!(exec.trace.len() as u64, exec.total_steps);
     for (i, entry) in exec.trace.iter().enumerate() {
-        assert_eq!(entry.step, i as u64 + 1, "trace steps are dense and 1-based");
+        assert_eq!(
+            entry.step,
+            i as u64 + 1,
+            "trace steps are dense and 1-based"
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use amo_sim::testing::{PerformOnceProcess, RacyClaimProcess, WriterProcess};
 use amo_sim::{
-    explore, CrashPlan, Decision, Engine, EngineLimits, ExploreConfig, RandomScheduler,
-    RoundRobin, ScriptedScheduler, VecRegisters, WithCrashes,
+    explore, CrashPlan, Decision, Engine, EngineLimits, ExploreConfig, RandomScheduler, RoundRobin,
+    ScriptedScheduler, VecRegisters, WithCrashes,
 };
 use proptest::prelude::*;
 
@@ -23,9 +23,10 @@ fn round_robin_is_fair() {
 #[test]
 fn random_scheduler_is_fair_in_the_limit() {
     let mem = VecRegisters::new(3);
-    let procs: Vec<WriterProcess> = (1..=3).map(|p| WriterProcess::new(p, p - 1, 2_000)).collect();
-    let exec =
-        Engine::new(mem, procs, RandomScheduler::new(5)).run(EngineLimits::default());
+    let procs: Vec<WriterProcess> = (1..=3)
+        .map(|p| WriterProcess::new(p, p - 1, 2_000))
+        .collect();
+    let exec = Engine::new(mem, procs, RandomScheduler::new(5)).run(EngineLimits::default());
     assert!(exec.completed, "all terminate despite randomness");
     for &s in &exec.per_proc_steps {
         assert_eq!(s, 2_001);
@@ -36,7 +37,12 @@ fn random_scheduler_is_fair_in_the_limit() {
 fn explorer_min_effectiveness_matches_engine_worst_case() {
     // For the racy claimers the explorer knows the worst and best cases;
     // scripted engine runs can realise both.
-    let build = || vec![RacyClaimProcess::new(1, 0, 3), RacyClaimProcess::new(2, 0, 3)];
+    let build = || {
+        vec![
+            RacyClaimProcess::new(1, 0, 3),
+            RacyClaimProcess::new(2, 0, 3),
+        ]
+    };
     let out = explore(VecRegisters::new(1), build(), ExploreConfig::default());
     // Racy claimers can double-perform, so a violation is found...
     assert!(out.violation.is_some());
@@ -69,8 +75,7 @@ fn scripted_decisions_execute_verbatim() {
         Decision::Step(1),
         Decision::Step(1),
     ];
-    let exec = Engine::new(mem, procs, ScriptedScheduler::new(script))
-        .run(EngineLimits::default());
+    let exec = Engine::new(mem, procs, ScriptedScheduler::new(script)).run(EngineLimits::default());
     assert_eq!(exec.crashed, vec![1]);
     assert_eq!(exec.per_proc_steps, vec![0, 4]);
 }

@@ -41,7 +41,12 @@ pub struct SequentialWa {
 impl SequentialWa {
     /// Creates the sequential writer.
     pub fn new(pid: usize, n: u64) -> Self {
-        Self { pid, n, next: 1, terminated: false }
+        Self {
+            pid,
+            n,
+            next: 1,
+            terminated: false,
+        }
     }
 }
 
@@ -90,7 +95,12 @@ impl StaticPartitionWa {
         assert!(m > 0 && (1..=m).contains(&pid));
         let lo = (pid as u64 - 1) * n / m as u64 + 1;
         let hi = pid as u64 * n / m as u64;
-        Self { pid, next: lo, hi, terminated: false }
+        Self {
+            pid,
+            next: lo,
+            hi,
+            terminated: false,
+        }
     }
 }
 
@@ -147,7 +157,14 @@ impl TasWa {
     pub fn new(pid: usize, m: usize, n: u64) -> Self {
         assert!(m > 0 && (1..=m).contains(&pid) && n > 0);
         let start = (pid as u64 - 1) * n / m as u64;
-        Self { pid, n, start, scanned: 0, phase: TasPhase::Claim, terminated: false }
+        Self {
+            pid,
+            n,
+            start,
+            scanned: 0,
+            phase: TasPhase::Claim,
+            terminated: false,
+        }
     }
 
     fn current_job(&self) -> u64 {
@@ -221,7 +238,13 @@ impl PermutationScanWa {
         let mut perm: Vec<u64> = (1..=n).collect();
         let mut rng = StdRng::seed_from_u64(seed ^ (pid as u64).wrapping_mul(0x9E37_79B9));
         perm.shuffle(&mut rng);
-        Self { pid, perm, idx: 0, phase: ScanPhase::Check, terminated: false }
+        Self {
+            pid,
+            perm,
+            idx: 0,
+            phase: ScanPhase::Check,
+            terminated: false,
+        }
     }
 }
 
@@ -326,7 +349,11 @@ mod tests {
         drive_all(&mem, procs);
         assert!(certify_snapshot(&mem.snapshot(), 0, n as usize).complete);
         assert_eq!(mem.work().writes, n, "TAS makes wa writes disjoint");
-        assert_eq!(mem.work().rmws, n * m as u64, "every process scans all claims");
+        assert_eq!(
+            mem.work().rmws,
+            n * m as u64,
+            "every process scans all claims"
+        );
     }
 
     #[test]
@@ -340,7 +367,11 @@ mod tests {
         let w = mem.work();
         assert!(w.writes >= n);
         assert!(w.writes <= n * m as u64);
-        assert_eq!(w.reads, n * m as u64, "exactly one check read per slot per process");
+        assert_eq!(
+            w.reads,
+            n * m as u64,
+            "exactly one check read per slot per process"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub fn certify_snapshot(snapshot: &[u64], wa_base: usize, n: usize) -> CertifyOu
     let missing: Vec<u64> = (1..=n as u64)
         .filter(|&job| snapshot[wa_base + job as usize - 1] == 0)
         .collect();
-    CertifyOutcome { complete: missing.is_empty(), missing, n }
+    CertifyOutcome {
+        complete: missing.is_empty(),
+        missing,
+        n,
+    }
 }
 
 #[cfg(test)]

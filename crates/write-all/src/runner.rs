@@ -5,9 +5,7 @@ use amo_iterative::{run_basic_fleet, IterConfig, IterSimOptions};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{AtomicRegisters, CrashPlan, MemOrder, MemWork, VecRegisters};
 
-use crate::baselines::{
-    baseline_cells, PermutationScanWa, SequentialWa, StaticPartitionWa, TasWa,
-};
+use crate::baselines::{baseline_cells, PermutationScanWa, SequentialWa, StaticPartitionWa, TasWa};
 use crate::certify::{certify_snapshot, CertifyOutcome};
 use crate::wa::{WaIterativeProcess, WaLayout};
 
@@ -25,7 +23,9 @@ impl WaConfig {
     ///
     /// Returns an error if `m == 0` or `n < m`.
     pub fn new(n: usize, m: usize, inv_eps: u32) -> Result<Self, ConfigError> {
-        Ok(Self { iter: IterConfig::new(n, m, inv_eps)? })
+        Ok(Self {
+            iter: IterConfig::new(n, m, inv_eps)?,
+        })
     }
 
     /// Number of array cells (jobs) `n`.
@@ -140,9 +140,14 @@ impl WaReport {
 pub fn run_wa_simulated(config: &WaConfig, options: IterSimOptions) -> WaReport {
     let layout = config.layout();
     let mem = VecRegisters::new(layout.cells());
-    let fleet: Vec<WaIterativeProcess> = (1..=config.m())
+    let mut fleet: Vec<WaIterativeProcess> = (1..=config.m())
         .map(|pid| WaIterativeProcess::new(pid, config.iter(), layout.clone()))
         .collect();
+    if options.epoch_cache && options.grants_quanta() {
+        for p in &mut fleet {
+            p.set_epoch_cache(true);
+        }
+    }
     let (exec, _slots, mem) = run_basic_fleet(mem, fleet, &options);
     let certified = certify_snapshot(&mem.snapshot(), layout.wa_base(), config.n());
     WaReport {
@@ -164,8 +169,14 @@ pub fn run_wa_threads(config: &WaConfig, crash_plan: CrashPlan, order: MemOrder)
     let fleet: Vec<WaIterativeProcess> = (1..=config.m())
         .map(|pid| WaIterativeProcess::new(pid, config.iter(), layout.clone()))
         .collect();
-    let exec =
-        sim_run_threads(&mem, fleet, ThreadOptions { crash_plan, max_steps_per_proc: None });
+    let exec = sim_run_threads(
+        &mem,
+        fleet,
+        ThreadOptions {
+            crash_plan,
+            max_steps_per_proc: None,
+        },
+    );
     let certified = certify_snapshot(&mem.snapshot(), layout.wa_base(), config.n());
     WaReport {
         complete: certified.complete,
@@ -199,7 +210,9 @@ pub fn run_baseline_simulated(
             (e, mem)
         }
         WaBaselineKind::StaticPartition => {
-            let fleet: Vec<_> = (1..=m).map(|p| StaticPartitionWa::new(p, m, n as u64)).collect();
+            let fleet: Vec<_> = (1..=m)
+                .map(|p| StaticPartitionWa::new(p, m, n as u64))
+                .collect();
             let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
             (e, mem)
         }
@@ -209,8 +222,9 @@ pub fn run_baseline_simulated(
             (e, mem)
         }
         WaBaselineKind::PermutationScan(seed) => {
-            let fleet: Vec<_> =
-                (1..=m).map(|p| PermutationScanWa::new(p, n as u64, seed)).collect();
+            let fleet: Vec<_> = (1..=m)
+                .map(|p| PermutationScanWa::new(p, n as u64, seed))
+                .collect();
             let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
             (e, mem)
         }
@@ -239,13 +253,18 @@ pub fn run_baseline_threads(
     assert!(n > 0 && m > 0, "need jobs and processes");
     let cells = baseline_cells(kind.uses_rmw(), n);
     let mem = AtomicRegisters::new(cells, order);
-    let options = ThreadOptions { crash_plan, max_steps_per_proc: None };
+    let options = ThreadOptions {
+        crash_plan,
+        max_steps_per_proc: None,
+    };
     let exec = match kind {
         WaBaselineKind::Sequential => {
             sim_run_threads(&mem, vec![SequentialWa::new(1, n as u64)], options)
         }
         WaBaselineKind::StaticPartition => {
-            let fleet: Vec<_> = (1..=m).map(|p| StaticPartitionWa::new(p, m, n as u64)).collect();
+            let fleet: Vec<_> = (1..=m)
+                .map(|p| StaticPartitionWa::new(p, m, n as u64))
+                .collect();
             sim_run_threads(&mem, fleet, options)
         }
         WaBaselineKind::Tas => {
@@ -253,8 +272,9 @@ pub fn run_baseline_threads(
             sim_run_threads(&mem, fleet, options)
         }
         WaBaselineKind::PermutationScan(seed) => {
-            let fleet: Vec<_> =
-                (1..=m).map(|p| PermutationScanWa::new(p, n as u64, seed)).collect();
+            let fleet: Vec<_> = (1..=m)
+                .map(|p| PermutationScanWa::new(p, n as u64, seed))
+                .collect();
             sim_run_threads(&mem, fleet, options)
         }
     };
@@ -288,8 +308,11 @@ mod tests {
     #[test]
     fn wa_iterative_completes_under_crashes() {
         let config = WaConfig::new(300, 4, 1).unwrap();
-        let options = IterSimOptions::random(11)
-            .with_crash_plan(CrashPlan::at_steps([(1usize, 50u64), (2, 200), (3, 700)]));
+        let options = IterSimOptions::random(11).with_crash_plan(CrashPlan::at_steps([
+            (1usize, 50u64),
+            (2, 200),
+            (3, 700),
+        ]));
         let report = run_wa_simulated(&config, options);
         assert_eq!(report.crashed, vec![1, 2, 3]);
         assert!(report.complete, "survivor finishes everything");
@@ -301,8 +324,7 @@ mod tests {
             WaBaselineKind::StaticPartition,
             100,
             4,
-            IterSimOptions::round_robin()
-                .with_crash_plan(CrashPlan::at_steps([(2usize, 3u64)])),
+            IterSimOptions::round_robin().with_crash_plan(CrashPlan::at_steps([(2usize, 3u64)])),
         );
         assert!(!report.complete, "fault-intolerant baseline must fail");
         assert!(!report.certified.missing.is_empty());
@@ -320,12 +342,7 @@ mod tests {
         // not written stay 0 — the known weakness of naive TAS claiming
         // (Malewicz's real algorithm recovers them; our stand-in documents
         // the gap). Without crashes it always completes:
-        let clean = run_baseline_simulated(
-            WaBaselineKind::Tas,
-            64,
-            3,
-            IterSimOptions::random(3),
-        );
+        let clean = run_baseline_simulated(WaBaselineKind::Tas, 64, 3, IterSimOptions::random(3));
         assert!(clean.complete);
         // Under a crash, completion depends on timing; both outcomes are
         // legal for the stand-in, but the report must be internally
@@ -339,16 +356,23 @@ mod tests {
             WaBaselineKind::PermutationScan(5),
             80,
             4,
-            IterSimOptions::random(9)
-                .with_crash_plan(CrashPlan::at_steps([(1usize, 5u64), (2, 11), (3, 17)])),
+            IterSimOptions::random(9).with_crash_plan(CrashPlan::at_steps([
+                (1usize, 5u64),
+                (2, 11),
+                (3, 17),
+            ])),
         );
         assert!(report.complete, "any survivor covers all cells");
     }
 
     #[test]
     fn sequential_baseline_work_is_n_writes() {
-        let report =
-            run_baseline_simulated(WaBaselineKind::Sequential, 128, 1, IterSimOptions::round_robin());
+        let report = run_baseline_simulated(
+            WaBaselineKind::Sequential,
+            128,
+            1,
+            IterSimOptions::round_robin(),
+        );
         assert!(report.complete);
         assert_eq!(report.mem_work.writes, 128);
         assert!((report.redundancy() - 1.0).abs() < f64::EPSILON);
@@ -369,8 +393,7 @@ mod tests {
             WaBaselineKind::Tas,
             WaBaselineKind::PermutationScan(1),
         ] {
-            let report =
-                run_baseline_threads(kind, 100, 3, CrashPlan::none(), MemOrder::SeqCst);
+            let report = run_baseline_threads(kind, 100, 3, CrashPlan::none(), MemOrder::SeqCst);
             assert!(report.complete, "{} must complete crash-free", kind.label());
         }
     }

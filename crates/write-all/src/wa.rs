@@ -106,7 +106,19 @@ impl WaIterativeProcess {
     pub fn new(pid: usize, config: &IterConfig, layout: WaLayout) -> Self {
         assert_eq!(layout.iter().n(), config.n(), "layout/config mismatch");
         let inner = IterativeProcess::new(pid, layout.iter().clone(), config.beta(), true);
-        Self { inner, layout, phase: WaPhase::Driving, wa_writes: 0 }
+        Self {
+            inner,
+            layout,
+            phase: WaPhase::Driving,
+            wa_writes: 0,
+        }
+    }
+
+    /// Enables or disables the announcement-epoch cache on the wrapped
+    /// driver (see `amo_core::KkProcess::set_epoch_cache`). Call before the
+    /// first step.
+    pub fn set_epoch_cache(&mut self, enabled: bool) {
+        self.inner.set_epoch_cache(enabled);
     }
 
     /// `true` once the terminal loop has finished.
@@ -130,6 +142,34 @@ impl WaIterativeProcess {
         self.wa_writes += 1;
         cell
     }
+
+    /// A lower bound on the number of driver actions before the next
+    /// possible `Perform`, from the driver's current stage phase. `0` means
+    /// "a `do` may be imminent — use the per-action path".
+    ///
+    /// The bound is conservative: a `gatherDone` sweep only gets *longer*
+    /// when log entries are consumed, and the final-gather path of a stage
+    /// cannot perform at all (its last counted action is the stage's
+    /// `Output`, so a bounded batch never crosses into the next stage's
+    /// cycle).
+    fn drive_bound(&self) -> u64 {
+        use amo_core::KkPhase;
+        let kk = self.inner.inner();
+        let m = self.layout.iter().m() as u64;
+        let q = kk.gather_cursor() as u64;
+        let rem = m - q + 1;
+        match kk.phase() {
+            // Finish this sweep, then at least m gatherDone actions, check
+            // and flagRead before a do.
+            KkPhase::GatherTry => rem + m + 2,
+            // Finish this sweep, then check and flagRead.
+            KkPhase::GatherDone => rem + 2,
+            // The terminal path never performs; stop at the stage's Output.
+            KkPhase::FinalGatherTry => rem + m + 1,
+            KkPhase::FinalGatherDone => rem + 1,
+            _ => 0,
+        }
+    }
 }
 
 impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
@@ -137,7 +177,10 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
         match &mut self.phase {
             WaPhase::Driving => match self.inner.step(mem) {
                 StepEvent::Perform { span } => {
-                    self.phase = WaPhase::WritingSpan { next: span.lo, hi: span.hi };
+                    self.phase = WaPhase::WritingSpan {
+                        next: span.lo,
+                        hi: span.hi,
+                    };
                     StepEvent::Perform { span }
                 }
                 StepEvent::Terminated => {
@@ -172,7 +215,9 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
                     // can measure redundancy. The write itself is already
                     // counted by the register file.
                     let _ = cell;
-                    StepEvent::Perform { span: JobSpan::single(job) }
+                    StepEvent::Perform {
+                        span: JobSpan::single(job),
+                    }
                 } else {
                     self.phase = WaPhase::Done;
                     StepEvent::Terminated
@@ -189,15 +234,45 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
     ///
     /// The write loops — `WritingSpan` after each super-job `do` and the
     /// terminal `FinalLoop` — are the `n`-dominant phases (one `wa`-array
-    /// write per action) and run batched; the `Driving` phase stays
-    /// per-action because the wrapper must intercept every `Perform` of the
-    /// inner driver to splice in its span writes at exactly the same
-    /// actions as under single-stepping.
+    /// write per action) and run batched. The `Driving` phase must splice
+    /// its span writes in immediately after every `Perform` of the inner
+    /// driver, so it hands the driver a *bounded* batch: from the current
+    /// inner phase, a `do` cannot occur within the next
+    /// [`drive_bound`](Self::drive_bound) actions (a gather sweep must
+    /// finish, plus the minimum `gatherDone`/`check`/`flagRead` tail), so
+    /// batches capped at that bound run the driver's dominant sweep loops —
+    /// including the epoch-cache whole-sweep skips — without per-action
+    /// dispatch, while every `Perform` still falls on the per-action path.
     fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
         debug_assert!(budget >= 1, "step_many needs a positive budget");
         let mut steps: u64 = 0;
         let mut performed: Vec<(u64, JobSpan)> = Vec::new();
         while steps < budget {
+            if matches!(self.phase, WaPhase::Driving) {
+                let bound = self.drive_bound();
+                if bound >= 1 {
+                    let inner_budget = bound.min(budget - steps);
+                    let out = Process::<R>::step_many(&mut self.inner, mem, inner_budget);
+                    debug_assert!(
+                        out.performed.is_empty(),
+                        "a do slipped into a bounded driver batch"
+                    );
+                    steps += out.steps;
+                    if out.terminated {
+                        // The driver's terminating action is the wrapper's
+                        // *local* transition into the terminal loop, exactly
+                        // as on the single-step path.
+                        let jobs: Vec<u64> = self
+                            .inner
+                            .final_output()
+                            .expect("driver terminated with an output")
+                            .iter()
+                            .collect();
+                        self.phase = WaPhase::FinalLoop { jobs, idx: 0 };
+                    }
+                    continue;
+                }
+            }
             match &mut self.phase {
                 WaPhase::WritingSpan { next, hi } => {
                     let mut job = *next;
@@ -231,7 +306,11 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
                         } else {
                             self.phase = WaPhase::Done;
                             steps += 1;
-                            return BatchOutcome { steps, performed, terminated: true };
+                            return BatchOutcome {
+                                steps,
+                                performed,
+                                terminated: true,
+                            };
                         }
                     }
                 }
@@ -241,14 +320,22 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
                     match event {
                         StepEvent::Perform { span } => performed.push((steps - 1, span)),
                         StepEvent::Terminated => {
-                            return BatchOutcome { steps, performed, terminated: true }
+                            return BatchOutcome {
+                                steps,
+                                performed,
+                                terminated: true,
+                            }
                         }
                         _ => {}
                     }
                 }
             }
         }
-        BatchOutcome { steps, performed, terminated: false }
+        BatchOutcome {
+            steps,
+            performed,
+            terminated: false,
+        }
     }
 
     fn pid(&self) -> usize {

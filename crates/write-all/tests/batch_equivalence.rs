@@ -10,12 +10,27 @@ use proptest::prelude::*;
 fn assert_wa_eq(config: &WaConfig, base: IterSimOptions, what: &str) {
     let fast = run_wa_simulated(config, base.clone());
     let reference = run_wa_simulated(config, base.single_step());
-    assert_eq!(fast.complete, reference.complete, "{what}: completion differs");
-    assert_eq!(fast.total_steps, reference.total_steps, "{what}: total_steps differ");
-    assert_eq!(fast.mem_work, reference.mem_work, "{what}: shared work differs");
-    assert_eq!(fast.local_work, reference.local_work, "{what}: local work differs");
+    assert_eq!(
+        fast.complete, reference.complete,
+        "{what}: completion differs"
+    );
+    assert_eq!(
+        fast.total_steps, reference.total_steps,
+        "{what}: total_steps differ"
+    );
+    assert_eq!(
+        fast.mem_work, reference.mem_work,
+        "{what}: shared work differs"
+    );
+    assert_eq!(
+        fast.local_work, reference.local_work,
+        "{what}: local work differs"
+    );
     assert_eq!(fast.crashed, reference.crashed, "{what}: crashes differ");
-    assert_eq!(fast.certified.missing, reference.certified.missing, "{what}: certification");
+    assert_eq!(
+        fast.certified.missing, reference.certified.missing,
+        "{what}: certification"
+    );
 }
 
 #[test]
@@ -27,7 +42,11 @@ fn batched_write_all_matches_reference() {
             IterSimOptions::round_robin_batched(),
             &format!("wa n={n} m={m} batched rr"),
         );
-        assert_wa_eq(&config, IterSimOptions::block(7, 19), &format!("wa n={n} m={m} block"));
+        assert_wa_eq(
+            &config,
+            IterSimOptions::block(7, 19),
+            &format!("wa n={n} m={m} block"),
+        );
     }
 }
 

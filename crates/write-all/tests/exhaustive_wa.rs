@@ -15,10 +15,7 @@ fn wa_iterative_tiny_instance_dense_schedule_sweep() {
     let config = WaConfig::new(6, 2, 1).unwrap();
     for seed in 0..300u64 {
         let plan = CrashPlan::random(2, 1, 40, seed);
-        let r = run_wa_simulated(
-            &config,
-            IterSimOptions::random(seed).with_crash_plan(plan),
-        );
+        let r = run_wa_simulated(&config, IterSimOptions::random(seed).with_crash_plan(plan));
         assert!(r.complete, "seed {seed}: missing {:?}", r.certified.missing);
         assert!(r.completed, "seed {seed}");
     }
@@ -27,8 +24,7 @@ fn wa_iterative_tiny_instance_dense_schedule_sweep() {
 #[test]
 fn perm_scan_tiny_instance_all_schedules_and_crashes() {
     let n = 4u64;
-    let fleet: Vec<PermutationScanWa> =
-        (1..=2).map(|p| PermutationScanWa::new(p, n, 9)).collect();
+    let fleet: Vec<PermutationScanWa> = (1..=2).map(|p| PermutationScanWa::new(p, n, 9)).collect();
     let out = explore(
         VecRegisters::new(n as usize),
         fleet,

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_trace(400)
         .run(EngineLimits::default());
 
-    println!("n = {}, m = {}, crash plan: p2 after 12 actions\n", config.n(), config.m());
+    println!(
+        "n = {}, m = {}, crash plan: p2 after 12 actions\n",
+        config.n(),
+        config.m()
+    );
     println!("{}", render_timeline(&exec.trace, config.m(), 100));
     println!("effectiveness : {} / {}", exec.effectiveness(), config.n());
     println!("violations    : {}", exec.violations().len());

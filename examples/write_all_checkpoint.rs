@@ -12,9 +12,7 @@
 
 use at_most_once::iterative::IterSimOptions;
 use at_most_once::sim::CrashPlan;
-use at_most_once::write_all::{
-    run_baseline_simulated, run_wa_simulated, WaBaselineKind, WaConfig,
-};
+use at_most_once::write_all::{run_baseline_simulated, run_wa_simulated, WaBaselineKind, WaConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slots = 4096;
@@ -49,12 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.complete,
             r.work(),
             r.redundancy(),
-            if r.mem_work.rmws > 0 { "test-and-set" } else { "read/write" },
+            if r.mem_work.rmws > 0 {
+                "test-and-set"
+            } else {
+                "read/write"
+            },
         );
     }
 
-    assert!(wa.complete, "Theorem 7.1: WA_IterativeKK must certify complete");
-    assert!(!static_split.complete, "the fault-intolerant split must fail here");
+    assert!(
+        wa.complete,
+        "Theorem 7.1: WA_IterativeKK must certify complete"
+    );
+    assert!(
+        !static_split.complete,
+        "the fault-intolerant split must fail here"
+    );
     println!(
         "\nWA_IterativeKK certified all {slots} slots using plain reads/writes — \
          no test-and-set hardware required."

@@ -44,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let double_exposures = fired.values().filter(|&&c| c > 1).count();
     let missed = exposures as u64 - report.effectiveness;
 
-    println!("controllers          : {controllers} (crashed: {:?})", report.crashed);
-    println!("exposures delivered  : {} / {exposures}", report.effectiveness);
+    println!(
+        "controllers          : {controllers} (crashed: {:?})",
+        report.crashed
+    );
+    println!(
+        "exposures delivered  : {} / {exposures}",
+        report.effectiveness
+    );
     println!("double exposures     : {double_exposures} (MUST be 0)");
     println!(
         "missed (rescheduled) : {missed} — bounded by β + m − 2 + crashes = {}",

@@ -1,8 +1,6 @@
 //! Cross-crate integration: the full public API surface, end to end.
 
-use at_most_once::core::{
-    run_simulated, run_threads, KkConfig, SimOptions, ThreadRunOptions,
-};
+use at_most_once::core::{run_simulated, run_threads, KkConfig, SimOptions, ThreadRunOptions};
 use at_most_once::sim::{CrashPlan, MemOrder};
 
 #[test]
@@ -30,7 +28,11 @@ fn every_scheduler_kind_is_safe() {
     ] {
         let r = run_simulated(&config, options);
         assert!(r.violations.is_empty(), "{}", r.scheduler_label);
-        assert!(r.effectiveness >= config.effectiveness_bound(), "{}", r.scheduler_label);
+        assert!(
+            r.effectiveness >= config.effectiveness_bound(),
+            "{}",
+            r.scheduler_label
+        );
     }
 }
 
@@ -42,10 +44,16 @@ fn crash_heavy_thread_runs_stay_safe() {
         let plan = CrashPlan::at_steps((1..m).map(|p| (p, seed * 31 + 10 * p as u64)));
         let r = run_threads(
             &config,
-            ThreadRunOptions { crash_plan: plan, ..ThreadRunOptions::default() },
+            ThreadRunOptions {
+                crash_plan: plan,
+                ..ThreadRunOptions::default()
+            },
         );
         assert!(r.violations.is_empty(), "seed {seed}");
-        assert!(r.effectiveness >= config.effectiveness_bound(), "seed {seed}");
+        assert!(
+            r.effectiveness >= config.effectiveness_bound(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -57,12 +65,18 @@ fn acqrel_ordering_is_measured_not_trusted() {
     let config = KkConfig::new(300, 4).unwrap();
     let seqcst = run_threads(
         &config,
-        ThreadRunOptions { order: MemOrder::SeqCst, ..ThreadRunOptions::default() },
+        ThreadRunOptions {
+            order: MemOrder::SeqCst,
+            ..ThreadRunOptions::default()
+        },
     );
     assert!(seqcst.violations.is_empty());
     let acqrel = run_threads(
         &config,
-        ThreadRunOptions { order: MemOrder::AcqRel, ..ThreadRunOptions::default() },
+        ThreadRunOptions {
+            order: MemOrder::AcqRel,
+            ..ThreadRunOptions::default()
+        },
     );
     // Report only: count, do not assert emptiness.
     let _observed = acqrel.violations.len();

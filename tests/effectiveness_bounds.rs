@@ -35,7 +35,10 @@ fn no_execution_found_below_the_bound() {
     for seed in 0..20u64 {
         let config = KkConfig::new(128, 4).unwrap();
         let r = run_simulated(&config, SimOptions::random(seed));
-        assert!(r.effectiveness >= config.effectiveness_bound(), "seed {seed}");
+        assert!(
+            r.effectiveness >= config.effectiveness_bound(),
+            "seed {seed}"
+        );
     }
 }
 

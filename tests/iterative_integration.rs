@@ -66,10 +66,7 @@ fn stage_schedule_matches_figure_3_shape() {
 fn iterative_with_maximal_crashes() {
     let config = IterConfig::new(1_500, 3, 2).unwrap();
     let plan = CrashPlan::at_steps([(1usize, 200u64), (2, 900)]);
-    let r = run_iterative_simulated(
-        &config,
-        IterSimOptions::random(13).with_crash_plan(plan),
-    );
+    let r = run_iterative_simulated(&config, IterSimOptions::random(13).with_crash_plan(plan));
     assert!(r.violations.is_empty());
     assert_eq!(r.crashed, vec![1, 2]);
     assert!(r.effectiveness >= config.effectiveness_floor());

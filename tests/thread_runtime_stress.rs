@@ -14,7 +14,10 @@ fn repeated_contended_runs_stay_safe() {
         let config = KkConfig::new(32, 8).unwrap();
         let r = run_threads(&config, ThreadRunOptions::default());
         assert!(r.violations.is_empty(), "round {round}");
-        assert!(r.effectiveness >= config.effectiveness_bound(), "round {round}");
+        assert!(
+            r.effectiveness >= config.effectiveness_bound(),
+            "round {round}"
+        );
     }
 }
 
@@ -26,7 +29,10 @@ fn staggered_crashes_under_contention() {
         let plan = CrashPlan::at_steps((1..m).map(|p| (p, round * 13 + 7 * p as u64)));
         let r = run_threads(
             &config,
-            ThreadRunOptions { crash_plan: plan, ..ThreadRunOptions::default() },
+            ThreadRunOptions {
+                crash_plan: plan,
+                ..ThreadRunOptions::default()
+            },
         );
         assert!(r.violations.is_empty(), "round {round}");
     }
@@ -50,7 +56,10 @@ fn iterative_threads_under_contention() {
         let plan = CrashPlan::at_steps([(1usize, round * 50 + 20)]);
         let r = run_iterative_threads(&config, plan, MemOrder::SeqCst);
         assert!(r.violations.is_empty(), "round {round}");
-        assert!(r.effectiveness >= config.effectiveness_floor(), "round {round}");
+        assert!(
+            r.effectiveness >= config.effectiveness_floor(),
+            "round {round}"
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 use at_most_once::iterative::IterSimOptions;
 use at_most_once::sim::{CrashPlan, MemOrder};
 use at_most_once::write_all::{
-    run_baseline_simulated, run_baseline_threads, run_wa_simulated, run_wa_threads,
-    WaBaselineKind, WaConfig,
+    run_baseline_simulated, run_baseline_threads, run_wa_simulated, run_wa_threads, WaBaselineKind,
+    WaConfig,
 };
 
 #[test]
@@ -24,7 +24,11 @@ fn wa_survives_maximal_crashes() {
         let config = WaConfig::new(1_000, m, 1).unwrap();
         let plan = CrashPlan::at_steps((1..m).map(|p| (p, seed * 97 + 30 * p as u64)));
         let r = run_wa_simulated(&config, IterSimOptions::random(seed).with_crash_plan(plan));
-        assert!(r.complete, "seed {seed}: missing {:?}", r.certified.missing.len());
+        assert!(
+            r.complete,
+            "seed {seed}: missing {:?}",
+            r.certified.missing.len()
+        );
         assert_eq!(r.crashed.len(), m - 1);
     }
 }
@@ -69,5 +73,9 @@ fn redundancy_is_bounded_by_m() {
     let config = WaConfig::new(800, m, 1).unwrap();
     let r = run_wa_simulated(&config, IterSimOptions::random(4));
     assert!(r.complete);
-    assert!(r.redundancy() <= (m + 1) as f64, "redundancy {}", r.redundancy());
+    assert!(
+        r.redundancy() <= (m + 1) as f64,
+        "redundancy {}",
+        r.redundancy()
+    );
 }
