@@ -99,15 +99,17 @@ impl BaselineOptions {
 }
 
 fn to_report(exec: Execution, label: &'static str) -> AmoReport {
+    let (effectiveness, violations) = exec.summary();
     AmoReport {
-        effectiveness: exec.effectiveness(),
-        violations: exec.violations(),
+        effectiveness,
+        violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
         total_steps: exec.total_steps,
+        epoch_mem_bytes: 0,
         collisions: None,
         scheduler_label: label,
     }
@@ -202,15 +204,18 @@ pub fn run_baseline_threads(
                 max_steps_per_proc: None,
             },
         );
+        let (effectiveness, violations) =
+            amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
         AmoReport {
-            effectiveness: exec.effectiveness(),
-            violations: exec.violations(),
+            effectiveness,
+            violations,
             performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
             crashed: exec.crashed.clone(),
             completed: exec.completed,
             mem_work: exec.mem_work,
             local_work: exec.local_work,
             total_steps: exec.per_proc_steps.iter().sum(),
+            epoch_mem_bytes: 0,
             collisions: None,
             scheduler_label: label,
         }

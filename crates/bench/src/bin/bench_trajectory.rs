@@ -1,0 +1,126 @@
+//! Appends one JSON-Lines row summarising a `BENCH_engine.json` to the
+//! committed `BENCH_trajectory.jsonl`, so the perf history the ROADMAP
+//! narrates is machine-readable: one row per nightly full-scale bench run,
+//! stamped with the commit and date CI passes in.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trajectory --bench BENCH_engine.json [--out BENCH_trajectory.jsonl] \
+//!                  [--sha COMMIT] [--date YYYY-MM-DD]
+//! ```
+//!
+//! `--sha` defaults to `$GITHUB_SHA` (then `"unknown"`), `--date` to
+//! `$BENCH_DATE` (then the Unix epoch-seconds clock rendered as a day
+//! stamp is *not* attempted — CI passes `date -u +%F`; locally pass it
+//! explicitly or accept `"unknown"`). Rows are append-only: the trajectory
+//! is a log, not a table to rewrite.
+
+use amo_bench::gate::{arg_value, parse_bench, Workload};
+use std::fmt::Write as _;
+
+/// Keeps only characters that are safe inside a JSON string literal
+/// (alphanumerics and `-_.:+/`), so a stray quote or backslash in
+/// `--sha`/`--date`/an env var cannot corrupt the append-only log.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || "-_.:+/".contains(*c))
+        .collect()
+}
+
+/// Renders one compact JSONL row for a parsed bench file.
+fn row(workloads: &[Workload], sha: &str, date: &str) -> String {
+    let mut out = String::new();
+    let date = sanitize(date);
+    let sha = sanitize(sha);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"amo-bench/trajectory-v1\",\"date\":\"{date}\",\"sha\":\"{sha}\",\
+         \"workloads\":["
+    );
+    for (i, w) in workloads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\"", sanitize(&w.name));
+        for (k, v) in &w.ms {
+            let _ = write!(out, ",\"{k}\":{v:.2}");
+        }
+        for (k, v) in &w.ratios {
+            let _ = write!(out, ",\"{k}\":{v:.2}");
+        }
+        for (k, v) in &w.mem {
+            let _ = write!(out, ",\"{k}\":{v:.2}");
+        }
+        for (k, v) in &w.counters {
+            let _ = write!(out, ",\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_path = arg_value(&args, "--bench").unwrap_or_else(|| {
+        eprintln!("[bench_trajectory] --bench PATH is required");
+        std::process::exit(2);
+    });
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_trajectory.jsonl".to_owned());
+    let sha = arg_value(&args, "--sha")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let date = arg_value(&args, "--date")
+        .or_else(|| std::env::var("BENCH_DATE").ok())
+        .unwrap_or_else(|| "unknown".to_owned());
+
+    let bench = std::fs::read_to_string(&bench_path).unwrap_or_else(|e| {
+        eprintln!("[bench_trajectory] cannot read {bench_path}: {e}");
+        std::process::exit(2);
+    });
+    let workloads = parse_bench(&bench);
+    if workloads.is_empty() {
+        eprintln!("[bench_trajectory] {bench_path} parsed to zero workloads");
+        std::process::exit(2);
+    }
+
+    let line = row(&workloads, &sha, &date);
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .unwrap_or_else(|e| {
+            eprintln!("[bench_trajectory] cannot open {out_path}: {e}");
+            std::process::exit(2);
+        });
+    f.write_all(line.as_bytes()).expect("append trajectory row");
+    eprintln!(
+        "[bench_trajectory] appended {} workload(s) for {sha} to {out_path}",
+        workloads.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_strips_json_breaking_characters() {
+        assert_eq!(sanitize("abc-123_.:+/"), "abc-123_.:+/");
+        assert_eq!(sanitize("aug \"1\" \\ {evil}"), "aug1evil");
+    }
+
+    #[test]
+    fn row_is_valid_jsonl_even_with_hostile_stamps() {
+        let w = Workload {
+            name: "kk\"x".into(),
+            ..Workload::default()
+        };
+        let line = row(&[w], "sha\"", "da\\te");
+        assert!(!line.contains('\\'), "no unescaped backslashes: {line}");
+        assert_eq!(line.matches('\"').count() % 2, 0, "quotes balanced");
+        assert!(line.ends_with("]}\n"));
+    }
+}

@@ -5,24 +5,18 @@
 //!
 //! ```text
 //! perf_gate --baseline BENCH_engine.quick.json --current BENCH_engine.ci.json \
-//!           [--tolerance 0.2] [--summary PATH]
+//!           [--tolerance 0.2] [--mem-tolerance 0.25] [--summary PATH]
 //! ```
 //!
-//! Deterministic counters (`total_steps`, `shared_ops`, `effectiveness`)
-//! must match exactly; speed ratios may dip at most `tolerance` below the
-//! baseline (see [`amo_bench::gate`] for the rationale). A markdown
-//! comparison table is appended to `--summary` if given, else to
-//! `$GITHUB_STEP_SUMMARY` if set, and always printed to stdout. Exit code 1
-//! on regression.
+//! Deterministic counters (`total_steps`, `shared_ops`, `effectiveness`,
+//! `epoch_mem_bytes`) must match exactly; speed ratios may dip at most
+//! `tolerance` below the baseline; banded memory columns (`peak_rss_mb`)
+//! must stay within `±mem-tolerance` of the baseline (see
+//! [`amo_bench::gate`] for the rationale). A markdown comparison table is appended to `--summary` if
+//! given, else to `$GITHUB_STEP_SUMMARY` if set, and always printed to
+//! stdout. Exit code 1 on regression.
 
-use amo_bench::gate::{compare, markdown, parse_bench};
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+use amo_bench::gate::{arg_value, compare_with, markdown, parse_bench, MEM_TOLERANCE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +31,9 @@ fn main() {
     let tolerance: f64 = arg_value(&args, "--tolerance")
         .map(|t| t.parse().expect("--tolerance must be a number"))
         .unwrap_or(0.2);
+    let mem_tolerance: f64 = arg_value(&args, "--mem-tolerance")
+        .map(|t| t.parse().expect("--mem-tolerance must be a number"))
+        .unwrap_or(MEM_TOLERANCE);
 
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -55,7 +52,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let report = compare(&baseline, &current, tolerance);
+    let report = compare_with(&baseline, &current, tolerance, mem_tolerance);
     let md = markdown(&report, tolerance);
     println!("{md}");
 

@@ -4,13 +4,30 @@
 //! Two classes of fields are checked per workload (matched by `name`):
 //!
 //! * **deterministic counters** (`total_steps`, `shared_ops`,
-//!   `effectiveness`) must match the baseline **exactly** — the simulator is
-//!   deterministic, so any drift is a semantic change that must come with a
-//!   baseline update in the same commit;
+//!   `effectiveness`, and `epoch_mem_bytes` — the tracked-prefix epoch
+//!   high-water is a deterministic function of the execution) must match
+//!   the baseline **exactly** — the simulator is deterministic, so any
+//!   drift is a semantic change that must come with a baseline update in
+//!   the same commit;
 //! * **speed ratios** (`speedup_vs_seed`, `speedup_vs_single_step`) must not
 //!   fall below `baseline × (1 − tolerance)` — ratios of two measurements
 //!   taken in one process are far more machine-portable than absolute
-//!   milliseconds, which are reported but never gated.
+//!   milliseconds, which are reported but never gated;
+//! * **memory columns** (`*_mb` keys; today `peak_rss_mb` is the only
+//!   producer) must stay within `baseline × (1 ± `[`MEM_TOLERANCE`]`)` —
+//!   two-sided, so both a memory regression and a silent loss of coverage
+//!   (or an uncommitted improvement) fail. Columns below [`MIN_GATED_MB`]
+//!   are informational (process-baseline noise dominates), as is a column
+//!   missing from the current run (RSS needs procfs) or present only in
+//!   the current run (reported so a baseline regenerated without procfs is
+//!   visibly narrower than what CI measures). RSS is an *absolute*
+//!   per-machine measurement — the one deliberate exception to the
+//!   ratios-only rule — so a runner-image or allocator change can shift it
+//!   legitimately; when that happens, regenerate the committed baseline in
+//!   the same commit rather than widening the band. Note `kk_mega_rr`
+//!   itself runs only at full scale (the nightly bench); the quick CI gate
+//!   enforces the epoch-memory path through its scaled twin
+//!   `kk_mega_quick`.
 //!
 //! A workload present in the baseline but missing from the current run is a
 //! **hard failure** — otherwise renaming or crashing a workload would
@@ -27,6 +44,15 @@
 
 use std::fmt::Write as _;
 
+/// Value of a `--flag VALUE` pair in an argv slice (shared by the gate and
+/// trajectory binaries).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// One workload row parsed from a `BENCH_engine*.json`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Workload {
@@ -38,6 +64,8 @@ pub struct Workload {
     pub ms: Vec<(String, f64)>,
     /// Speed ratios, by field name.
     pub ratios: Vec<(String, f64)>,
+    /// Memory columns in megabytes (`*_mb`), by field name.
+    pub mem: Vec<(String, f64)>,
     /// Deterministic counters, by field name.
     pub counters: Vec<(String, u64)>,
 }
@@ -49,6 +77,10 @@ impl Workload {
 
     fn ms(&self, key: &str) -> Option<f64> {
         self.ms.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn mem_mb(&self, key: &str) -> Option<f64> {
+        self.mem.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
     fn counter(&self, key: &str) -> Option<u64> {
@@ -121,6 +153,8 @@ fn parse_workload(obj: &str) -> Option<Workload> {
         } else if let Ok(num) = val.parse::<f64>() {
             if key.ends_with("_ms") {
                 w.ms.push((key, num));
+            } else if key.ends_with("_mb") {
+                w.mem.push((key, num));
             } else if key.starts_with("speedup") {
                 w.ratios.push((key, num));
             } else if num.fract() == 0.0 {
@@ -167,9 +201,33 @@ pub struct GateReport {
 /// below it they are reported as informational (see module docs).
 pub const MIN_GATED_MS: f64 = 2.0;
 
+/// Smallest baseline memory column (MB) that is gated; below it the
+/// process-baseline noise (binary mappings, allocator arenas) dominates the
+/// reading, so small columns are reported but not enforced.
+pub const MIN_GATED_MB: f64 = 16.0;
+
+/// Relative band for memory columns: the current value must stay within
+/// `baseline × (1 ± MEM_TOLERANCE)`. Two-sided on purpose — an unexplained
+/// *shrink* beyond the band means the workload no longer exercises the
+/// memory path the baseline recorded (or an improvement landed without its
+/// baseline refresh), both of which should fail loudly like a counter
+/// drift.
+pub const MEM_TOLERANCE: f64 = 0.25;
+
 /// Compares `current` against `baseline` with the given relative
-/// `tolerance` on ratio fields (counters are exact).
+/// `tolerance` on ratio fields (counters are exact, memory columns are
+/// banded at ±[`MEM_TOLERANCE`]).
 pub fn compare(baseline: &[Workload], current: &[Workload], tolerance: f64) -> GateReport {
+    compare_with(baseline, current, tolerance, MEM_TOLERANCE)
+}
+
+/// [`compare`] with an explicit memory band.
+pub fn compare_with(
+    baseline: &[Workload],
+    current: &[Workload],
+    tolerance: f64,
+    mem_tolerance: f64,
+) -> GateReport {
     let mut findings = Vec::new();
     let mut unmatched: Vec<String> = Vec::new();
     for b in baseline {
@@ -261,6 +319,77 @@ pub fn compare(baseline: &[Workload], current: &[Workload], tolerance: f64) -> G
                     regression: true,
                     verdict: "ratio missing from current run".into(),
                 }),
+            }
+        }
+        for (key, bv) in &b.mem {
+            let cv = c.mem_mb(key);
+            let (regression, verdict, current_s) = match cv {
+                // A missing memory column is platform-dependent
+                // (`peak_rss_mb` needs procfs), not a regression.
+                None => (
+                    false,
+                    "informational (memory column absent on this platform)".to_owned(),
+                    "missing".to_owned(),
+                ),
+                Some(cv) if *bv < MIN_GATED_MB => (
+                    false,
+                    format!("informational (baseline < {MIN_GATED_MB} MB)"),
+                    format!("{cv:.1} MB"),
+                ),
+                Some(cv) => {
+                    let lo = bv * (1.0 - mem_tolerance);
+                    let hi = bv * (1.0 + mem_tolerance);
+                    if cv > hi {
+                        (
+                            true,
+                            format!(
+                                "memory grew above {hi:.1} MB (+{:.0}% band)",
+                                mem_tolerance * 100.0
+                            ),
+                            format!("{cv:.1} MB"),
+                        )
+                    } else if cv < lo {
+                        (
+                            true,
+                            format!(
+                                "memory fell below {lo:.1} MB — improvement or lost coverage; \
+                                 refresh the committed baseline"
+                            ),
+                            format!("{cv:.1} MB"),
+                        )
+                    } else {
+                        (
+                            false,
+                            format!("ok (within ±{:.0}%)", mem_tolerance * 100.0),
+                            format!("{cv:.1} MB"),
+                        )
+                    }
+                }
+            };
+            findings.push(Finding {
+                workload: b.name.clone(),
+                field: key.clone(),
+                baseline: format!("{bv:.1} MB"),
+                current: current_s,
+                regression,
+                verdict,
+            });
+        }
+        // Memory columns the current run has but the baseline lacks (e.g. a
+        // baseline regenerated on a platform without procfs): surfaced so
+        // the coverage gap is visible in the table, informational so adding
+        // a column never needs a two-step dance.
+        for (key, cv) in &c.mem {
+            if b.mem_mb(key).is_none() {
+                findings.push(Finding {
+                    workload: b.name.clone(),
+                    field: key.clone(),
+                    baseline: "missing".into(),
+                    current: format!("{cv:.1} MB"),
+                    regression: false,
+                    verdict: "informational (column absent from baseline — regenerate it                               on a platform that measures this)"
+                        .into(),
+                });
             }
         }
     }
@@ -467,6 +596,111 @@ mod tests {
         assert_eq!(ws.len(), 2, "workload survives a comma inside params");
         assert_eq!(ws[0].name, "kk_plain_rr");
         assert_eq!(ws[0].counter("total_steps"), Some(554776));
+    }
+
+    const MEM_BASE: &str = r#"{
+  "schema": "amo-bench/engine-v4",
+  "scale": "quick",
+  "workloads": [
+    {
+      "name": "kk_mega_quick",
+      "params": "n=100000 m=32",
+      "single_step_ms": 900.00,
+      "fast_path_ms": 150.00,
+      "speedup_vs_single_step": 6.00,
+      "peak_rss_mb": 60.0,
+      "resident_arena_mb": 26.1,
+      "total_steps": 1000,
+      "shared_ops": 900
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn memory_columns_parse_as_their_own_class() {
+        let ws = parse_bench(MEM_BASE);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].mem_mb("peak_rss_mb"), Some(60.0));
+        assert_eq!(ws[0].mem_mb("resident_arena_mb"), Some(26.1));
+        assert_eq!(
+            ws[0].counter("peak_rss_mb"),
+            None,
+            "memory is banded, never pinned exactly"
+        );
+    }
+
+    #[test]
+    fn memory_growth_beyond_the_band_fails() {
+        let b = parse_bench(MEM_BASE);
+        let grown = MEM_BASE.replace("\"peak_rss_mb\": 60.0", "\"peak_rss_mb\": 80.0");
+        let report = compare(&b, &parse_bench(&grown), 0.2);
+        assert!(!report.pass, "+33% memory must trip the ±25% band");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.regression && f.field == "peak_rss_mb"));
+    }
+
+    #[test]
+    fn memory_shrink_beyond_the_band_fails_too() {
+        let b = parse_bench(MEM_BASE);
+        let shrunk = MEM_BASE.replace("\"resident_arena_mb\": 26.1", "\"resident_arena_mb\": 2.0");
+        let report = compare(&b, &parse_bench(&shrunk), 0.2);
+        assert!(
+            !report.pass,
+            "a silent 10x shrink means lost coverage or an uncommitted improvement"
+        );
+    }
+
+    #[test]
+    fn memory_within_the_band_passes() {
+        let b = parse_bench(MEM_BASE);
+        let wobbled = MEM_BASE
+            .replace("\"peak_rss_mb\": 60.0", "\"peak_rss_mb\": 68.0")
+            .replace("\"resident_arena_mb\": 26.1", "\"resident_arena_mb\": 22.0");
+        assert!(compare(&b, &parse_bench(&wobbled), 0.2).pass);
+    }
+
+    #[test]
+    fn missing_memory_column_is_informational() {
+        // A platform without procfs reports no RSS: not a regression.
+        let b = parse_bench(MEM_BASE);
+        let without = MEM_BASE.replace("      \"peak_rss_mb\": 60.0,\n", "");
+        let report = compare(&b, &parse_bench(&without), 0.2);
+        assert!(report.pass);
+        assert!(report.findings.iter().any(|f| f.field == "peak_rss_mb"
+            && !f.regression
+            && f.verdict.contains("informational")));
+    }
+
+    #[test]
+    fn small_memory_columns_are_informational() {
+        let small = MEM_BASE
+            .replace("\"peak_rss_mb\": 60.0", "\"peak_rss_mb\": 4.0")
+            .replace("\"resident_arena_mb\": 26.1", "\"resident_arena_mb\": 0.5");
+        let b = parse_bench(&small);
+        let doubled = small
+            .replace("\"peak_rss_mb\": 4.0", "\"peak_rss_mb\": 8.0")
+            .replace("\"resident_arena_mb\": 0.5", "\"resident_arena_mb\": 1.5");
+        assert!(
+            compare(&b, &parse_bench(&doubled), 0.2).pass,
+            "sub-{MIN_GATED_MB} MB columns are not gated"
+        );
+    }
+
+    #[test]
+    fn current_only_memory_columns_are_surfaced() {
+        // Baseline regenerated without procfs: its RSS column is gone, but
+        // CI still measures one — the gap must be visible, not silent.
+        let without = MEM_BASE.replace("      \"peak_rss_mb\": 60.0,\n", "");
+        let b = parse_bench(&without);
+        let report = compare(&b, &parse_bench(MEM_BASE), 0.2);
+        assert!(report.pass, "an extra column is not a regression");
+        assert!(report.findings.iter().any(|f| f.field == "peak_rss_mb"
+            && !f.regression
+            && f.baseline == "missing"
+            && f.verdict.contains("regenerate")));
     }
 
     #[test]

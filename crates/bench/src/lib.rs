@@ -17,6 +17,7 @@ mod table;
 
 pub mod experiments;
 pub mod gate;
+pub mod mem;
 
 pub use table::{fmt_f64, fmt_ratio, Table};
 

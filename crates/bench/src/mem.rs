@@ -1,0 +1,68 @@
+//! Process-memory probes for the perf harness.
+//!
+//! On Linux the peak resident set is read from `/proc/self/status`
+//! (`VmHWM`), and the high-water mark is reset between workloads by writing
+//! `5` to `/proc/self/clear_refs` — so each workload's reported peak is its
+//! own, not the maximum over everything that ran before it. Both operations
+//! degrade gracefully: on other platforms (or when procfs is restricted)
+//! the probe returns `None` and the bench reports no memory column, which
+//! the perf gate treats as informational.
+
+/// Peak resident set size of this process in kilobytes (`VmHWM`), or `None`
+/// when the platform does not expose it.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Resets the peak-RSS high-water mark. Note the floor: the kernel resets
+/// VmHWM to the *current* RSS, so heap the allocator retains from earlier
+/// phases still counts toward the next reading — callers should only
+/// report readings for phases whose own footprint dominates what ran
+/// before them. Best-effort: a kernel or sandbox that rejects the write
+/// leaves the mark monotone, which is still a valid (if conservative)
+/// upper bound.
+pub fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("procfs available in tests");
+            assert!(kb > 100, "a test process uses more than 100 kB: {kb}");
+        } else {
+            assert_eq!(peak_rss_kb(), None);
+        }
+    }
+
+    #[test]
+    fn reset_is_harmless() {
+        reset_peak_rss();
+        assert!(peak_rss_kb().is_none() || peak_rss_kb().unwrap() > 0);
+    }
+}

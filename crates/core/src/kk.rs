@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use std::hash::{Hash, Hasher};
 
-use amo_ostree::{rank_excluding_members, FenwickSet, OrderedJobSet};
+use amo_ostree::{rank_excluding_members_hinted, FenwickSet, OrderedJobSet, SelectHint};
 use amo_sim::{BatchOutcome, JobSpan, Process, Registers, StepEvent};
 
 use crate::config::KkConfig;
@@ -254,6 +254,16 @@ pub struct KkProcess<S: OrderedJobSet = FenwickSet> {
     /// since it was built (own performs are provably outside `TRY`).
     /// Pure memoisation — excluded from Eq/Hash.
     scratch_valid: bool,
+    /// Position hint for the next `compNext` selection: the previous pick
+    /// anchors the rank walk (`SelectHint` invariant: `rank` is the pick's
+    /// exact `count_le` in `FREE`). Every `FREE` removal — own performs and
+    /// foreign `DONE` merges alike — identifies the removed element, so the
+    /// anchor rank is repaired in `O(1)` (`rank -= 1` when the element is
+    /// at or below the anchor) and the hint survives whole gather sweeps;
+    /// it is only rebuilt by the next pick's re-anchor. The hinted and
+    /// unhinted walks return identical elements, so this is pure
+    /// memoisation — excluded from Eq/Hash.
+    sel_hint: Option<SelectHint>,
     local_ops: u64,
     performs: u64,
 }
@@ -346,6 +356,7 @@ impl<S: OrderedJobSet> KkProcess<S> {
             collisions_with: vec![0; m],
             rank_scratch: Vec::with_capacity(m),
             scratch_valid: false,
+            sel_hint: None,
             local_ops: 0,
             performs: 0,
         }
@@ -579,8 +590,17 @@ impl<S: OrderedJobSet> KkProcess<S> {
             let m = self.m as u64;
             let p = self.pid as u64;
             let idx = self.pick_rule.pick(p, m, f_len, avail);
-            self.next_job = rank_excluding_members(&self.free, &scratch, idx as usize)
-                .expect("rank index within FREE \\ TRY (see §3 bounds)");
+            let picked =
+                rank_excluding_members_hinted(&self.free, &scratch, idx as usize, self.sel_hint)
+                    .expect("rank index within FREE \\ TRY (see §3 bounds)");
+            self.next_job = picked;
+            // Re-anchor on the fresh pick: its rank in FREE is its rank in
+            // FREE \ TRY plus the excluded members below it.
+            let excl_below = scratch.partition_point(|&e| e <= picked);
+            self.sel_hint = Some(SelectHint {
+                anchor: picked,
+                rank: idx as usize + excl_below,
+            });
             self.rank_scratch = scratch;
             self.q = 1;
             if !self.epoch_cache {
@@ -983,9 +1003,27 @@ impl<S: OrderedJobSet> KkProcess<S> {
             self.scratch_valid = false;
         }
         if self.done_set.insert(v) {
-            self.free.remove(v);
+            self.free_remove_repair_hint(v);
             if self.track_collisions {
                 self.done_src.insert(v, src);
+            }
+        }
+    }
+
+    /// Removes `v` from `FREE` and repairs the selection hint's prefix
+    /// rank. The removed element is in hand regardless of who performed it
+    /// — validity needs the element, not attribution — but the repair only
+    /// fires on an *actual* removal: a foreign job outside this process's
+    /// `FREE` (iterated stages shrink `FREE` below the universe) leaves
+    /// the prefix count untouched. The single shared site keeps hint state
+    /// evolving identically across the single-step and batched paths.
+    #[inline]
+    fn free_remove_repair_hint(&mut self, v: u64) {
+        if self.free.remove(v) {
+            if let Some(h) = &mut self.sel_hint {
+                if v <= h.anchor {
+                    h.rank -= 1;
+                }
             }
         }
     }
@@ -1249,7 +1287,7 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
                                         steps += 1;
                                         if v > 0 {
                                             if self.done_set.insert(v) {
-                                                self.free.remove(v);
+                                                self.free_remove_repair_hint(v);
                                                 if self.track_collisions {
                                                     self.done_src.insert(v, self.q);
                                                 }
@@ -1351,7 +1389,8 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
 // initial values, so including them never splits cache-free states. The
 // remaining cache fields (`gt_epochs`, stamps, `gd_epochs`, `my_writes`) are
 // pure memoisation — a hit returns exactly what a re-read would — and stay
-// excluded.
+// excluded; so is `sel_hint`, since hinted and unhinted selection walks
+// return identical elements.
 impl<S: OrderedJobSet> PartialEq for KkProcess<S> {
     fn eq(&self, other: &Self) -> bool {
         self.pid == other.pid

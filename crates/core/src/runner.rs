@@ -247,6 +247,10 @@ pub struct AmoReport {
     pub local_work: u64,
     /// Total actions (simulated runs) or summed per-thread actions.
     pub total_steps: u64,
+    /// Peak bytes of tracked-prefix epoch storage the register file ever
+    /// held (see [`amo_sim::VecRegisters::epoch_mem_bytes`]); `0` for
+    /// threaded runs and for runs with epoch tracking off.
+    pub epoch_mem_bytes: u64,
     /// Pairwise collision counts, when tracking was enabled.
     pub collisions: Option<CollisionMatrix>,
     /// Which scheduler produced this run (for table labelling).
@@ -329,16 +333,19 @@ fn finish_sim(
     exec: amo_sim::Execution,
     fleet_collisions: Option<CollisionMatrix>,
     label: &'static str,
+    epoch_mem_bytes: u64,
 ) -> AmoReport {
+    let (effectiveness, violations) = exec.summary();
     AmoReport {
-        effectiveness: exec.effectiveness(),
-        violations: exec.violations(),
+        effectiveness,
+        violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
         total_steps: exec.total_steps,
+        epoch_mem_bytes,
         collisions: fleet_collisions,
         scheduler_label: label,
     }
@@ -398,11 +405,15 @@ fn run_fleet_simulated_full(
     n: usize,
     options: SimOptions,
 ) -> (AmoReport, VecRegisters) {
-    if options.epoch_cache && options.grants_quanta() {
+    let cache = options.epoch_cache && options.grants_quanta();
+    if cache {
         for p in &mut fleet {
             p.set_epoch_cache(true);
         }
     }
+    // Without the cache no process consults epochs, so maintenance (and the
+    // tracked-prefix storage) is switched off entirely.
+    mem.set_epoch_tracking(cache);
     let track = options.track_collisions;
     let label = scheduler_label(options.scheduler);
     macro_rules! go {
@@ -464,7 +475,8 @@ fn run_and_drain<S: Scheduler<KkProcess>>(
             .collect();
         CollisionMatrix::new(rows, n)
     });
-    (finish_sim(exec, collisions, label), mem)
+    let epoch_mem = mem.epoch_mem_bytes();
+    (finish_sim(exec, collisions, label, epoch_mem), mem)
 }
 
 /// Runs KKβ on OS threads over hardware atomics.
@@ -491,15 +503,18 @@ pub fn run_threads(config: &KkConfig, options: ThreadRunOptions) -> AmoReport {
             max_steps_per_proc: options.max_steps_per_proc,
         },
     );
+    let (effectiveness, violations) =
+        amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
     AmoReport {
-        effectiveness: exec.effectiveness(),
-        violations: exec.violations(),
+        effectiveness,
+        violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
         total_steps: exec.per_proc_steps.iter().sum(),
+        epoch_mem_bytes: 0,
         collisions: None,
         scheduler_label: "threads",
     }

@@ -306,6 +306,9 @@ pub fn run_basic_fleet<P: Process<VecRegisters>>(
         sched: S,
         options: &IterSimOptions,
     ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+        // Without quanta no process's epoch cache can skip anything, so
+        // epoch maintenance (and its tracked-prefix storage) is off.
+        mem.set_epoch_tracking(options.epoch_cache && options.grants_quanta());
         let sched = WithCrashes::new(sched, options.crash_plan.clone());
         let mut engine = Engine::new(mem, fleet, sched);
         if options.reference_single_step {
@@ -339,16 +342,18 @@ pub fn run_iter_fleet_simulated(
     options: IterSimOptions,
 ) -> AmoReport {
     let label = basic_label(options.scheduler);
-    let (exec, _slots, _mem) = run_basic_fleet(mem, fleet, &options);
+    let (exec, _slots, mem) = run_basic_fleet(mem, fleet, &options);
+    let (effectiveness, violations) = exec.summary();
     AmoReport {
-        effectiveness: exec.effectiveness(),
-        violations: exec.violations(),
+        effectiveness,
+        violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
         total_steps: exec.total_steps,
+        epoch_mem_bytes: mem.epoch_mem_bytes(),
         collisions: None,
         scheduler_label: label,
     }
@@ -370,15 +375,18 @@ pub fn run_iterative_threads(
             max_steps_per_proc: None,
         },
     );
+    let (effectiveness, violations) =
+        amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
     AmoReport {
-        effectiveness: exec.effectiveness(),
-        violations: exec.violations(),
+        effectiveness,
+        violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
         total_steps: exec.per_proc_steps.iter().sum(),
+        epoch_mem_bytes: 0,
         collisions: None,
         scheduler_label: "threads",
     }

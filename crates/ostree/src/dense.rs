@@ -336,6 +336,32 @@ impl RankedSet for DenseFenwickSet {
     fn count_le(&self, id: u64) -> usize {
         DenseFenwickSet::count_le(self, id)
     }
+
+    /// The per-element Fenwick tree has no positional scan for a hint to
+    /// anchor, so the hint only gets *validated* (debug builds assert the
+    /// [`SelectHint`](crate::SelectHint) invariant) before delegating to the
+    /// unhinted walk — which is exactly what makes this backend the oracle
+    /// the hinted [`FenwickSet`](crate::FenwickSet) path is property-tested
+    /// against.
+    fn select_excluding_hinted(
+        &self,
+        excl: &[u64],
+        i: usize,
+        hint: Option<crate::rank::SelectHint>,
+    ) -> Option<u64> {
+        #[cfg(debug_assertions)]
+        if let Some(h) = hint {
+            if h.anchor >= 1 && h.anchor as usize <= self.universe {
+                assert_eq!(
+                    h.rank,
+                    crate::rank::bitmap_count_le(&self.bits, self.universe, h.anchor),
+                    "stale SelectHint: rank does not match count_le(anchor)"
+                );
+            }
+        }
+        let _ = hint;
+        self.select_excluding(excl, i)
+    }
 }
 
 impl crate::rank::OrderedJobSet for DenseFenwickSet {

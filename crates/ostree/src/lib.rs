@@ -9,12 +9,12 @@
 //!
 //! This crate provides three interchangeable implementations:
 //!
-//! * [`FenwickSet`] — the production backend: a bitmap with per-block
-//!   population counts and a lazily rebuilt prefix array over the dense job
-//!   universe `1..=n`. Insert/remove (the simulation's hottest operations)
-//!   are `O(1)`; rank queries cost one prefix rebuild per mutation burst
-//!   plus a binary search. The structure counts the *exact* number of
-//!   elementary loop iterations it performs, which the benchmark harness
+//! * [`FenwickSet`] — the production backend: a bitmap with eagerly
+//!   maintained per-block and per-superblock population counts over the
+//!   dense job universe `1..=n`. Insert/remove (the simulation's hottest
+//!   operations) are `O(1)`; rank queries are short word-at-a-time popcount
+//!   scans of the count hierarchy. The structure counts the *exact* number
+//!   of elementary loop iterations it performs, which the benchmark harness
 //!   uses as the paper's "basic operations" (Definition 2.5) when measuring
 //!   work complexity.
 //! * [`DenseFenwickSet`] — the historical per-element Fenwick (binary
@@ -28,6 +28,30 @@
 //! mutable interface the KKβ automaton is generic over), and
 //! [`rank_excluding`] / [`rank_excluding_members`] implement the paper's
 //! `rank(SET1, SET2, i)` on top of any [`RankedSet`].
+//!
+//! # Position-hinted selection and the hint-anchor invariant
+//!
+//! The automaton's `compNext` calls `rank(FREE, TRY, i)` once per cycle
+//! with targets that drift slowly (rank-splitting sends each process to a
+//! fixed fraction of `FREE`), so consecutive walks land near each other.
+//! [`RankedSet::select_excluding_hinted`] exploits this: the caller passes
+//! a [`SelectHint`] — the previous pick plus its exact rank in the full set
+//! — and a positional backend anchors the new walk there instead of
+//! scanning from an end ([`FenwickSet`] resolves a near-anchor target in a
+//! handful of word scans regardless of `n`, taking chunked superblock
+//! skips when the target turns out to be far).
+//!
+//! The contract is the **hint-anchor invariant** (see [`SelectHint`]): the
+//! hint's `rank` must equal `count_le(anchor)` of the set *at call time*.
+//! The anchor is a prefix anchor — it need not be a member — so callers
+//! repair the rank in `O(1)` across every mutation whose element they can
+//! identify (the KKβ process repairs through own performs *and* foreign
+//! `DONE` merges alike, since the merged job is in hand either way) and
+//! must drop the hint only for truly unattributable changes. Hinted and
+//! unhinted walks return identical elements — debug builds assert the
+//! invariant, and the `hint_invalidation` property suite drives both
+//! backends through interleaved foreign writes, drops, rebuilds and arena
+//! reuse.
 //!
 //! # Examples
 //!
@@ -55,5 +79,8 @@ mod tree;
 pub use counter::OpCounter;
 pub use dense::DenseFenwickSet;
 pub use fenwick::FenwickSet;
-pub use rank::{rank_excluding, rank_excluding_members, OrderedJobSet, RankedSet};
+pub use rank::{
+    rank_excluding, rank_excluding_members, rank_excluding_members_hinted, OrderedJobSet,
+    RankedSet, SelectHint,
+};
 pub use tree::OrderStatTree;

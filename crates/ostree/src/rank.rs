@@ -1,3 +1,43 @@
+/// A position hint for [`RankedSet::select_excluding_hinted`]: an *anchor*
+/// element (typically the previous selection's result) paired with its
+/// exact rank in the **full** set.
+///
+/// # The hint-anchor invariant
+///
+/// A hint is *valid* for a set `S` iff `rank == |{x ∈ S : x ≤ anchor}|`
+/// (i.e. `rank == S.count_le(anchor)`). The anchor itself need **not** be a
+/// member — it is a prefix anchor, so the caller can keep a hint alive
+/// across the removal of the anchored element itself.
+///
+/// Callers maintain validity incrementally: removing a member `v ≤ anchor`
+/// decrements `rank`, inserting one increments it, and mutations above the
+/// anchor leave the hint untouched. When the caller cannot attribute a
+/// mutation (e.g. a bulk merge triggered by another process's writes), it
+/// must drop the hint — a hinted implementation is free to trust the
+/// invariant unconditionally (debug builds assert it), so passing a stale
+/// hint is a contract violation, not a slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelectHint {
+    /// Anchor element (1-based id; need not currently be a member).
+    pub anchor: u64,
+    /// `count_le(anchor)` of the set the hint is presented to.
+    pub rank: usize,
+}
+
+/// `count_le(id)` computed straight off a membership bitmap (bit `i-1` set
+/// iff element `i` present), bypassing count hierarchies and op counters —
+/// the quiet oracle both bitmap backends debug-assert the [`SelectHint`]
+/// invariant against.
+#[cfg(debug_assertions)]
+pub(crate) fn bitmap_count_le(bits: &[u64], universe: usize, id: u64) -> usize {
+    let i = (id as usize).min(universe);
+    let mut acc: u32 = bits[..i / 64].iter().map(|w| w.count_ones()).sum();
+    if i % 64 > 0 {
+        acc += (bits[i / 64] & ((1u64 << (i % 64)) - 1)).count_ones();
+    }
+    acc as usize
+}
+
 /// Common interface of order-statistics sets.
 ///
 /// Both [`FenwickSet`](crate::FenwickSet) and
@@ -64,6 +104,26 @@ pub trait RankedSet {
             }
             idx = target;
         }
+    }
+
+    /// [`select_excluding`](RankedSet::select_excluding) with an optional
+    /// position hint (see [`SelectHint`] for the validity invariant the
+    /// caller must maintain).
+    ///
+    /// The result is **identical** to the unhinted call — the hint only
+    /// anchors where the internal walk starts, so implementations with
+    /// positional scans ([`FenwickSet`](crate::FenwickSet)) resolve a
+    /// near-anchor rank in `O(distance)` instead of a scan from the nearer
+    /// end. The default implementation ignores the hint entirely, which is
+    /// always correct.
+    fn select_excluding_hinted(
+        &self,
+        excl: &[u64],
+        i: usize,
+        hint: Option<SelectHint>,
+    ) -> Option<u64> {
+        let _ = hint;
+        self.select_excluding(excl, i)
     }
 }
 
@@ -159,6 +219,19 @@ pub fn rank_excluding_members<S: RankedSet + ?Sized>(
     // if it were, the i-th element of free \ excl would be < x,
     // contradicting monotonicity from below (see module tests).
     free.select_excluding(excl, i)
+}
+
+/// [`rank_excluding_members`] with a position hint: the allocation-free hot
+/// path of `compNext`, anchored at the caller's previous pick. `hint` must
+/// satisfy the [`SelectHint`] invariant for `free`; results are identical
+/// to the unhinted call.
+pub fn rank_excluding_members_hinted<S: RankedSet + ?Sized>(
+    free: &S,
+    excl: &[u64],
+    i: usize,
+    hint: Option<SelectHint>,
+) -> Option<u64> {
+    free.select_excluding_hinted(excl, i, hint)
 }
 
 #[cfg(test)]

@@ -107,6 +107,15 @@ impl Execution {
         at_most_once_violations(self.performed.iter().map(|r| r.span))
     }
 
+    /// `(effectiveness, violations)` in one dense pass — what report
+    /// builders should call instead of [`effectiveness`](Self::effectiveness)
+    /// plus [`violations`](Self::violations), which each rebuild a hash
+    /// ledger over the full perform history (see
+    /// [`perform_summary`](crate::perform_summary)).
+    pub fn summary(&self) -> (u64, Vec<Violation>) {
+        crate::verify::perform_summary(self.performed.iter().map(|r| r.span))
+    }
+
     /// Total work: shared accesses plus local basic operations
     /// (Definition 2.5).
     pub fn work(&self) -> u64 {

@@ -98,4 +98,4 @@ pub use sched::{
     WithCrashes,
 };
 pub use timeline::render_timeline;
-pub use verify::{at_most_once_violations, distinct_jobs, JobCounts, Violation};
+pub use verify::{at_most_once_violations, distinct_jobs, perform_summary, JobCounts, Violation};

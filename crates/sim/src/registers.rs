@@ -1,4 +1,4 @@
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Memory-ordering regime for [`AtomicRegisters`].
@@ -169,19 +169,55 @@ pub trait Registers {
 /// reference; the whole structure is cheap to snapshot, which the exhaustive
 /// explorer uses to enumerate states.
 ///
-/// The file maintains per-cell *epochs* (version counters bumped on every
-/// mutation, including snapshot [`restore`](VecRegisters::restore)) plus a
-/// global mutation counter, satisfying the [`Registers::epochs_enabled`]
-/// contract — this is what the announcement-epoch caches of the KKβ
-/// processes key on. Epochs are monotone for the lifetime of the allocation:
-/// they survive [`reset`](VecRegisters::reset) and arena reuse, so a stale
-/// `(value, epoch)` pair recorded against a previous life of the buffer can
-/// never validate.
+/// # Tracked-prefix epochs
+///
+/// The file maintains per-cell *epochs* satisfying the
+/// [`Registers::epochs_enabled`] contract — this is what the
+/// announcement-epoch caches of the KKβ processes key on. The
+/// representation is a **tracked prefix**: a cell's epoch is the value of
+/// the global mutation stamp at that cell's last mutation, and dense
+/// per-cell storage exists only for cells `0..hi`, where `hi` is one past
+/// the highest cell ever mutated (grown on demand). Every cell beyond the
+/// tracked prefix reports the shared *base* epoch — the stamp at the last
+/// whole-file event ([`reset`](VecRegisters::reset),
+/// [`restore`](VecRegisters::restore), or creation).
+///
+/// Soundness: the stamp strictly increases on **every** mutation, so each
+/// mutation event owns a globally unique epoch number. A recorded
+/// `(value, epoch)` pair therefore validates iff the cell has not been
+/// mutated since it was recorded — a whole-file event moves the base (and
+/// drops the dense prefix) to a stamp no earlier recording can equal, so
+/// caches primed against a previous life of the buffer (arena reuse,
+/// explorer rewinds) can never validate.
+///
+/// Why a prefix and not a full vector: the mega workloads allocate
+/// `m + m·n` cells (512 MB of values at `n = 10⁶`, `m = 64`) but mutate
+/// only `O(performed jobs)` of them — with the interleaved (position-major)
+/// `done` layout the written cells cluster at the low indices, so the dense
+/// epoch storage stays proportional to the cells actually touched instead
+/// of doubling the register file's footprint.
+///
+/// Epoch maintenance can be switched off entirely
+/// ([`set_epoch_tracking`](VecRegisters::set_epoch_tracking)) for runs
+/// whose processes never consult epochs (single-action granularity, where
+/// the caches cannot skip anything); the file then reports
+/// [`Registers::epochs_enabled`]` == false` and allocates no epoch storage
+/// at all.
 #[derive(Debug, Clone, Default)]
 pub struct VecRegisters {
     cells: Vec<Cell<u64>>,
-    /// Per-cell version counters (same length as `cells`).
-    epochs: Vec<Cell<u64>>,
+    /// Dense epochs for the tracked prefix (stamp at last mutation); cells
+    /// beyond `epochs.len()` report `epoch_base`.
+    epochs: RefCell<Vec<u64>>,
+    /// Epoch of every cell beyond the tracked prefix (the stamp at the last
+    /// whole-file event).
+    epoch_base: Cell<u64>,
+    /// High-water tracked-prefix length (the memory metric reported by
+    /// [`epoch_mem_bytes`](VecRegisters::epoch_mem_bytes)).
+    epoch_hw: Cell<usize>,
+    /// `true` when epoch maintenance is switched off (field is the negated
+    /// form so `Default` keeps tracking on).
+    epochs_off: Cell<bool>,
     /// Mutations across all cells (monotone; never reset).
     stamp: Cell<u64>,
     reads: Cell<u64>,
@@ -194,32 +230,71 @@ impl VecRegisters {
     pub fn new(cells: usize) -> Self {
         Self {
             cells: vec![Cell::new(0); cells],
-            epochs: vec![Cell::new(0); cells],
-            stamp: Cell::new(0),
-            reads: Cell::new(0),
-            writes: Cell::new(0),
-            rmws: Cell::new(0),
+            ..Self::default()
         }
+    }
+
+    /// Ensures the tracked prefix covers `cell` and records `stamp` as its
+    /// epoch.
+    #[inline]
+    fn touch_epoch(&self, cell: usize, stamp: u64) {
+        let mut epochs = self.epochs.borrow_mut();
+        if cell >= epochs.len() {
+            epochs.resize(cell + 1, self.epoch_base.get());
+            if epochs.len() > self.epoch_hw.get() {
+                self.epoch_hw.set(epochs.len());
+            }
+        }
+        epochs[cell] = stamp;
+    }
+
+    /// Enables or disables per-cell epoch maintenance.
+    ///
+    /// Runs that never consult epochs (no quanta granted, so no
+    /// announcement cache can skip a read) disable tracking to keep the
+    /// write path a plain store and the epoch footprint at zero. Switching
+    /// — either way — counts as a whole-file event: the stamp and base are
+    /// bumped and the dense prefix dropped, so no recording made under the
+    /// previous regime can validate afterwards.
+    pub fn set_epoch_tracking(&self, enabled: bool) {
+        if self.epochs_off.get() == enabled {
+            let s = self.stamp.get() + 1;
+            self.stamp.set(s);
+            self.epoch_base.set(s);
+            self.epochs.borrow_mut().clear();
+            self.epochs_off.set(!enabled);
+        }
+    }
+
+    /// Peak bytes of dense epoch storage this file held since its creation
+    /// or last [`reset`](VecRegisters::reset) — the tracked-prefix
+    /// high-water mark times the entry size. `0` when no cell was mutated
+    /// with tracking on. Arena reuse resets the mark, so pooled runs report
+    /// their own peak, not a previous tenant's.
+    pub fn epoch_mem_bytes(&self) -> u64 {
+        (self.epoch_hw.get() * std::mem::size_of::<u64>()) as u64
     }
 
     /// Resizes the file to `cells` zeroed registers, reusing the existing
     /// allocation (the arena fast path: no fresh pages, warm cache lines).
     ///
-    /// Work counters are cleared; epochs and the global stamp are *not* —
-    /// every surviving cell's epoch is bumped instead, so caches primed
-    /// against the previous contents are invalidated, per the
+    /// Work counters are cleared; the global stamp is *not* — the reset is
+    /// itself a whole-file mutation event, so the epoch base moves past
+    /// every previously recorded epoch and the dense prefix is dropped,
+    /// invalidating caches primed against the previous contents per the
     /// [`Registers::epochs_enabled`] contract.
     pub fn reset(&mut self, cells: usize) {
-        self.stamp.set(self.stamp.get() + 1);
-        let stamp = self.stamp.get();
+        let s = self.stamp.get() + 1;
+        self.stamp.set(s);
+        self.epoch_base.set(s);
+        self.epochs.get_mut().clear();
+        // The high-water mark is per lease: an arena-recycled buffer must
+        // report the *next* run's peak, not the previous tenant's.
+        self.epoch_hw.set(0);
         for c in self.cells.iter().take(cells) {
             c.set(0);
         }
         self.cells.resize(cells, Cell::new(0));
-        for e in self.epochs.iter().take(cells) {
-            e.set(e.get() + 1);
-        }
-        self.epochs.resize_with(cells, || Cell::new(stamp));
         self.reads.set(0);
         self.writes.set(0);
         self.rmws.set(0);
@@ -233,19 +308,22 @@ impl VecRegisters {
     /// Restores a snapshot previously taken with
     /// [`snapshot`](VecRegisters::snapshot).
     ///
-    /// Every cell's epoch is bumped (a restore may change any value, and the
-    /// explorer rewinds memory behind the processes' backs), so epoch caches
-    /// never serve values from a different branch of an exploration.
+    /// A whole-file event: every cell's epoch moves to the new base (a
+    /// restore may change any value, and the explorer rewinds memory behind
+    /// the processes' backs), so epoch caches never serve values from a
+    /// different branch of an exploration.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot length differs from the register count.
     pub fn restore(&self, snapshot: &[u64]) {
         assert_eq!(snapshot.len(), self.cells.len(), "snapshot size mismatch");
-        self.stamp.set(self.stamp.get() + 1);
-        for ((c, e), &v) in self.cells.iter().zip(&self.epochs).zip(snapshot) {
+        let s = self.stamp.get() + 1;
+        self.stamp.set(s);
+        self.epoch_base.set(s);
+        self.epochs.borrow_mut().clear();
+        for (c, &v) in self.cells.iter().zip(snapshot) {
             c.set(v);
-            e.set(e.get() + 1);
         }
     }
 
@@ -277,18 +355,22 @@ impl Registers for VecRegisters {
     #[inline]
     fn write(&self, cell: usize, value: u64) {
         self.writes.set(self.writes.get() + 1);
-        self.stamp.set(self.stamp.get() + 1);
-        let e = &self.epochs[cell];
-        e.set(e.get() + 1);
+        let s = self.stamp.get() + 1;
+        self.stamp.set(s);
+        if !self.epochs_off.get() {
+            self.touch_epoch(cell, s);
+        }
         self.cells[cell].set(value);
     }
 
     #[inline]
     fn swap(&self, cell: usize, value: u64) -> u64 {
         self.rmws.set(self.rmws.get() + 1);
-        self.stamp.set(self.stamp.get() + 1);
-        let e = &self.epochs[cell];
-        e.set(e.get() + 1);
+        let s = self.stamp.get() + 1;
+        self.stamp.set(s);
+        if !self.epochs_off.get() {
+            self.touch_epoch(cell, s);
+        }
         self.cells[cell].replace(value)
     }
 
@@ -297,12 +379,19 @@ impl Registers for VecRegisters {
     }
 
     fn epochs_enabled(&self) -> bool {
-        true
+        !self.epochs_off.get()
     }
 
     #[inline]
     fn epoch(&self, cell: usize) -> u64 {
-        self.epochs[cell].get()
+        if self.epochs_off.get() {
+            return 0;
+        }
+        let epochs = self.epochs.borrow();
+        epochs
+            .get(cell)
+            .copied()
+            .unwrap_or_else(|| self.epoch_base.get())
     }
 
     #[inline]
@@ -556,6 +645,17 @@ mod tests {
     }
 
     #[test]
+    fn reset_clears_the_epoch_high_water_per_lease() {
+        let mut m = VecRegisters::new(1024);
+        m.write(700, 1);
+        assert_eq!(m.epoch_mem_bytes(), 701 * 8);
+        m.reset(1024);
+        assert_eq!(m.epoch_mem_bytes(), 0, "next tenant starts from zero");
+        m.write(3, 1);
+        assert_eq!(m.epoch_mem_bytes(), 4 * 8, "peak is this run's own");
+    }
+
+    #[test]
     fn reset_reuses_allocation_and_keeps_epochs_monotone() {
         let mut m = VecRegisters::new(4);
         m.write(2, 9);
@@ -572,6 +672,69 @@ mod tests {
             m.epoch(2) > e2,
             "re-grown cell cannot revalidate a stale cache"
         );
+    }
+
+    #[test]
+    fn epoch_storage_tracks_only_the_written_prefix() {
+        let m = VecRegisters::new(1_000_000);
+        assert_eq!(m.epoch_mem_bytes(), 0, "no mutation, no epoch storage");
+        m.write(7, 1);
+        m.write(3, 2);
+        assert_eq!(
+            m.epoch_mem_bytes(),
+            8 * 8,
+            "prefix covers 0..=7, not the whole file"
+        );
+        assert_eq!(m.epoch(3), m.global_epoch());
+        assert_eq!(m.epoch(999_999), 0, "untouched tail reports the base");
+        m.write(999, 3);
+        assert_eq!(m.epoch_mem_bytes(), 1000 * 8);
+    }
+
+    #[test]
+    fn untracked_tail_epochs_validate_and_invalidate_correctly() {
+        let m = VecRegisters::new(100);
+        // A cache records (0, epoch) for an untouched cell...
+        let e = m.epoch(90);
+        m.write(5, 1); // foreign mutation elsewhere
+        assert_eq!(m.epoch(90), e, "untouched cell's epoch is stable");
+        m.write(90, 7);
+        assert_ne!(m.epoch(90), e, "mutation moves the cell past the base");
+        let e2 = m.epoch(90);
+        m.restore(&m.snapshot());
+        assert_ne!(m.epoch(90), e2, "whole-file events invalidate everything");
+        assert_ne!(m.epoch(90), e);
+    }
+
+    #[test]
+    fn reset_moves_base_past_every_recorded_epoch() {
+        let mut m = VecRegisters::new(8);
+        for _ in 0..5 {
+            m.write(2, 9); // drive cell 2's epoch well past the stamp of cell 0
+        }
+        let hot = m.epoch(2);
+        m.reset(8);
+        assert!(m.epoch(2) > hot, "base moves past the hottest dense epoch");
+        m.write(2, 1);
+        assert!(m.epoch(2) > hot, "regrown cell cannot reuse an old epoch");
+    }
+
+    #[test]
+    fn epoch_tracking_can_be_disabled() {
+        let m = VecRegisters::new(16);
+        m.set_epoch_tracking(false);
+        assert!(!m.epochs_enabled());
+        m.write(3, 5);
+        assert_eq!(m.epoch(3), 0, "disabled files answer like the default");
+        assert_eq!(m.epoch_mem_bytes(), 0, "no epoch storage accrues");
+        assert_eq!(m.read(3), 5, "values are unaffected");
+        // Re-enabling is a whole-file event: nothing recorded before (under
+        // either regime) may validate afterwards.
+        let g = m.global_epoch();
+        m.set_epoch_tracking(true);
+        assert!(m.epochs_enabled());
+        assert!(m.global_epoch() > g);
+        assert_eq!(m.epoch(3), m.global_epoch());
     }
 
     #[test]

@@ -115,6 +115,47 @@ pub fn distinct_jobs<I: IntoIterator<Item = JobSpan>>(spans: I) -> u64 {
     ledger.distinct()
 }
 
+/// One-pass dense summary of a perform history: `(Do(α), violations)`.
+///
+/// Job ids are dense (`1..=n`), so a flat `Vec<u32>` keyed by job replaces
+/// the hash ledger, and a single pass over the records serves both the
+/// effectiveness count and the violation scan. The hash-based
+/// [`distinct_jobs`] + [`at_most_once_violations`] pair costs two full
+/// SipHash table builds over every record, which dominated the epilogue of
+/// large simulated runs (hundreds of milliseconds at `n = 10⁶`); the
+/// incremental [`JobCounts`] ledger remains for the explorer, which needs
+/// `unrecord`.
+///
+/// Violations are returned sorted by job id, exactly like
+/// [`at_most_once_violations`].
+pub fn perform_summary<I: IntoIterator<Item = JobSpan>>(spans: I) -> (u64, Vec<Violation>) {
+    let mut counts: Vec<u32> = Vec::new();
+    let mut distinct = 0u64;
+    for s in spans {
+        let hi = s.hi as usize;
+        if hi > counts.len() {
+            counts.resize(hi, 0);
+        }
+        for job in s.jobs() {
+            let c = &mut counts[job as usize - 1];
+            *c += 1;
+            if *c == 1 {
+                distinct += 1;
+            }
+        }
+    }
+    let violations = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 1)
+        .map(|(i, &c)| Violation {
+            job: i as u64 + 1,
+            count: c,
+        })
+        .collect();
+    (distinct, violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
