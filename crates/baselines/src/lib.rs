@@ -42,7 +42,10 @@ mod two_process;
 
 pub use pairs::PairsHybrid;
 pub use randomized::randomized_kk_fleet;
-pub use runner::{run_baseline_simulated, run_baseline_threads, AmoBaselineKind, BaselineOptions};
+pub use runner::{
+    run_baseline_scenario, run_baseline_simulated, run_baseline_threads, AmoBaselineKind,
+    BaselineOptions,
+};
 pub use tas::TasAmo;
 pub use trivial::TrivialSplit;
 pub use two_process::{TwoProcess, TwoProcessRole};

@@ -1,11 +1,18 @@
 //! Unified runner producing [`AmoReport`]s for every comparator, so the
 //! comparison tables (experiment E6) are generated through one interface.
+//!
+//! Simulated runs route through the shared scenario layer
+//! ([`amo_sim::run_scenario`]): [`BaselineOptions`] lowers bit-identically
+//! via [`to_scenario`](BaselineOptions::to_scenario), and
+//! [`run_baseline_scenario`] accepts a full [`ScenarioSpec`] — giving the
+//! comparators schedulers the legacy options never could (bursty blocks,
+//! quantized fairness, the lockstep adversary).
 
 use amo_core::{AmoReport, KkConfig};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, CrashPlan, Engine, EngineLimits, Execution, MemOrder, Process,
-    RandomScheduler, RoundRobin, Scheduler, VecRegisters, WithCrashes,
+    AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, Process, ScenarioProcess,
+    ScenarioSpec, Scheduler, SchedulerSpec, VecRegisters,
 };
 
 use crate::pairs::PairsHybrid;
@@ -96,7 +103,43 @@ impl BaselineOptions {
         self.crash_plan = plan;
         self
     }
+
+    /// Lowers these options into the shared [`ScenarioSpec`] (strict
+    /// round-robin or seeded random, single-step, no epoch cache — the
+    /// comparator processes have none).
+    pub fn to_scenario(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            scheduler: match self.schedule_seed {
+                Some(seed) => SchedulerSpec::Random(seed),
+                None => SchedulerSpec::RoundRobin,
+            },
+            crash_plan: self.crash_plan.clone(),
+            limits: self.limits,
+            quantum: 1,
+            epoch_cache: false,
+            reference_single_step: false,
+            backend: Default::default(),
+            collisions: false,
+        }
+    }
 }
+
+/// Registers the process-agnostic adversaries (via
+/// [`amo_core::generic_adversary`] — one shared spelling of the registry
+/// names) for a comparator process type; none of them carries an epoch
+/// cache or collision instrumentation, so the other hooks keep their
+/// defaults.
+macro_rules! generic_adversaries_scenario {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl ScenarioProcess for $ty {
+            fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
+                amo_core::generic_adversary(name)
+            }
+        }
+    )+};
+}
+
+generic_adversaries_scenario!(TrivialSplit, TwoProcess, PairsHybrid, TasAmo);
 
 fn to_report(exec: Execution, label: &'static str) -> AmoReport {
     let (effectiveness, violations) = exec.summary();
@@ -115,27 +158,14 @@ fn to_report(exec: Execution, label: &'static str) -> AmoReport {
     }
 }
 
-fn run_generic<P: Process<VecRegisters>>(
+fn run_generic<P: ScenarioProcess>(
     cells: usize,
     fleet: Vec<P>,
-    options: &BaselineOptions,
+    spec: &ScenarioSpec,
     label: &'static str,
 ) -> AmoReport {
-    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
-        cells: usize,
-        fleet: Vec<P>,
-        sched: S,
-        options: &BaselineOptions,
-        label: &'static str,
-    ) -> AmoReport {
-        let sched = WithCrashes::new(sched, options.crash_plan.clone());
-        let exec = Engine::new(VecRegisters::new(cells), fleet, sched).run(options.limits);
-        to_report(exec, label)
-    }
-    match options.schedule_seed {
-        Some(seed) => go(cells, fleet, RandomScheduler::new(seed), options, label),
-        None => go(cells, fleet, RoundRobin::new(), options, label),
-    }
+    let (exec, _slots, _mem) = amo_sim::run_scenario(VecRegisters::new(cells), fleet, spec);
+    to_report(exec, label)
 }
 
 /// Runs a comparator in the simulator.
@@ -152,29 +182,51 @@ pub fn run_baseline_simulated(
     m: usize,
     options: BaselineOptions,
 ) -> AmoReport {
+    run_baseline_scenario(kind, n, m, &options.to_scenario())
+}
+
+/// Runs a comparator under an explicit [`ScenarioSpec`] — the spec-first
+/// twin of [`run_baseline_simulated`], through which the scenario matrix
+/// drives previously inexpressible cells (bursty blocks, quantized
+/// fairness, the lockstep adversary) over the comparators.
+///
+/// The report label stays the *algorithm's* (for the E6 comparison
+/// tables); the spec's scheduler label is reported by the scenario-first
+/// KKβ runners instead.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, m)` combinations for the chosen kind, and on
+/// adversaries the comparator processes do not register.
+pub fn run_baseline_scenario(
+    kind: AmoBaselineKind,
+    n: usize,
+    m: usize,
+    spec: &ScenarioSpec,
+) -> AmoReport {
     let n64 = n as u64;
     match kind {
         AmoBaselineKind::TrivialSplit => {
             let fleet: Vec<_> = (1..=m).map(|p| TrivialSplit::new(p, m, n64)).collect();
-            run_generic(0, fleet, &options, kind.label())
+            run_generic(0, fleet, spec, kind.label())
         }
         AmoBaselineKind::TwoProcess => {
             assert_eq!(m, 2, "TwoProcess is defined for m = 2");
             let (l, r) = TwoProcess::pair(n64);
-            run_generic(2, vec![l, r], &options, kind.label())
+            run_generic(2, vec![l, r], spec, kind.label())
         }
         AmoBaselineKind::PairsHybrid => {
             let fleet = PairsHybrid::fleet(n64, m);
-            run_generic(PairsHybrid::cells(m), fleet, &options, kind.label())
+            run_generic(PairsHybrid::cells(m), fleet, spec, kind.label())
         }
         AmoBaselineKind::TasAmo => {
             let fleet: Vec<_> = (1..=m).map(|p| TasAmo::new(p, m, n64)).collect();
-            run_generic(TasAmo::cells(n), fleet, &options, kind.label())
+            run_generic(TasAmo::cells(n), fleet, spec, kind.label())
         }
         AmoBaselineKind::RandomizedKk(seed) => {
             let config = KkConfig::new(n, m).expect("valid n/m");
             let (layout, fleet) = randomized_kk_fleet(&config, seed, false);
-            run_generic(layout.cells(), fleet, &options, kind.label())
+            run_generic(layout.cells(), fleet, spec, kind.label())
         }
     }
 }

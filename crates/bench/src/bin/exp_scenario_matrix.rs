@@ -1,0 +1,7 @@
+//! Regenerates table(s) for experiment: the cross-algorithm scenario
+//! matrix (E9). Pass `--quick` for the CI grid.
+
+fn main() {
+    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
+    println!("{}", amo_bench::experiments::exp_scenario_matrix(scale));
+}

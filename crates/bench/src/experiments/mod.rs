@@ -11,6 +11,7 @@
 //! | E7 | [`collisions`] | Lemma 5.5 (pairwise collision bound) |
 //! | A1/A4 | [`ablations`] | DESIGN.md design-choice ablations |
 //! | E8 | [`threads`] | real-thread throughput + ordering ablation |
+//! | E9 | [`scenario_matrix`] | cross-algorithm adversary matrix (scenario layer) |
 
 pub mod ablations;
 pub mod collisions;
@@ -18,6 +19,7 @@ pub mod comparison;
 pub mod effectiveness;
 pub mod iterative;
 pub mod safety;
+pub mod scenario_matrix;
 pub mod threads;
 pub mod work;
 pub mod write_all;
@@ -28,6 +30,7 @@ pub use comparison::exp_comparison;
 pub use effectiveness::exp_effectiveness;
 pub use iterative::exp_iterative;
 pub use safety::exp_safety;
+pub use scenario_matrix::exp_scenario_matrix;
 pub use threads::exp_threads;
 pub use work::exp_work_kk;
 pub use write_all::exp_write_all;
@@ -47,5 +50,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.push(exp_beta_ablation(scale));
     tables.push(exp_pick_ablation(scale));
     tables.push(exp_threads(scale));
+    tables.push(exp_scenario_matrix(scale));
     tables
 }

@@ -3,6 +3,7 @@
 //! These schedulers inspect the internal state of [`KkProcess`] automatons —
 //! which is legitimate: the model's adversary is *omniscient* (§2.1).
 
+use amo_ostree::OrderedJobSet;
 use amo_sim::{Decision, LifeState, SchedView, Scheduler};
 
 use crate::kk::KkProcess;
@@ -37,8 +38,8 @@ impl StuckAnnouncementAdversary {
     }
 }
 
-impl Scheduler<KkProcess> for StuckAnnouncementAdversary {
-    fn decide(&mut self, view: &SchedView<'_, KkProcess>) -> Decision {
+impl<S: OrderedJobSet> Scheduler<KkProcess<S>> for StuckAnnouncementAdversary {
+    fn decide(&mut self, view: &SchedView<'_, KkProcess<S>>) -> Decision {
         let m = view.slots.len();
         while self.victim < m {
             let i = self.victim - 1;
@@ -94,8 +95,8 @@ impl StalenessAdversary {
     }
 }
 
-impl Scheduler<KkProcess> for StalenessAdversary {
-    fn decide(&mut self, view: &SchedView<'_, KkProcess>) -> Decision {
+impl<S: OrderedJobSet> Scheduler<KkProcess<S>> for StalenessAdversary {
+    fn decide(&mut self, view: &SchedView<'_, KkProcess<S>>) -> Decision {
         let m = view.slots.len();
         let victim = m - 1;
         let victim_running = view.slots[victim].state == LifeState::Running;
@@ -136,6 +137,19 @@ impl Scheduler<KkProcess> for StalenessAdversary {
                 }
             }
         }
+    }
+}
+
+/// Resolves the *process-agnostic* adversaries of the scenario registry —
+/// currently just `"lockstep"` — for any process type. The one shared
+/// definition every crate's [`ScenarioProcess`](amo_sim::ScenarioProcess)
+/// implementation delegates to, so registry names are spelled in exactly
+/// one place; process-specific factories (e.g. `KkProcess`'s) match their
+/// own names first and fall back here.
+pub fn generic_adversary<P>(name: &str) -> Option<Box<dyn Scheduler<P>>> {
+    match name {
+        "lockstep" => Some(Box::new(LockstepScheduler::new())),
+        _ => None,
     }
 }
 

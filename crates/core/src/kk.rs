@@ -368,6 +368,13 @@ impl<S: OrderedJobSet> KkProcess<S> {
         self
     }
 
+    /// Enables or disables per-pair collision counting (setter form of
+    /// [`with_collision_tracking`](Self::with_collision_tracking), used by
+    /// the scenario driver's instrumentation hook).
+    pub fn set_collision_tracking(&mut self, enabled: bool) {
+        self.track_collisions = enabled;
+    }
+
     /// Replaces the candidate-selection rule (ablation A4).
     pub fn with_pick_rule(mut self, rule: PickRule) -> Self {
         self.pick_rule = rule;
@@ -1002,28 +1009,33 @@ impl<S: OrderedJobSet> KkProcess<S> {
             // is no longer trustworthy.
             self.scratch_valid = false;
         }
-        if self.done_set.insert(v) {
-            self.free_remove_repair_hint(v);
+        // The fused `done.insert` + `free.remove` pair (see
+        // `OrderedJobSet::insert_paired_remove`): one coordinate
+        // computation serves both structures, with work accounting
+        // identical to the unpaired sequence.
+        let (inserted, removed) = self.done_set.insert_paired_remove(&mut self.free, v);
+        if inserted {
+            if removed {
+                self.repair_hint_after_free_removal(v);
+            }
             if self.track_collisions {
                 self.done_src.insert(v, src);
             }
         }
     }
 
-    /// Removes `v` from `FREE` and repairs the selection hint's prefix
-    /// rank. The removed element is in hand regardless of who performed it
-    /// — validity needs the element, not attribution — but the repair only
-    /// fires on an *actual* removal: a foreign job outside this process's
-    /// `FREE` (iterated stages shrink `FREE` below the universe) leaves
-    /// the prefix count untouched. The single shared site keeps hint state
-    /// evolving identically across the single-step and batched paths.
+    /// Repairs the selection hint's prefix rank after `v` actually left
+    /// `FREE`. The removed element is in hand regardless of who performed
+    /// it — validity needs the element, not attribution — but the repair
+    /// only fires on an *actual* removal: a foreign job outside this
+    /// process's `FREE` (iterated stages shrink `FREE` below the universe)
+    /// leaves the prefix count untouched. The single shared site keeps hint
+    /// state evolving identically across the single-step and batched paths.
     #[inline]
-    fn free_remove_repair_hint(&mut self, v: u64) {
-        if self.free.remove(v) {
-            if let Some(h) = &mut self.sel_hint {
-                if v <= h.anchor {
-                    h.rank -= 1;
-                }
+    fn repair_hint_after_free_removal(&mut self, v: u64) {
+        if let Some(h) = &mut self.sel_hint {
+            if v <= h.anchor {
+                h.rank -= 1;
             }
         }
     }
@@ -1286,8 +1298,15 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
                                         reads += 1;
                                         steps += 1;
                                         if v > 0 {
-                                            if self.done_set.insert(v) {
-                                                self.free_remove_repair_hint(v);
+                                            // Fused foreign merge, as in
+                                            // `done_insert`.
+                                            let (inserted, removed) = self
+                                                .done_set
+                                                .insert_paired_remove(&mut self.free, v);
+                                            if inserted {
+                                                if removed {
+                                                    self.repair_hint_after_free_removal(v);
+                                                }
                                                 if self.track_collisions {
                                                     self.done_src.insert(v, self.q);
                                                 }
@@ -1378,6 +1397,32 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
 
     fn local_work(&self) -> u64 {
         KkProcess::local_work(self)
+    }
+}
+
+/// The scenario-layer registry entry for KKβ: resolves the three
+/// paper-specific adversaries by name (the same labels the legacy
+/// [`SchedulerKind`](crate::SchedulerKind) reported) and wires the
+/// announcement-epoch cache and collision instrumentation into the generic
+/// driver's hooks. Works for every order-statistics backend, since the
+/// adversaries only inspect backend-agnostic automaton state.
+impl<S: OrderedJobSet> amo_sim::ScenarioProcess for KkProcess<S> {
+    fn adversary(name: &str) -> Option<Box<dyn amo_sim::Scheduler<Self>>> {
+        match name {
+            "stuck-announcement" => {
+                Some(Box::new(crate::adversary::StuckAnnouncementAdversary::new()))
+            }
+            "staleness" => Some(Box::new(crate::adversary::StalenessAdversary::new())),
+            _ => crate::adversary::generic_adversary(name),
+        }
+    }
+
+    fn set_epoch_cache(&mut self, enabled: bool) {
+        KkProcess::set_epoch_cache(self, enabled);
+    }
+
+    fn set_collision_tracking(&mut self, enabled: bool) {
+        KkProcess::set_collision_tracking(self, enabled);
     }
 }
 

@@ -54,13 +54,16 @@ mod layout;
 mod runner;
 mod stats;
 
-pub use adversary::{LockstepScheduler, StalenessAdversary, StuckAnnouncementAdversary};
+pub use adversary::{
+    generic_adversary, LockstepScheduler, StalenessAdversary, StuckAnnouncementAdversary,
+};
 pub use arena::FleetArena;
 pub use config::{ConfigError, KkConfig};
 pub use kk::{KkMode, KkPhase, KkProcess, PickRule, SpanMap};
 pub use layout::KkLayout;
 pub use runner::{
-    kk_fleet, kk_fleet_with, run_fleet_simulated, run_simulated, run_simulated_in, run_threads,
-    AmoReport, SchedulerKind, SimOptions, ThreadRunOptions,
+    kk_fleet, kk_fleet_with, run_fleet_simulated, run_scenario_simulated,
+    run_scenario_simulated_in, run_simulated, run_simulated_in, run_threads, AmoReport,
+    SchedulerKind, SimOptions, ThreadRunOptions,
 };
 pub use stats::CollisionMatrix;

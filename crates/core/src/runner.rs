@@ -1,19 +1,30 @@
 //! Convenience runners: build a KKβ fleet, execute it (simulated or on
 //! threads), and summarise the outcome as an [`AmoReport`].
+//!
+//! Every simulated entry point routes through the unified scenario layer
+//! ([`amo_sim::run_scenario`]): the legacy [`SimOptions`] survives as a
+//! converting adapter whose [`to_scenario`](SimOptions::to_scenario)
+//! lowering is **bit-identical** (deterministic counters and `local_work`
+//! included — asserted by the cross-crate scenario-equivalence suite), and
+//! [`run_scenario_simulated`] exposes the spec-first form directly.
 
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, JobSpan, MemOrder, MemWork,
-    RandomScheduler, RoundRobin, Scheduler, VecRegisters, Violation, WithCrashes,
+    run_scenario, AtomicRegisters, CrashPlan, EngineLimits, Execution, JobSpan, MemOrder, MemWork,
+    RoundRobin, ScenarioSpec, SchedulerSpec, Slot, VecRegisters, Violation,
 };
 
-use crate::adversary::{LockstepScheduler, StalenessAdversary, StuckAnnouncementAdversary};
 use crate::config::KkConfig;
 use crate::kk::KkProcess;
 use crate::layout::KkLayout;
 use crate::stats::CollisionMatrix;
 
 /// Scheduling strategy selector for [`run_simulated`].
+///
+/// This is the legacy KKβ-specific selector, kept as a converting adapter:
+/// [`lower`](SchedulerKind::lower) maps it onto the shared
+/// [`SchedulerSpec`], with the three paper adversaries going through the
+/// scenario layer's named-adversary registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Fair round-robin.
@@ -32,12 +43,35 @@ pub enum SchedulerKind {
         u64,
     ),
     /// Collision-maximising lockstep ([`LockstepScheduler`]).
+    ///
+    /// [`LockstepScheduler`]: crate::LockstepScheduler
     Lockstep,
     /// The Theorem 4.4 lower-bound adversary
     /// ([`StuckAnnouncementAdversary`]).
+    ///
+    /// [`StuckAnnouncementAdversary`]: crate::StuckAnnouncementAdversary
     StuckAnnouncement,
     /// The Lemma 5.5 collision-forcing adversary ([`StalenessAdversary`]).
+    ///
+    /// [`StalenessAdversary`]: crate::StalenessAdversary
     Staleness,
+}
+
+impl SchedulerKind {
+    /// Lowers this legacy selector onto the shared [`SchedulerSpec`]: the
+    /// fair kinds map structurally, the adversaries by registry name
+    /// (resolved by `KkProcess`'s
+    /// [`ScenarioProcess`](amo_sim::ScenarioProcess) impl).
+    pub fn lower(self) -> SchedulerSpec {
+        match self {
+            SchedulerKind::RoundRobin => SchedulerSpec::RoundRobin,
+            SchedulerKind::Random(seed) => SchedulerSpec::Random(seed),
+            SchedulerKind::Block(seed, burst) => SchedulerSpec::Block(seed, burst),
+            SchedulerKind::Lockstep => SchedulerSpec::Adversary("lockstep"),
+            SchedulerKind::StuckAnnouncement => SchedulerSpec::Adversary("stuck-announcement"),
+            SchedulerKind::Staleness => SchedulerSpec::Adversary("staleness"),
+        }
+    }
 }
 
 /// Options for a simulated run.
@@ -128,8 +162,17 @@ impl SimOptions {
     /// `true` when the configured scheduler grants quanta, i.e. the engine
     /// will drive processes through `step_many` and the epoch cache can
     /// actually skip work.
-    fn grants_quanta(&self) -> bool {
-        self.quantum > 1 || matches!(self.scheduler, SchedulerKind::Block(..))
+    ///
+    /// Follows the documented [`quantum`](Self::quantum) semantics: the
+    /// field applies to [`SchedulerKind::RoundRobin`] only, so a
+    /// `quantum > 1` left on any other kind grants nothing. (Historically
+    /// this predicate ignored the kind, which switched the epoch cache —
+    /// and its tracked-prefix storage — on for single-step schedules where
+    /// it could never skip a read; the lowering through
+    /// [`to_scenario`](Self::to_scenario) made the two agree.)
+    pub fn grants_quanta(&self) -> bool {
+        (self.quantum > 1 && matches!(self.scheduler, SchedulerKind::RoundRobin))
+            || matches!(self.scheduler, SchedulerKind::Block(..))
     }
 
     /// Seeded random schedule, no crashes.
@@ -214,6 +257,33 @@ impl SimOptions {
         self.reference_single_step = true;
         self
     }
+
+    /// Lowers these options into the shared [`ScenarioSpec`] — the
+    /// converting adapter the legacy runners are now thin shims over.
+    ///
+    /// The lowering preserves the legacy semantics exactly: in particular
+    /// [`quantum`](Self::quantum) historically applied only to
+    /// [`SchedulerKind::RoundRobin`] (blocks carry their own burst quantum,
+    /// adversaries are single-step by contract), so it is pinned to `1` for
+    /// every other kind rather than handed to the spec's
+    /// scheduler-agnostic quantum. Spec-first callers who *want* the newly
+    /// expressible cells (e.g. a quantized random schedule) build a
+    /// [`ScenarioSpec`] directly.
+    pub fn to_scenario(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            scheduler: self.scheduler.lower(),
+            crash_plan: self.crash_plan.clone(),
+            limits: self.limits,
+            quantum: match self.scheduler {
+                SchedulerKind::RoundRobin => self.quantum,
+                _ => 1,
+            },
+            epoch_cache: self.epoch_cache,
+            reference_single_step: self.reference_single_step,
+            backend: Default::default(),
+            collisions: self.track_collisions,
+        }
+    }
 }
 
 /// Options for a threaded run.
@@ -228,7 +298,11 @@ pub struct ThreadRunOptions {
 }
 
 /// Summary of one at-most-once execution, simulated or threaded.
-#[derive(Debug, Clone)]
+///
+/// Equality is field-for-field (deterministic counters, `local_work` and
+/// the collision matrix included) — what the scenario-equivalence suite
+/// asserts between a legacy-options run and its lowered [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AmoReport {
     /// `Do(α)`: distinct jobs performed (Definition 2.1).
     pub effectiveness: u64,
@@ -330,7 +404,7 @@ pub fn kk_fleet_with(
 }
 
 fn finish_sim(
-    exec: amo_sim::Execution,
+    exec: Execution,
     fleet_collisions: Option<CollisionMatrix>,
     label: &'static str,
     epoch_mem_bytes: u64,
@@ -386,6 +460,49 @@ pub fn run_simulated_in(
     report
 }
 
+/// Runs KKβ under an explicit [`ScenarioSpec`] — the spec-first twin of
+/// [`run_simulated`], able to express every scenario-layer cell (quantized
+/// random schedules, any registered adversary, …).
+///
+/// The fleet uses the interleaved (struct-of-arrays) `done` layout exactly
+/// when the spec grants quanta, mirroring the fast-path configuration of
+/// [`SimOptions::round_robin_batched`].
+///
+/// # Examples
+///
+/// ```
+/// use amo_core::{run_scenario_simulated, KkConfig};
+/// use amo_sim::ScenarioSpec;
+///
+/// let config = KkConfig::new(64, 4)?;
+/// // A quantized random schedule: inexpressible through SimOptions.
+/// let report = run_scenario_simulated(&config, &ScenarioSpec::random(7).with_quantum(64));
+/// assert!(report.violations.is_empty());
+/// assert!(report.effectiveness >= config.effectiveness_bound());
+/// # Ok::<(), amo_core::ConfigError>(())
+/// ```
+pub fn run_scenario_simulated(config: &KkConfig, spec: &ScenarioSpec) -> AmoReport {
+    let (layout, fleet) = kk_fleet_with(config, spec.collisions, spec.grants_quanta());
+    let mem = VecRegisters::new(layout.cells());
+    let (exec, slots, mem) = run_scenario(mem, fleet, spec);
+    report_from_scenario(config.n(), spec, exec, &slots, &mem)
+}
+
+/// [`run_scenario_simulated`] drawing the register file from a
+/// [`FleetArena`].
+pub fn run_scenario_simulated_in(
+    arena: &mut crate::arena::FleetArena,
+    config: &KkConfig,
+    spec: &ScenarioSpec,
+) -> AmoReport {
+    let (layout, fleet) = kk_fleet_with(config, spec.collisions, spec.grants_quanta());
+    let mem = arena.lease(layout.cells());
+    let (exec, slots, mem) = run_scenario(mem, fleet, spec);
+    let report = report_from_scenario(config.n(), spec, exec, &slots, &mem);
+    arena.reclaim(mem);
+    report
+}
+
 /// Runs an arbitrary pre-built KKβ fleet in the simulator (used by the
 /// iterated algorithms and the ablations).
 pub fn run_fleet_simulated(
@@ -398,85 +515,37 @@ pub fn run_fleet_simulated(
 }
 
 /// [`run_fleet_simulated`], additionally handing the register file back so
-/// arenas can recycle it.
+/// arenas can recycle it. A thin shim: the options lower into a
+/// [`ScenarioSpec`] and the shared [`run_scenario`] driver does the rest.
 fn run_fleet_simulated_full(
     mem: VecRegisters,
-    mut fleet: Vec<KkProcess>,
+    fleet: Vec<KkProcess>,
     n: usize,
     options: SimOptions,
 ) -> (AmoReport, VecRegisters) {
-    let cache = options.epoch_cache && options.grants_quanta();
-    if cache {
-        for p in &mut fleet {
-            p.set_epoch_cache(true);
-        }
-    }
-    // Without the cache no process consults epochs, so maintenance (and the
-    // tracked-prefix storage) is switched off entirely.
-    mem.set_epoch_tracking(cache);
-    let track = options.track_collisions;
-    let label = scheduler_label(options.scheduler);
-    macro_rules! go {
-        ($sched:expr) => {{
-            let sched = WithCrashes::new($sched, options.crash_plan.clone());
-            run_and_drain(
-                mem,
-                fleet,
-                sched,
-                options.limits,
-                options.reference_single_step,
-                n,
-                track,
-                label,
-            )
-        }};
-    }
-    match options.scheduler {
-        SchedulerKind::RoundRobin => go!(RoundRobin::new().with_quantum(options.quantum.max(1))),
-        SchedulerKind::Random(seed) => go!(RandomScheduler::new(seed)),
-        SchedulerKind::Block(seed, burst) => go!(BlockScheduler::new(seed, burst)),
-        SchedulerKind::Lockstep => go!(LockstepScheduler::new()),
-        SchedulerKind::StuckAnnouncement => go!(StuckAnnouncementAdversary::new()),
-        SchedulerKind::Staleness => go!(StalenessAdversary::new()),
-    }
+    let spec = options.to_scenario();
+    let (exec, slots, mem) = run_scenario(mem, fleet, &spec);
+    let report = report_from_scenario(n, &spec, exec, &slots, &mem);
+    (report, mem)
 }
 
-fn scheduler_label(kind: SchedulerKind) -> &'static str {
-    match kind {
-        SchedulerKind::RoundRobin => "round-robin",
-        SchedulerKind::Random(_) => "random",
-        SchedulerKind::Block(..) => "block",
-        SchedulerKind::Lockstep => "lockstep",
-        SchedulerKind::StuckAnnouncement => "stuck-announcement",
-        SchedulerKind::Staleness => "staleness",
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_and_drain<S: Scheduler<KkProcess>>(
-    mem: VecRegisters,
-    fleet: Vec<KkProcess>,
-    scheduler: S,
-    limits: EngineLimits,
-    reference_single_step: bool,
+/// Builds the [`AmoReport`] of a scenario run over a KKβ fleet, harvesting
+/// the collision matrix from the terminal slots when the spec tracked it.
+fn report_from_scenario(
     n: usize,
-    track: bool,
-    label: &'static str,
-) -> (AmoReport, VecRegisters) {
-    let mut engine = Engine::new(mem, fleet, scheduler);
-    if reference_single_step {
-        engine = engine.single_step();
-    }
-    let (exec, slots, mem) = engine.run_full(limits);
-    let collisions = track.then(|| {
+    spec: &ScenarioSpec,
+    exec: Execution,
+    slots: &[Slot<KkProcess>],
+    mem: &VecRegisters,
+) -> AmoReport {
+    let collisions = spec.collisions.then(|| {
         let rows = slots
             .iter()
             .map(|s| s.process.collisions_with().to_vec())
             .collect();
         CollisionMatrix::new(rows, n)
     });
-    let epoch_mem = mem.epoch_mem_bytes();
-    (finish_sim(exec, collisions, label, epoch_mem), mem)
+    finish_sim(exec, collisions, spec.label(), mem.epoch_mem_bytes())
 }
 
 /// Runs KKβ on OS threads over hardware atomics.

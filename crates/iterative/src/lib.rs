@@ -50,7 +50,8 @@ pub use layout::{IterLayout, StageInfo};
 pub use process::IterativeProcess;
 pub use runner::{
     basic_sched_label, iter_fleet, iter_fleet_with, run_basic_fleet, run_iter_fleet_simulated,
-    run_iterative_simulated, run_iterative_threads, BasicSched, IterConfig, IterSimOptions,
+    run_iterative_scenario, run_iterative_simulated, run_iterative_threads, BasicSched, IterConfig,
+    IterSimOptions,
 };
 pub use schedule::stage_sizes;
 pub use superjob::{block_count, block_span, map_blocks};

@@ -1,10 +1,16 @@
 //! Configuration and runners for `IterativeKK(ε)`.
+//!
+//! The simulated entry points are thin shims over the unified scenario
+//! layer ([`amo_sim::run_scenario`]): [`IterSimOptions`] survives as a
+//! converting adapter ([`to_scenario`](IterSimOptions::to_scenario),
+//! bit-identical lowering) and [`BasicSched`] **is** the shared
+//! [`SchedulerSpec`] — the historical parallel enum was deleted.
 
-use amo_core::{AmoReport, ConfigError, KkConfig, LockstepScheduler};
+use amo_core::{AmoReport, ConfigError, KkConfig};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, BlockScheduler, CrashPlan, Engine, EngineLimits, Execution, MemOrder, Process,
-    RandomScheduler, RoundRobin, Scheduler, Slot, VecRegisters, WithCrashes,
+    run_scenario, AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, RoundRobin,
+    ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, Slot, VecRegisters,
 };
 
 use crate::layout::IterLayout;
@@ -105,28 +111,14 @@ impl IterConfig {
     }
 }
 
-/// Scheduler selector for the iterated runners (the KKβ-specific
-/// stuck-announcement adversary does not apply here).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub enum BasicSched {
-    /// Fair round-robin.
-    #[default]
-    RoundRobin,
-    /// Seeded uniform-random.
-    Random(
-        /// RNG seed.
-        u64,
-    ),
-    /// Seeded bursty schedule.
-    Block(
-        /// RNG seed.
-        u64,
-        /// Actions per burst.
-        u64,
-    ),
-    /// Collision-maximising lockstep.
-    Lockstep,
-}
+/// Scheduler selector for the iterated runners — now literally the shared
+/// [`SchedulerSpec`] of the scenario layer (the historical parallel enum
+/// was a field-for-field copy of `amo_core::SchedulerKind`'s fair subset
+/// and has been deleted). The lockstep adversary is requested by name
+/// (`SchedulerSpec::Adversary("lockstep")`, resolved through
+/// [`IterativeProcess`]'s registry entry); the constructors on
+/// [`IterSimOptions`] keep the old spelling working.
+pub type BasicSched = SchedulerSpec;
 
 /// Options for [`run_iterative_simulated`].
 #[derive(Debug, Clone)]
@@ -196,10 +188,10 @@ impl IterSimOptions {
         }
     }
 
-    /// Lockstep schedule.
+    /// Lockstep schedule (the `"lockstep"` registry adversary).
     pub fn lockstep() -> Self {
         Self {
-            scheduler: BasicSched::Lockstep,
+            scheduler: SchedulerSpec::Adversary("lockstep"),
             ..Self::default()
         }
     }
@@ -247,9 +239,33 @@ impl IterSimOptions {
     }
 
     /// `true` when the configured scheduler grants quanta (the epoch cache
-    /// can then actually skip work).
+    /// can then actually skip work). As with `amo_core::SimOptions`, the
+    /// legacy [`quantum`](Self::quantum) field applies to round-robin only,
+    /// so it grants nothing under any other kind.
     pub fn grants_quanta(&self) -> bool {
-        self.quantum > 1 || matches!(self.scheduler, BasicSched::Block(..))
+        (self.quantum > 1 && matches!(self.scheduler, SchedulerSpec::RoundRobin))
+            || matches!(self.scheduler, SchedulerSpec::Block(..))
+    }
+
+    /// Lowers these options into the shared [`ScenarioSpec`] — the
+    /// converting adapter the iterated (and Write-All) runners are thin
+    /// shims over. Mirrors `amo_core::SimOptions::to_scenario`: the legacy
+    /// `quantum` applied only to round-robin, so it is pinned to `1` for
+    /// every other scheduler.
+    pub fn to_scenario(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            scheduler: self.scheduler,
+            crash_plan: self.crash_plan.clone(),
+            limits: self.limits,
+            quantum: match self.scheduler {
+                SchedulerSpec::RoundRobin => self.quantum,
+                _ => 1,
+            },
+            epoch_cache: self.epoch_cache,
+            reference_single_step: self.reference_single_step,
+            backend: Default::default(),
+            collisions: false,
+        }
     }
 }
 
@@ -271,67 +287,54 @@ pub fn iter_fleet_with(
     (layout, fleet)
 }
 
-fn basic_label(kind: BasicSched) -> &'static str {
-    match kind {
-        BasicSched::RoundRobin => "round-robin",
-        BasicSched::Random(_) => "random",
-        BasicSched::Block(..) => "block",
-        BasicSched::Lockstep => "lockstep",
+/// The scenario-layer registry entry for the iterated driver: the only
+/// algorithm-specific adversary that applies is the (process-agnostic)
+/// collision-maximising lockstep; the KKβ-internal adversaries
+/// (stuck-announcement, staleness) inspect `KkProcess` state and stay
+/// unsupported here by construction.
+impl ScenarioProcess for IterativeProcess {
+    fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
+        amo_core::generic_adversary(name)
+    }
+
+    fn set_epoch_cache(&mut self, enabled: bool) {
+        IterativeProcess::set_epoch_cache(self, enabled);
     }
 }
 
 /// Runs `IterativeKK(ε)` in the deterministic simulator.
 pub fn run_iterative_simulated(config: &IterConfig, options: IterSimOptions) -> AmoReport {
-    let (layout, mut fleet) = iter_fleet(config);
-    if options.epoch_cache && options.grants_quanta() {
-        for p in &mut fleet {
-            p.set_epoch_cache(true);
-        }
-    }
+    let (layout, fleet) = iter_fleet(config);
     let mem = VecRegisters::new(layout.cells());
     run_iter_fleet_simulated(mem, fleet, options)
 }
 
-/// Runs any fleet under a [`BasicSched`] with crash injection, returning
-/// the raw execution and the final process slots. Shared by this crate's
-/// runners and `amo-write-all`.
-pub fn run_basic_fleet<P: Process<VecRegisters>>(
+/// Runs `IterativeKK(ε)` under an explicit [`ScenarioSpec`] — the
+/// spec-first twin of [`run_iterative_simulated`].
+pub fn run_iterative_scenario(config: &IterConfig, spec: &ScenarioSpec) -> AmoReport {
+    let (layout, fleet) = iter_fleet(config);
+    let mem = VecRegisters::new(layout.cells());
+    let (exec, _slots, mem) = run_scenario(mem, fleet, spec);
+    iter_report(exec, &mem, spec.label())
+}
+
+/// Runs any fleet under an [`IterSimOptions`] with crash injection,
+/// returning the raw execution and the final process slots. Shared by this
+/// crate's runners and `amo-write-all`. A thin shim: the options lower
+/// into a [`ScenarioSpec`] and the shared [`run_scenario`] driver does the
+/// rest (including the per-process epoch-cache opt-in, which used to be
+/// each caller's job).
+pub fn run_basic_fleet<P: ScenarioProcess>(
     mem: VecRegisters,
     fleet: Vec<P>,
     options: &IterSimOptions,
 ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
-    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
-        mem: VecRegisters,
-        fleet: Vec<P>,
-        sched: S,
-        options: &IterSimOptions,
-    ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
-        // Without quanta no process's epoch cache can skip anything, so
-        // epoch maintenance (and its tracked-prefix storage) is off.
-        mem.set_epoch_tracking(options.epoch_cache && options.grants_quanta());
-        let sched = WithCrashes::new(sched, options.crash_plan.clone());
-        let mut engine = Engine::new(mem, fleet, sched);
-        if options.reference_single_step {
-            engine = engine.single_step();
-        }
-        engine.run_full(options.limits)
-    }
-    match options.scheduler {
-        BasicSched::RoundRobin => go(
-            mem,
-            fleet,
-            RoundRobin::new().with_quantum(options.quantum.max(1)),
-            options,
-        ),
-        BasicSched::Random(seed) => go(mem, fleet, RandomScheduler::new(seed), options),
-        BasicSched::Block(seed, burst) => go(mem, fleet, BlockScheduler::new(seed, burst), options),
-        BasicSched::Lockstep => go(mem, fleet, LockstepScheduler::new(), options),
-    }
+    run_scenario(mem, fleet, &options.to_scenario())
 }
 
 /// The human-readable label of a [`BasicSched`] (for table rows).
 pub fn basic_sched_label(kind: BasicSched) -> &'static str {
-    basic_label(kind)
+    kind.label()
 }
 
 /// Runs an arbitrary pre-built iterated fleet in the simulator (shared with
@@ -341,8 +344,13 @@ pub fn run_iter_fleet_simulated(
     fleet: Vec<IterativeProcess>,
     options: IterSimOptions,
 ) -> AmoReport {
-    let label = basic_label(options.scheduler);
+    let label = options.scheduler.label();
     let (exec, _slots, mem) = run_basic_fleet(mem, fleet, &options);
+    iter_report(exec, &mem, label)
+}
+
+/// Builds the [`AmoReport`] of an iterated scenario run.
+fn iter_report(exec: Execution, mem: &VecRegisters, label: &'static str) -> AmoReport {
     let (effectiveness, violations) = exec.summary();
     AmoReport {
         effectiveness,

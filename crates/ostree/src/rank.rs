@@ -154,6 +154,38 @@ pub trait OrderedJobSet:
     /// Removes `id`, returning `true` if it was present.
     fn remove(&mut self, id: u64) -> bool;
 
+    /// The paired foreign-merge operation: inserts `id` into `self` (the
+    /// `DONE` role) and, exactly when it was newly inserted, removes it
+    /// from `free` — fusing the `done.insert` + `free.remove` pair the KKβ
+    /// `gatherDone` merge performs once per observed log entry, the hottest
+    /// mutation pair of the whole simulation.
+    ///
+    /// Returns `(inserted, removed)`: `inserted` is what `self.insert(id)`
+    /// would have returned, `removed` what the conditional `free.remove(id)`
+    /// would have (always `false` when `inserted` is `false` — the removal
+    /// is not attempted then, exactly like the unpaired sequence).
+    ///
+    /// **Contract:** observationally identical to
+    /// `let i = self.insert(id); let r = i && free.remove(id); (i, r)`,
+    /// including each set's [`ops`](Self::ops) charges — implementations
+    /// may only fuse shared *computation* (index math, bounds checks),
+    /// never change the work measure. The `paired_merge` property suite
+    /// asserts this against the unpaired sequence on both bitmap backends.
+    ///
+    /// The default implementation *is* the unpaired sequence;
+    /// [`FenwickSet`](crate::FenwickSet) overrides it with a fused
+    /// one-index-computation walk over both structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`insert`](Self::insert)
+    /// (`id` of `0` or beyond `self`'s universe).
+    fn insert_paired_remove(&mut self, free: &mut Self, id: u64) -> (bool, bool) {
+        let inserted = self.insert(id);
+        let removed = inserted && free.remove(id);
+        (inserted, removed)
+    }
+
     /// Elementary operations executed so far (the paper's work measure).
     fn ops(&self) -> u64;
 }

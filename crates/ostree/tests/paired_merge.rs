@@ -1,0 +1,134 @@
+//! Property suite for [`OrderedJobSet::insert_paired_remove`], the fused
+//! `done.insert` + `free.remove` foreign-merge operation.
+//!
+//! The contract: on any `(done, free)` pair the paired call must be
+//! observationally identical to the unpaired sequence
+//! `let i = done.insert(id); let r = i && free.remove(id);` — same return
+//! values, same resulting sets, and the **same per-set `ops` charges** (the
+//! paper's work measure feeds `local_work`, which the CI perf gate pins
+//! exactly). Both bitmap backends are driven through randomized KKβ-shaped
+//! merge histories: `FenwickSet` exercises the fused override, and
+//! `DenseFenwickSet` the default (which *is* the sequence, making it the
+//! oracle shape).
+
+use amo_ostree::{DenseFenwickSet, FenwickSet, OrderedJobSet, RankedSet};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Drives one paired set and one unpaired control pair through the same
+/// merge history and compares every observable after every step.
+fn check_history<S: OrderedJobSet>(universe: usize, ids: &[u64]) -> Result<(), TestCaseError> {
+    // done starts empty, free starts full: the KKβ initial state.
+    let mut done_p = S::empty(universe);
+    let mut free_p = S::full(universe);
+    let mut done_u = S::empty(universe);
+    let mut free_u = S::full(universe);
+    for &id in ids {
+        let paired = done_p.insert_paired_remove(&mut free_p, id);
+        let inserted = done_u.insert(id);
+        let removed = inserted && free_u.remove(id);
+        prop_assert_eq!(paired, (inserted, removed), "return values, id {}", id);
+        prop_assert_eq!(&done_p, &done_u, "done sets diverged at id {}", id);
+        prop_assert_eq!(&free_p, &free_u, "free sets diverged at id {}", id);
+        prop_assert_eq!(done_p.ops(), done_u.ops(), "done ops charge, id {}", id);
+        prop_assert_eq!(free_p.ops(), free_u.ops(), "free ops charge, id {}", id);
+    }
+    // Conservation: every merged element left free exactly once.
+    prop_assert_eq!(done_p.len() + free_p.len(), universe);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fused override vs unpaired sequence on the blocked bitmap backend,
+    /// including repeated ids (the duplicate-merge fast exit).
+    #[test]
+    fn fenwick_paired_matches_unpaired(
+        universe in 1usize..700,
+        seed_ids in prop::collection::vec(1u64..4096, 1..64),
+    ) {
+        let ids: Vec<u64> = seed_ids
+            .iter()
+            .map(|&x| (x - 1) % universe as u64 + 1)
+            .collect();
+        check_history::<FenwickSet>(universe, &ids)?;
+    }
+
+    /// Same histories through the per-element backend (default method).
+    #[test]
+    fn dense_paired_matches_unpaired(
+        universe in 1usize..700,
+        seed_ids in prop::collection::vec(1u64..4096, 1..64),
+    ) {
+        let ids: Vec<u64> = seed_ids
+            .iter()
+            .map(|&x| (x - 1) % universe as u64 + 1)
+            .collect();
+        check_history::<DenseFenwickSet>(universe, &ids)?;
+    }
+
+    /// The merge pair must behave identically when `free` has already lost
+    /// the element (iterated stages run KKβ with FREE ⊂ universe): inserted
+    /// without removal, charges matching.
+    #[test]
+    fn paired_merge_with_partial_free(
+        universe in 2usize..300,
+        hole_seed in any::<u64>(),
+        seed_ids in prop::collection::vec(1u64..4096, 1..32),
+    ) {
+        let hole = hole_seed % universe as u64 + 1;
+        let mut free_p = FenwickSet::full(universe);
+        free_p.remove(hole);
+        let mut free_u = free_p.clone();
+        free_p.reset_ops();
+        free_u.reset_ops();
+        let mut done_p = FenwickSet::new(universe);
+        let mut done_u = FenwickSet::new(universe);
+        for &x in &seed_ids {
+            let id = (x - 1) % universe as u64 + 1;
+            let paired = done_p.insert_paired_remove(&mut free_p, id);
+            let inserted = OrderedJobSet::insert(&mut done_u, id);
+            let removed = inserted && OrderedJobSet::remove(&mut free_u, id);
+            prop_assert_eq!(paired, (inserted, removed));
+            prop_assert_eq!(&free_p, &free_u);
+            prop_assert_eq!(free_p.ops(), free_u.ops());
+            prop_assert_eq!(done_p.ops(), done_u.ops());
+        }
+    }
+}
+
+#[test]
+fn boundary_elements_word_and_block_edges() {
+    // Word boundaries (63/64/65), block boundaries (512), superblock-scale
+    // indices — the coordinates the fused path computes once and shares.
+    let universe = 40_000;
+    for id in [
+        1u64, 63, 64, 65, 511, 512, 513, 1023, 1024, 32_767, 32_768, 32_769, 39_999, 40_000,
+    ] {
+        let mut done = FenwickSet::new(universe);
+        let mut free = FenwickSet::with_all(universe);
+        assert_eq!(done.insert_paired_remove(&mut free, id), (true, true));
+        assert!(done.contains(id) && !free.contains(id));
+        assert_eq!(
+            done.insert_paired_remove(&mut free, id),
+            (false, false),
+            "duplicate merge must not touch free"
+        );
+        assert_eq!(free.len(), universe - 1);
+        // The structures stay internally consistent for rank queries.
+        assert_eq!(
+            free.select_excluding(&[], 1),
+            Some(if id == 1 { 2 } else { 1 })
+        );
+        assert_eq!(done.select(1), Some(id));
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside universe")]
+fn paired_merge_rejects_out_of_universe_insert() {
+    let mut done = FenwickSet::new(8);
+    let mut free = FenwickSet::with_all(8);
+    let _ = done.insert_paired_remove(&mut free, 9);
+}

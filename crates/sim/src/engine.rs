@@ -75,7 +75,14 @@ impl EngineLimits {
 }
 
 /// The record of one complete execution `α`.
-#[derive(Debug, Clone)]
+///
+/// Equality is field-for-field over every recorded observable (perform
+/// records with their step indices, work accounting, per-process step
+/// counts, trace) — what the scenario-equivalence and batching-equivalence
+/// suites assert between a legacy runner and its lowered
+/// [`ScenarioSpec`](crate::ScenarioSpec), and between the fast path and its
+/// single-step reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution {
     /// Every `do` action, in execution order.
     pub performed: Vec<PerformRecord>,

@@ -23,7 +23,14 @@
 //! * [`explore`] — a bounded exhaustive explorer (a small model checker)
 //!   that enumerates *every* schedule and crash pattern of small instances
 //!   and machine-checks the at-most-once property along all of them.
+//! * [`scenario`] — the unified scenario layer: one declarative
+//!   [`ScenarioSpec`] (scheduler, crash plan, limits, quantum, epoch-cache
+//!   policy, backend, instrumentation) plus the generic [`run_scenario`]
+//!   driver every algorithm crate's simulated runner routes through, with
+//!   an open adversary registry ([`ScenarioProcess`]).
 //! * [`thread`] — the same fleet on OS threads over [`AtomicRegisters`].
+//! * [`arena`] — reusable register-file buffers ([`FleetArena`]) for
+//!   grid-style multi-fleet workloads.
 //!
 //! # The quantum / `step_many` contract
 //!
@@ -77,22 +84,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod crash;
 mod engine;
 mod explore;
 mod process;
 mod registers;
+pub mod scenario;
 mod sched;
 pub mod testing;
 pub mod thread;
 mod timeline;
 mod verify;
 
+pub use arena::FleetArena;
 pub use crash::CrashPlan;
 pub use engine::{Engine, EngineLimits, Execution, LifeState, PerformRecord, Slot, TraceEntry};
 pub use explore::{explore, ExploreConfig, ExploreOutcome, MemoMode};
 pub use process::{BatchOutcome, JobSpan, Process, StepEvent};
 pub use registers::{AtomicRegisters, MemOrder, MemWork, Registers, VecRegisters};
+pub use scenario::{
+    run_scenario, run_scenario_in, BackendSpec, ScenarioProcess, ScenarioSpec, SchedulerSpec,
+};
 pub use sched::{
     BlockScheduler, Decision, RandomScheduler, RoundRobin, SchedView, Scheduler, ScriptedScheduler,
     WithCrashes,

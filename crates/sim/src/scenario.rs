@@ -1,0 +1,555 @@
+//! The unified scenario layer: one declarative [`ScenarioSpec`] and one
+//! generic [`run_scenario`] driver shared by **every** algorithm stack.
+//!
+//! # Why a scenario layer
+//!
+//! The paper's effectiveness claims (KKβ vs. the iterated and Write-All
+//! constructions) are only meaningful when every algorithm is exercised
+//! under the *same* schedulers, crash plans and scales. Historically each
+//! crate carried its own runner stack (`amo_core::SimOptions`,
+//! `amo_iterative::IterSimOptions`, the Write-All and baseline runners), so
+//! adversaries existed only for the algorithm whose crate defined them and
+//! every new scheduler, backend or engine knob had to be threaded through
+//! four parallel option structs. The scenario layer inverts that: a
+//! [`ScenarioSpec`] describes a complete simulated execution environment —
+//! scheduler, crash plan, limits, quantum, epoch-cache policy, engine path,
+//! register backend, collision instrumentation — and [`run_scenario`]
+//! drives *any* fleet of [`ScenarioProcess`]es through it. The per-crate
+//! option structs survive as thin converting adapters
+//! (`SimOptions::to_scenario`, `IterSimOptions::to_scenario`, …) that lower
+//! into a spec, bit-identically.
+//!
+//! # The adversary registry
+//!
+//! Fair schedulers (round-robin, seeded random, bursty blocks) are built
+//! in: [`SchedulerSpec`] names them structurally and they apply to every
+//! process type. *Algorithm-specific* adversaries — schedulers that inspect
+//! process internals, like KKβ's stuck-announcement or staleness
+//! adversaries — are requested **by name** via
+//! [`SchedulerSpec::Adversary`] and resolved through the
+//! [`ScenarioProcess::adversary`] factory, which each process type's home
+//! crate implements. The capability rules:
+//!
+//! * a process type supports exactly the names its factory resolves
+//!   ([`ScenarioProcess::supports_adversary`] probes without running);
+//! * requesting an unsupported name is a harness bug and panics with the
+//!   offending name — scenario grids must probe support first;
+//! * adversaries keep the engine's single-step granularity (quantum 1) by
+//!   contract: the factory returns plain [`Scheduler`]s, whose default
+//!   [`Scheduler::quantum`] is 1, and [`ScenarioSpec::quantum`] is only
+//!   consulted for the built-in fair schedulers.
+//!
+//! # Examples
+//!
+//! Driving a toy fleet under a bursty scheduler with a crash:
+//!
+//! ```
+//! use amo_sim::testing::WriterProcess;
+//! use amo_sim::{run_scenario, CrashPlan, ScenarioSpec, VecRegisters};
+//!
+//! let fleet = vec![WriterProcess::new(1, 0, 40), WriterProcess::new(2, 1, 40)];
+//! let spec = ScenarioSpec::block(7, 4).with_crash_plan(CrashPlan::at_steps([(2usize, 5u64)]));
+//! let (exec, _slots, _mem) = run_scenario(VecRegisters::new(2), fleet, &spec);
+//! assert!(exec.completed);
+//! assert_eq!(exec.crashed, vec![2]);
+//! ```
+
+use crate::arena::FleetArena;
+use crate::crash::CrashPlan;
+use crate::engine::{Engine, EngineLimits, Execution, Slot};
+use crate::process::Process;
+use crate::registers::VecRegisters;
+use crate::sched::{BlockScheduler, RandomScheduler, RoundRobin, Scheduler, WithCrashes};
+
+/// Scheduling strategy of a [`ScenarioSpec`]: the built-in fair schedulers
+/// structurally, or a named algorithm-specific adversary resolved through
+/// the [`ScenarioProcess::adversary`] registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerSpec {
+    /// Fair round-robin ([`RoundRobin`]); honours
+    /// [`ScenarioSpec::quantum`].
+    #[default]
+    RoundRobin,
+    /// Seeded uniform-random ([`RandomScheduler`]); honours
+    /// [`ScenarioSpec::quantum`].
+    Random(
+        /// RNG seed.
+        u64,
+    ),
+    /// Seeded bursty schedule ([`BlockScheduler`]) — the burst is its own
+    /// quantum, so [`ScenarioSpec::quantum`] is ignored.
+    Block(
+        /// RNG seed.
+        u64,
+        /// Actions per burst.
+        u64,
+    ),
+    /// A named algorithm-specific adversary, resolved through
+    /// [`ScenarioProcess::adversary`]. Always single-step (quantum 1).
+    Adversary(
+        /// Registry name (e.g. `"lockstep"`, `"stuck-announcement"`,
+        /// `"staleness"`), doubling as the report label.
+        &'static str,
+    ),
+}
+
+impl SchedulerSpec {
+    /// Human-readable label for report rows; for adversaries this is the
+    /// registry name itself.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerSpec::RoundRobin => "round-robin",
+            SchedulerSpec::Random(_) => "random",
+            SchedulerSpec::Block(..) => "block",
+            SchedulerSpec::Adversary(name) => name,
+        }
+    }
+
+    /// `true` for [`SchedulerSpec::Adversary`].
+    pub fn is_adversary(&self) -> bool {
+        matches!(self, SchedulerSpec::Adversary(_))
+    }
+}
+
+/// Register-file backend of a simulated scenario.
+///
+/// The deterministic simulator currently has exactly one backend — the
+/// epoch-capable [`VecRegisters`] — but the spec names it explicitly so
+/// future backends (e.g. a mmap-backed file for out-of-core universes, or
+/// an instrumented file injecting read faults) slot into the same driver
+/// without growing a fifth option struct. Threaded execution over
+/// [`AtomicRegisters`](crate::AtomicRegisters) stays a separate entry point
+/// by design: real threads have no deterministic scheduler to spec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendSpec {
+    /// Deterministic in-memory registers with tracked-prefix epochs
+    /// ([`VecRegisters`]).
+    #[default]
+    Vec,
+}
+
+/// A declarative description of one simulated execution environment,
+/// consumed by [`run_scenario`].
+///
+/// A spec is algorithm-agnostic: the same value can drive a KKβ fleet, an
+/// iterated stage, a Write-All fleet or any baseline, which is what makes
+/// cross-algorithm scenario grids (`amo-bench`'s `scenario_matrix`)
+/// honest — every cell runs under literally the same environment.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scheduling strategy (see [`SchedulerSpec`]).
+    pub scheduler: SchedulerSpec,
+    /// Deterministic crash injection, composed with any scheduler through
+    /// [`WithCrashes`]. Adversaries that crash processes themselves (e.g.
+    /// KKβ's stuck-announcement) share the engine-enforced `f ≤ m − 1`
+    /// budget with the plan.
+    pub crash_plan: CrashPlan,
+    /// Step cap (defaults to [`EngineLimits::default`]'s 200M actions).
+    pub limits: EngineLimits,
+    /// Actions granted per scheduler turn for the quantum-honouring
+    /// built-ins ([`SchedulerSpec::RoundRobin`], [`SchedulerSpec::Random`]).
+    /// `> 1` opts into the engine's macro-stepping fast path. Ignored by
+    /// [`SchedulerSpec::Block`] (bursts carry their own quantum) and by
+    /// adversaries (single-step by contract).
+    pub quantum: u64,
+    /// Enables the announcement-epoch caches on processes that have one
+    /// (via [`ScenarioProcess::set_epoch_cache`]) and epoch maintenance on
+    /// the register file. Takes effect only when the scheduler grants
+    /// quanta ([`grants_quanta`](Self::grants_quanta)) — under single-action
+    /// granularity a cache can skip no load by design, so both stay off to
+    /// keep the per-action path lean.
+    pub epoch_cache: bool,
+    /// Forces the engine's per-action reference path even when the
+    /// scheduler grants quanta (see [`Engine::single_step`]); used by the
+    /// equivalence suites and for debugging.
+    pub reference_single_step: bool,
+    /// Register-file backend (see [`BackendSpec`]).
+    pub backend: BackendSpec,
+    /// Enables per-pair collision instrumentation on processes that support
+    /// it (via [`ScenarioProcess::set_collision_tracking`]; costs memory
+    /// and time).
+    pub collisions: bool,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerSpec::default(),
+            crash_plan: CrashPlan::default(),
+            limits: EngineLimits::default(),
+            quantum: 1,
+            epoch_cache: true,
+            reference_single_step: false,
+            backend: BackendSpec::default(),
+            collisions: false,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Strictly alternating round-robin, no crashes.
+    pub fn round_robin() -> Self {
+        Self::default()
+    }
+
+    /// Quantized round-robin with [`RoundRobin::BATCH_QUANTUM`] actions per
+    /// turn — the macro-stepping fast path.
+    pub fn round_robin_batched() -> Self {
+        Self::default().with_quantum(RoundRobin::BATCH_QUANTUM)
+    }
+
+    /// Seeded random schedule, no crashes.
+    pub fn random(seed: u64) -> Self {
+        Self {
+            scheduler: SchedulerSpec::Random(seed),
+            ..Self::default()
+        }
+    }
+
+    /// Bursty schedule.
+    pub fn block(seed: u64, burst: u64) -> Self {
+        Self {
+            scheduler: SchedulerSpec::Block(seed, burst),
+            ..Self::default()
+        }
+    }
+
+    /// The named adversary from the [`ScenarioProcess::adversary`] registry.
+    pub fn adversary(name: &'static str) -> Self {
+        Self {
+            scheduler: SchedulerSpec::Adversary(name),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the per-turn quantum (see [`Self::quantum`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Replaces the engine step cap.
+    pub fn with_limits(mut self, limits: EngineLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Caps the execution at `max_steps` total actions (shorthand for
+    /// [`with_limits`](Self::with_limits)).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.limits = EngineLimits::with_max_steps(max_steps);
+        self
+    }
+
+    /// Enables or disables the announcement-epoch caches (see
+    /// [`Self::epoch_cache`]).
+    pub fn with_epoch_cache(mut self, enabled: bool) -> Self {
+        self.epoch_cache = enabled;
+        self
+    }
+
+    /// Forces the per-action reference engine path (see
+    /// [`Self::reference_single_step`]).
+    pub fn single_step(mut self) -> Self {
+        self.reference_single_step = true;
+        self
+    }
+
+    /// Enables collision instrumentation (see [`Self::collisions`]).
+    pub fn with_collision_tracking(mut self) -> Self {
+        self.collisions = true;
+        self
+    }
+
+    /// `true` when the configured scheduler grants quanta, i.e. the engine
+    /// will drive processes through `step_many` and an announcement-epoch
+    /// cache can actually skip work.
+    ///
+    /// Honours the per-kind [`quantum`](Self::quantum) semantics: only the
+    /// quantum-honouring built-ins (round-robin, random) grant it, blocks
+    /// grant their bursts, and adversaries never grant — so a `quantum > 1`
+    /// left on an adversary spec does not switch on caches or epoch
+    /// tracking that could skip nothing under single-action granularity.
+    pub fn grants_quanta(&self) -> bool {
+        match self.scheduler {
+            SchedulerSpec::RoundRobin | SchedulerSpec::Random(_) => self.quantum > 1,
+            SchedulerSpec::Block(..) => true,
+            SchedulerSpec::Adversary(_) => false,
+        }
+    }
+
+    /// The label reported for this spec's scheduler.
+    pub fn label(&self) -> &'static str {
+        self.scheduler.label()
+    }
+}
+
+/// A process type that [`run_scenario`] can drive.
+///
+/// The three methods are the registry contract between the generic driver
+/// and algorithm crates; **every** method has a correct do-nothing default,
+/// so plain processes opt in with an empty `impl` block. Home crates
+/// override what applies:
+///
+/// * [`adversary`](Self::adversary) — the named-adversary factory. A crate
+///   that defines an adversary scheduler for its process type resolves the
+///   name here (e.g. `amo-core` resolves `"lockstep"`,
+///   `"stuck-announcement"` and `"staleness"` for `KkProcess`); names the
+///   factory does not recognise mean *unsupported*, and [`run_scenario`]
+///   panics if a spec requests one.
+/// * [`set_epoch_cache`](Self::set_epoch_cache) — announcement-epoch cache
+///   opt-in, called by the driver on every process exactly when
+///   [`ScenarioSpec::epoch_cache`] applies (see there).
+/// * [`set_collision_tracking`](Self::set_collision_tracking) — per-pair
+///   collision instrumentation, driven by [`ScenarioSpec::collisions`].
+pub trait ScenarioProcess: Process<VecRegisters> {
+    /// Builds the named adversary scheduler for this process type, or
+    /// `None` when the name is not supported. See the module docs for the
+    /// capability rules.
+    fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>>
+    where
+        Self: Sized,
+    {
+        let _ = name;
+        None
+    }
+
+    /// `true` when [`adversary`](Self::adversary) resolves `name` — the
+    /// probe scenario grids use to skip unsupported cells.
+    fn supports_adversary(name: &str) -> bool
+    where
+        Self: Sized,
+    {
+        Self::adversary(name).is_some()
+    }
+
+    /// Enables or disables this process's announcement-epoch cache, when it
+    /// has one. Default: no cache, no-op.
+    fn set_epoch_cache(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Enables or disables per-pair collision instrumentation, when the
+    /// process supports it. Default: no instrumentation, no-op.
+    fn set_collision_tracking(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+}
+
+/// Runs `fleet` over `mem` under the environment described by `spec`,
+/// returning the recorded [`Execution`], the final process slots (for
+/// terminal-state inspection: IterStep outputs, collision matrices, …) and
+/// the register file (for arenas and final-memory certification).
+///
+/// This is the single driver every simulated runner stack routes through;
+/// the per-crate option structs lower into a [`ScenarioSpec`] and call
+/// here.
+///
+/// # Panics
+///
+/// Panics if the spec requests an adversary this process type does not
+/// support (see [`ScenarioProcess::adversary`]), or on the [`Engine`]'s
+/// own contract violations (empty or misordered fleet, invalid scheduler
+/// decisions).
+pub fn run_scenario<P: ScenarioProcess>(
+    mem: VecRegisters,
+    mut fleet: Vec<P>,
+    spec: &ScenarioSpec,
+) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+    let BackendSpec::Vec = spec.backend;
+    // Epoch caches only pay when the scheduler grants quanta; without them
+    // no process consults epochs, so maintenance (and the tracked-prefix
+    // storage) is switched off entirely.
+    let cache = spec.epoch_cache && spec.grants_quanta();
+    if cache {
+        for p in &mut fleet {
+            p.set_epoch_cache(true);
+        }
+    }
+    if spec.collisions {
+        for p in &mut fleet {
+            p.set_collision_tracking(true);
+        }
+    }
+    mem.set_epoch_tracking(cache);
+
+    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
+        mem: VecRegisters,
+        fleet: Vec<P>,
+        sched: S,
+        spec: &ScenarioSpec,
+    ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+        let sched = WithCrashes::new(sched, spec.crash_plan.clone());
+        let mut engine = Engine::new(mem, fleet, sched);
+        if spec.reference_single_step {
+            engine = engine.single_step();
+        }
+        engine.run_full(spec.limits)
+    }
+
+    match spec.scheduler {
+        SchedulerSpec::RoundRobin => go(
+            mem,
+            fleet,
+            RoundRobin::new().with_quantum(spec.quantum.max(1)),
+            spec,
+        ),
+        SchedulerSpec::Random(seed) => go(
+            mem,
+            fleet,
+            RandomScheduler::new(seed).with_quantum(spec.quantum.max(1)),
+            spec,
+        ),
+        SchedulerSpec::Block(seed, burst) => go(mem, fleet, BlockScheduler::new(seed, burst), spec),
+        SchedulerSpec::Adversary(name) => {
+            let sched = P::adversary(name).unwrap_or_else(|| {
+                panic!(
+                    "adversary {name:?} is not registered for this process type \
+                     (see ScenarioProcess::adversary)"
+                )
+            });
+            go(mem, fleet, sched, spec)
+        }
+    }
+}
+
+// The testing processes are plain scenario citizens: no caches, no
+// instrumentation, no adversaries — the defaults.
+impl ScenarioProcess for crate::testing::WriterProcess {}
+impl ScenarioProcess for crate::testing::PerformOnceProcess {}
+impl ScenarioProcess for crate::testing::RacyClaimProcess {}
+
+/// [`run_scenario`] drawing the register file from a [`FleetArena`]: the
+/// buffer of the previous simulation is reused warm instead of freshly
+/// allocated — the arena's multi-fleet locality win for experiment grids.
+pub fn run_scenario_in<P: ScenarioProcess>(
+    arena: &mut FleetArena,
+    cells: usize,
+    fleet: Vec<P>,
+    spec: &ScenarioSpec,
+) -> (Execution, Vec<Slot<P>>) {
+    let mem = arena.lease(cells);
+    let (exec, slots, mem) = run_scenario(mem, fleet, spec);
+    arena.reclaim(mem);
+    (exec, slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registers::Registers;
+    use crate::sched::{Decision, SchedView};
+    use crate::testing::WriterProcess;
+
+    fn writers(k: u64) -> (VecRegisters, Vec<WriterProcess>) {
+        (
+            VecRegisters::new(2),
+            vec![WriterProcess::new(1, 0, k), WriterProcess::new(2, 1, k)],
+        )
+    }
+
+    #[test]
+    fn default_spec_is_strict_round_robin() {
+        let spec = ScenarioSpec::default();
+        assert_eq!(spec.scheduler, SchedulerSpec::RoundRobin);
+        assert_eq!(spec.quantum, 1);
+        assert!(!spec.grants_quanta());
+        assert_eq!(spec.label(), "round-robin");
+        let (mem, fleet) = writers(2);
+        let (exec, _, _) = run_scenario(mem, fleet, &spec);
+        assert!(exec.completed);
+        assert_eq!(exec.total_steps, 6, "2 × (2 writes + 1 terminate)");
+    }
+
+    #[test]
+    fn quantum_applies_to_random_too() {
+        // The previously-impossible cell: a quantum-granting random
+        // schedule. Identical to its own single-step reference by the
+        // engine's batching contract.
+        let spec = ScenarioSpec::random(9).with_quantum(5);
+        assert!(spec.grants_quanta());
+        let (mem, fleet) = writers(20);
+        let (fast, _, _) = run_scenario(mem, fleet, &spec);
+        let (mem, fleet) = writers(20);
+        let (refr, _, _) = run_scenario(mem, fleet, &spec.clone().single_step());
+        assert_eq!(fast, refr);
+    }
+
+    #[test]
+    fn crash_plans_compose_with_every_builtin() {
+        for spec in [
+            ScenarioSpec::round_robin(),
+            ScenarioSpec::round_robin_batched(),
+            ScenarioSpec::random(3),
+            ScenarioSpec::block(3, 4),
+        ] {
+            let spec = spec.with_crash_plan(CrashPlan::at_steps([(1usize, 1u64)]));
+            let (mem, fleet) = writers(10);
+            let (exec, _, _) = run_scenario(mem, fleet, &spec);
+            assert_eq!(exec.crashed, vec![1], "{}", spec.label());
+            assert!(exec.completed);
+        }
+    }
+
+    #[test]
+    fn epoch_tracking_follows_quanta() {
+        let (mem, fleet) = writers(4);
+        let (_, _, mem) = run_scenario(mem, fleet, &ScenarioSpec::round_robin());
+        assert!(!mem.epochs_enabled(), "no quanta → tracking off");
+        let (mem2, fleet) = writers(4);
+        let (_, _, mem2) = run_scenario(mem2, fleet, &ScenarioSpec::round_robin_batched());
+        assert!(mem2.epochs_enabled(), "quanta → tracking on");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unsupported_adversary_panics() {
+        let (mem, fleet) = writers(1);
+        let _ = run_scenario(mem, fleet, &ScenarioSpec::adversary("no-such-adversary"));
+    }
+
+    #[test]
+    fn supports_adversary_probes_without_running() {
+        assert!(!WriterProcess::supports_adversary("lockstep"));
+    }
+
+    #[test]
+    fn arena_variant_matches_fresh_allocation() {
+        let mut arena = FleetArena::new();
+        let spec = ScenarioSpec::block(1, 3);
+        let run_pooled = |arena: &mut FleetArena| {
+            let fleet = vec![WriterProcess::new(1, 0, 9), WriterProcess::new(2, 1, 9)];
+            run_scenario_in(arena, 2, fleet, &spec).0
+        };
+        let first = run_pooled(&mut arena);
+        let second = run_pooled(&mut arena);
+        assert!(arena.reuses() >= 1);
+        assert_eq!(first, second, "warm buffers change nothing observable");
+    }
+
+    #[test]
+    fn boxed_scheduler_dispatch_works() {
+        // Exercise the Box<dyn Scheduler> path the adversary registry uses.
+        struct Rr;
+        impl<P> Scheduler<P> for Rr {
+            fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+                Decision::Step(view.running().next().expect("someone runs"))
+            }
+        }
+        let (mem, fleet) = writers(3);
+        let sched: Box<dyn Scheduler<WriterProcess>> = Box::new(Rr);
+        let exec = Engine::new(mem, fleet, sched).run(EngineLimits::default());
+        assert!(exec.completed);
+    }
+}

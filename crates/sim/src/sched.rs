@@ -96,6 +96,23 @@ impl<P, F: FnMut(&SchedView<'_, P>) -> Decision> Scheduler<P> for F {
     }
 }
 
+// Boxed schedulers delegate verbatim — this is what lets the scenario
+// layer's adversary registry hand out `Box<dyn Scheduler<P>>` factories
+// while the engine stays generic.
+impl<P> Scheduler<P> for Box<dyn Scheduler<P> + '_> {
+    fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
+        (**self).decide(view)
+    }
+
+    fn quantum(&self, view: &SchedView<'_, P>, chosen: usize) -> u64 {
+        (**self).quantum(view, chosen)
+    }
+
+    fn note_consumed(&mut self, chosen: usize, steps: u64) {
+        (**self).note_consumed(chosen, steps)
+    }
+}
+
 /// Fair round-robin over the running processes.
 ///
 /// This is the "benign" schedule: every process advances in turn, which is a
@@ -177,17 +194,37 @@ impl<P> Scheduler<P> for RoundRobin {
 ///
 /// Random schedules are fair with probability 1 and are the workhorse of the
 /// randomized safety experiments (Table 2 / experiment E2).
+///
+/// A quantum may be attached with [`with_quantum`](Self::with_quantum):
+/// each decision then grants the chosen process that many consecutive
+/// actions — a *quantized* random schedule (still fair with probability 1),
+/// eligible for the engine's macro-stepping fast path exactly like the
+/// quantized round-robin. [`new`](Self::new) keeps the historical
+/// action-per-decision granularity (quantum 1), bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct RandomScheduler {
     rng: StdRng,
+    quantum: u64,
 }
 
 impl RandomScheduler {
-    /// Creates a random scheduler from a seed.
+    /// Creates a random scheduler from a seed (quantum 1).
     pub fn new(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
+            quantum: 1,
         }
+    }
+
+    /// Sets the actions granted per decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
     }
 }
 
@@ -196,6 +233,10 @@ impl<P> Scheduler<P> for RandomScheduler {
         let running: Vec<usize> = view.running().collect();
         debug_assert!(!running.is_empty());
         Decision::Step(running[self.rng.gen_range(0..running.len())])
+    }
+
+    fn quantum(&self, _view: &SchedView<'_, P>, _chosen: usize) -> u64 {
+        self.quantum
     }
 }
 

@@ -53,7 +53,7 @@ mod wa;
 pub use baselines::{PermutationScanWa, SequentialWa, StaticPartitionWa, TasWa};
 pub use certify::{certify, CertifyOutcome};
 pub use runner::{
-    run_baseline_simulated, run_baseline_threads, run_wa_simulated, run_wa_threads, WaBaselineKind,
-    WaConfig, WaReport,
+    run_baseline_scenario, run_baseline_simulated, run_baseline_threads, run_wa_scenario,
+    run_wa_simulated, run_wa_threads, WaBaselineKind, WaConfig, WaReport,
 };
 pub use wa::{WaIterativeProcess, WaLayout};

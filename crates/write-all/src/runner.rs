@@ -1,9 +1,19 @@
 //! Configuration, runners and reports for the Write-All algorithms.
+//!
+//! The simulated entry points route through the unified scenario layer
+//! ([`amo_sim::run_scenario`]): the legacy [`IterSimOptions`]-taking
+//! runners lower bit-identically, and the `*_scenario` twins accept a
+//! [`ScenarioSpec`] directly — which is what lets Write-All fleets run
+//! under scenario cells the old option structs could not express (e.g.
+//! quantized random schedules or the lockstep adversary with crash plans).
 
 use amo_core::ConfigError;
-use amo_iterative::{run_basic_fleet, IterConfig, IterSimOptions};
+use amo_iterative::{IterConfig, IterSimOptions};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
-use amo_sim::{AtomicRegisters, CrashPlan, MemOrder, MemWork, VecRegisters};
+use amo_sim::{
+    AtomicRegisters, CrashPlan, Execution, MemOrder, MemWork, ScenarioProcess, ScenarioSpec,
+    Scheduler, VecRegisters,
+};
 
 use crate::baselines::{baseline_cells, PermutationScanWa, SequentialWa, StaticPartitionWa, TasWa};
 use crate::certify::{certify_snapshot, CertifyOutcome};
@@ -88,7 +98,10 @@ impl WaBaselineKind {
 }
 
 /// Summary of one Write-All execution.
-#[derive(Debug, Clone)]
+///
+/// Equality is field-for-field — what the scenario-equivalence suite
+/// asserts between a legacy-options run and its lowered [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WaReport {
     /// The certification outcome (all cells written?).
     pub certified: CertifyOutcome,
@@ -138,18 +151,25 @@ impl WaReport {
 /// # Ok::<(), amo_core::ConfigError>(())
 /// ```
 pub fn run_wa_simulated(config: &WaConfig, options: IterSimOptions) -> WaReport {
+    run_wa_scenario(config, &options.to_scenario())
+}
+
+/// Runs `WA_IterativeKK(ε)` under an explicit [`ScenarioSpec`] — the
+/// spec-first twin of [`run_wa_simulated`]. The epoch-cache opt-in that
+/// every caller used to wire by hand is handled by the generic driver.
+pub fn run_wa_scenario(config: &WaConfig, spec: &ScenarioSpec) -> WaReport {
     let layout = config.layout();
     let mem = VecRegisters::new(layout.cells());
-    let mut fleet: Vec<WaIterativeProcess> = (1..=config.m())
+    let fleet: Vec<WaIterativeProcess> = (1..=config.m())
         .map(|pid| WaIterativeProcess::new(pid, config.iter(), layout.clone()))
         .collect();
-    if options.epoch_cache && options.grants_quanta() {
-        for p in &mut fleet {
-            p.set_epoch_cache(true);
-        }
-    }
-    let (exec, _slots, mem) = run_basic_fleet(mem, fleet, &options);
+    let (exec, _slots, mem) = amo_sim::run_scenario(mem, fleet, spec);
     let certified = certify_snapshot(&mem.snapshot(), layout.wa_base(), config.n());
+    wa_report(exec, certified, "wa-iterative-kk")
+}
+
+/// Assembles a [`WaReport`] from an execution and its certification.
+fn wa_report(exec: Execution, certified: CertifyOutcome, label: &'static str) -> WaReport {
     WaReport {
         complete: certified.complete,
         certified,
@@ -158,9 +178,38 @@ pub fn run_wa_simulated(config: &WaConfig, options: IterSimOptions) -> WaReport 
         total_steps: exec.total_steps,
         crashed: exec.crashed,
         completed: exec.completed,
-        label: "wa-iterative-kk",
+        label,
     }
 }
+
+/// The scenario-registry entries of the Write-All process family: the
+/// process-agnostic lockstep adversary applies to every kind (historically
+/// inexpressible for the scan baselines), and `WA_IterativeKK`
+/// additionally wires its announcement-epoch cache into the driver hook.
+impl ScenarioProcess for WaIterativeProcess {
+    fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
+        amo_core::generic_adversary(name)
+    }
+
+    fn set_epoch_cache(&mut self, enabled: bool) {
+        WaIterativeProcess::set_epoch_cache(self, enabled);
+    }
+}
+
+/// Registers the process-agnostic adversaries (via
+/// [`amo_core::generic_adversary`]) for a plain (cache-free) Write-All
+/// baseline process type.
+macro_rules! generic_adversaries_scenario {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl ScenarioProcess for $ty {
+            fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
+                amo_core::generic_adversary(name)
+            }
+        }
+    )+};
+}
+
+generic_adversaries_scenario!(SequentialWa, StaticPartitionWa, TasWa, PermutationScanWa);
 
 /// Runs `WA_IterativeKK(ε)` on OS threads.
 pub fn run_wa_threads(config: &WaConfig, crash_plan: CrashPlan, order: MemOrder) -> WaReport {
@@ -200,46 +249,51 @@ pub fn run_baseline_simulated(
     m: usize,
     options: IterSimOptions,
 ) -> WaReport {
+    run_baseline_scenario(kind, n, m, &options.to_scenario())
+}
+
+/// Runs a Write-All baseline under an explicit [`ScenarioSpec`] — the
+/// spec-first twin of [`run_baseline_simulated`], through which the
+/// scenario matrix drives cells like lockstep or bursty blocks over the
+/// scan baselines.
+pub fn run_baseline_scenario(
+    kind: WaBaselineKind,
+    n: usize,
+    m: usize,
+    spec: &ScenarioSpec,
+) -> WaReport {
     assert!(n > 0 && m > 0, "need jobs and processes");
     let cells = baseline_cells(kind.uses_rmw(), n);
     let mem = VecRegisters::new(cells);
+    fn go<P: ScenarioProcess>(
+        mem: VecRegisters,
+        fleet: Vec<P>,
+        spec: &ScenarioSpec,
+    ) -> (Execution, VecRegisters) {
+        let (exec, _slots, mem) = amo_sim::run_scenario(mem, fleet, spec);
+        (exec, mem)
+    }
     let (exec, mem) = match kind {
-        WaBaselineKind::Sequential => {
-            let fleet = vec![SequentialWa::new(1, n as u64)];
-            let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
-            (e, mem)
-        }
+        WaBaselineKind::Sequential => go(mem, vec![SequentialWa::new(1, n as u64)], spec),
         WaBaselineKind::StaticPartition => {
             let fleet: Vec<_> = (1..=m)
                 .map(|p| StaticPartitionWa::new(p, m, n as u64))
                 .collect();
-            let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
-            (e, mem)
+            go(mem, fleet, spec)
         }
         WaBaselineKind::Tas => {
             let fleet: Vec<_> = (1..=m).map(|p| TasWa::new(p, m, n as u64)).collect();
-            let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
-            (e, mem)
+            go(mem, fleet, spec)
         }
         WaBaselineKind::PermutationScan(seed) => {
             let fleet: Vec<_> = (1..=m)
                 .map(|p| PermutationScanWa::new(p, n as u64, seed))
                 .collect();
-            let (e, _, mem) = run_basic_fleet(mem, fleet, &options);
-            (e, mem)
+            go(mem, fleet, spec)
         }
     };
     let certified = certify_snapshot(&mem.snapshot(), 0, n);
-    WaReport {
-        complete: certified.complete,
-        certified,
-        mem_work: exec.mem_work,
-        local_work: exec.local_work,
-        total_steps: exec.total_steps,
-        crashed: exec.crashed,
-        completed: exec.completed,
-        label: kind.label(),
-    }
+    wa_report(exec, certified, kind.label())
 }
 
 /// Runs a Write-All baseline on OS threads.

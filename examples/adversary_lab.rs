@@ -7,23 +7,30 @@
 //! memory forever, holding the job hostage in every survivor's `TRY` set.
 //! The lone survivor must stop once fewer than `β` unclaimed jobs remain.
 //!
+//! Adversaries are requested by name through the scenario layer's open
+//! registry (`ScenarioSpec::adversary("stuck-announcement")`, resolved by
+//! `KkProcess`'s `ScenarioProcess` entry) — the same spec shape that drives
+//! every fair schedule.
+//!
 //! ```bash
 //! cargo run --release --example adversary_lab
 //! ```
 
-use at_most_once::core::{run_simulated, KkConfig, SimOptions};
+use at_most_once::core::{run_scenario_simulated, KkConfig};
+use at_most_once::sim::ScenarioSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Theorem 4.4: E_KKβ(n, m, f) = n − (β + m − 2), and it is tight.\n");
     println!("| n     | m  | β    | bound  | measured | exact |");
     println!("|-------|----|------|--------|----------|-------|");
+    let spec = ScenarioSpec::adversary("stuck-announcement");
     for (n, m) in [(100usize, 4usize), (500, 8), (1000, 16), (5000, 32)] {
         for beta in [m as u64, 2 * m as u64, KkConfig::work_optimal_beta(m)] {
             if beta + m as u64 - 1 > n as u64 {
                 continue;
             }
             let config = KkConfig::with_beta(n, m, beta)?;
-            let report = run_simulated(&config, SimOptions::stuck_announcement());
+            let report = run_scenario_simulated(&config, &spec);
             assert!(report.violations.is_empty());
             let bound = config.effectiveness_bound();
             println!(

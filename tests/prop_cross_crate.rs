@@ -1,17 +1,298 @@
 //! Cross-crate property tests through the umbrella API: arbitrary
 //! instances, schedules, crash plans — at-most-once, bounds, Write-All
-//! completeness, and simulator/thread consistency.
+//! completeness, simulator/thread consistency, and the scenario-equivalence
+//! suite pinning every legacy options adapter to its lowered
+//! [`ScenarioSpec`].
 
-use at_most_once::baselines::{run_baseline_simulated, AmoBaselineKind, BaselineOptions};
-use at_most_once::core::{run_simulated, KkConfig, SimOptions};
-use at_most_once::iterative::IterSimOptions;
-use at_most_once::sim::CrashPlan;
-use at_most_once::write_all::{run_wa_simulated, WaConfig};
+use at_most_once::baselines::{
+    run_baseline_scenario, run_baseline_simulated, AmoBaselineKind, BaselineOptions,
+};
+use at_most_once::core::{run_scenario_simulated, run_simulated, KkConfig, SimOptions};
+use at_most_once::iterative::{
+    run_iterative_scenario, run_iterative_simulated, IterConfig, IterSimOptions,
+};
+use at_most_once::sim::{CrashPlan, ScenarioSpec};
+use at_most_once::write_all::{run_wa_scenario, run_wa_simulated, WaConfig};
 use proptest::prelude::*;
 
 fn crash_plan(m: usize, seed: u64) -> CrashPlan {
     let f = (seed as usize) % m;
     CrashPlan::at_steps((1..=f).map(|p| (p, seed % 313 * p as u64)))
+}
+
+/// Every legacy [`SimOptions`] constructor, crossed with batched ×
+/// single-step × epoch-cache on/off (the interleaved-`done` flag is pinned
+/// to `grants_quanta()` so both sides of the equivalence build the same
+/// fleet — the spec-first KKβ runner picks its layout that way).
+fn kk_legacy_matrix(seed: u64) -> Vec<SimOptions> {
+    let base = [
+        SimOptions::round_robin(),
+        SimOptions::round_robin_batched(),
+        SimOptions::round_robin().with_quantum(7),
+        SimOptions::random(seed),
+        // Quantum left on kinds that ignore it (documented semantics: the
+        // field applies to round-robin only) — the lowering must not
+        // accidentally batch, cache, or track epochs for these.
+        SimOptions::random(seed).with_quantum(7),
+        SimOptions::block(seed, 9),
+        SimOptions::block(seed, 9).with_quantum(5),
+        SimOptions::lockstep().with_quantum(3),
+        SimOptions::stuck_announcement(),
+        SimOptions::staleness().with_collision_tracking(),
+    ];
+    let mut out = Vec::new();
+    for options in base {
+        for cache in [true, false] {
+            for single in [true, false] {
+                let mut o = options.clone().with_epoch_cache(cache);
+                if single {
+                    o = o.single_step();
+                }
+                let granted = o.grants_quanta();
+                out.push(o.with_interleaved_done(granted));
+            }
+        }
+    }
+    out
+}
+
+/// Every legacy [`IterSimOptions`] constructor × batched × single-step ×
+/// epoch-cache on/off.
+fn iter_legacy_matrix(seed: u64) -> Vec<IterSimOptions> {
+    let base = [
+        IterSimOptions::round_robin(),
+        IterSimOptions::round_robin_batched(),
+        IterSimOptions::round_robin().with_quantum(5),
+        IterSimOptions::random(seed),
+        IterSimOptions::random(seed).with_quantum(5),
+        IterSimOptions::block(seed, 6),
+        IterSimOptions::lockstep().with_quantum(4),
+    ];
+    let mut out = Vec::new();
+    for options in base {
+        for cache in [true, false] {
+            for single in [true, false] {
+                let mut o = options.clone().with_epoch_cache(cache);
+                if single {
+                    o = o.single_step();
+                }
+                out.push(o);
+            }
+        }
+    }
+    out
+}
+
+/// Legacy adapters and their lowered specs must be **identical** runs —
+/// every report field, deterministic counters and `local_work` included —
+/// across all four algorithm stacks.
+#[test]
+fn scenario_equivalence_all_four_stacks() {
+    let seed = 0xC0FFEE;
+    let plan = CrashPlan::at_steps([(1usize, 23u64), (2, 57)]);
+
+    let kk = KkConfig::new(130, 4).unwrap();
+    for options in kk_legacy_matrix(seed) {
+        for with_crashes in [false, true] {
+            let options = if with_crashes {
+                options.clone().with_crash_plan(plan.clone())
+            } else {
+                options.clone()
+            };
+            let legacy = run_simulated(&kk, options.clone());
+            let lowered = run_scenario_simulated(&kk, &options.to_scenario());
+            assert_eq!(
+                legacy, lowered,
+                "kk: legacy {:?} diverged from its lowered spec",
+                options.scheduler
+            );
+        }
+    }
+
+    let iter = IterConfig::new(220, 3, 1).unwrap();
+    for options in iter_legacy_matrix(seed) {
+        for with_crashes in [false, true] {
+            let options = if with_crashes {
+                options.clone().with_crash_plan(plan.clone())
+            } else {
+                options.clone()
+            };
+            let legacy = run_iterative_simulated(&iter, options.clone());
+            let lowered = run_iterative_scenario(&iter, &options.to_scenario());
+            assert_eq!(
+                legacy, lowered,
+                "iterative: legacy {:?} diverged from its lowered spec",
+                options.scheduler
+            );
+        }
+    }
+
+    let wa = WaConfig::new(220, 3, 1).unwrap();
+    for options in iter_legacy_matrix(seed) {
+        let options = options.with_crash_plan(plan.clone());
+        let legacy = run_wa_simulated(&wa, options.clone());
+        let lowered = run_wa_scenario(&wa, &options.to_scenario());
+        assert_eq!(
+            legacy, lowered,
+            "write-all: legacy {:?} diverged from its lowered spec",
+            options.scheduler
+        );
+    }
+
+    for kind in [
+        AmoBaselineKind::TrivialSplit,
+        AmoBaselineKind::PairsHybrid,
+        AmoBaselineKind::TasAmo,
+        AmoBaselineKind::RandomizedKk(seed),
+    ] {
+        for options in [
+            BaselineOptions::default(),
+            BaselineOptions::random(seed),
+            BaselineOptions::random(seed).with_crash_plan(plan.clone()),
+        ] {
+            let legacy = run_baseline_simulated(kind, 60, 4, options.clone());
+            let lowered = run_baseline_scenario(kind, 60, 4, &options.to_scenario());
+            assert_eq!(legacy, lowered, "baseline {}", kind.label());
+        }
+    }
+}
+
+/// Independent golden reference: the shim-based equivalence above cannot
+/// catch a lowering bug that both sides share, so this test reconstructs
+/// the **pre-refactor** runner pipeline directly on the engine — hand-built
+/// fleet, hand-wired epoch cache and tracking, hand-composed scheduler +
+/// [`WithCrashes`] — and requires the modern `run_simulated` to reproduce
+/// it observable-for-observable (`local_work` and `epoch_mem_bytes`
+/// included).
+#[test]
+fn scenario_shims_match_a_hand_built_engine_reference() {
+    use at_most_once::core::{kk_fleet_with, KkProcess};
+    use at_most_once::sim::{
+        Engine, RandomScheduler, RoundRobin, Scheduler, VecRegisters, WithCrashes,
+    };
+
+    let config = KkConfig::new(150, 4).unwrap();
+    let plan = CrashPlan::at_steps([(1usize, 31u64)]);
+
+    // What amo-core's runner did before the scenario layer, verbatim:
+    // build the fleet, opt into the cache iff the scheduler grants quanta,
+    // switch register epoch tracking accordingly, wrap with crashes, run.
+    fn reference<S: Scheduler<KkProcess>>(
+        config: &KkConfig,
+        interleaved: bool,
+        cache: bool,
+        sched: S,
+        plan: &CrashPlan,
+    ) -> (u64, u64, u64, u64, u64, Vec<usize>) {
+        let (layout, mut fleet) = kk_fleet_with(config, false, interleaved);
+        if cache {
+            for p in &mut fleet {
+                p.set_epoch_cache(true);
+            }
+        }
+        let mem = VecRegisters::new(layout.cells());
+        mem.set_epoch_tracking(cache);
+        let sched = WithCrashes::new(sched, plan.clone());
+        let (exec, _slots, mem) = Engine::new(mem, fleet, sched).run_full(Default::default());
+        let (effectiveness, violations) = exec.summary();
+        assert!(violations.is_empty());
+        (
+            effectiveness,
+            exec.total_steps,
+            exec.mem_work.total(),
+            exec.local_work,
+            mem.epoch_mem_bytes(),
+            exec.crashed,
+        )
+    }
+
+    // Batched round-robin (the fast path) with a crash plan.
+    let golden = reference(&config, true, true, RoundRobin::batched(), &plan);
+    let report = run_simulated(
+        &config,
+        SimOptions::round_robin_batched().with_crash_plan(plan.clone()),
+    );
+    assert_eq!(
+        golden,
+        (
+            report.effectiveness,
+            report.total_steps,
+            report.mem_work.total(),
+            report.local_work,
+            report.epoch_mem_bytes,
+            report.crashed.clone(),
+        ),
+        "rr-batched shim diverged from the hand-built engine reference"
+    );
+
+    // Single-step random with a crash plan (no cache, no quanta).
+    let golden = reference(&config, false, false, RandomScheduler::new(9), &plan);
+    let report = run_simulated(&config, SimOptions::random(9).with_crash_plan(plan.clone()));
+    assert_eq!(
+        golden,
+        (
+            report.effectiveness,
+            report.total_steps,
+            report.mem_work.total(),
+            report.local_work,
+            report.epoch_mem_bytes,
+            report.crashed.clone(),
+        ),
+        "random shim diverged from the hand-built engine reference"
+    );
+
+    // The stuck-announcement adversary, built concretely.
+    let golden = reference(
+        &config,
+        false,
+        false,
+        at_most_once::core::StuckAnnouncementAdversary::new(),
+        &CrashPlan::none(),
+    );
+    let report = run_simulated(&config, SimOptions::stuck_announcement());
+    assert_eq!(golden.0, report.effectiveness);
+    assert_eq!(golden.0, config.effectiveness_bound(), "Theorem 4.4 exact");
+    assert_eq!(
+        (golden.1, golden.2, golden.3, golden.5),
+        (
+            report.total_steps,
+            report.mem_work.total(),
+            report.local_work,
+            report.crashed.clone(),
+        ),
+        "adversary shim diverged from the hand-built engine reference"
+    );
+}
+
+/// The spec-first cells no legacy runner could express still satisfy the
+/// engine's batching contract: fast path == forced single-step reference.
+#[test]
+fn new_scenario_cells_match_their_references() {
+    let spec = ScenarioSpec::random(5)
+        .with_quantum(96)
+        .with_crash_plan(CrashPlan::at_steps([(2usize, 40u64)]));
+    let refr = spec.clone().single_step();
+
+    let kk = KkConfig::new(300, 4).unwrap();
+    assert_eq!(
+        run_scenario_simulated(&kk, &spec),
+        run_scenario_simulated(&kk, &refr)
+    );
+    let iter = IterConfig::new(300, 4, 1).unwrap();
+    assert_eq!(
+        run_iterative_scenario(&iter, &spec),
+        run_iterative_scenario(&iter, &refr)
+    );
+    let wa = WaConfig::new(300, 4, 1).unwrap();
+    assert_eq!(run_wa_scenario(&wa, &spec), run_wa_scenario(&wa, &refr));
+    // Previously impossible comparator cells: bursty blocks and lockstep.
+    for kind in [AmoBaselineKind::TrivialSplit, AmoBaselineKind::TasAmo] {
+        let block = run_baseline_scenario(kind, 80, 4, &ScenarioSpec::block(3, 16));
+        assert!(block.violations.is_empty());
+        let lockstep = run_baseline_scenario(kind, 80, 4, &ScenarioSpec::adversary("lockstep"));
+        assert!(lockstep.violations.is_empty());
+        assert!(lockstep.completed);
+    }
 }
 
 proptest! {
@@ -84,5 +365,39 @@ proptest! {
         prop_assert_eq!(r.work(), r.mem_work.total() + r.local_work);
         prop_assert!(r.mem_work.total() <= r.total_steps, "≤ one shared access per action");
         prop_assert_eq!(r.mem_work.rmws, 0, "KKβ never uses RMW");
+    }
+
+    /// Scenario lowering is the identity on arbitrary instances, schedules,
+    /// quanta and crash plans (randomized companion of the exhaustive
+    /// constructor matrix above).
+    #[test]
+    fn scenario_lowering_is_identity(
+        m in 1usize..=5,
+        n_mult in 2usize..=15,
+        seed in any::<u64>(),
+        quantum in 1u64..64,
+    ) {
+        let n = n_mult * m;
+        let config = KkConfig::new(n, m).unwrap();
+        let plan = crash_plan(m, seed);
+        let random = SimOptions::random(seed).with_crash_plan(plan.clone());
+        prop_assert_eq!(
+            run_simulated(&config, random.clone()),
+            run_scenario_simulated(&config, &random.to_scenario())
+        );
+        let quantized = SimOptions::round_robin()
+            .with_quantum(quantum)
+            .with_crash_plan(plan.clone())
+            .with_interleaved_done(quantum > 1);
+        prop_assert_eq!(
+            run_simulated(&config, quantized.clone()),
+            run_scenario_simulated(&config, &quantized.to_scenario())
+        );
+        let iter_config = IterConfig::new(n.max(2 * m), m, 1).unwrap();
+        let block = IterSimOptions::block(seed, seed % 40 + 1).with_crash_plan(plan);
+        prop_assert_eq!(
+            run_iterative_simulated(&iter_config, block.clone()),
+            run_iterative_scenario(&iter_config, &block.to_scenario())
+        );
     }
 }
