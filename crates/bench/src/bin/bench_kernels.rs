@@ -1,0 +1,159 @@
+//! Microbenchmarks for the `amo_ostree::kernels` bulk primitives, per
+//! kernel tier — the criterion-compatible stand-in for the offline
+//! workspace (no crates.io harness; min-of-rounds timing, markdown table).
+//!
+//! For each primitive (`popcount`, `count_le_range`, `find_nth_set_in`) and
+//! several bitmap sizes, every available tier is forced in turn through
+//! [`amo_ostree::kernels::set_tier`] (tier switching is counter-neutral and
+//! value-equivalent by contract, so in-process A/B is sound) and the
+//! per-call latency is reported alongside the speedup over the scalar
+//! oracle. A checksum accumulated across calls keeps the optimizer honest
+//! and doubles as a cross-tier equivalence assertion.
+//!
+//! Usage: `cargo run --release -p amo-bench --bin bench_kernels [-- --quick]`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use amo_bench::Table;
+use amo_ostree::kernels::{self, KernelTier};
+
+/// Timed rounds per (primitive, size, tier) cell; the minimum is reported.
+const ROUNDS: usize = 5;
+
+use amo_ostree::kernels::splitmix_words as words;
+
+/// Available tiers, scalar first (the baseline column).
+fn tiers() -> Vec<KernelTier> {
+    let mut t = vec![KernelTier::Scalar];
+    if kernels::avx2_available() {
+        t.push(KernelTier::Avx2);
+    }
+    t
+}
+
+/// Times `calls` invocations of `f` (whose result feeds a checksum), over
+/// [`ROUNDS`] rounds; returns (nanoseconds per call, checksum).
+fn time_ns(calls: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::MAX;
+    let mut sum = 0u64;
+    for _ in 0..ROUNDS {
+        sum = 0;
+        let t = Instant::now();
+        for _ in 0..calls {
+            sum = sum.wrapping_add(black_box(f()));
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / calls as f64);
+    }
+    (best, sum)
+}
+
+struct Cell {
+    primitive: &'static str,
+    words: usize,
+    tier: KernelTier,
+    ns: f64,
+    checksum: u64,
+}
+
+fn main() {
+    let scale = amo_bench::cli_scale();
+    // Word counts spanning the regimes the hot paths hit: sub-lane tails,
+    // one block (8 words), a superblock's bits, and a cache-spilling slab.
+    let sizes: &[usize] = if scale.is_quick() {
+        &[3, 8, 512, 16_384]
+    } else {
+        &[3, 8, 512, 16_384, 262_144]
+    };
+    let detected = kernels::tier();
+    println!("kernel microbench ({scale:?}; detected tier: {detected})\n");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &len in sizes {
+        let ws = words(len as u64 ^ 0xA5A5, len);
+        let total_bits: u64 = ws.iter().map(|w| u64::from(w.count_ones())).sum();
+        // Scale call counts so each cell runs ~a few ms even at small sizes.
+        let calls = (4_000_000 / len.max(8)).clamp(64, 200_000);
+        for tier in tiers() {
+            let prev = kernels::set_tier(tier);
+            let (ns, sum) = time_ns(calls, || kernels::popcount(black_box(&ws)));
+            cells.push(Cell {
+                primitive: "popcount",
+                words: len,
+                tier,
+                ns,
+                checksum: sum,
+            });
+            let end_bit = len * 64 - 17.min(len * 64 / 2);
+            let (ns, sum) = time_ns(calls, || kernels::count_le_range(black_box(&ws), end_bit));
+            cells.push(Cell {
+                primitive: "count_le_range",
+                words: len,
+                tier,
+                ns,
+                checksum: sum,
+            });
+            // Rank probes across the whole range (the worst case scans the
+            // full slice; the mean probe scans half).
+            let mut k = 0u64;
+            let (ns, sum) = time_ns(calls, || {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let n = (k % total_bits.max(1)) as u32 + 1;
+                kernels::find_nth_set_in(black_box(&ws), n).unwrap_or(0) as u64
+            });
+            cells.push(Cell {
+                primitive: "find_nth_set_in",
+                words: len,
+                tier,
+                ns,
+                checksum: sum,
+            });
+            kernels::set_tier(prev);
+        }
+    }
+
+    // Cross-tier checksum equality doubles as an equivalence smoke test.
+    for c in &cells {
+        let scalar = cells
+            .iter()
+            .find(|s| {
+                s.primitive == c.primitive && s.words == c.words && s.tier == KernelTier::Scalar
+            })
+            .expect("scalar column always measured");
+        assert_eq!(
+            c.checksum, scalar.checksum,
+            "{} at {} words: {} tier diverged from the scalar oracle",
+            c.primitive, c.words, c.tier
+        );
+    }
+
+    let mut table = Table::new(
+        "Kernel microbenchmarks (min-of-rounds; speedup vs the scalar oracle)",
+        &[
+            "primitive",
+            "words",
+            "tier",
+            "ns/call",
+            "GiB/s",
+            "vs scalar",
+        ],
+    );
+    for c in &cells {
+        let scalar_ns = cells
+            .iter()
+            .find(|s| {
+                s.primitive == c.primitive && s.words == c.words && s.tier == KernelTier::Scalar
+            })
+            .map_or(c.ns, |s| s.ns);
+        let gibs = (c.words * 8) as f64 / c.ns / 1.073_741_824;
+        table.row([
+            c.primitive.to_owned(),
+            c.words.to_string(),
+            c.tier.to_string(),
+            format!("{:.1}", c.ns),
+            format!("{gibs:.2}"),
+            format!("{:.2}x", scalar_ns / c.ns),
+        ]);
+    }
+    println!("{table}");
+}

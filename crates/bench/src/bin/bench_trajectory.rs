@@ -16,7 +16,7 @@
 //! explicitly or accept `"unknown"`). Rows are append-only: the trajectory
 //! is a log, not a table to rewrite.
 
-use amo_bench::gate::{arg_value, parse_bench, Workload};
+use amo_bench::gate::{arg_value, parse_bench, parse_kernel, Workload};
 use std::fmt::Write as _;
 
 /// Keeps only characters that are safe inside a JSON string literal
@@ -28,16 +28,21 @@ fn sanitize(s: &str) -> String {
         .collect()
 }
 
-/// Renders one compact JSONL row for a parsed bench file.
-fn row(workloads: &[Workload], sha: &str, date: &str) -> String {
+/// Renders one compact JSONL row for a parsed bench file. `kernel` is the
+/// resolved kernel tier the bench ran under (recorded since engine-v5), so
+/// rows stay comparable across machines with different SIMD support.
+fn row(workloads: &[Workload], sha: &str, date: &str, kernel: Option<&str>) -> String {
     let mut out = String::new();
     let date = sanitize(date);
     let sha = sanitize(sha);
     let _ = write!(
         out,
-        "{{\"schema\":\"amo-bench/trajectory-v1\",\"date\":\"{date}\",\"sha\":\"{sha}\",\
-         \"workloads\":["
+        "{{\"schema\":\"amo-bench/trajectory-v1\",\"date\":\"{date}\",\"sha\":\"{sha}\","
     );
+    if let Some(k) = kernel {
+        let _ = write!(out, "\"kernel\":\"{}\",", sanitize(k));
+    }
+    out.push_str("\"workloads\":[");
     for (i, w) in workloads.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -85,7 +90,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let line = row(&workloads, &sha, &date);
+    let line = row(&workloads, &sha, &date, parse_kernel(&bench).as_deref());
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
         .create(true)
@@ -118,9 +123,23 @@ mod tests {
             name: "kk\"x".into(),
             ..Workload::default()
         };
-        let line = row(&[w], "sha\"", "da\\te");
+        let line = row(&[w], "sha\"", "da\\te", Some("avx\"2"));
         assert!(!line.contains('\\'), "no unescaped backslashes: {line}");
         assert_eq!(line.matches('\"').count() % 2, 0, "quotes balanced");
+        assert!(
+            line.contains("\"kernel\":\"avx2\""),
+            "tier recorded: {line}"
+        );
         assert!(line.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn rows_without_a_tier_stay_v1_shaped() {
+        let w = Workload {
+            name: "kk".into(),
+            ..Workload::default()
+        };
+        let line = row(&[w], "s", "d", None);
+        assert!(!line.contains("kernel"), "pre-tier benches add no field");
     }
 }

@@ -3,13 +3,5 @@
 //! recorded in EXPERIMENTS.md.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    let started = std::time::Instant::now();
-    for table in amo_bench::experiments::run_all(scale) {
-        println!("{table}");
-    }
-    eprintln!(
-        "[exp_all] completed in {:.1?} ({scale:?})",
-        started.elapsed()
-    );
+    amo_bench::experiment_main("exp_all", amo_bench::experiments::run_all);
 }

@@ -1,6 +1,7 @@
 //! Regenerates table(s) for experiment: comparison. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_comparison(scale));
+    amo_bench::experiment_main("exp_comparison", |s| {
+        [amo_bench::experiments::exp_comparison(s)]
+    });
 }

@@ -1,6 +1,7 @@
 //! Regenerates table(s) for experiment: effectiveness. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_effectiveness(scale));
+    amo_bench::experiment_main("exp_effectiveness", |s| {
+        [amo_bench::experiments::exp_effectiveness(s)]
+    });
 }

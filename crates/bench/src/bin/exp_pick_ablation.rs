@@ -1,6 +1,7 @@
 //! Regenerates table(s) for experiment: pick_ablation. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_pick_ablation(scale));
+    amo_bench::experiment_main("exp_pick_ablation", |s| {
+        [amo_bench::experiments::exp_pick_ablation(s)]
+    });
 }

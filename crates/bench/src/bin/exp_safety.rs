@@ -1,6 +1,5 @@
 //! Regenerates table(s) for experiment: safety. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_safety(scale));
+    amo_bench::experiment_main("exp_safety", |s| [amo_bench::experiments::exp_safety(s)]);
 }

@@ -2,6 +2,7 @@
 //! matrix (E9). Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_scenario_matrix(scale));
+    amo_bench::experiment_main("exp_scenario_matrix", |s| {
+        [amo_bench::experiments::exp_scenario_matrix(s)]
+    });
 }

@@ -1,6 +1,5 @@
-//! Regenerates table(s) for experiment: threads (E8). Pass `--quick` for the CI grid.
+//! Regenerates table(s) for experiment: threads. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    println!("{}", amo_bench::experiments::exp_threads(scale));
+    amo_bench::experiment_main("exp_threads", |s| [amo_bench::experiments::exp_threads(s)]);
 }

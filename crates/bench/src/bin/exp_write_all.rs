@@ -1,8 +1,5 @@
 //! Regenerates table(s) for experiment: write_all. Pass `--quick` for the CI grid.
 
 fn main() {
-    let scale = amo_bench::Scale::from_args(std::env::args().skip(1));
-    for t in amo_bench::experiments::exp_write_all(scale) {
-        println!("{t}");
-    }
+    amo_bench::experiment_main("exp_write_all", amo_bench::experiments::exp_write_all);
 }

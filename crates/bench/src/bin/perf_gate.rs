@@ -16,7 +16,9 @@
 //! given, else to `$GITHUB_STEP_SUMMARY` if set, and always printed to
 //! stdout. Exit code 1 on regression.
 
-use amo_bench::gate::{arg_value, compare_with, markdown, parse_bench, MEM_TOLERANCE};
+use amo_bench::gate::{
+    arg_value, compare_tiered, markdown, parse_bench, parse_kernel, MEM_TOLERANCE,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,8 +43,10 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let baseline = parse_bench(&read(&baseline_path));
-    let current = parse_bench(&read(&current_path));
+    let baseline_json = read(&baseline_path);
+    let current_json = read(&current_path);
+    let baseline = parse_bench(&baseline_json);
+    let current = parse_bench(&current_json);
     if baseline.is_empty() {
         eprintln!("[perf_gate] baseline {baseline_path} parsed to zero workloads");
         std::process::exit(2);
@@ -52,7 +56,17 @@ fn main() {
         std::process::exit(2);
     }
 
-    let report = compare_with(&baseline, &current, tolerance, mem_tolerance);
+    // Kernel tiers ride along informationally: a mismatch (non-AVX2 runner,
+    // forced AMO_KERNEL=scalar leg) relaxes the timing bands — timing is
+    // not tier-comparable — while deterministic counters stay pinned.
+    let report = compare_tiered(
+        &baseline,
+        &current,
+        tolerance,
+        mem_tolerance,
+        parse_kernel(&baseline_json).as_deref(),
+        parse_kernel(&current_json).as_deref(),
+    );
     let md = markdown(&report, tolerance);
     println!("{md}");
 

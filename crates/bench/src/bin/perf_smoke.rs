@@ -326,10 +326,18 @@ fn write_all_workload(n: usize, m: usize) -> Entry {
 
 fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"amo-bench/engine-v4\",\n");
+    out.push_str("  \"schema\": \"amo-bench/engine-v5\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         if scale.is_quick() { "quick" } else { "full" }
+    ));
+    // The resolved kernel tier (scalar / avx2), so trajectory rows stay
+    // comparable across machines; the gate treats a tier mismatch against
+    // the baseline as informational (timing columns are not comparable
+    // across tiers — deterministic counters are, and stay pinned exactly).
+    out.push_str(&format!(
+        "  \"kernel\": \"{}\",\n",
+        amo_ostree::kernels::tier()
     ));
     out.push_str("  \"workloads\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -381,7 +389,7 @@ fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = amo_bench::Scale::from_args(args.iter().cloned());
+    let scale = amo_bench::cli_scale();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -407,7 +415,10 @@ fn main() {
         ]
     };
 
-    println!("engine perf smoke ({scale:?})");
+    println!(
+        "engine perf smoke ({scale:?}, kernel tier {})",
+        amo_ostree::kernels::tier()
+    );
     println!(
         "{:<14} {:<26} {:>9} {:>10} {:>9} {:>9} {:>9} {:>13} {:>8} {:>9}",
         "workload",

@@ -91,6 +91,50 @@ impl Workload {
     }
 }
 
+/// The resolved kernel tier a `BENCH_engine*.json` was produced under
+/// (the top-level `"kernel"` string field), or `None` for pre-tier
+/// baselines.
+pub fn parse_kernel(json: &str) -> Option<String> {
+    // Only the top-level header (everything before the workloads array) is
+    // scanned, so a workload field can never shadow the tier.
+    let head = &json[..json.find("\"workloads\"").unwrap_or(json.len())];
+    let key = head.find("\"kernel\"")?;
+    let rest = &head[key + "\"kernel\"".len()..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Finding describing the kernel tiers of baseline vs current run —
+/// **informational on mismatch**: a different tier (e.g. a non-AVX2 runner
+/// or a forced `AMO_KERNEL=scalar` leg) legitimately shifts timing columns,
+/// while every deterministic counter must still pin exactly, which the
+/// regular counter findings enforce. Returns `None` when neither side
+/// records a tier (pre-tier baselines compared on a pre-tier run).
+pub fn kernel_tier_finding(baseline: Option<&str>, current: Option<&str>) -> Option<Finding> {
+    if baseline.is_none() && current.is_none() {
+        return None;
+    }
+    let b = baseline.unwrap_or("unrecorded");
+    let c = current.unwrap_or("unrecorded");
+    let verdict = if b == c {
+        "kernel tiers match".to_owned()
+    } else {
+        format!(
+            "informational: tier differs from baseline ({b} → {c}) — timing/ratio columns are \
+             not tier-comparable; counters remain pinned exactly"
+        )
+    };
+    Some(Finding {
+        workload: "(all)".into(),
+        field: "kernel".into(),
+        baseline: b.to_owned(),
+        current: c.to_owned(),
+        regression: false,
+        verdict,
+    })
+}
+
 /// Splits the top-level `workloads` array of a `BENCH_engine*.json` into
 /// per-workload field maps. Returns an empty vector on malformed input —
 /// callers treat that as a hard error.
@@ -219,6 +263,45 @@ pub const MEM_TOLERANCE: f64 = 0.25;
 /// banded at ±[`MEM_TOLERANCE`]).
 pub fn compare(baseline: &[Workload], current: &[Workload], tolerance: f64) -> GateReport {
     compare_with(baseline, current, tolerance, MEM_TOLERANCE)
+}
+
+/// [`compare_with`], additionally aware of the kernel tiers the two files
+/// were produced under: when the tiers differ (a non-AVX2 runner, or a
+/// forced `AMO_KERNEL=scalar` leg, against an AVX2 baseline), measured
+/// below-floor speed ratios are downgraded to informational — timing is
+/// not comparable across tiers — while deterministic counters, memory
+/// bands (RSS is tier-independent; the kernels allocate nothing) and
+/// missing-column findings all stay hard, which is precisely what a
+/// cross-tier run must still satisfy. The tier pairing itself is reported
+/// as a leading informational finding.
+pub fn compare_tiered(
+    baseline: &[Workload],
+    current: &[Workload],
+    tolerance: f64,
+    mem_tolerance: f64,
+    baseline_kernel: Option<&str>,
+    current_kernel: Option<&str>,
+) -> GateReport {
+    let mut report = compare_with(baseline, current, tolerance, mem_tolerance);
+    let mismatch = baseline_kernel != current_kernel;
+    if mismatch {
+        for f in &mut report.findings {
+            // Only measured below-floor *ratios* are tier-dependent. Memory
+            // columns stay gated (the kernels allocate nothing, RSS is
+            // tier-independent), and a ratio column *missing* entirely is a
+            // malformed run, not cross-tier timing wobble.
+            let tier_timing = f.field.starts_with("speedup") && f.current != "missing";
+            if tier_timing && f.regression {
+                f.regression = false;
+                f.verdict = format!("informational (kernel tier differs): {}", f.verdict);
+            }
+        }
+        report.pass = !report.findings.iter().any(|f| f.regression);
+    }
+    if let Some(k) = kernel_tier_finding(baseline_kernel, current_kernel) {
+        report.findings.insert(0, k);
+    }
+    report
 }
 
 /// [`compare`] with an explicit memory band.
@@ -701,6 +784,119 @@ mod tests {
             && !f.regression
             && f.baseline == "missing"
             && f.verdict.contains("regenerate")));
+    }
+
+    const TIERED: &str = r#"{
+  "schema": "amo-bench/engine-v5",
+  "scale": "quick",
+  "kernel": "avx2",
+  "workloads": [
+    {
+      "name": "kk_plain_rr",
+      "params": "n=20000 m=8 beta=192",
+      "fast_path_ms": 5.93,
+      "speedup_vs_single_step": 2.21,
+      "total_steps": 554776
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn kernel_field_parses_from_the_header_only() {
+        assert_eq!(parse_kernel(TIERED).as_deref(), Some("avx2"));
+        assert_eq!(parse_kernel(BASE), None, "pre-tier baselines have none");
+        // A workload-level "kernel" field must not be mistaken for the tier.
+        let trick = BASE.replace(
+            "\"name\": \"write_all\"",
+            "\"kernel\": \"x\", \"name\": \"write_all\"",
+        );
+        assert_eq!(parse_kernel(&trick), None);
+    }
+
+    #[test]
+    fn kernel_tier_mismatch_is_informational() {
+        let f = kernel_tier_finding(Some("avx2"), Some("scalar")).expect("finding");
+        assert!(!f.regression);
+        assert!(f.verdict.contains("informational"));
+        let same = kernel_tier_finding(Some("avx2"), Some("avx2")).expect("finding");
+        assert!(!same.regression);
+        assert!(same.verdict.contains("match"));
+        assert!(kernel_tier_finding(None, None).is_none());
+    }
+
+    #[test]
+    fn tier_mismatch_downgrades_ratio_gates_but_not_counters() {
+        let b = parse_bench(TIERED);
+        // A scalar run: ratios collapse far beyond tolerance, counters hold.
+        let slowed = TIERED.replace(
+            "\"speedup_vs_single_step\": 2.21",
+            "\"speedup_vs_single_step\": 1.00",
+        );
+        let c = parse_bench(&slowed);
+        let report = compare_tiered(&b, &c, 0.2, MEM_TOLERANCE, Some("avx2"), Some("scalar"));
+        assert!(report.pass, "cross-tier timing drop must not fail");
+        assert!(report.findings.iter().any(|f| f.field == "kernel"));
+        // Counters still gate hard across tiers.
+        let drifted = slowed.replace("\"total_steps\": 554776", "\"total_steps\": 554777");
+        let report = compare_tiered(
+            &b,
+            &parse_bench(&drifted),
+            0.2,
+            MEM_TOLERANCE,
+            Some("avx2"),
+            Some("scalar"),
+        );
+        assert!(!report.pass, "counter drift fails regardless of tier");
+    }
+
+    #[test]
+    fn tier_mismatch_keeps_memory_and_missing_column_gates_hard() {
+        // Memory is tier-independent (the kernels allocate nothing), so an
+        // RSS blow-up on the scalar leg must still fail...
+        let b = parse_bench(MEM_BASE);
+        let grown = MEM_BASE.replace("\"peak_rss_mb\": 60.0", "\"peak_rss_mb\": 90.0");
+        let report = compare_tiered(
+            &b,
+            &parse_bench(&grown),
+            0.2,
+            MEM_TOLERANCE,
+            Some("avx2"),
+            Some("scalar"),
+        );
+        assert!(!report.pass, "memory bands stay hard across tiers");
+        // ...and so must a ratio column vanishing entirely (malformed run,
+        // not timing wobble).
+        let tiered = parse_bench(TIERED);
+        let mut truncated = parse_bench(TIERED);
+        truncated[0].ratios.clear();
+        let report = compare_tiered(
+            &tiered,
+            &truncated,
+            0.2,
+            MEM_TOLERANCE,
+            Some("avx2"),
+            Some("scalar"),
+        );
+        assert!(!report.pass, "missing ratio columns stay hard across tiers");
+    }
+
+    #[test]
+    fn matching_tiers_keep_the_ratio_gate() {
+        let b = parse_bench(TIERED);
+        let slowed = TIERED.replace(
+            "\"speedup_vs_single_step\": 2.21",
+            "\"speedup_vs_single_step\": 1.00",
+        );
+        let report = compare_tiered(
+            &b,
+            &parse_bench(&slowed),
+            0.2,
+            MEM_TOLERANCE,
+            Some("avx2"),
+            Some("avx2"),
+        );
+        assert!(!report.pass, "same-tier ratio collapse still fails");
     }
 
     #[test]

@@ -116,3 +116,34 @@ impl Scale {
         self == Scale::Quick
     }
 }
+
+/// The [`Scale`] parsed from this process's argv — the shared
+/// `--quick`/`-q` prologue of every experiment and bench binary.
+pub fn cli_scale() -> Scale {
+    Scale::from_args(std::env::args().skip(1))
+}
+
+/// Shared entry point of the `exp_*` binaries: parses the scale from argv
+/// ([`cli_scale`]), runs the experiment, prints every table it returns, and
+/// logs the elapsed wall-clock to stderr.
+///
+/// # Examples
+///
+/// ```no_run
+/// amo_bench::experiment_main("exp_safety", |s| [amo_bench::experiments::exp_safety(s)]);
+/// ```
+pub fn experiment_main<I>(name: &str, run: impl FnOnce(Scale) -> I)
+where
+    I: IntoIterator,
+    I::Item: std::fmt::Display,
+{
+    let scale = cli_scale();
+    let started = std::time::Instant::now();
+    for table in run(scale) {
+        println!("{table}");
+    }
+    eprintln!(
+        "[{name}] completed in {:.1?} ({scale:?})",
+        started.elapsed()
+    );
+}

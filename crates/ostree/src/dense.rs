@@ -82,14 +82,11 @@ impl DenseFenwickSet {
                 s.fen[parent] += add;
             }
         }
-        for (w, chunk) in s.bits.iter_mut().enumerate() {
-            let lo = w * 64;
-            let n_in_word = (universe - lo).min(64);
-            *chunk = if n_in_word == 64 {
-                u64::MAX
-            } else {
-                (1u64 << n_in_word) - 1
-            };
+        // Full words in one wide-lane fill, then the ragged tail word.
+        let full_words = universe / 64;
+        crate::kernels::fill_u64(&mut s.bits[..full_words], u64::MAX);
+        if universe % 64 != 0 {
+            s.bits[full_words] = (1u64 << (universe % 64)) - 1;
         }
         s.len = universe;
         s

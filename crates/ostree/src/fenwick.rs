@@ -2,6 +2,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use crate::counter::OpCounter;
+use crate::kernels;
 use crate::rank::RankedSet;
 
 /// Words per count block: each block covers `8 × 64 = 512` elements.
@@ -121,14 +122,11 @@ impl FenwickSet {
     /// This is how the `FREE` set of every process is initialised (`FREEp = J`).
     pub fn with_all(universe: usize) -> Self {
         let mut s = Self::new(universe);
-        for (w, chunk) in s.bits.iter_mut().enumerate() {
-            let lo = w * 64;
-            let n_in_word = (universe - lo).min(64);
-            *chunk = if n_in_word == 64 {
-                u64::MAX
-            } else {
-                (1u64 << n_in_word) - 1
-            };
+        // Full words in one wide-lane fill, then the ragged tail word.
+        let full_words = universe / 64;
+        kernels::fill_u64(&mut s.bits[..full_words], u64::MAX);
+        if universe % 64 != 0 {
+            s.bits[full_words] = (1u64 << (universe % 64)) - 1;
         }
         // Fill the count hierarchy in O(blocks) instead of n inserts.
         for (b, cnt) in s.blk.iter_mut().enumerate() {
@@ -251,25 +249,22 @@ impl FenwickSet {
         let block = i / BLOCK_BITS;
         let sup_block = block >> self.sup_shift;
         let block_word = block * BLOCK_WORDS;
-        // Word-at-a-time bulk scans: whole superblocks below the target's,
-        // whole blocks of the partial superblock, whole words of the partial
-        // block — branch-free slice sums the compiler vectorises, charged
+        // Bulk scans through the runtime-dispatched kernels: whole
+        // superblocks below the target's, whole blocks of the partial
+        // superblock, then the bit prefix of the partial block
+        // (full words + masked tail in one `count_le_range`). The charge is
         // one elementary operation per entry exactly like the historical
-        // per-entry loops.
+        // per-entry loops — derived from the slice lengths, never from the
+        // kernel tier (counter-neutrality; see `crate::kernels`).
         let mut iters =
             (sup_block + (block - (sup_block << self.sup_shift)) + (i / 64 - block_word)) as u64;
-        let mut acc: u32 = self.sup[..sup_block].iter().sum::<u32>()
-            + self.blk[sup_block << self.sup_shift..block]
-                .iter()
-                .sum::<u32>()
-            + self.bits[block_word..i / 64]
-                .iter()
-                .map(|w| w.count_ones())
-                .sum::<u32>();
-        // The partial word.
+        let mut acc: u32 = kernels::sum_u32(&self.sup[..sup_block]).wrapping_add(kernels::sum_u32(
+            &self.blk[sup_block << self.sup_shift..block],
+        ));
+        acc += kernels::count_le_range(&self.bits[block_word..], i - block_word * 64) as u32;
+        // The partial word's charge (the kernel already counted its bits).
         if i % 64 > 0 {
             iters += 1;
-            acc += (self.bits[i / 64] & ((1u64 << (i % 64)) - 1)).count_ones();
         }
         self.ops.add(iters);
         acc as usize
@@ -304,20 +299,17 @@ impl FenwickSet {
             remaining -= c;
             block += 1;
         }
-        // `block` now holds the answer; scan its at most BLOCK_WORDS words.
-        let mut w = block * BLOCK_WORDS;
-        loop {
-            iters += 1;
-            let pc = self.bits[w].count_ones();
-            if pc >= remaining {
-                break;
-            }
-            remaining -= pc;
-            w += 1;
-        }
-        let bit = select_in_word(self.bits[w], remaining, &mut iters);
+        // `block` now holds the answer; its at most BLOCK_WORDS words are a
+        // pure n-th-set-bit probe, one kernel call. The charge mirrors the
+        // historical loop: one op per word up to and including the hit,
+        // plus the in-word select's single op.
+        let w0 = block * BLOCK_WORDS;
+        let ws = &self.bits[w0..self.bits.len().min(w0 + BLOCK_WORDS)];
+        let pos = kernels::find_nth_set_in(ws, remaining)
+            .expect("count hierarchy places the rank inside this block");
+        iters += (pos / 64 + 1) as u64 + 1;
         self.ops.add(iters);
-        Some((w * 64 + bit) as u64 + 1)
+        Some((w0 * 64 + pos) as u64 + 1)
     }
 
     /// 1-based rank of `id` if present.
@@ -392,8 +384,23 @@ impl FenwickSet {
             jr = jj;
             block -= 1;
         }
+        let w_lo = block * BLOCK_WORDS;
+        let block_lo_bit = (block * BLOCK_BITS) as u64;
         let mut w = ((block + 1) * BLOCK_WORDS - 1).min(self.bits.len() - 1);
         loop {
+            // Bulk fast path: every remaining exclusion lies below this
+            // block, so the rest of the descent is a pure
+            // n-th-set-bit-from-the-right probe — one kernel call, charged
+            // one op per word down to and including the hit plus the
+            // in-word select's op, exactly like the loop it replaces.
+            if jr == 0 || excl[jr - 1] <= block_lo_bit {
+                let ws = &self.bits[w_lo..=w];
+                let pos = kernels::find_nth_set_from_right(ws, remaining)
+                    .expect("count hierarchy places the rank inside this block");
+                iters += (ws.len() - pos / 64) as u64 + 1;
+                self.ops.add(iters);
+                return Some((w_lo * 64 + pos) as u64 + 1);
+            }
             iters += 1;
             let lo = w as u64 * 64;
             let mut jj = jr;
@@ -428,8 +435,21 @@ impl FenwickSet {
         mut remaining: u32,
         mut iters: u64,
     ) -> u64 {
+        let block_end_bit = ((block + 1) * BLOCK_BITS) as u64;
         let mut w = block * BLOCK_WORDS;
         loop {
+            // Bulk fast path: no exclusion left at or below the block's
+            // end, so the rest of the descent is a pure n-th-set-bit probe
+            // (charges mirror the loop: one op per word up to and including
+            // the hit, plus the in-word select's op).
+            if j == excl.len() || excl[j] > block_end_bit {
+                let hi_w = self.bits.len().min((block + 1) * BLOCK_WORDS);
+                let pos = kernels::find_nth_set_in(&self.bits[w..hi_w], remaining)
+                    .expect("count hierarchy places the rank inside this block");
+                iters += (pos / 64 + 1) as u64 + 1;
+                self.ops.add(iters);
+                return (w * 64 + pos) as u64 + 1;
+            }
             iters += 1;
             let hi = (w as u64 + 1) * 64;
             let mut word = self.bits[w];
@@ -460,8 +480,19 @@ impl FenwickSet {
         mut remaining: u32,
         mut iters: u64,
     ) -> u64 {
+        let w_lo = block * BLOCK_WORDS;
+        let block_lo_bit = (block * BLOCK_BITS) as u64;
         let mut w = ((block + 1) * BLOCK_WORDS - 1).min(self.bits.len() - 1);
         loop {
+            // Bulk fast path, mirrored (see `descend_block_left`).
+            if jr == 0 || excl[jr - 1] <= block_lo_bit {
+                let ws = &self.bits[w_lo..=w];
+                let pos = kernels::find_nth_set_from_right(ws, remaining)
+                    .expect("count hierarchy places the rank inside this block");
+                iters += (ws.len() - pos / 64) as u64 + 1;
+                self.ops.add(iters);
+                return (w_lo * 64 + pos) as u64 + 1;
+            }
             iters += 1;
             let lo = w as u64 * 64;
             let mut word = self.bits[w];
@@ -493,45 +524,15 @@ impl FenwickSet {
 }
 
 /// Position (0-based bit index) of the `remaining`-th set bit of `word`
-/// (`1 ≤ remaining ≤ popcount(word)`).
-///
-/// SWAR select: byte-granular popcounts are computed in parallel and turned
-/// into inclusive prefix sums with one multiply, so locating the target byte
-/// needs no data-dependent probing; the final in-byte step clears
-/// lower bits with `w & (w − 1)` and finishes on `trailing_zeros` — at most
-/// seven clears instead of the historical per-element walk across the word.
-/// Charged as a single elementary operation: the word is one machine-level
-/// unit of rank work.
+/// (`1 ≤ remaining ≤ popcount(word)`): the charged wrapper around the
+/// shared SWAR byte-prefix select
+/// ([`kernels::select_in_word`]). One machine word is a single
+/// machine-level unit of rank work, so the charge is one elementary
+/// operation regardless of kernel tier.
 #[inline]
 fn select_in_word(word: u64, remaining: u32, iters: &mut u64) -> usize {
-    debug_assert!(remaining >= 1 && remaining <= word.count_ones());
     *iters += 1;
-    // Parallel byte popcounts (the classic SWAR reduction)…
-    let pair = word - ((word >> 1) & 0x5555_5555_5555_5555);
-    let quad = (pair & 0x3333_3333_3333_3333) + ((pair >> 2) & 0x3333_3333_3333_3333);
-    let bytes = (quad + (quad >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
-    // …then inclusive byte prefix sums via multiply: byte `k` of `prefix`
-    // holds popcount(bits 0..8(k+1)).
-    let prefix = bytes.wrapping_mul(0x0101_0101_0101_0101);
-    let mut base = 0usize;
-    let mut before = 0u32;
-    for b in 0..8 {
-        let p = (prefix >> (b * 8)) as u32 & 0xFF;
-        if p >= remaining {
-            base = b * 8;
-            break;
-        }
-        before = p;
-    }
-    let mut r = remaining - before;
-    let mut byte = (word >> base) & 0xFF;
-    loop {
-        if r == 1 {
-            return base + byte.trailing_zeros() as usize;
-        }
-        byte &= byte - 1;
-        r -= 1;
-    }
+    kernels::select_in_word(word, remaining)
 }
 
 /// Iterator over a [`FenwickSet`] in increasing element order.
@@ -679,8 +680,20 @@ impl RankedSet for FenwickSet {
             j = jj;
             block += 1;
         }
+        let block_end_bit = ((block + 1) * BLOCK_BITS) as u64;
         let mut w = block * BLOCK_WORDS;
         loop {
+            // Bulk fast path: no exclusion left at or below the block's
+            // end, so the rest of the descent is a pure n-th-set-bit probe
+            // through the kernel layer (charges identical to the loop).
+            if j == excl.len() || excl[j] > block_end_bit {
+                let hi_w = self.bits.len().min((block + 1) * BLOCK_WORDS);
+                let pos = kernels::find_nth_set_in(&self.bits[w..hi_w], remaining)
+                    .expect("count hierarchy places the rank inside this block");
+                iters += (pos / 64 + 1) as u64 + 1;
+                self.ops.add(iters);
+                return Some((w * 64 + pos) as u64 + 1);
+            }
             iters += 1;
             let hi = (w as u64 + 1) * 64;
             let mut jj = j;
@@ -750,18 +763,18 @@ impl RankedSet for FenwickSet {
         let a = h.anchor as usize - 1;
         let b0 = a / BLOCK_BITS;
         let w_last = a / 64;
-        let mut in_block: u32 = self.bits[b0 * BLOCK_WORDS..w_last]
-            .iter()
-            .map(|w| w.count_ones())
-            .sum();
-        iters += (w_last - b0 * BLOCK_WORDS) as u64 + 1;
         let low_bits = a % 64 + 1;
         let partial_mask = if low_bits == 64 {
             u64::MAX
         } else {
             (1u64 << low_bits) - 1
         };
-        in_block += (self.bits[w_last] & partial_mask).count_ones();
+        // In-block members ≤ anchor: full words plus the masked anchor word
+        // in one kernel call (charge: one op per word scanned, as before).
+        let in_block =
+            kernels::popcount_masked_tail(&self.bits[b0 * BLOCK_WORDS..=w_last], partial_mask)
+                as u32;
+        iters += (w_last - b0 * BLOCK_WORDS) as u64 + 1;
         let block_lo = (b0 * BLOCK_BITS) as u64;
         let jb = excl.partition_point(|&e| e <= block_lo);
         iters += 1;

@@ -53,6 +53,30 @@
 //! backends through interleaved foreign writes, drops, rebuilds and arena
 //! reuse.
 //!
+//! # Wide-lane kernels and the dispatch contract
+//!
+//! The physical bitmap scans underneath the structures — bulk popcounts,
+//! `count_le` slice sums, n-th-set-bit probes, register prefix clears — are
+//! factored into the [`kernels`] module, which carries **two**
+//! implementations: the portable SWAR scalar code (the universal oracle and
+//! fallback) and an AVX2+POPCNT lane tier written against the stable
+//! `core::arch::x86_64` intrinsics (the MSRV 1.75 pin rules out
+//! `std::simd`; runtime `core::arch` dispatch needs no MSRV bump). The tier
+//! is resolved **once** per process ([`kernels::tier`]) via
+//! `is_x86_feature_detected!` cached in an atomic; the `AMO_KERNEL=scalar|
+//! avx2` environment variable forces a tier for CI and differential
+//! testing, and [`kernels::set_tier`] is the in-process override.
+//!
+//! The binding invariant is **counter-neutrality**: the deterministic
+//! `ops` charges of the set structures are part of the observable the
+//! equivalence suites and the perf gate pin, so kernels accelerate the
+//! physical scan only — all work accounting stays at the logical-walk
+//! layer, derived from slice lengths and returned positions, never from
+//! which tier executed. The `kernel_equivalence` property suite pins the
+//! AVX2 tier to the scalar oracle over word/block/superblock boundaries,
+//! ragged tails and empty/full lanes, and asserts charge-for-charge `ops`
+//! parity of the structures across tiers.
+//!
 //! # Examples
 //!
 //! ```
@@ -67,12 +91,16 @@
 //! assert_eq!(rank_excluding(&free, &try_set, 2), Some(5));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `kernels` module opts into `unsafe` locally for
+// its `core::arch` intrinsics (each site carries a SAFETY comment); every
+// other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod counter;
 mod dense;
 mod fenwick;
+pub mod kernels;
 mod rank;
 mod tree;
 

@@ -31,11 +31,7 @@ pub struct SelectHint {
 #[cfg(debug_assertions)]
 pub(crate) fn bitmap_count_le(bits: &[u64], universe: usize, id: u64) -> usize {
     let i = (id as usize).min(universe);
-    let mut acc: u32 = bits[..i / 64].iter().map(|w| w.count_ones()).sum();
-    if i % 64 > 0 {
-        acc += (bits[i / 64] & ((1u64 << (i % 64)) - 1)).count_ones();
-    }
-    acc as usize
+    crate::kernels::count_le_range(bits, i) as usize
 }
 
 /// Common interface of order-statistics sets.

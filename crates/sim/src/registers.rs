@@ -1,6 +1,8 @@
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use amo_ostree::kernels;
+
 /// Memory-ordering regime for [`AtomicRegisters`].
 ///
 /// The paper's proofs assume *linearizable* (atomic) registers, which
@@ -291,9 +293,10 @@ impl VecRegisters {
         // The high-water mark is per lease: an arena-recycled buffer must
         // report the *next* run's peak, not the previous tenant's.
         self.epoch_hw.set(0);
-        for c in self.cells.iter().take(cells) {
-            c.set(0);
-        }
+        // Prefix clear through the runtime-dispatched kernel layer (the
+        // arena fast path re-zeroes up to `m + m·n` cells per lease).
+        let prefix = cells.min(self.cells.len());
+        kernels::fill_cells(&self.cells[..prefix], 0);
         self.cells.resize(cells, Cell::new(0));
         self.reads.set(0);
         self.writes.set(0);
@@ -322,9 +325,9 @@ impl VecRegisters {
         self.stamp.set(s);
         self.epoch_base.set(s);
         self.epochs.borrow_mut().clear();
-        for (c, &v) in self.cells.iter().zip(snapshot) {
-            c.set(v);
-        }
+        // Bulk value restore through the kernel layer (the explorer rewinds
+        // whole register files per branch).
+        kernels::copy_into_cells(&self.cells, snapshot);
     }
 
     /// Resets the traffic counters.

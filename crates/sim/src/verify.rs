@@ -144,15 +144,19 @@ pub fn perform_summary<I: IntoIterator<Item = JobSpan>>(spans: I) -> (u64, Vec<V
             }
         }
     }
-    let violations = counts
-        .iter()
-        .enumerate()
-        .filter(|&(_, &c)| c > 1)
-        .map(|(i, &c)| Violation {
+    // Violation scan through the runtime-dispatched kernel layer: almost
+    // every count is ≤ 1 in a correct execution, so the wide tier skips
+    // eight counts per compare and the scan degenerates to a handful of
+    // hits (this pass is epilogue bookkeeping — it charges no `local_work`).
+    let mut violations = Vec::new();
+    let mut idx = 0usize;
+    while let Some(i) = amo_ostree::kernels::find_gt(&counts, 1, idx) {
+        violations.push(Violation {
             job: i as u64 + 1,
-            count: c,
-        })
-        .collect();
+            count: counts[i],
+        });
+        idx = i + 1;
+    }
     (distinct, violations)
 }
 

@@ -1,0 +1,86 @@
+//! Cross-tier fleet equivalence: a full `run_scenario` KKβ fleet executed
+//! under `AMO_KERNEL=scalar` and under the AVX2 tier must produce
+//! **bit-identical reports** — every perform record, every deterministic
+//! counter (`total_steps`, shared traffic, `local_work` = the summed
+//! per-set `ops` charges, `epoch_mem_bytes`), effectiveness and violations.
+//!
+//! This is the whole-system form of the counter-neutrality invariant the
+//! `kernel_equivalence` suite pins structure-by-structure: kernel tiers
+//! accelerate the physical scans only, so the paper's work measure may not
+//! move by a single unit. Tier flips ride through
+//! [`amo_ostree::kernels::set_tier`] (the in-process `AMO_KERNEL`); on
+//! machines without AVX2 the test logs and exits — the CI scalar matrix
+//! leg covers the portable tier there.
+
+use amo_core::{run_scenario_simulated, AmoReport, KkConfig};
+use amo_ostree::kernels::{self, KernelTier};
+use amo_sim::ScenarioSpec;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the dispatched tier is
+/// process-global, so a concurrent test flipping it mid-run would make a
+/// "scalar" leg silently execute AVX2 kernels (the assertions would still
+/// pass — tiers are equivalent — but the differential power would be lost).
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_under(tier: KernelTier, spec: &ScenarioSpec, config: &KkConfig) -> AmoReport {
+    let prev = kernels::set_tier(tier);
+    let report = run_scenario_simulated(config, spec);
+    kernels::set_tier(prev);
+    report
+}
+
+#[test]
+fn full_fleet_reports_are_bit_identical_across_kernel_tiers() {
+    let _g = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if !kernels::avx2_available() {
+        eprintln!("skipping: no AVX2 on this machine (scalar leg covers it)");
+        return;
+    }
+    let config = KkConfig::new(3000, 8).expect("valid config");
+    // The cells that exercise every rewired path: the batched fast path
+    // (hinted walks + epoch caches + interleaved layout), a quantized
+    // random schedule, the single-step reference, and an adversary that
+    // forces dense foreign merges.
+    let specs: Vec<(&str, ScenarioSpec)> = vec![
+        ("rr_batched", ScenarioSpec::round_robin_batched()),
+        ("rr_single", ScenarioSpec::round_robin()),
+        ("random_q64", ScenarioSpec::random(7).with_quantum(64)),
+        ("staleness", ScenarioSpec::adversary("staleness")),
+        (
+            "rr_batched_collisions",
+            ScenarioSpec::round_robin_batched().with_collision_tracking(),
+        ),
+    ];
+    for (name, spec) in &specs {
+        let scalar = run_under(KernelTier::Scalar, spec, &config);
+        let avx2 = run_under(KernelTier::Avx2, spec, &config);
+        // Field-for-field: AmoReport's PartialEq covers performed records,
+        // crashes, completion, mem_work, local_work, total_steps,
+        // epoch_mem_bytes, effectiveness, violations and collisions.
+        assert_eq!(scalar, avx2, "cell {name}: reports diverged across tiers");
+        assert!(
+            scalar.violations.is_empty(),
+            "cell {name}: at-most-once violated"
+        );
+    }
+}
+
+#[test]
+fn local_work_is_tier_invariant_even_under_crashes() {
+    let _g = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if !kernels::avx2_available() {
+        eprintln!("skipping: no AVX2 on this machine (scalar leg covers it)");
+        return;
+    }
+    let config = KkConfig::new(1500, 6).expect("valid config");
+    let plan = amo_sim::CrashPlan::at_steps([(2, 900), (5, 2500)]);
+    let spec = ScenarioSpec::round_robin_batched().with_crash_plan(plan);
+    let scalar = run_under(KernelTier::Scalar, &spec, &config);
+    let avx2 = run_under(KernelTier::Avx2, &spec, &config);
+    assert_eq!(
+        scalar.local_work, avx2.local_work,
+        "summed per-set ops charges must be identical across tiers"
+    );
+    assert_eq!(scalar, avx2, "crashed-fleet reports diverged across tiers");
+}
