@@ -148,6 +148,7 @@ fn to_report(exec: Execution, label: &'static str) -> AmoReport {
         violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
+        restarted: exec.restarted.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
@@ -263,6 +264,7 @@ pub fn run_baseline_threads(
             violations,
             performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
             crashed: exec.crashed.clone(),
+            restarted: Vec::new(),
             completed: exec.completed,
             mem_work: exec.mem_work,
             local_work: exec.local_work,

@@ -1,0 +1,9 @@
+//! Regenerates table(s) for experiment: the storage-fault × restart
+//! recovery matrix on the durable register backend (E10). Pass `--quick`
+//! for the CI grid.
+
+fn main() {
+    amo_bench::experiment_main("exp_recovery_matrix", |s| {
+        [amo_bench::experiments::exp_recovery_matrix(s)]
+    });
+}

@@ -17,7 +17,7 @@
 //! stdout. Exit code 1 on regression.
 
 use amo_bench::gate::{
-    arg_value, compare_tiered, markdown, parse_bench, parse_kernel, MEM_TOLERANCE,
+    arg_value, compare_env, markdown, parse_backend, parse_bench, parse_kernel, MEM_TOLERANCE,
 };
 
 fn main() {
@@ -56,16 +56,24 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Kernel tiers ride along informationally: a mismatch (non-AVX2 runner,
-    // forced AMO_KERNEL=scalar leg) relaxes the timing bands — timing is
-    // not tier-comparable — while deterministic counters stay pinned.
-    let report = compare_tiered(
+    // Kernel tiers and register backends ride along informationally: a
+    // mismatch (non-AVX2 runner, forced AMO_KERNEL=scalar leg, a durable
+    // journaling backend) relaxes the timing bands — timing is not
+    // comparable across either axis — while deterministic counters stay
+    // pinned exactly.
+    let report = compare_env(
         &baseline,
         &current,
         tolerance,
         mem_tolerance,
-        parse_kernel(&baseline_json).as_deref(),
-        parse_kernel(&current_json).as_deref(),
+        (
+            parse_kernel(&baseline_json).as_deref(),
+            parse_backend(&baseline_json).as_deref(),
+        ),
+        (
+            parse_kernel(&current_json).as_deref(),
+            parse_backend(&current_json).as_deref(),
+        ),
     );
     let md = markdown(&report, tolerance);
     println!("{md}");

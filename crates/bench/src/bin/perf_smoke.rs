@@ -326,7 +326,7 @@ fn write_all_workload(n: usize, m: usize) -> Entry {
 
 fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"amo-bench/engine-v5\",\n");
+    out.push_str("  \"schema\": \"amo-bench/engine-v6\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         if scale.is_quick() { "quick" } else { "full" }
@@ -339,6 +339,11 @@ fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
         "  \"kernel\": \"{}\",\n",
         amo_ostree::kernels::tier()
     ));
+    // The register backend the smoke ran on (engine-v6). The smoke always
+    // measures the plain volatile file — the durable backend is gated by
+    // the same mechanism as a kernel-tier mismatch if a baseline produced
+    // under one is ever compared against the other.
+    out.push_str("  \"backend\": \"vec\",\n");
     out.push_str("  \"workloads\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str("    {\n");

@@ -12,12 +12,14 @@
 //! | A1/A4 | [`ablations`] | DESIGN.md design-choice ablations |
 //! | E8 | [`threads`] | real-thread throughput + ordering ablation |
 //! | E9 | [`scenario_matrix`] | cross-algorithm adversary matrix (scenario layer) |
+//! | E10 | [`recovery_matrix`] | storage-fault × restart matrix (durable backend) |
 
 pub mod ablations;
 pub mod collisions;
 pub mod comparison;
 pub mod effectiveness;
 pub mod iterative;
+pub mod recovery_matrix;
 pub mod safety;
 pub mod scenario_matrix;
 pub mod threads;
@@ -29,6 +31,7 @@ pub use collisions::exp_collisions;
 pub use comparison::exp_comparison;
 pub use effectiveness::exp_effectiveness;
 pub use iterative::exp_iterative;
+pub use recovery_matrix::exp_recovery_matrix;
 pub use safety::exp_safety;
 pub use scenario_matrix::exp_scenario_matrix;
 pub use threads::exp_threads;
@@ -51,5 +54,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.push(exp_pick_ablation(scale));
     tables.push(exp_threads(scale));
     tables.push(exp_scenario_matrix(scale));
+    tables.push(exp_recovery_matrix(scale));
     tables
 }

@@ -91,18 +91,31 @@ impl Workload {
     }
 }
 
+/// A top-level string field of a `BENCH_engine*.json` header. Only the
+/// header (everything before the workloads array) is scanned, so a
+/// workload field can never shadow it.
+fn parse_header_str(json: &str, key: &str) -> Option<String> {
+    let head = &json[..json.find("\"workloads\"").unwrap_or(json.len())];
+    let needle = format!("\"{key}\"");
+    let at = head.find(&needle)?;
+    let rest = &head[at + needle.len()..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
 /// The resolved kernel tier a `BENCH_engine*.json` was produced under
 /// (the top-level `"kernel"` string field), or `None` for pre-tier
 /// baselines.
 pub fn parse_kernel(json: &str) -> Option<String> {
-    // Only the top-level header (everything before the workloads array) is
-    // scanned, so a workload field can never shadow the tier.
-    let head = &json[..json.find("\"workloads\"").unwrap_or(json.len())];
-    let key = head.find("\"kernel\"")?;
-    let rest = &head[key + "\"kernel\"".len()..];
-    let rest = rest[rest.find(':')? + 1..].trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_owned())
+    parse_header_str(json, "kernel")
+}
+
+/// The register backend a `BENCH_engine*.json` was produced under (the
+/// top-level `"backend"` string field, `"vec"` or `"durable"`; schema
+/// engine-v6), or `None` for pre-backend baselines.
+pub fn parse_backend(json: &str) -> Option<String> {
+    parse_header_str(json, "backend")
 }
 
 /// Finding describing the kernel tiers of baseline vs current run —
@@ -128,6 +141,40 @@ pub fn kernel_tier_finding(baseline: Option<&str>, current: Option<&str>) -> Opt
     Some(Finding {
         workload: "(all)".into(),
         field: "kernel".into(),
+        baseline: b.to_owned(),
+        current: c.to_owned(),
+        regression: false,
+        verdict,
+    })
+}
+
+/// Finding describing the register backends of baseline vs current run —
+/// **informational on mismatch**, exactly like the kernel tier: running
+/// the smoke on the journaling [`DurableRegisters`] backend legitimately
+/// shifts timing columns (every write is journaled), while the fault-free
+/// wrapper is bit-identical on every deterministic counter — which the
+/// regular counter findings keep enforcing exactly. Returns `None` when
+/// neither side records a backend (pre-engine-v6 baselines on both sides).
+///
+/// [`DurableRegisters`]: amo_sim::DurableRegisters
+pub fn backend_finding(baseline: Option<&str>, current: Option<&str>) -> Option<Finding> {
+    if baseline.is_none() && current.is_none() {
+        return None;
+    }
+    let b = baseline.unwrap_or("unrecorded");
+    let c = current.unwrap_or("unrecorded");
+    let verdict = if b == c {
+        "backends match".to_owned()
+    } else {
+        format!(
+            "informational: backend differs from baseline ({b} → {c}) — timing/ratio columns \
+             are not backend-comparable; counters remain pinned exactly (fault-free durable is \
+             bit-identical by the equivalence suite)"
+        )
+    };
+    Some(Finding {
+        workload: "(all)".into(),
+        field: "backend".into(),
         baseline: b.to_owned(),
         current: c.to_owned(),
         regression: false,
@@ -282,21 +329,50 @@ pub fn compare_tiered(
     baseline_kernel: Option<&str>,
     current_kernel: Option<&str>,
 ) -> GateReport {
+    compare_env(
+        baseline,
+        current,
+        tolerance,
+        mem_tolerance,
+        (baseline_kernel, None),
+        (current_kernel, None),
+    )
+}
+
+/// [`compare_tiered`], additionally aware of the register **backend** each
+/// file was produced under (engine-v6's top-level `"backend"` field, see
+/// [`parse_backend`]). Each side is a `(kernel, backend)` pair; a mismatch
+/// in *either* downgrades measured below-floor speed ratios to
+/// informational — a journaling backend is as timing-incomparable as a
+/// different SIMD tier — while deterministic counters, memory bands and
+/// missing-column findings all stay hard. Both pairings are reported as
+/// leading informational findings.
+pub fn compare_env(
+    baseline: &[Workload],
+    current: &[Workload],
+    tolerance: f64,
+    mem_tolerance: f64,
+    (baseline_kernel, baseline_backend): (Option<&str>, Option<&str>),
+    (current_kernel, current_backend): (Option<&str>, Option<&str>),
+) -> GateReport {
     let mut report = compare_with(baseline, current, tolerance, mem_tolerance);
-    let mismatch = baseline_kernel != current_kernel;
+    let mismatch = baseline_kernel != current_kernel || baseline_backend != current_backend;
     if mismatch {
         for f in &mut report.findings {
             // Only measured below-floor *ratios* are tier-dependent. Memory
             // columns stay gated (the kernels allocate nothing, RSS is
             // tier-independent), and a ratio column *missing* entirely is a
             // malformed run, not cross-tier timing wobble.
-            let tier_timing = f.field.starts_with("speedup") && f.current != "missing";
-            if tier_timing && f.regression {
+            let env_timing = f.field.starts_with("speedup") && f.current != "missing";
+            if env_timing && f.regression {
                 f.regression = false;
-                f.verdict = format!("informational (kernel tier differs): {}", f.verdict);
+                f.verdict = format!("informational (kernel tier/backend differs): {}", f.verdict);
             }
         }
         report.pass = !report.findings.iter().any(|f| f.regression);
+    }
+    if let Some(b) = backend_finding(baseline_backend, current_backend) {
+        report.findings.insert(0, b);
     }
     if let Some(k) = kernel_tier_finding(baseline_kernel, current_kernel) {
         report.findings.insert(0, k);
@@ -879,6 +955,110 @@ mod tests {
             Some("scalar"),
         );
         assert!(!report.pass, "missing ratio columns stay hard across tiers");
+    }
+
+    const V6: &str = r#"{
+  "schema": "amo-bench/engine-v6",
+  "scale": "quick",
+  "kernel": "avx2",
+  "backend": "vec",
+  "workloads": [
+    {
+      "name": "kk_plain_rr",
+      "params": "n=20000 m=8 beta=192",
+      "fast_path_ms": 5.93,
+      "speedup_vs_single_step": 2.21,
+      "total_steps": 554776
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn backend_field_parses_from_the_header_only() {
+        assert_eq!(parse_backend(V6).as_deref(), Some("vec"));
+        assert_eq!(parse_backend(TIERED), None, "engine-v5 records no backend");
+        // A workload-level "backend" field must not be mistaken for the
+        // header's.
+        let trick = BASE.replace(
+            "\"name\": \"write_all\"",
+            "\"backend\": \"x\", \"name\": \"write_all\"",
+        );
+        assert_eq!(parse_backend(&trick), None);
+    }
+
+    #[test]
+    fn backend_mismatch_is_informational() {
+        let f = backend_finding(Some("vec"), Some("durable")).expect("finding");
+        assert!(!f.regression);
+        assert!(f.verdict.contains("informational"));
+        let same = backend_finding(Some("vec"), Some("vec")).expect("finding");
+        assert!(!same.regression);
+        assert!(same.verdict.contains("match"));
+        assert!(backend_finding(None, None).is_none());
+    }
+
+    #[test]
+    fn backend_mismatch_downgrades_ratio_gates_but_not_counters() {
+        let b = parse_bench(V6);
+        // A durable-backend run: journaling drags the ratios, counters are
+        // bit-identical by the fault-free equivalence contract.
+        let slowed = V6.replace(
+            "\"speedup_vs_single_step\": 2.21",
+            "\"speedup_vs_single_step\": 1.00",
+        );
+        let report = compare_env(
+            &b,
+            &parse_bench(&slowed),
+            0.2,
+            MEM_TOLERANCE,
+            (Some("avx2"), Some("vec")),
+            (Some("avx2"), Some("durable")),
+        );
+        assert!(report.pass, "cross-backend timing drop must not fail");
+        assert!(report.findings.iter().any(|f| f.field == "backend"));
+        assert!(report.findings.iter().any(|f| f.field == "kernel"));
+        // A counter drifting on the durable backend breaks the bit-identity
+        // contract and fails hard.
+        let drifted = slowed.replace("\"total_steps\": 554776", "\"total_steps\": 554777");
+        let report = compare_env(
+            &b,
+            &parse_bench(&drifted),
+            0.2,
+            MEM_TOLERANCE,
+            (Some("avx2"), Some("vec")),
+            (Some("avx2"), Some("durable")),
+        );
+        assert!(!report.pass, "counter drift fails regardless of backend");
+    }
+
+    #[test]
+    fn matching_backends_keep_the_ratio_gate() {
+        let b = parse_bench(V6);
+        let slowed = V6.replace(
+            "\"speedup_vs_single_step\": 2.21",
+            "\"speedup_vs_single_step\": 1.00",
+        );
+        let report = compare_env(
+            &b,
+            &parse_bench(&slowed),
+            0.2,
+            MEM_TOLERANCE,
+            (Some("avx2"), Some("vec")),
+            (Some("avx2"), Some("vec")),
+        );
+        assert!(!report.pass, "same-env ratio collapse still fails");
+        // compare_tiered (no backend axis) keeps its exact old behavior.
+        let tiered = compare_tiered(
+            &b,
+            &parse_bench(&slowed),
+            0.2,
+            MEM_TOLERANCE,
+            Some("avx2"),
+            Some("avx2"),
+        );
+        assert!(!tiered.pass);
+        assert!(tiered.findings.iter().all(|f| f.field != "backend"));
     }
 
     #[test]

@@ -312,6 +312,9 @@ pub struct AmoReport {
     pub performed: Vec<(usize, JobSpan)>,
     /// Crashed pids.
     pub crashed: Vec<usize>,
+    /// Pids restarted after a crash (empty without a restart plan; always
+    /// empty for threaded runs).
+    pub restarted: Vec<usize>,
     /// `true` when every surviving process terminated within limits
     /// (wait-freedom observed).
     pub completed: bool,
@@ -415,6 +418,7 @@ fn finish_sim(
         violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
+        restarted: exec.restarted.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
@@ -579,6 +583,7 @@ pub fn run_threads(config: &KkConfig, options: ThreadRunOptions) -> AmoReport {
         violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
+        restarted: Vec::new(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,

@@ -357,6 +357,7 @@ fn iter_report(exec: Execution, mem: &VecRegisters, label: &'static str) -> AmoR
         violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
+        restarted: exec.restarted.clone(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,
@@ -390,6 +391,7 @@ pub fn run_iterative_threads(
         violations,
         performed: exec.performed.iter().map(|r| (r.pid, r.span)).collect(),
         crashed: exec.crashed.clone(),
+        restarted: Vec::new(),
         completed: exec.completed,
         mem_work: exec.mem_work,
         local_work: exec.local_work,

@@ -1,13 +1,35 @@
 use std::collections::BTreeMap;
 
 /// A deterministic failure-injection plan: process `p` crashes after having
-/// executed a given number of actions.
+/// executed a given number of actions, and may optionally *restart* a fixed
+/// delay after its crash.
 ///
 /// The model allows up to `f < m` crash-stop failures (`stop_p` actions,
 /// §2.1). A plan maps pids to step budgets; a process with no entry never
 /// crashes. The same plan drives both the simulator (via
 /// [`WithCrashes`](crate::WithCrashes)) and the thread runtime (as per-thread
 /// step budgets), so a failure scenario reproduces identically in both.
+///
+/// # Restarts
+///
+/// [`restart_after`](Self::restart_after) registers a restart entry:
+/// `delay` global steps after `pid`'s crash (planned *or* injected by an
+/// adversary), the scheduler wrapper emits
+/// [`Decision::Restart`](crate::Decision::Restart) and the engine re-enters
+/// the process through [`Process::on_restart`](crate::Process::on_restart)
+/// — the crash–restart lifecycle of the durable-storage model. Each pid
+/// restarts at most once per plan, and a re-crash after the restart (by an
+/// adversary) counts against the crash budget `f` again.
+///
+/// # Duplicate-pid rule
+///
+/// One pid maps to at most one crash budget and at most one restart delay.
+/// The batch constructor [`at_steps`](Self::at_steps) treats a duplicate
+/// pid as a harness bug and panics — a silent last-write-wins would hide
+/// typos in hand-written scenario grids. The incremental builders
+/// ([`crash`](Self::crash), [`restart_after`](Self::restart_after))
+/// deliberately *overwrite*, which is the documented way to revise an
+/// entry.
 ///
 /// # Examples
 ///
@@ -25,6 +47,8 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrashPlan {
     budgets: BTreeMap<usize, u64>,
+    /// Restart delays (global steps after the crash), keyed by pid.
+    restarts: BTreeMap<usize, u64>,
 }
 
 impl CrashPlan {
@@ -35,9 +59,24 @@ impl CrashPlan {
 
     /// Builds a plan from `(pid, steps)` pairs: pid crashes once it has
     /// executed `steps` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same pid appears twice — see the duplicate-pid rule in
+    /// the type docs (use [`crash`](Self::crash) to overwrite
+    /// deliberately).
     pub fn at_steps<I: IntoIterator<Item = (usize, u64)>>(pairs: I) -> Self {
+        let mut budgets = BTreeMap::new();
+        for (pid, steps) in pairs {
+            assert!(
+                budgets.insert(pid, steps).is_none(),
+                "duplicate crash entry for pid {pid} in at_steps \
+                 (use crash() to overwrite deliberately)"
+            );
+        }
         Self {
-            budgets: pairs.into_iter().collect(),
+            budgets,
+            restarts: BTreeMap::new(),
         }
     }
 
@@ -88,6 +127,35 @@ impl CrashPlan {
         self
     }
 
+    /// Adds (or overwrites) one restart: `pid` re-enters the fleet `delay`
+    /// global steps after its crash (planned or adversary-injected),
+    /// rebuilding its state through
+    /// [`Process::on_restart`](crate::Process::on_restart).
+    pub fn restart_after(&mut self, pid: usize, delay: u64) -> &mut Self {
+        self.restarts.insert(pid, delay);
+        self
+    }
+
+    /// The restart delay for `pid`, if one is planned.
+    pub fn restart_delay(&self, pid: usize) -> Option<u64> {
+        self.restarts.get(&pid).copied()
+    }
+
+    /// `true` if any restart is planned.
+    pub fn has_restarts(&self) -> bool {
+        !self.restarts.is_empty()
+    }
+
+    /// Number of planned restarts.
+    pub fn restart_count(&self) -> usize {
+        self.restarts.len()
+    }
+
+    /// Iterates over `(pid, restart-delay)` pairs in pid order.
+    pub fn restarts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.restarts.iter().map(|(&p, &d)| (p, d))
+    }
+
     /// Returns `true` if `pid` with `steps_taken` actions behind it must
     /// crash now.
     pub fn should_crash(&self, pid: usize, steps_taken: u64) -> bool {
@@ -104,9 +172,9 @@ impl CrashPlan {
         self.budgets.len()
     }
 
-    /// Returns `true` if no crash is planned.
+    /// Returns `true` if neither a crash nor a restart is planned.
     pub fn is_empty(&self) -> bool {
-        self.budgets.is_empty()
+        self.budgets.is_empty() && self.restarts.is_empty()
     }
 
     /// Iterates over `(pid, step-budget)` pairs in pid order.
@@ -187,5 +255,45 @@ mod tests {
         let p = CrashPlan::at_steps([(3usize, 1u64), (1, 5), (2, 9)]);
         let got: Vec<_> = p.iter().collect();
         assert_eq!(got, vec![(1, 5), (2, 9), (3, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash entry for pid 2")]
+    fn at_steps_rejects_duplicate_pids() {
+        let _ = CrashPlan::at_steps([(2usize, 10u64), (1, 5), (2, 20)]);
+    }
+
+    #[test]
+    fn crash_builder_overwrites_deliberately() {
+        // The incremental builder is the documented way to revise an entry;
+        // only the batch constructor rejects duplicates.
+        let mut p = CrashPlan::none();
+        p.crash(2, 10).crash(2, 20);
+        p.restart_after(2, 5).restart_after(2, 8);
+        assert_eq!(p.budget(2), Some(20));
+        assert_eq!(p.restart_delay(2), Some(8));
+    }
+
+    #[test]
+    fn restart_entries_are_tracked_separately() {
+        let mut p = CrashPlan::at_steps([(1usize, 3u64)]);
+        assert!(!p.has_restarts());
+        p.restart_after(1, 100).restart_after(4, 0);
+        assert!(p.has_restarts());
+        assert_eq!(p.restart_count(), 2);
+        assert_eq!(p.restart_delay(1), Some(100));
+        assert_eq!(p.restart_delay(2), None);
+        assert_eq!(p.restarts().collect::<Vec<_>>(), vec![(1, 100), (4, 0)]);
+        assert_eq!(p.crash_count(), 1, "restarts are not crashes");
+    }
+
+    #[test]
+    fn restart_only_plan_is_not_empty() {
+        // A plan with restarts but no planned crashes still matters: the
+        // restarts pair with adversary-injected crashes.
+        let mut p = CrashPlan::none();
+        p.restart_after(3, 7);
+        assert!(!p.is_empty());
+        assert_eq!(p.crash_count(), 0);
     }
 }

@@ -90,6 +90,9 @@ pub struct Execution {
     pub total_steps: u64,
     /// Pids crashed by the adversary, in crash order.
     pub crashed: Vec<usize>,
+    /// Pids restarted after a crash, in restart order (the crash–restart
+    /// lifecycle of the durable-storage model; empty without restarts).
+    pub restarted: Vec<usize>,
     /// `true` when every non-crashed process terminated within the limits.
     pub completed: bool,
     /// Shared-memory traffic of the whole execution.
@@ -258,6 +261,7 @@ where
     pub fn run_full(mut self, limits: EngineLimits) -> (Execution, Vec<Slot<P>>, R) {
         let mut performed = Vec::new();
         let mut crashed = Vec::new();
+        let mut restarted = Vec::new();
         let mut total_steps: u64 = 0;
         let mut completed = true;
         let mut trace: Vec<TraceEntry> = Vec::new();
@@ -269,17 +273,22 @@ where
         // scan cost O(m) per action and dominated small-step loops.
         let mut running = self.slots.len();
 
-        while running > 0 {
-            if total_steps >= limits.max_steps {
-                completed = false;
-                break;
-            }
+        loop {
             let view = SchedView {
                 slots: &self.slots,
                 total_steps,
                 crashes: crashed.len(),
                 max_crashes: self.max_crashes,
             };
+            // The run stays alive with zero running processes only while the
+            // scheduler still intends to restart a crashed one.
+            if running == 0 && !self.scheduler.pending_restart(&view) {
+                break;
+            }
+            if total_steps >= limits.max_steps {
+                completed = false;
+                break;
+            }
             let decision = self.scheduler.decide(&view);
             match decision {
                 Decision::Step(i) => {
@@ -300,6 +309,9 @@ where
                         "scheduler stepped non-running pid {}",
                         i + 1
                     );
+                    // Durable backends attribute the journal records of the
+                    // coming actions to this process's write-behind buffer.
+                    self.mem.note_actor(i + 1);
                     if budget == 1 || self.force_single_step {
                         // Reference path: per-action dispatch. Also used by
                         // every scheduler that keeps the default quantum of
@@ -323,6 +335,10 @@ where
                                         span,
                                         step: total_steps + consumed,
                                     });
+                                    // A `do` is the commit point: everything
+                                    // this process wrote before performing
+                                    // must be on stable storage.
+                                    self.mem.perform_barrier();
                                 }
                                 StepEvent::Terminated => terminated = true,
                                 StepEvent::Local
@@ -337,6 +353,8 @@ where
                         if terminated {
                             slot.state = LifeState::Terminated;
                             running -= 1;
+                            // Clean shutdown flushes the write-behind buffer.
+                            self.mem.perform_barrier();
                         }
                         self.scheduler.note_consumed(i, consumed);
                     } else {
@@ -357,6 +375,13 @@ where
                                     step: total_steps + consumed + offset + 1,
                                 });
                             }
+                            if !out.performed.is_empty() {
+                                // Batched flush granularity: one barrier per
+                                // perform-carrying batch. Fault-free this is
+                                // indistinguishable from the per-perform
+                                // barrier of the single-step path.
+                                self.mem.perform_barrier();
+                            }
                             consumed += out.steps;
                             terminated = out.terminated;
                         }
@@ -365,6 +390,8 @@ where
                         if terminated {
                             slot.state = LifeState::Terminated;
                             running -= 1;
+                            // Clean shutdown flushes the write-behind buffer.
+                            self.mem.perform_barrier();
                         }
                         self.scheduler.note_consumed(i, consumed);
                     }
@@ -385,6 +412,10 @@ where
                     slot.state = LifeState::Crashed;
                     running -= 1;
                     crashed.push(i + 1);
+                    // Durable backends lose (part of) the crasher's
+                    // unflushed write-behind suffix and recover the file
+                    // from the journal; volatile backends ignore this.
+                    self.mem.crash_blackout(i + 1);
                     if tracing && trace.len() < self.trace_cap {
                         trace.push(TraceEntry {
                             step: total_steps,
@@ -393,6 +424,22 @@ where
                         });
                     }
                 }
+                Decision::Restart(i) => {
+                    let slot = &mut self.slots[i];
+                    assert_eq!(
+                        slot.state,
+                        LifeState::Crashed,
+                        "scheduler restarted non-crashed pid {}",
+                        i + 1
+                    );
+                    // A restart is not an action: no step counters advance
+                    // and no trace entry is recorded. The process rebuilds
+                    // its volatile state from shared memory.
+                    slot.process.on_restart(&self.mem);
+                    slot.state = LifeState::Running;
+                    running += 1;
+                    restarted.push(i + 1);
+                }
             }
         }
 
@@ -400,6 +447,7 @@ where
             performed,
             total_steps,
             crashed,
+            restarted,
             completed,
             mem_work: self.mem.work(),
             local_work: self.slots.iter().map(|s| s.process.local_work()).sum(),

@@ -284,6 +284,7 @@ where
                 life[i] = LifeState::Crashed;
                 crashes += 1;
             }
+            Decision::Restart(_) => unreachable!("the explorer does not generate restarts"),
         }
         let mem = registers.snapshot();
 

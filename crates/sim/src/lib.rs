@@ -68,6 +68,40 @@
 //! [`AtomicRegisters`] keeps them disabled because an epoch probe and a
 //! value load are not atomic together under real concurrency.
 //!
+//! # Durability invariants (the `Durable` backend)
+//!
+//! [`BackendSpec::Durable`](scenario::BackendSpec::Durable) wraps the
+//! volatile [`VecRegisters`] in [`DurableRegisters`]: every mutation is
+//! journaled into a write-ahead log over a base snapshot, each process
+//! writing through its own *write-behind buffer*. What survives a crash:
+//!
+//! * **Flushed records are durable forever.** The engine raises a flush
+//!   barrier ([`Registers::perform_barrier`]) for the acting process at
+//!   every recorded `do` action and at termination, so every write a
+//!   process issued *before* performing a job is on stable storage by the
+//!   time the perform is recorded.
+//! * **Only the crasher's soft suffix is at risk.** A crash triggers a
+//!   blackout ([`Registers::crash_blackout`]): the configured
+//!   [`StorageFault`] decides how much of the crashed process's
+//!   journaled-but-unflushed suffix survives (all of it, a seeded prefix,
+//!   or none), and recovery replays the surviving log over the snapshot
+//!   back into the register file. Survivors' buffers are untouched.
+//! * **A torn write can expose no corrupt value.** Torn (partially
+//!   persisted) records fail their checksum on recovery and are truncated
+//!   away with everything after them — the fault surface is always a
+//!   *rollback to a write-order prefix*, never garbage.
+//!
+//! Why at-most-once still holds in every fault cell: a performed job's
+//! protecting writes (its announcement/claim) precede the perform, hence
+//! are durable and never regress; a blackout therefore reverts a crashed
+//! process exactly to its shared state at its last perform — a state
+//! reachable in a legal crash-stop execution — and stale values other
+//! processes may have read from the lost suffix only ever *exclude* jobs
+//! (announcements of processes that died before performing), costing
+//! effectiveness, never safety. The fault-free `Durable` backend is
+//! bit-identical to [`VecRegisters`] (journaling is a pure side effect),
+//! which the equivalence suites pin counter-for-counter.
+//!
 //! # Examples
 //!
 //! ```
@@ -86,6 +120,7 @@
 
 pub mod arena;
 mod crash;
+mod durable;
 mod engine;
 mod explore;
 mod process;
@@ -99,6 +134,7 @@ mod verify;
 
 pub use arena::FleetArena;
 pub use crash::CrashPlan;
+pub use durable::{DurableRegisters, DurableStats, StorageFault};
 pub use engine::{Engine, EngineLimits, Execution, LifeState, PerformRecord, Slot, TraceEntry};
 pub use explore::{explore, ExploreConfig, ExploreOutcome, MemoMode};
 pub use process::{BatchOutcome, JobSpan, Process, StepEvent};

@@ -219,6 +219,36 @@ pub trait Process<R: Registers + ?Sized> {
         }
         out
     }
+
+    /// `true` if this process supports the crash–restart lifecycle
+    /// ([`on_restart`](Self::on_restart)). Default: `false` — a restart
+    /// entry in a [`CrashPlan`](crate::CrashPlan) for a process that does
+    /// not opt in is a harness bug.
+    fn supports_restart(&self) -> bool {
+        false
+    }
+
+    /// Re-enters a crashed process: rebuild volatile (local) state from
+    /// scratch, recovering anything needed from shared memory `mem`, and
+    /// become runnable again.
+    ///
+    /// Contract: the restart itself is **not** an action — it must perform
+    /// no shared-memory accesses counted as model work (reads issued here
+    /// are recovery-protocol reads outside the step ledger) and must leave
+    /// the process ready for its next [`step`](Self::step). Cumulative
+    /// counters (`local_work`, writes performed in the previous life)
+    /// persist across the restart: the process is the same automaton
+    /// resuming after a crash, not a new one.
+    ///
+    /// Default: panics — override together with
+    /// [`supports_restart`](Self::supports_restart).
+    fn on_restart(&mut self, mem: &R) {
+        let _ = mem;
+        panic!(
+            "process {} does not support restart (override on_restart/supports_restart)",
+            self.pid()
+        );
+    }
 }
 
 #[cfg(test)]

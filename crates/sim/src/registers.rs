@@ -163,6 +163,42 @@ pub trait Registers {
 
     /// Shared-memory traffic counters accumulated so far.
     fn work(&self) -> MemWork;
+
+    /// Announces `pid` as the acting process for subsequent accesses.
+    ///
+    /// The engine calls this before handing a decision's actions to a
+    /// process; journaling backends
+    /// ([`DurableRegisters`](crate::DurableRegisters)) use it to attribute
+    /// write-ahead-log records to their writer. Purely volatile files
+    /// ignore it — the default is a no-op, and the hook must not change
+    /// any model-level observable (values, counters, epochs).
+    #[inline]
+    fn note_actor(&self, pid: usize) {
+        let _ = pid;
+    }
+
+    /// Durability flush barrier at a commit point.
+    ///
+    /// The engine raises this for the acting process after every recorded
+    /// `do` action and at termination; journaling backends promote the
+    /// actor's write-behind buffer to stable storage (every write
+    /// *preceding a perform* is thereby durable — the invariant at-most-once
+    /// safety under storage faults rests on). No-op by default, and never
+    /// observable at the model level.
+    #[inline]
+    fn perform_barrier(&self) {}
+
+    /// Storage blackout at the crash of `pid`.
+    ///
+    /// The engine calls this when the adversary crashes a process;
+    /// journaling backends lose the crashed process's unflushed records
+    /// according to their fault regime and write the recovered image back
+    /// into the volatile cells (see
+    /// [`DurableRegisters`](crate::DurableRegisters)). No-op by default.
+    #[inline]
+    fn crash_blackout(&self, pid: usize) {
+        let _ = pid;
+    }
 }
 
 /// Deterministic, single-threaded register file for the simulator.

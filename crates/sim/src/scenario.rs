@@ -56,9 +56,10 @@
 
 use crate::arena::FleetArena;
 use crate::crash::CrashPlan;
+use crate::durable::{DurableRegisters, StorageFault};
 use crate::engine::{Engine, EngineLimits, Execution, Slot};
 use crate::process::Process;
-use crate::registers::VecRegisters;
+use crate::registers::{Registers, VecRegisters};
 use crate::sched::{BlockScheduler, RandomScheduler, RoundRobin, Scheduler, WithCrashes};
 
 /// Scheduling strategy of a [`ScenarioSpec`]: the built-in fair schedulers
@@ -113,19 +114,46 @@ impl SchedulerSpec {
 
 /// Register-file backend of a simulated scenario.
 ///
-/// The deterministic simulator currently has exactly one backend — the
-/// epoch-capable [`VecRegisters`] — but the spec names it explicitly so
-/// future backends (e.g. a mmap-backed file for out-of-core universes, or
-/// an instrumented file injecting read faults) slot into the same driver
-/// without growing a fifth option struct. Threaded execution over
-/// [`AtomicRegisters`](crate::AtomicRegisters) stays a separate entry point
-/// by design: real threads have no deterministic scheduler to spec.
+/// Threaded execution over [`AtomicRegisters`](crate::AtomicRegisters)
+/// stays a separate entry point by design: real threads have no
+/// deterministic scheduler to spec.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum BackendSpec {
     /// Deterministic in-memory registers with tracked-prefix epochs
     /// ([`VecRegisters`]).
     #[default]
     Vec,
+    /// [`VecRegisters`] wrapped in the WAL-journaling
+    /// [`DurableRegisters`]: crashes trigger storage blackouts under the
+    /// configured fault regime, and crashed processes may restart (see
+    /// [`CrashPlan::restart_after`]). With [`StorageFault::None`] this
+    /// backend is bit-identical to [`BackendSpec::Vec`] — journaling is a
+    /// pure side effect — which the equivalence suites pin.
+    Durable {
+        /// What a crash does to the crasher's unflushed journal suffix.
+        fault: StorageFault,
+        /// Seed for the fault model's deterministic randomness (torn /
+        /// truncation cut points, stale-read coin flips).
+        seed: u64,
+    },
+}
+
+impl BackendSpec {
+    /// Human-readable label for report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendSpec::Vec => "vec",
+            BackendSpec::Durable { .. } => "durable",
+        }
+    }
+
+    /// The storage-fault regime, when this backend injects one.
+    pub fn fault(&self) -> Option<StorageFault> {
+        match self {
+            BackendSpec::Vec => None,
+            BackendSpec::Durable { fault, .. } => Some(*fault),
+        }
+    }
 }
 
 /// A declarative description of one simulated execution environment,
@@ -272,6 +300,17 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the register-file backend (see [`BackendSpec`]).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for the durable backend under the given fault regime.
+    pub fn durable(self, fault: StorageFault, seed: u64) -> Self {
+        self.with_backend(BackendSpec::Durable { fault, seed })
+    }
+
     /// `true` when the configured scheduler grants quanta, i.e. the engine
     /// will drive processes through `step_many` and an announcement-epoch
     /// cache can actually skip work.
@@ -313,7 +352,12 @@ impl ScenarioSpec {
 ///   [`ScenarioSpec::epoch_cache`] applies (see there).
 /// * [`set_collision_tracking`](Self::set_collision_tracking) — per-pair
 ///   collision instrumentation, driven by [`ScenarioSpec::collisions`].
-pub trait ScenarioProcess: Process<VecRegisters> {
+///
+/// The supertrait bounds cover every backend of [`BackendSpec`]: a scenario
+/// process must be steppable over both [`VecRegisters`] and
+/// [`DurableRegisters`]. Algorithm automatons are written generically over
+/// [`Registers`], so both bounds come for free from one blanket `impl`.
+pub trait ScenarioProcess: Process<VecRegisters> + Process<DurableRegisters> {
     /// Builds the named adversary scheduler for this process type, or
     /// `None` when the name is not supported. See the module docs for the
     /// capability rules.
@@ -367,7 +411,6 @@ pub fn run_scenario<P: ScenarioProcess>(
     mut fleet: Vec<P>,
     spec: &ScenarioSpec,
 ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
-    let BackendSpec::Vec = spec.backend;
     // Epoch caches only pay when the scheduler grants quanta; without them
     // no process consults epochs, so maintenance (and the tracked-prefix
     // storage) is switched off entirely.
@@ -382,14 +425,45 @@ pub fn run_scenario<P: ScenarioProcess>(
             p.set_collision_tracking(true);
         }
     }
+    if spec.crash_plan.has_restarts() {
+        // A restart entry for a process that cannot rebuild itself is a
+        // harness bug; fail before running rather than mid-execution.
+        for p in &fleet {
+            assert!(
+                Process::<VecRegisters>::supports_restart(p),
+                "crash plan restarts pid {} but the process does not support restart",
+                Process::<VecRegisters>::pid(p)
+            );
+        }
+    }
     mem.set_epoch_tracking(cache);
 
-    fn go<P: Process<VecRegisters>, S: Scheduler<P>>(
-        mem: VecRegisters,
+    match spec.backend {
+        BackendSpec::Vec => drive(mem, fleet, spec),
+        BackendSpec::Durable { fault, seed } => {
+            // Wrap *after* epoch wiring: the journal layer delegates every
+            // observable verbatim, so the inner file is configured exactly
+            // as the volatile backend would be.
+            let mem = DurableRegisters::new(mem, fault, seed);
+            let (exec, slots, mem) = drive(mem, fleet, spec);
+            (exec, slots, mem.into_inner())
+        }
+    }
+}
+
+// The backend-generic half of `run_scenario`: scheduler resolution and the
+// engine run, over any register-file flavour.
+fn drive<R, P>(mem: R, fleet: Vec<P>, spec: &ScenarioSpec) -> (Execution, Vec<Slot<P>>, R)
+where
+    R: Registers,
+    P: ScenarioProcess + Process<R>,
+{
+    fn go<R: Registers, P: Process<R>, S: Scheduler<P>>(
+        mem: R,
         fleet: Vec<P>,
         sched: S,
         spec: &ScenarioSpec,
-    ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+    ) -> (Execution, Vec<Slot<P>>, R) {
         let sched = WithCrashes::new(sched, spec.crash_plan.clone());
         let mut engine = Engine::new(mem, fleet, sched);
         if spec.reference_single_step {
@@ -536,6 +610,68 @@ mod tests {
         let second = run_pooled(&mut arena);
         assert!(arena.reuses() >= 1);
         assert_eq!(first, second, "warm buffers change nothing observable");
+    }
+
+    #[test]
+    fn fault_free_durable_backend_is_bit_identical_to_vec() {
+        for base in [
+            ScenarioSpec::round_robin(),
+            ScenarioSpec::round_robin_batched(),
+            ScenarioSpec::random(5).with_quantum(7),
+            ScenarioSpec::block(2, 3),
+        ] {
+            let base = base.with_crash_plan(CrashPlan::at_steps([(1usize, 3u64)]));
+            let (mem, fleet) = writers(12);
+            let (vec_exec, _, _) = run_scenario(mem, fleet, &base);
+            let (mem, fleet) = writers(12);
+            let durable = base.clone().durable(StorageFault::None, 99);
+            let (dur_exec, _, mem) = run_scenario(mem, fleet, &durable);
+            assert_eq!(vec_exec, dur_exec, "{}", base.label());
+            assert_eq!(mem.read(1), 2, "unwrapped file carries final state");
+        }
+    }
+
+    #[test]
+    fn durable_backend_recovers_across_a_restart() {
+        // pid 1 crashes mid-run under a dropped-flush regime and restarts;
+        // the run still completes with both cells written.
+        let mut plan = CrashPlan::at_steps([(1usize, 2u64)]);
+        plan.restart_after(1, 3);
+        let spec = ScenarioSpec::round_robin()
+            .with_crash_plan(plan)
+            .durable(StorageFault::DroppedFlush, 17);
+        let (mem, fleet) = writers(4);
+        let (exec, _, mem) = run_scenario(mem, fleet, &spec);
+        assert_eq!(exec.crashed, vec![1]);
+        assert_eq!(exec.restarted, vec![1]);
+        assert!(exec.completed);
+        assert_eq!(mem.read(0), 1);
+        assert_eq!(mem.read(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support restart")]
+    fn restart_plan_requires_restart_support() {
+        let mut plan = CrashPlan::at_steps([(1usize, 0u64)]);
+        plan.restart_after(1, 1);
+        let spec = ScenarioSpec::round_robin().with_crash_plan(plan);
+        let fleet = vec![
+            crate::testing::PerformOnceProcess::new(1, 1),
+            crate::testing::PerformOnceProcess::new(2, 2),
+        ];
+        let _ = run_scenario(VecRegisters::new(0), fleet, &spec);
+    }
+
+    #[test]
+    fn backend_labels_are_stable() {
+        assert_eq!(BackendSpec::Vec.label(), "vec");
+        let d = BackendSpec::Durable {
+            fault: StorageFault::TornWrite,
+            seed: 0,
+        };
+        assert_eq!(d.label(), "durable");
+        assert_eq!(d.fault(), Some(StorageFault::TornWrite));
+        assert_eq!(BackendSpec::Vec.fault(), None);
     }
 
     #[test]

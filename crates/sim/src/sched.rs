@@ -1,3 +1,5 @@
+use std::collections::{BTreeMap, BTreeSet};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,6 +13,11 @@ pub enum Decision {
     Step(usize),
     /// Crash the process in slot `index` (the model's `stop_p` action).
     Crash(usize),
+    /// Restart the crashed process in slot `index`: the engine re-enters it
+    /// through [`Process::on_restart`](crate::Process::on_restart). Emitted
+    /// by [`WithCrashes`] for [`CrashPlan`] restart entries; a restart is
+    /// not an action (the step counters do not advance).
+    Restart(usize),
 }
 
 /// What the adversary can see when deciding.
@@ -88,6 +95,17 @@ pub trait Scheduler<P> {
     fn note_consumed(&mut self, chosen: usize, steps: u64) {
         let _ = (chosen, steps);
     }
+
+    /// `true` while this scheduler still intends to restart a crashed
+    /// process. The engine keeps the run alive on this signal even when no
+    /// process is running (all crashed, restarts pending) — and
+    /// [`decide`](Self::decide) may then be called with *zero* running
+    /// slots, in which case the scheduler must return a
+    /// [`Decision::Restart`]. Default: `false` (no restart support).
+    fn pending_restart(&self, view: &SchedView<'_, P>) -> bool {
+        let _ = view;
+        false
+    }
 }
 
 impl<P, F: FnMut(&SchedView<'_, P>) -> Decision> Scheduler<P> for F {
@@ -110,6 +128,10 @@ impl<P> Scheduler<P> for Box<dyn Scheduler<P> + '_> {
 
     fn note_consumed(&mut self, chosen: usize, steps: u64) {
         (**self).note_consumed(chosen, steps)
+    }
+
+    fn pending_restart(&self, view: &SchedView<'_, P>) -> bool {
+        (**self).pending_restart(view)
     }
 }
 
@@ -333,19 +355,70 @@ impl<P> Scheduler<P> for ScriptedScheduler {
 
 /// Wraps a scheduler with a [`CrashPlan`]: processes crash as soon as they
 /// reach their planned step count, regardless of what the inner strategy
-/// would do.
+/// would do, and crashed processes with a restart entry re-enter the fleet
+/// once their delay has elapsed.
 ///
 /// This is how deterministic failure injection composes with any schedule.
+///
+/// # Restart semantics
+///
+/// * A planned crash fires **once** per pid: after a restart, the step
+///   counter (which is cumulative across lives) does not re-trigger it.
+/// * The restart delay is measured in *global* steps from the crash —
+///   planned or adversary-injected; the wrapper observes every crash
+///   decision that passes through it. Quanta are clamped so the fleet is
+///   consulted exactly when the earliest restart falls due, keeping
+///   batched and single-step schedules aligned on the restart instant.
+/// * If every process is crashed or terminated while restarts are still
+///   pending, the earliest-due restart fires immediately (no step could
+///   ever advance the clock otherwise).
+/// * Each pid restarts at most once; a restarted process may crash again
+///   (by an adversary), consuming crash budget each time.
 #[derive(Debug, Clone)]
 pub struct WithCrashes<S> {
     inner: S,
     plan: CrashPlan,
+    /// Pids whose planned crash already fired (so cumulative step counters
+    /// cannot re-trigger it after a restart).
+    fired: BTreeSet<usize>,
+    /// Global step at which each pid last crashed (feeds restart delays).
+    crashed_at: BTreeMap<usize, u64>,
+    /// Pids already restarted (one restart per pid).
+    restarted: BTreeSet<usize>,
 }
 
 impl<S> WithCrashes<S> {
-    /// Wraps `inner`, injecting the crashes of `plan`.
+    /// Wraps `inner`, injecting the crashes and restarts of `plan`.
     pub fn new(inner: S, plan: CrashPlan) -> Self {
-        Self { inner, plan }
+        Self {
+            inner,
+            plan,
+            fired: BTreeSet::new(),
+            crashed_at: BTreeMap::new(),
+            restarted: BTreeSet::new(),
+        }
+    }
+
+    /// The earliest `(due_step, slot)` among restarts whose pid is
+    /// currently crashed and not yet restarted.
+    fn earliest_restart<P>(&self, view: &SchedView<'_, P>) -> Option<(u64, usize)> {
+        if !self.plan.has_restarts() {
+            return None;
+        }
+        self.plan
+            .restarts()
+            .filter_map(|(pid, delay)| {
+                let i = pid.checked_sub(1)?;
+                if i >= view.slots.len()
+                    || view.slots[i].state != LifeState::Crashed
+                    || self.restarted.contains(&pid)
+                {
+                    return None;
+                }
+                let at = self.crashed_at.get(&pid)?;
+                Some((at.saturating_add(delay), i))
+            })
+            .min()
     }
 }
 
@@ -353,35 +426,63 @@ impl<P, S: Scheduler<P>> Scheduler<P> for WithCrashes<S> {
     fn decide(&mut self, view: &SchedView<'_, P>) -> Decision {
         // The empty plan (the common benchmarking case) must not tax every
         // decision with an O(m) budget scan.
-        if !self.plan.is_empty() && view.crashes < view.max_crashes {
+        if self.plan.crash_count() > 0 && view.crashes < view.max_crashes {
             for (i, slot) in view.slots.iter().enumerate() {
-                if slot.state == LifeState::Running && self.plan.should_crash(i + 1, slot.steps) {
+                if slot.state == LifeState::Running
+                    && !self.fired.contains(&(i + 1))
+                    && self.plan.should_crash(i + 1, slot.steps)
+                {
+                    self.fired.insert(i + 1);
+                    self.crashed_at.insert(i + 1, view.total_steps);
                     return Decision::Crash(i);
                 }
             }
         }
-        self.inner.decide(view)
+        if let Some((due, i)) = self.earliest_restart(view) {
+            // Fire at the due step — or immediately if the fleet has
+            // stalled (nobody left to advance the step clock).
+            if view.total_steps >= due || view.running_count() == 0 {
+                self.restarted.insert(i + 1);
+                return Decision::Restart(i);
+            }
+        }
+        let decision = self.inner.decide(view);
+        if let Decision::Crash(i) = decision {
+            // Adversary-injected crash: record it so a restart entry for
+            // this pid has a crash instant to measure its delay from.
+            self.crashed_at.insert(i + 1, view.total_steps);
+        }
+        decision
     }
 
     // Pass the inner quantum through, but stop it exactly at the chosen
-    // process's planned crash threshold so the injection happens at the same
-    // action it would under single-stepping. (Other processes' thresholds
-    // cannot fire mid-quantum: their step counts do not advance.)
+    // process's planned crash threshold — and at the earliest pending
+    // restart's due step — so both injections happen at the same global
+    // action they would under single-stepping. (Other processes' crash
+    // thresholds cannot fire mid-quantum: their step counts do not
+    // advance.)
     fn quantum(&self, view: &SchedView<'_, P>, chosen: usize) -> u64 {
-        let q = self.inner.quantum(view, chosen);
+        let mut q = self.inner.quantum(view, chosen);
         if self.plan.is_empty() {
             return q;
         }
-        match self.plan.budget(chosen + 1) {
-            Some(b) if view.crashes < view.max_crashes => {
-                q.min(b.saturating_sub(view.slots[chosen].steps).max(1))
+        if let Some(b) = self.plan.budget(chosen + 1) {
+            if view.crashes < view.max_crashes && !self.fired.contains(&(chosen + 1)) {
+                q = q.min(b.saturating_sub(view.slots[chosen].steps).max(1));
             }
-            _ => q,
         }
+        if let Some((due, _)) = self.earliest_restart(view) {
+            q = q.min(due.saturating_sub(view.total_steps).max(1));
+        }
+        q
     }
 
     fn note_consumed(&mut self, chosen: usize, steps: u64) {
         self.inner.note_consumed(chosen, steps);
+    }
+
+    fn pending_restart(&self, view: &SchedView<'_, P>) -> bool {
+        self.earliest_restart(view).is_some()
     }
 }
 
@@ -465,6 +566,132 @@ mod tests {
             Decision::Step(view.running().next().expect("someone runs"))
         };
         let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+        assert!(exec.completed);
+    }
+
+    #[test]
+    fn restart_fires_at_the_due_global_step() {
+        // pid 2 crashes after 1 of its own steps and restarts 4 global
+        // steps later; it then redoes all its writes and terminates.
+        let (mem, procs) = fleet(3);
+        let mut plan = CrashPlan::at_steps([(2usize, 1u64)]);
+        plan.restart_after(2, 4);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        let exec = Engine::new(mem, procs, sched)
+            .single_step()
+            .run(EngineLimits::default());
+        assert_eq!(exec.crashed, vec![2]);
+        assert_eq!(exec.restarted, vec![2]);
+        assert!(exec.completed);
+        // One write from the first life, plus a full k + terminate second
+        // life: the cumulative counter covers both lives.
+        assert_eq!(exec.per_proc_steps[1], 1 + 3 + 1);
+    }
+
+    #[test]
+    fn restart_runs_are_deterministic_across_batching() {
+        let run = |single: bool| {
+            let (mem, procs) = fleet(6);
+            let mut plan = CrashPlan::at_steps([(1usize, 2u64), (3, 5)]);
+            plan.restart_after(1, 7).restart_after(3, 11);
+            let sched = WithCrashes::new(RoundRobin::new(), plan);
+            let eng = Engine::new(mem, procs, sched).with_max_crashes(2);
+            let eng = if single { eng.single_step() } else { eng };
+            eng.run(EngineLimits::default())
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a, b, "quantum clamps align batched restarts");
+        assert_eq!(a.restarted, vec![1, 3]);
+        assert!(a.completed);
+    }
+
+    #[test]
+    fn stalled_fleet_fires_earliest_restart_immediately() {
+        // Pids 1 and 2 crash immediately (f = 2 < m = 3) and pid 3 runs to
+        // termination; only pid 2 restarts, with a delay far past the step
+        // limit. With nobody left running the step clock cannot advance, so
+        // the restart fires at once instead of deadlocking (or spinning to
+        // the step limit).
+        let (mem, procs) = fleet(2);
+        let mut plan = CrashPlan::at_steps([(1usize, 0u64), (2, 0)]);
+        plan.restart_after(2, 1_000_000);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        let exec = Engine::new(mem, procs, sched)
+            .with_max_crashes(2)
+            .run(EngineLimits::with_max_steps(1_000));
+        assert_eq!(exec.crashed, vec![1, 2]);
+        assert_eq!(exec.restarted, vec![2]);
+        assert!(exec.completed, "pid 2 finishes after its early restart");
+        assert!(exec.total_steps < 1_000);
+    }
+
+    #[test]
+    fn planned_crash_fires_once_despite_cumulative_steps() {
+        // After its restart, pid 1's cumulative step counter stays past the
+        // crash budget forever; the fired-set keeps the planned crash from
+        // re-triggering every decision.
+        let (mem, procs) = fleet(4);
+        let mut plan = CrashPlan::at_steps([(1usize, 2u64)]);
+        plan.restart_after(1, 3);
+        let sched = WithCrashes::new(RoundRobin::new(), plan);
+        let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+        assert_eq!(exec.crashed, vec![1]);
+        assert_eq!(exec.restarted, vec![1]);
+        assert!(exec.completed);
+    }
+
+    #[test]
+    fn restart_pairs_with_adversary_injected_crash() {
+        // The plan has no planned crash for pid 2 — the inner scheduler
+        // injects one — yet the restart entry still fires, measured from
+        // the observed crash instant.
+        let mem = VecRegisters::new(2);
+        let procs = vec![WriterProcess::new(1, 0, 3), WriterProcess::new(2, 1, 3)];
+        let mut plan = CrashPlan::none();
+        plan.restart_after(2, 2);
+        let mut injected = false;
+        let inner = move |view: &SchedView<'_, WriterProcess>| {
+            if !injected && view.slots[1].state == LifeState::Running {
+                injected = true;
+                return Decision::Crash(1);
+            }
+            Decision::Step(view.running().next().expect("someone runs"))
+        };
+        let sched = WithCrashes::new(inner, plan);
+        let exec = Engine::new(mem, procs, sched).run(EngineLimits::default());
+        assert_eq!(exec.crashed, vec![2]);
+        assert_eq!(exec.restarted, vec![2]);
+        assert!(exec.completed);
+    }
+
+    #[test]
+    fn each_pid_restarts_at_most_once() {
+        // pid 1 crashes (planned), restarts, and is crashed again by the
+        // inner scheduler (f = 2 < m = 3): the single restart entry is
+        // spent, so it stays crashed and the run completes via the others.
+        let (mem, procs) = fleet(3);
+        let mut plan = CrashPlan::at_steps([(1usize, 1u64)]);
+        plan.restart_after(1, 1);
+        let mut second_crash_done = false;
+        let inner = move |view: &SchedView<'_, WriterProcess>| {
+            // After pid 1 is running again with > 1 steps (post-restart),
+            // crash it a second time.
+            if !second_crash_done
+                && view.slots[0].state == LifeState::Running
+                && view.slots[0].steps > 1
+            {
+                second_crash_done = true;
+                return Decision::Crash(0);
+            }
+            Decision::Step(view.running().next().expect("someone runs"))
+        };
+        let sched = WithCrashes::new(inner, plan);
+        let exec = Engine::new(mem, procs, sched)
+            .with_max_crashes(2)
+            .run(EngineLimits::default());
+        assert_eq!(exec.crashed, vec![1, 1], "crashed in both lives");
+        assert_eq!(exec.restarted, vec![1], "but restarted only once");
         assert!(exec.completed);
     }
 }

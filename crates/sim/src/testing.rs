@@ -8,10 +8,15 @@ use crate::process::{JobSpan, Process, StepEvent};
 use crate::registers::Registers;
 
 /// Writes its pid into one cell `k` times, then terminates.
+///
+/// Supports the crash–restart lifecycle: a restarted writer starts its `k`
+/// writes over from scratch (its local progress counter was volatile), which
+/// is exactly the behaviour engine/scheduler restart tests need.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WriterProcess {
     pid: usize,
     cell: usize,
+    k: u64,
     remaining: u64,
     terminated: bool,
 }
@@ -22,6 +27,7 @@ impl WriterProcess {
         Self {
             pid,
             cell,
+            k,
             remaining: k,
             terminated: false,
         }
@@ -46,6 +52,15 @@ impl<R: Registers + ?Sized> Process<R> for WriterProcess {
 
     fn is_terminated(&self) -> bool {
         self.terminated
+    }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    fn on_restart(&mut self, _mem: &R) {
+        self.remaining = self.k;
+        self.terminated = false;
     }
 }
 

@@ -69,6 +69,17 @@ impl<R: Registers + ?Sized> Process<R> for SequentialWa {
     fn is_terminated(&self) -> bool {
         self.terminated
     }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    fn on_restart(&mut self, _mem: &R) {
+        // The scan position was volatile: start over from job 1 (writes of
+        // 1 are idempotent).
+        self.next = 1;
+        self.terminated = false;
+    }
 }
 
 /// Static partition: process `p` writes its own `n/m` chunk and stops.
@@ -80,6 +91,7 @@ impl<R: Registers + ?Sized> Process<R> for SequentialWa {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StaticPartitionWa {
     pid: usize,
+    lo: u64,
     next: u64,
     hi: u64,
     terminated: bool,
@@ -97,6 +109,7 @@ impl StaticPartitionWa {
         let hi = pid as u64 * n / m as u64;
         Self {
             pid,
+            lo,
             next: lo,
             hi,
             terminated: false,
@@ -122,6 +135,15 @@ impl<R: Registers + ?Sized> Process<R> for StaticPartitionWa {
 
     fn is_terminated(&self) -> bool {
         self.terminated
+    }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    fn on_restart(&mut self, _mem: &R) {
+        self.next = self.lo;
+        self.terminated = false;
     }
 }
 
@@ -207,6 +229,19 @@ impl<R: Registers + ?Sized> Process<R> for TasWa {
     fn is_terminated(&self) -> bool {
         self.terminated
     }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    fn on_restart(&mut self, _mem: &R) {
+        // Rescan everything: claim bits won before the crash are durable in
+        // shared memory, so re-claiming is refused there and only cells
+        // whose claim was lost to the blackout can be re-won.
+        self.scanned = 0;
+        self.phase = TasPhase::Claim;
+        self.terminated = false;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,6 +316,18 @@ impl<R: Registers + ?Sized> Process<R> for PermutationScanWa {
 
     fn is_terminated(&self) -> bool {
         self.terminated
+    }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    fn on_restart(&mut self, _mem: &R) {
+        // Restart the permutation walk from its head; cells already 1 are
+        // skipped by the check read.
+        self.idx = 0;
+        self.phase = ScanPhase::Check;
+        self.terminated = false;
     }
 }
 

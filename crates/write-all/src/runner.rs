@@ -115,6 +115,9 @@ pub struct WaReport {
     pub total_steps: u64,
     /// Pids crashed by injection.
     pub crashed: Vec<usize>,
+    /// Pids restarted after a crash (empty without a restart plan; always
+    /// empty for threaded runs).
+    pub restarted: Vec<usize>,
     /// `true` when all surviving processes terminated within limits.
     pub completed: bool,
     /// Algorithm label for table rows.
@@ -177,6 +180,7 @@ fn wa_report(exec: Execution, certified: CertifyOutcome, label: &'static str) ->
         local_work: exec.local_work,
         total_steps: exec.total_steps,
         crashed: exec.crashed,
+        restarted: exec.restarted,
         completed: exec.completed,
         label,
     }
@@ -234,6 +238,7 @@ pub fn run_wa_threads(config: &WaConfig, crash_plan: CrashPlan, order: MemOrder)
         local_work: exec.local_work,
         total_steps: exec.per_proc_steps.iter().sum(),
         crashed: exec.crashed,
+        restarted: Vec::new(),
         completed: exec.completed,
         label: "wa-iterative-kk",
     }
@@ -340,6 +345,7 @@ pub fn run_baseline_threads(
         local_work: exec.local_work,
         total_steps: exec.per_proc_steps.iter().sum(),
         crashed: exec.crashed,
+        restarted: Vec::new(),
         completed: exec.completed,
         label: kind.label(),
     }

@@ -94,6 +94,14 @@ pub struct WaIterativeProcess {
     layout: WaLayout,
     phase: WaPhase,
     wa_writes: u64,
+    // Construction parameters, kept so `on_restart` can rebuild the wrapped
+    // driver from scratch (its per-stage state was volatile).
+    beta: u64,
+    cache: bool,
+    // Local work of previous lives (the rebuilt driver restarts its own
+    // counter at zero, but Definition 2.5 work is per automaton, not per
+    // life).
+    banked_local_work: u64,
 }
 
 impl WaIterativeProcess {
@@ -111,6 +119,9 @@ impl WaIterativeProcess {
             layout,
             phase: WaPhase::Driving,
             wa_writes: 0,
+            beta: config.beta(),
+            cache: false,
+            banked_local_work: 0,
         }
     }
 
@@ -118,6 +129,7 @@ impl WaIterativeProcess {
     /// driver (see `amo_core::KkProcess::set_epoch_cache`). Call before the
     /// first step.
     pub fn set_epoch_cache(&mut self, enabled: bool) {
+        self.cache = enabled;
         self.inner.set_epoch_cache(enabled);
     }
 
@@ -347,7 +359,28 @@ impl<R: Registers + ?Sized> Process<R> for WaIterativeProcess {
     }
 
     fn local_work(&self) -> u64 {
-        self.inner.local_work()
+        self.banked_local_work + self.inner.local_work()
+    }
+
+    fn supports_restart(&self) -> bool {
+        true
+    }
+
+    /// Restart semantics of `WA_IterativeKK(ε)`: the driver's per-stage
+    /// local state (announcement sets, gather cursors, output accumulators)
+    /// was volatile, so the process re-runs the whole iterated algorithm
+    /// from its first stage against the *recovered* shared memory — claims
+    /// and `wa` cells it wrote before the crash are still (durably) visible
+    /// to everyone, so re-driving can at worst redo work the terminal loop
+    /// would have redone anyway. The cumulative `wa_writes`/`local_work`
+    /// counters persist: this is the same automaton resuming, not a new
+    /// one.
+    fn on_restart(&mut self, _mem: &R) {
+        let pid = Process::<R>::pid(&self.inner);
+        self.banked_local_work += self.inner.local_work();
+        self.inner = IterativeProcess::new(pid, self.layout.iter().clone(), self.beta, true);
+        self.inner.set_epoch_cache(self.cache);
+        self.phase = WaPhase::Driving;
     }
 }
 

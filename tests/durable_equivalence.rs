@@ -1,0 +1,120 @@
+//! The fault-free durability equivalence suite: `BackendSpec::Durable`
+//! with `StorageFault::None` must be **bit-identical** to the plain
+//! `BackendSpec::Vec` backend — same performs at the same steps, same
+//! effectiveness, same shared-memory traffic, same `local_work`, same
+//! per-process step counts — for every algorithm stack and scheduler kind.
+//!
+//! Journaling is a pure side effect by contract (`DurableRegisters`
+//! delegates every observable verbatim); these tests pin that contract
+//! across the KKβ, iterated, Write-All and baseline stacks so a regression
+//! in the journal layer cannot silently skew any measured result.
+
+use at_most_once::baselines::{run_baseline_scenario, AmoBaselineKind};
+use at_most_once::core::{run_scenario_simulated, KkConfig};
+use at_most_once::iterative::{run_iterative_scenario, IterConfig};
+use at_most_once::sim::{BackendSpec, CrashPlan, ScenarioSpec, StorageFault};
+use at_most_once::write_all::{
+    run_baseline_scenario as run_wa_baseline_scenario, run_wa_scenario, WaBaselineKind, WaConfig,
+};
+
+/// The scheduler × crash-plan grid every stack is pinned over.
+fn spec_grid() -> Vec<ScenarioSpec> {
+    let plans = [
+        CrashPlan::none(),
+        CrashPlan::at_steps([(1usize, 7u64)]),
+        CrashPlan::at_steps([(2usize, 0u64), (3, 41)]),
+    ];
+    let mut out = Vec::new();
+    for plan in plans {
+        for spec in [
+            ScenarioSpec::round_robin(),
+            ScenarioSpec::round_robin_batched(),
+            ScenarioSpec::random(11).with_quantum(9),
+            ScenarioSpec::block(5, 6),
+            ScenarioSpec::round_robin().single_step(),
+        ] {
+            out.push(spec.with_crash_plan(plan.clone()));
+        }
+    }
+    out
+}
+
+fn durable_twin(spec: &ScenarioSpec, seed: u64) -> ScenarioSpec {
+    spec.clone().with_backend(BackendSpec::Durable {
+        fault: StorageFault::None,
+        seed,
+    })
+}
+
+#[test]
+fn kk_runs_are_bit_identical_fault_free() {
+    let config = KkConfig::new(160, 4).unwrap();
+    for (i, spec) in spec_grid().into_iter().enumerate() {
+        let vec_report = run_scenario_simulated(&config, &spec);
+        let dur_report = run_scenario_simulated(&config, &durable_twin(&spec, i as u64));
+        assert_eq!(vec_report, dur_report, "kk diverged under {}", spec.label());
+        assert!(vec_report.violations.is_empty());
+    }
+}
+
+#[test]
+fn kk_adversaries_are_bit_identical_fault_free() {
+    let config = KkConfig::new(60, 3).unwrap();
+    for name in ["lockstep", "stuck-announcement", "staleness"] {
+        let spec = ScenarioSpec::adversary(name);
+        let vec_report = run_scenario_simulated(&config, &spec);
+        let dur_report = run_scenario_simulated(&config, &durable_twin(&spec, 3));
+        assert_eq!(vec_report, dur_report, "kk diverged under {name}");
+    }
+}
+
+#[test]
+fn iterative_runs_are_bit_identical_fault_free() {
+    let config = IterConfig::new(200, 4, 2).unwrap();
+    for (i, spec) in spec_grid().into_iter().enumerate() {
+        let vec_report = run_iterative_scenario(&config, &spec);
+        let dur_report = run_iterative_scenario(&config, &durable_twin(&spec, i as u64));
+        assert_eq!(
+            vec_report,
+            dur_report,
+            "iterative diverged under {}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn write_all_runs_are_bit_identical_fault_free() {
+    let config = WaConfig::new(180, 3, 1).unwrap();
+    for (i, spec) in spec_grid().into_iter().enumerate() {
+        let vec_report = run_wa_scenario(&config, &spec);
+        let dur_report = run_wa_scenario(&config, &durable_twin(&spec, i as u64));
+        assert_eq!(vec_report, dur_report, "wa diverged under {}", spec.label());
+    }
+}
+
+#[test]
+fn wa_baselines_are_bit_identical_fault_free() {
+    for kind in [
+        WaBaselineKind::Sequential,
+        WaBaselineKind::StaticPartition,
+        WaBaselineKind::Tas,
+        WaBaselineKind::PermutationScan(13),
+    ] {
+        let spec = ScenarioSpec::block(9, 5).with_crash_plan(CrashPlan::at_steps([(1usize, 4u64)]));
+        let m = 3;
+        let vec_report = run_wa_baseline_scenario(kind, 96, m, &spec);
+        let dur_report = run_wa_baseline_scenario(kind, 96, m, &durable_twin(&spec, 7));
+        assert_eq!(vec_report, dur_report, "{kind:?} diverged");
+    }
+}
+
+#[test]
+fn amo_baselines_are_bit_identical_fault_free() {
+    for kind in [AmoBaselineKind::TrivialSplit, AmoBaselineKind::TasAmo] {
+        let spec = ScenarioSpec::random(4).with_quantum(6);
+        let vec_report = run_baseline_scenario(kind, 90, 3, &spec);
+        let dur_report = run_baseline_scenario(kind, 90, 3, &durable_twin(&spec, 21));
+        assert_eq!(vec_report, dur_report, "{kind:?} diverged");
+    }
+}
