@@ -11,8 +11,8 @@
 use amo_core::{AmoReport, KkConfig};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, Process, ScenarioProcess,
-    ScenarioSpec, Scheduler, SchedulerSpec, VecRegisters,
+    AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, Process, ScenarioHooks,
+    ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, VecRegisters,
 };
 
 use crate::pairs::PairsHybrid;
@@ -131,7 +131,7 @@ impl BaselineOptions {
 /// defaults.
 macro_rules! generic_adversaries_scenario {
     ($($ty:ty),+ $(,)?) => {$(
-        impl ScenarioProcess for $ty {
+        impl ScenarioHooks for $ty {
             fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
                 amo_core::generic_adversary(name)
             }

@@ -1,0 +1,9 @@
+//! Regenerates table(s) for experiment: the algorithm × network matrix on
+//! the quorum message-passing backend (E11). Pass `--quick` for the CI
+//! grid.
+
+fn main() {
+    amo_bench::experiment_main("exp_network_matrix", |s| {
+        [amo_bench::experiments::exp_network_matrix(s)]
+    });
+}

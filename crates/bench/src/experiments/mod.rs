@@ -13,12 +13,14 @@
 //! | E8 | [`threads`] | real-thread throughput + ordering ablation |
 //! | E9 | [`scenario_matrix`] | cross-algorithm adversary matrix (scenario layer) |
 //! | E10 | [`recovery_matrix`] | storage-fault × restart matrix (durable backend) |
+//! | E11 | [`network_matrix`] | algorithm × network matrix (quorum message-passing backend) |
 
 pub mod ablations;
 pub mod collisions;
 pub mod comparison;
 pub mod effectiveness;
 pub mod iterative;
+pub mod network_matrix;
 pub mod recovery_matrix;
 pub mod safety;
 pub mod scenario_matrix;
@@ -31,6 +33,7 @@ pub use collisions::exp_collisions;
 pub use comparison::exp_comparison;
 pub use effectiveness::exp_effectiveness;
 pub use iterative::exp_iterative;
+pub use network_matrix::exp_network_matrix;
 pub use recovery_matrix::exp_recovery_matrix;
 pub use safety::exp_safety;
 pub use scenario_matrix::exp_scenario_matrix;
@@ -55,5 +58,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.push(exp_threads(scale));
     tables.push(exp_scenario_matrix(scale));
     tables.push(exp_recovery_matrix(scale));
+    tables.push(exp_network_matrix(scale));
     tables
 }

@@ -112,8 +112,9 @@ pub fn parse_kernel(json: &str) -> Option<String> {
 }
 
 /// The register backend a `BENCH_engine*.json` was produced under (the
-/// top-level `"backend"` string field, `"vec"` or `"durable"`; schema
-/// engine-v6), or `None` for pre-backend baselines.
+/// top-level `"backend"` string field: `"vec"` or `"durable"` since schema
+/// engine-v6, plus `"quorum"` since engine-v7), or `None` for pre-backend
+/// baselines.
 pub fn parse_backend(json: &str) -> Option<String> {
     parse_header_str(json, "backend")
 }
@@ -151,12 +152,16 @@ pub fn kernel_tier_finding(baseline: Option<&str>, current: Option<&str>) -> Opt
 /// Finding describing the register backends of baseline vs current run —
 /// **informational on mismatch**, exactly like the kernel tier: running
 /// the smoke on the journaling [`DurableRegisters`] backend legitimately
-/// shifts timing columns (every write is journaled), while the fault-free
-/// wrapper is bit-identical on every deterministic counter — which the
-/// regular counter findings keep enforcing exactly. Returns `None` when
-/// neither side records a backend (pre-engine-v6 baselines on both sides).
+/// shifts timing columns (every write is journaled), and the same goes for
+/// the quorum message-passing backend ([`QuorumRegisters`], engine-v7 —
+/// every register operation runs a network protocol), while both wrappers
+/// are bit-identical on every deterministic counter (fault-free / lossless
+/// degenerate cases, pinned by the equivalence suites) — which the regular
+/// counter findings keep enforcing exactly. Returns `None` when neither
+/// side records a backend (pre-engine-v6 baselines on both sides).
 ///
 /// [`DurableRegisters`]: amo_sim::DurableRegisters
+/// [`QuorumRegisters`]: amo_sim::QuorumRegisters
 pub fn backend_finding(baseline: Option<&str>, current: Option<&str>) -> Option<Finding> {
     if baseline.is_none() && current.is_none() {
         return None;

@@ -1405,8 +1405,10 @@ impl<R: Registers + ?Sized, S: OrderedJobSet> Process<R> for KkProcess<S> {
 /// [`SchedulerKind`](crate::SchedulerKind) reported) and wires the
 /// announcement-epoch cache and collision instrumentation into the generic
 /// driver's hooks. Works for every order-statistics backend, since the
-/// adversaries only inspect backend-agnostic automaton state.
-impl<S: OrderedJobSet> amo_sim::ScenarioProcess for KkProcess<S> {
+/// adversaries only inspect backend-agnostic automaton state — and for
+/// every *register* backend, since the hooks carry no `Process<R>` bounds
+/// (the generic `Process` impl above covers any `R: Registers`).
+impl<S: OrderedJobSet> amo_sim::ScenarioHooks for KkProcess<S> {
     fn adversary(name: &str) -> Option<Box<dyn amo_sim::Scheduler<Self>>> {
         match name {
             "stuck-announcement" => {

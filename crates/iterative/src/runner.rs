@@ -10,7 +10,7 @@ use amo_core::{AmoReport, ConfigError, KkConfig};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
     run_scenario, AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, RoundRobin,
-    ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, Slot, VecRegisters,
+    ScenarioHooks, ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, Slot, VecRegisters,
 };
 
 use crate::layout::IterLayout;
@@ -292,7 +292,7 @@ pub fn iter_fleet_with(
 /// collision-maximising lockstep; the KKβ-internal adversaries
 /// (stuck-announcement, staleness) inspect `KkProcess` state and stay
 /// unsupported here by construction.
-impl ScenarioProcess for IterativeProcess {
+impl ScenarioHooks for IterativeProcess {
     fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
         amo_core::generic_adversary(name)
     }

@@ -27,11 +27,11 @@
 //! process internals, like KKβ's stuck-announcement or staleness
 //! adversaries — are requested **by name** via
 //! [`SchedulerSpec::Adversary`] and resolved through the
-//! [`ScenarioProcess::adversary`] factory, which each process type's home
+//! [`ScenarioHooks::adversary`] factory, which each process type's home
 //! crate implements. The capability rules:
 //!
 //! * a process type supports exactly the names its factory resolves
-//!   ([`ScenarioProcess::supports_adversary`] probes without running);
+//!   ([`ScenarioHooks::supports_adversary`] probes without running);
 //! * requesting an unsupported name is a harness bug and panics with the
 //!   offending name — scenario grids must probe support first;
 //! * adversaries keep the engine's single-step granularity (quantum 1) by
@@ -54,17 +54,20 @@
 //! assert_eq!(exec.crashed, vec![2]);
 //! ```
 
+use std::cell::Cell;
+
 use crate::arena::FleetArena;
 use crate::crash::CrashPlan;
 use crate::durable::{DurableRegisters, StorageFault};
 use crate::engine::{Engine, EngineLimits, Execution, Slot};
+use crate::net::{NetStats, NetworkSpec, QuorumRegisters};
 use crate::process::Process;
 use crate::registers::{Registers, VecRegisters};
 use crate::sched::{BlockScheduler, RandomScheduler, RoundRobin, Scheduler, WithCrashes};
 
 /// Scheduling strategy of a [`ScenarioSpec`]: the built-in fair schedulers
 /// structurally, or a named algorithm-specific adversary resolved through
-/// the [`ScenarioProcess::adversary`] registry.
+/// the [`ScenarioHooks::adversary`] registry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum SchedulerSpec {
     /// Fair round-robin ([`RoundRobin`]); honours
@@ -86,7 +89,7 @@ pub enum SchedulerSpec {
         u64,
     ),
     /// A named algorithm-specific adversary, resolved through
-    /// [`ScenarioProcess::adversary`]. Always single-step (quantum 1).
+    /// [`ScenarioHooks::adversary`]. Always single-step (quantum 1).
     Adversary(
         /// Registry name (e.g. `"lockstep"`, `"stuck-announcement"`,
         /// `"staleness"`), doubling as the report label.
@@ -117,7 +120,15 @@ impl SchedulerSpec {
 /// Threaded execution over [`AtomicRegisters`](crate::AtomicRegisters)
 /// stays a separate entry point by design: real threads have no
 /// deterministic scheduler to spec.
+///
+/// The enum (and its field-carrying variants) are `#[non_exhaustive]`:
+/// downstream code constructs backends through the builder constructors
+/// ([`BackendSpec::durable`], [`BackendSpec::quorum`],
+/// [`BackendSpec::quorum_with`]) and matches with a wildcard arm, so future
+/// backend variants stop breaking struct literals and match arms outside
+/// this crate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum BackendSpec {
     /// Deterministic in-memory registers with tracked-prefix epochs
     /// ([`VecRegisters`]).
@@ -129,6 +140,7 @@ pub enum BackendSpec {
     /// [`CrashPlan::restart_after`]). With [`StorageFault::None`] this
     /// backend is bit-identical to [`BackendSpec::Vec`] — journaling is a
     /// pure side effect — which the equivalence suites pin.
+    #[non_exhaustive]
     Durable {
         /// What a crash does to the crasher's unflushed journal suffix.
         fault: StorageFault,
@@ -136,22 +148,62 @@ pub enum BackendSpec {
         /// truncation cut points, stale-read coin flips).
         seed: u64,
     },
+    /// [`VecRegisters`] wrapped in the quorum-replicated message-passing
+    /// [`QuorumRegisters`]: every register operation runs the one-and-a-half
+    /// round read / two-round write protocol over a seeded network with
+    /// configurable latency, drops, reordering and replica-server crashes
+    /// (see [`crate::net`]). A lossless zero-latency network is
+    /// bit-identical to [`BackendSpec::Vec`], which the equivalence suites
+    /// pin; [`last_net_stats`] surfaces the protocol counters after a run.
+    #[non_exhaustive]
+    Quorum {
+        /// The simulated network environment.
+        net: NetworkSpec,
+    },
 }
 
 impl BackendSpec {
+    /// Builder for the durable backend (preferred over the struct literal,
+    /// which the `#[non_exhaustive]` variant forbids downstream).
+    pub fn durable(fault: StorageFault, seed: u64) -> Self {
+        BackendSpec::Durable { fault, seed }
+    }
+
+    /// Builder for a quorum backend over `replicas` servers on a lossless
+    /// zero-latency network (the `Vec`-equivalent degenerate case).
+    pub fn quorum(replicas: u8) -> Self {
+        BackendSpec::Quorum {
+            net: NetworkSpec::lossless(replicas),
+        }
+    }
+
+    /// Builder for a quorum backend over an arbitrary network environment.
+    pub fn quorum_with(net: NetworkSpec) -> Self {
+        BackendSpec::Quorum { net }
+    }
+
     /// Human-readable label for report rows.
     pub fn label(&self) -> &'static str {
         match self {
             BackendSpec::Vec => "vec",
             BackendSpec::Durable { .. } => "durable",
+            BackendSpec::Quorum { .. } => "quorum",
         }
     }
 
     /// The storage-fault regime, when this backend injects one.
     pub fn fault(&self) -> Option<StorageFault> {
         match self {
-            BackendSpec::Vec => None,
             BackendSpec::Durable { fault, .. } => Some(*fault),
+            _ => None,
+        }
+    }
+
+    /// The network environment, when this backend simulates one.
+    pub fn net(&self) -> Option<NetworkSpec> {
+        match self {
+            BackendSpec::Quorum { net } => Some(*net),
+            _ => None,
         }
     }
 }
@@ -181,7 +233,7 @@ pub struct ScenarioSpec {
     /// adversaries (single-step by contract).
     pub quantum: u64,
     /// Enables the announcement-epoch caches on processes that have one
-    /// (via [`ScenarioProcess::set_epoch_cache`]) and epoch maintenance on
+    /// (via [`ScenarioHooks::set_epoch_cache`]) and epoch maintenance on
     /// the register file. Takes effect only when the scheduler grants
     /// quanta ([`grants_quanta`](Self::grants_quanta)) — under single-action
     /// granularity a cache can skip no load by design, so both stay off to
@@ -194,7 +246,7 @@ pub struct ScenarioSpec {
     /// Register-file backend (see [`BackendSpec`]).
     pub backend: BackendSpec,
     /// Enables per-pair collision instrumentation on processes that support
-    /// it (via [`ScenarioProcess::set_collision_tracking`]; costs memory
+    /// it (via [`ScenarioHooks::set_collision_tracking`]; costs memory
     /// and time).
     pub collisions: bool,
 }
@@ -242,7 +294,7 @@ impl ScenarioSpec {
         }
     }
 
-    /// The named adversary from the [`ScenarioProcess::adversary`] registry.
+    /// The named adversary from the [`ScenarioHooks::adversary`] registry.
     pub fn adversary(name: &'static str) -> Self {
         Self {
             scheduler: SchedulerSpec::Adversary(name),
@@ -308,7 +360,13 @@ impl ScenarioSpec {
 
     /// Shorthand for the durable backend under the given fault regime.
     pub fn durable(self, fault: StorageFault, seed: u64) -> Self {
-        self.with_backend(BackendSpec::Durable { fault, seed })
+        self.with_backend(BackendSpec::durable(fault, seed))
+    }
+
+    /// Shorthand for the quorum message-passing backend under the given
+    /// network environment.
+    pub fn quorum(self, net: NetworkSpec) -> Self {
+        self.with_backend(BackendSpec::quorum_with(net))
     }
 
     /// `true` when the configured scheduler grants quanta, i.e. the engine
@@ -334,12 +392,12 @@ impl ScenarioSpec {
     }
 }
 
-/// A process type that [`run_scenario`] can drive.
+/// The backend-free registry contract between the generic driver and
+/// algorithm crates — what a process type's home crate implements **once**
+/// to become a scenario citizen.
 ///
-/// The three methods are the registry contract between the generic driver
-/// and algorithm crates; **every** method has a correct do-nothing default,
-/// so plain processes opt in with an empty `impl` block. Home crates
-/// override what applies:
+/// Every method has a correct do-nothing default, so plain processes opt in
+/// with an empty `impl` block. Home crates override what applies:
 ///
 /// * [`adversary`](Self::adversary) — the named-adversary factory. A crate
 ///   that defines an adversary scheduler for its process type resolves the
@@ -353,11 +411,15 @@ impl ScenarioSpec {
 /// * [`set_collision_tracking`](Self::set_collision_tracking) — per-pair
 ///   collision instrumentation, driven by [`ScenarioSpec::collisions`].
 ///
-/// The supertrait bounds cover every backend of [`BackendSpec`]: a scenario
-/// process must be steppable over both [`VecRegisters`] and
-/// [`DurableRegisters`]. Algorithm automatons are written generically over
-/// [`Registers`], so both bounds come for free from one blanket `impl`.
-pub trait ScenarioProcess: Process<VecRegisters> + Process<DurableRegisters> {
+/// Deliberately, the trait carries **no** [`Process<R>`] bounds: hooks are
+/// about registries and instrumentation, not about which register file the
+/// process steps over. Algorithm automatons are written generically over
+/// [`Registers`] (`impl<R: Registers + ?Sized> Process<R> for …`), so a new
+/// backend needs **zero** edits in algorithm crates — the home crate's one
+/// `ScenarioHooks` impl plus its generic `Process` impl already cover it,
+/// and [`ScenarioProcess`] (the driver-facing alias) picks both up through
+/// its blanket impl.
+pub trait ScenarioHooks {
     /// Builds the named adversary scheduler for this process type, or
     /// `None` when the name is not supported. See the module docs for the
     /// capability rules.
@@ -371,6 +433,14 @@ pub trait ScenarioProcess: Process<VecRegisters> + Process<DurableRegisters> {
 
     /// `true` when [`adversary`](Self::adversary) resolves `name` — the
     /// probe scenario grids use to skip unsupported cells.
+    ///
+    /// The default delegates to `Self::adversary(name).is_some()`, so a
+    /// registry implements **one** method and support stays consistent with
+    /// resolution by construction. Capability rule: a process type supports
+    /// exactly the names its factory resolves — overriding this probe to
+    /// answer differently from the factory is a contract violation
+    /// ([`run_scenario`] panics on unresolvable names that probed as
+    /// supported).
     fn supports_adversary(name: &str) -> bool
     where
         Self: Sized,
@@ -391,6 +461,28 @@ pub trait ScenarioProcess: Process<VecRegisters> + Process<DurableRegisters> {
     }
 }
 
+/// A process type that [`run_scenario`] can drive through **any**
+/// [`BackendSpec`] — the driver-facing alias over [`ScenarioHooks`] plus
+/// steppability on each built-in backend's register file.
+///
+/// Never implement this directly: the blanket impl below derives it for
+/// every type with a `ScenarioHooks` impl and the required `Process` impls,
+/// and algorithm crates get those for free from one generic
+/// `impl<R: Registers + ?Sized> Process<R>`. Adding a backend extends the
+/// bound list *here*, in this one place — algorithm crates never change.
+/// (Custom backends outside [`BackendSpec`] don't even need this alias:
+/// [`run_scenario_on`] drives any `ScenarioHooks + Process<R>` fleet over
+/// any `R: Registers`.)
+pub trait ScenarioProcess:
+    ScenarioHooks + Process<VecRegisters> + Process<DurableRegisters> + Process<QuorumRegisters>
+{
+}
+
+impl<P> ScenarioProcess for P where
+    P: ScenarioHooks + Process<VecRegisters> + Process<DurableRegisters> + Process<QuorumRegisters>
+{
+}
+
 /// Runs `fleet` over `mem` under the environment described by `spec`,
 /// returning the recorded [`Execution`], the final process slots (for
 /// terminal-state inspection: IterStep outputs, collision matrices, …) and
@@ -403,19 +495,90 @@ pub trait ScenarioProcess: Process<VecRegisters> + Process<DurableRegisters> {
 /// # Panics
 ///
 /// Panics if the spec requests an adversary this process type does not
-/// support (see [`ScenarioProcess::adversary`]), or on the [`Engine`]'s
+/// support (see [`ScenarioHooks::adversary`]), or on the [`Engine`]'s
 /// own contract violations (empty or misordered fleet, invalid scheduler
 /// decisions).
 pub fn run_scenario<P: ScenarioProcess>(
     mem: VecRegisters,
-    mut fleet: Vec<P>,
+    fleet: Vec<P>,
     spec: &ScenarioSpec,
 ) -> (Execution, Vec<Slot<P>>, VecRegisters) {
+    // Epoch maintenance on the register file is VecRegisters-specific (the
+    // wrapping backends delegate it verbatim), so it is configured here,
+    // before the one generic code path takes over.
+    mem.set_epoch_tracking(spec.epoch_cache && spec.grants_quanta());
+    LAST_NET_STATS.with(|s| s.set(None));
+
+    match spec.backend {
+        BackendSpec::Durable { fault, seed } => {
+            // Wrap *after* epoch wiring: the journal layer delegates every
+            // observable verbatim, so the inner file is configured exactly
+            // as the volatile backend would be.
+            let mem = DurableRegisters::new(mem, fault, seed);
+            let (exec, slots, mem) = run_scenario_on(mem, fleet, spec);
+            (exec, slots, mem.into_inner())
+        }
+        BackendSpec::Quorum { net } => {
+            let mem = QuorumRegisters::new(mem, net);
+            let (exec, slots, mem) = run_scenario_on(mem, fleet, spec);
+            LAST_NET_STATS.with(|s| s.set(Some(mem.net_stats())));
+            (exec, slots, mem.into_inner())
+        }
+        // `Vec` and any future variant without a wrapper: drive the bare
+        // file. (In-crate, the wildcard keeps `#[non_exhaustive]` honest.)
+        _ => run_scenario_on(mem, fleet, spec),
+    }
+}
+
+thread_local! {
+    static LAST_NET_STATS: Cell<Option<NetStats>> = const { Cell::new(None) };
+}
+
+/// Network/protocol counters of this thread's most recent
+/// [`run_scenario`] over a [`BackendSpec::Quorum`] backend; `None` after a
+/// run on any other backend.
+///
+/// A thread-local side channel, not an [`Execution`] field, on purpose: the
+/// equivalence obligation requires a lossless quorum `Execution` to compare
+/// `==` to its `Vec` twin, so network observability must live outside the
+/// report. Per-thread storage keeps grid runners (`par_map`) safe — each
+/// worker reads the stats of the cell it just ran.
+pub fn last_net_stats() -> Option<NetStats> {
+    LAST_NET_STATS.with(|s| s.get())
+}
+
+/// The single generic code path behind [`run_scenario`]: drives `fleet`
+/// over **any** register file `R` — hook wiring, restart-support checks,
+/// scheduler resolution and the engine run.
+///
+/// [`run_scenario`] lowers every [`BackendSpec`] into a call here (wrapping
+/// and unwrapping the register file around it); custom backends outside
+/// [`BackendSpec`] call it directly — any `R: Registers` works, and the
+/// fleet only needs `ScenarioHooks + Process<R>`, which algorithm crates
+/// provide generically. [`ScenarioSpec::backend`] is *not* consulted (the
+/// backend is whatever `mem` is), and backend-specific register-file
+/// configuration (e.g. [`VecRegisters::set_epoch_tracking`]) is the
+/// caller's concern.
+///
+/// # Panics
+///
+/// Panics if the spec requests an adversary this process type does not
+/// support (see [`ScenarioHooks::adversary`]), if the crash plan restarts a
+/// process without restart support, or on the [`Engine`]'s own contract
+/// violations (empty or misordered fleet, invalid scheduler decisions).
+pub fn run_scenario_on<R, P>(
+    mem: R,
+    mut fleet: Vec<P>,
+    spec: &ScenarioSpec,
+) -> (Execution, Vec<Slot<P>>, R)
+where
+    R: Registers,
+    P: ScenarioHooks + Process<R>,
+{
     // Epoch caches only pay when the scheduler grants quanta; without them
-    // no process consults epochs, so maintenance (and the tracked-prefix
-    // storage) is switched off entirely.
-    let cache = spec.epoch_cache && spec.grants_quanta();
-    if cache {
+    // no process consults epochs, so the cache stays off to keep the
+    // per-action path lean.
+    if spec.epoch_cache && spec.grants_quanta() {
         for p in &mut fleet {
             p.set_epoch_cache(true);
         }
@@ -430,34 +593,13 @@ pub fn run_scenario<P: ScenarioProcess>(
         // harness bug; fail before running rather than mid-execution.
         for p in &fleet {
             assert!(
-                Process::<VecRegisters>::supports_restart(p),
+                Process::<R>::supports_restart(p),
                 "crash plan restarts pid {} but the process does not support restart",
-                Process::<VecRegisters>::pid(p)
+                Process::<R>::pid(p)
             );
         }
     }
-    mem.set_epoch_tracking(cache);
 
-    match spec.backend {
-        BackendSpec::Vec => drive(mem, fleet, spec),
-        BackendSpec::Durable { fault, seed } => {
-            // Wrap *after* epoch wiring: the journal layer delegates every
-            // observable verbatim, so the inner file is configured exactly
-            // as the volatile backend would be.
-            let mem = DurableRegisters::new(mem, fault, seed);
-            let (exec, slots, mem) = drive(mem, fleet, spec);
-            (exec, slots, mem.into_inner())
-        }
-    }
-}
-
-// The backend-generic half of `run_scenario`: scheduler resolution and the
-// engine run, over any register-file flavour.
-fn drive<R, P>(mem: R, fleet: Vec<P>, spec: &ScenarioSpec) -> (Execution, Vec<Slot<P>>, R)
-where
-    R: Registers,
-    P: ScenarioProcess + Process<R>,
-{
     fn go<R: Registers, P: Process<R>, S: Scheduler<P>>(
         mem: R,
         fleet: Vec<P>,
@@ -490,7 +632,7 @@ where
             let sched = P::adversary(name).unwrap_or_else(|| {
                 panic!(
                     "adversary {name:?} is not registered for this process type \
-                     (see ScenarioProcess::adversary)"
+                     (see ScenarioHooks::adversary)"
                 )
             });
             go(mem, fleet, sched, spec)
@@ -500,9 +642,9 @@ where
 
 // The testing processes are plain scenario citizens: no caches, no
 // instrumentation, no adversaries — the defaults.
-impl ScenarioProcess for crate::testing::WriterProcess {}
-impl ScenarioProcess for crate::testing::PerformOnceProcess {}
-impl ScenarioProcess for crate::testing::RacyClaimProcess {}
+impl ScenarioHooks for crate::testing::WriterProcess {}
+impl ScenarioHooks for crate::testing::PerformOnceProcess {}
+impl ScenarioHooks for crate::testing::RacyClaimProcess {}
 
 /// [`run_scenario`] drawing the register file from a [`FleetArena`]: the
 /// buffer of the previous simulation is reused warm instead of freshly
@@ -672,6 +814,73 @@ mod tests {
         assert_eq!(d.label(), "durable");
         assert_eq!(d.fault(), Some(StorageFault::TornWrite));
         assert_eq!(BackendSpec::Vec.fault(), None);
+    }
+
+    #[test]
+    fn quorum_builders_and_accessors() {
+        let q = BackendSpec::quorum(5);
+        assert_eq!(q.label(), "quorum");
+        assert_eq!(q.fault(), None);
+        let net = q.net().expect("quorum carries a network spec");
+        assert_eq!(net.replicas, 5);
+        assert!(!net.is_lossy());
+        assert_eq!(BackendSpec::Vec.net(), None);
+
+        let lossy = NetworkSpec::lossless(3).with_drop(120).with_seed(9);
+        assert_eq!(BackendSpec::quorum_with(lossy).net(), Some(lossy));
+        assert_eq!(
+            ScenarioSpec::round_robin().quorum(lossy).backend.label(),
+            "quorum"
+        );
+    }
+
+    #[test]
+    fn quorum_backend_is_bit_identical_to_vec_when_lossless() {
+        for base in [
+            ScenarioSpec::round_robin(),
+            ScenarioSpec::round_robin_batched(),
+            ScenarioSpec::random(5).with_quantum(7),
+            ScenarioSpec::block(2, 3),
+        ] {
+            let base = base.with_crash_plan(CrashPlan::at_steps([(1usize, 3u64)]));
+            let (mem, fleet) = writers(12);
+            let (vec_exec, _, _) = run_scenario(mem, fleet, &base);
+            assert!(last_net_stats().is_none(), "vec runs leave no net stats");
+            let (mem, fleet) = writers(12);
+            let quorum = base.clone().with_backend(BackendSpec::quorum(3));
+            let (q_exec, _, mem) = run_scenario(mem, fleet, &quorum);
+            assert_eq!(vec_exec, q_exec, "{}", base.label());
+            assert_eq!(mem.read(1), 2, "unwrapped file carries final state");
+            let stats = last_net_stats().expect("quorum runs publish net stats");
+            assert_eq!(stats.atomicity_violations, 0);
+            assert_eq!(stats.read_writebacks, 0, "lossless reads take one round");
+            assert!(stats.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn lossy_quorum_matches_vec_execution_with_zero_violations() {
+        // Drops, reordering, latency and replica crashes change the traffic,
+        // never the execution: the register file stays authoritative and the
+        // protocol result is cross-checked against it.
+        let net = NetworkSpec::lossless(5)
+            .with_seed(23)
+            .with_latency(crate::net::LatencyDist::Uniform { lo: 1, hi: 5 })
+            .with_drop(150)
+            .with_reorder(200)
+            .with_replica_crashes(2);
+        let base = ScenarioSpec::round_robin();
+        let (mem, fleet) = writers(20);
+        let (vec_exec, _, _) = run_scenario(mem, fleet, &base);
+        let (mem, fleet) = writers(20);
+        let (q_exec, _, _) = run_scenario(mem, fleet, &base.clone().quorum(net));
+        assert_eq!(vec_exec, q_exec);
+        let stats = last_net_stats().expect("quorum runs publish net stats");
+        assert_eq!(stats.atomicity_violations, 0);
+        assert!(
+            stats.messages_dropped > 0,
+            "the lossy cell must actually drop traffic"
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Property tests for the message-passing layer: the seeded network model
+//! is deterministic per seed, and the quorum register protocol never
+//! disagrees with a sequential register oracle — under arbitrary operation
+//! sequences and arbitrary loss/reordering/latency/replica-crash regimes
+//! (atomicity, checked differentially on every single operation).
+
+use amo_sim::{LatencyDist, NetworkModel, NetworkSpec, QuorumRegisters, Registers, VecRegisters};
+use proptest::prelude::*;
+
+const CELLS: usize = 6;
+
+/// Decoded register operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(usize, usize, u64),
+    Read(usize),
+    Swap(usize, usize, u64),
+}
+
+/// Decodes a raw `(kind, pid, cell, value)` tuple into an [`Op`].
+fn decode(raw: (u8, u8, u8, u64)) -> Op {
+    let (kind, pid, cell, value) = raw;
+    let pid = 1 + (pid as usize % 3);
+    let cell = cell as usize % CELLS;
+    match kind % 4 {
+        0 | 1 => Op::Write(pid, cell, value),
+        2 => Op::Read(cell),
+        _ => Op::Swap(pid, cell, value),
+    }
+}
+
+fn raw_ops() -> impl Strategy<Value = Vec<(u8, u8, u8, u64)>> {
+    proptest::collection::vec((0u8..4, 0u8..3, 0u8..CELLS as u8, any::<u64>()), 1..40)
+}
+
+/// An arbitrary (possibly hostile) network environment. Drop is capped
+/// below the liveness clamp so the cap itself is also exercised via
+/// `with_drop`'s pass-through.
+fn net_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        3u8..8,
+        any::<u64>(),
+        0u16..400,
+        0u16..500,
+        0u8..4,
+        0u8..3,
+        0u64..5,
+        1u64..7,
+    )
+        .prop_map(|(replicas, seed, drop, reorder, crashes, dist, lo, span)| {
+            let latency = match dist {
+                0 => LatencyDist::Zero,
+                1 => LatencyDist::Fixed(lo),
+                _ => LatencyDist::Uniform { lo, hi: lo + span },
+            };
+            NetworkSpec::lossless(replicas)
+                .with_seed(seed)
+                .with_latency(latency)
+                .with_drop(drop)
+                .with_reorder(reorder)
+                .with_replica_crashes(crashes)
+        })
+}
+
+/// Runs `ops` against a quorum file and an oracle `VecRegisters` in
+/// lockstep, asserting every observable matches op-for-op.
+fn run_differential(spec: NetworkSpec, ops: &[Op]) -> QuorumRegisters {
+    let quorum = QuorumRegisters::new(VecRegisters::new(CELLS), spec);
+    let oracle = VecRegisters::new(CELLS);
+    for &op in ops {
+        match op {
+            Op::Write(pid, cell, value) => {
+                quorum.note_actor(pid);
+                oracle.note_actor(pid);
+                quorum.write(cell, value);
+                oracle.write(cell, value);
+            }
+            Op::Read(cell) => {
+                assert_eq!(quorum.read(cell), oracle.read(cell));
+            }
+            Op::Swap(pid, cell, value) => {
+                quorum.note_actor(pid);
+                oracle.note_actor(pid);
+                assert_eq!(quorum.swap(cell, value), oracle.swap(cell, value));
+            }
+        }
+    }
+    for cell in 0..CELLS {
+        assert_eq!(quorum.read(cell), oracle.read(cell), "final cell {cell}");
+    }
+    quorum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two network models with identical specs deliver identical flights in
+    /// identical order with identical drop decisions, message for message.
+    #[test]
+    fn network_model_is_deterministic(spec in net_spec(), raw in raw_ops()) {
+        let mut a = NetworkModel::<u64>::new(spec);
+        let mut b = NetworkModel::<u64>::new(spec);
+        for (i, &(_, _, to, payload)) in raw.iter().enumerate() {
+            let to = 1 + (to as usize % spec.replicas as usize);
+            prop_assert_eq!(a.send(0, to, payload), b.send(0, to, payload), "send {}", i);
+            if i % 3 == 0 {
+                a.tick();
+                b.tick();
+            }
+        }
+        prop_assert_eq!(a.sent(), b.sent());
+        prop_assert_eq!(a.dropped(), b.dropped());
+        loop {
+            let (da, db) = (a.deliver_next(), b.deliver_next());
+            match (da, db) {
+                (None, None) => break,
+                (Some(da), Some(db)) => {
+                    prop_assert_eq!(da.at, db.at);
+                    prop_assert_eq!(da.from, db.from);
+                    prop_assert_eq!(da.to, db.to);
+                    prop_assert_eq!(da.msg, db.msg);
+                }
+                _ => prop_assert!(false, "delivery streams diverged in length"),
+            }
+        }
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.delivered(), b.delivered());
+    }
+
+    /// Deliveries never run backwards in virtual time.
+    #[test]
+    fn network_model_delivery_times_are_monotone(spec in net_spec(), raw in raw_ops()) {
+        let mut net = NetworkModel::<u64>::new(spec);
+        for &(_, from, to, payload) in &raw {
+            let to = 1 + (to as usize % spec.replicas as usize);
+            net.send(from as usize % 2, to, payload);
+        }
+        let mut last = 0u64;
+        while let Some(d) = net.deliver_next() {
+            prop_assert!(d.at >= last, "delivery at {} after {}", d.at, last);
+            prop_assert!(d.at <= net.now());
+            last = d.at;
+        }
+        prop_assert!(net.in_flight() == 0);
+    }
+
+    /// The heart of the backend contract: under *every* sampled network —
+    /// drops, reordering, latency, replica crashes — every read and swap
+    /// returns exactly what a sequential register file returns, and the
+    /// protocol's own cross-check agrees (zero atomicity violations).
+    #[test]
+    fn quorum_registers_match_the_sequential_oracle(spec in net_spec(), raw in raw_ops()) {
+        let ops: Vec<Op> = raw.iter().map(|&r| decode(r)).collect();
+        let quorum = run_differential(spec, &ops);
+        let stats = quorum.net_stats();
+        prop_assert_eq!(stats.atomicity_violations, 0);
+        prop_assert!(stats.messages_sent > 0);
+    }
+
+    /// The failure detector never spends more explicit probe packets than
+    /// its budget, in any regime.
+    #[test]
+    fn fd_probe_traffic_respects_the_budget(
+        spec in net_spec(),
+        budget in 0u32..6,
+        raw in raw_ops(),
+    ) {
+        let spec = spec.with_fd_budget(budget);
+        let ops: Vec<Op> = raw.iter().map(|&r| decode(r)).collect();
+        let quorum = run_differential(spec, &ops);
+        prop_assert!(quorum.net_stats().fd_packets <= u64::from(budget));
+        prop_assert!(quorum.fd_budget_left() <= budget);
+    }
+
+    /// Degenerate-network cleanliness: on a lossless zero-latency network
+    /// every read completes in one round and nothing is ever retransmitted,
+    /// dropped, or suspected.
+    #[test]
+    fn lossless_zero_latency_runs_are_clean(replicas in 3u8..8, raw in raw_ops()) {
+        let ops: Vec<Op> = raw.iter().map(|&r| decode(r)).collect();
+        let quorum = run_differential(NetworkSpec::lossless(replicas), &ops);
+        let stats = quorum.net_stats();
+        prop_assert_eq!(stats.atomicity_violations, 0);
+        prop_assert_eq!(stats.read_writebacks, 0);
+        prop_assert_eq!(stats.retransmissions, 0);
+        prop_assert_eq!(stats.messages_dropped, 0);
+        prop_assert_eq!(stats.suspicions, 0);
+        prop_assert!(quorum.suspected().is_empty());
+    }
+}

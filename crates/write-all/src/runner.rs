@@ -11,8 +11,8 @@ use amo_core::ConfigError;
 use amo_iterative::{IterConfig, IterSimOptions};
 use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
 use amo_sim::{
-    AtomicRegisters, CrashPlan, Execution, MemOrder, MemWork, ScenarioProcess, ScenarioSpec,
-    Scheduler, VecRegisters,
+    AtomicRegisters, CrashPlan, Execution, MemOrder, MemWork, ScenarioHooks, ScenarioProcess,
+    ScenarioSpec, Scheduler, VecRegisters,
 };
 
 use crate::baselines::{baseline_cells, PermutationScanWa, SequentialWa, StaticPartitionWa, TasWa};
@@ -190,7 +190,7 @@ fn wa_report(exec: Execution, certified: CertifyOutcome, label: &'static str) ->
 /// process-agnostic lockstep adversary applies to every kind (historically
 /// inexpressible for the scan baselines), and `WA_IterativeKK`
 /// additionally wires its announcement-epoch cache into the driver hook.
-impl ScenarioProcess for WaIterativeProcess {
+impl ScenarioHooks for WaIterativeProcess {
     fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
         amo_core::generic_adversary(name)
     }
@@ -205,7 +205,7 @@ impl ScenarioProcess for WaIterativeProcess {
 /// baseline process type.
 macro_rules! generic_adversaries_scenario {
     ($($ty:ty),+ $(,)?) => {$(
-        impl ScenarioProcess for $ty {
+        impl ScenarioHooks for $ty {
             fn adversary(name: &str) -> Option<Box<dyn Scheduler<Self>>> {
                 amo_core::generic_adversary(name)
             }

@@ -40,10 +40,8 @@ fn spec_grid() -> Vec<ScenarioSpec> {
 }
 
 fn durable_twin(spec: &ScenarioSpec, seed: u64) -> ScenarioSpec {
-    spec.clone().with_backend(BackendSpec::Durable {
-        fault: StorageFault::None,
-        seed,
-    })
+    spec.clone()
+        .with_backend(BackendSpec::durable(StorageFault::None, seed))
 }
 
 #[test]
