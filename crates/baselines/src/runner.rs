@@ -9,7 +9,7 @@
 //! quantized fairness, the lockstep adversary).
 
 use amo_core::{AmoReport, KkConfig};
-use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::thread::ThreadSpec;
 use amo_sim::{
     AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, Process, ScenarioHooks,
     ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, VecRegisters,
@@ -248,15 +248,11 @@ pub fn run_baseline_threads(
         order: MemOrder,
         label: &'static str,
     ) -> AmoReport {
-        let mem = AtomicRegisters::new(cells, order);
-        let exec = sim_run_threads(
-            &mem,
-            fleet,
-            ThreadOptions {
-                crash_plan,
-                max_steps_per_proc: None,
-            },
-        );
+        let spec = ThreadSpec::new()
+            .with_crash_plan(crash_plan)
+            .with_order(order);
+        let mem = spec.alloc(cells);
+        let exec = spec.run(&mem, fleet);
         let (effectiveness, violations) =
             amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
         AmoReport {

@@ -34,13 +34,7 @@ fn bench_ordering(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
             b.iter(|| {
-                let report = run_threads(
-                    config,
-                    ThreadRunOptions {
-                        order,
-                        ..Default::default()
-                    },
-                );
+                let report = run_threads(config, ThreadRunOptions::default().with_order(order));
                 // The AcqRel run is an ablation measurement, not a verified
                 // configuration; violations are counted, not asserted.
                 (report.effectiveness, report.violations.len())

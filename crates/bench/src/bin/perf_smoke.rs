@@ -40,8 +40,9 @@ use amo_core::{run_scenario_simulated, run_simulated, KkConfig, KkLayout, KkProc
 use amo_iterative::{run_iterative_simulated, IterConfig, IterSimOptions};
 use amo_ostree::DenseFenwickSet;
 use amo_sim::{
-    last_net_stats, BackendSpec, CrashPlan, Engine, EngineLimits, LatencyDist, NetworkSpec,
-    RoundRobin, ScenarioSpec, VecRegisters, WithCrashes,
+    boxed, last_net_stats, run_scenario, run_scenario_on, AtomicRegisters, BackendSpec, BoxProcess,
+    CrashPlan, Engine, EngineLimits, LatencyDist, MemOrder, NetworkSpec, RoundRobin, ScenarioSpec,
+    ThreadSpec, VecRegisters, WithCrashes,
 };
 use amo_write_all::{run_wa_simulated, WaConfig};
 
@@ -423,9 +424,97 @@ fn quorum_workload(n: usize, m: usize) -> Entry {
     }
 }
 
+/// The hardware-atomics workload (engine-v8): KKβ over [`AtomicRegisters`].
+///
+/// Two legs share the fleet construction. The **deterministic leg** runs
+/// the serialized engine on the atomic register file with an *erased*
+/// (`BoxProcess`) fleet and asserts it bit-identical to the static fleet
+/// on the volatile `VecRegisters` file — pinning, inside the gate binary,
+/// both that the backend swap and that dyn erasure are observationally
+/// free; its integer counters are what the gate owns. The **threaded
+/// leg** drives the same erased fleet through [`ThreadSpec`] on real OS
+/// threads: genuinely racy, so only its *guarantees* are asserted (zero
+/// violations, the effectiveness floor, termination) and its wall-clock
+/// is reported informationally. `single_step_ms` times the serialized
+/// volatile run and `fast_path_ms` the real-thread run; like the quorum
+/// workload the ratio is a cross-runtime overhead too machine-sensitive
+/// to gate, so `emit_ratios: false` keeps the timing columns out of the
+/// JSON while every deterministic counter stays pinned exactly.
+fn atomic_threads_workload(n: usize, m: usize) -> Entry {
+    let config = KkConfig::new(n, m).expect("valid config");
+    let layout = KkLayout::contiguous(m, n, false);
+    let spec = ScenarioSpec::round_robin_batched();
+    let static_fleet = || -> Vec<KkProcess> {
+        (1..=m)
+            .map(|pid| KkProcess::from_config(pid, &config, layout))
+            .collect()
+    };
+    let boxed_fleet = || -> Vec<BoxProcess> {
+        (1..=m)
+            .map(|pid| {
+                boxed(KkProcess::<amo_ostree::FenwickSet>::from_config(
+                    pid, &config, layout,
+                ))
+            })
+            .collect()
+    };
+
+    let mut single_ms = f64::MAX;
+    let mut fast_ms = f64::MAX;
+    let mut pair = None;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let (vec_exec, _, _) =
+            run_scenario(VecRegisters::new(layout.cells()), static_fleet(), &spec);
+        single_ms = single_ms.min(ms(t));
+        let thread_spec = ThreadSpec::new();
+        let mem = thread_spec.alloc(layout.cells());
+        let t = Instant::now();
+        let threaded = thread_spec.run(&mem, boxed_fleet());
+        fast_ms = fast_ms.min(ms(t));
+        pair = Some((vec_exec, threaded));
+    }
+    let (vec_exec, threaded) = pair.expect("ROUNDS >= 1");
+
+    // Deterministic leg: serialized engine, hardware atomics, erased fleet.
+    let (atomic_exec, _, _) = run_scenario_on(
+        AtomicRegisters::new(layout.cells(), MemOrder::SeqCst),
+        boxed_fleet(),
+        &spec,
+    );
+    assert_eq!(
+        atomic_exec, vec_exec,
+        "serialized atomic+dyn run must be bit-identical to the volatile static run"
+    );
+    assert!(atomic_exec.violations().is_empty(), "atomic safety");
+
+    // Threaded leg: racy, so assert the guarantees rather than a replay.
+    assert!(threaded.violations().is_empty(), "thread safety");
+    assert!(threaded.completed, "thread termination");
+    assert!(
+        threaded.effectiveness() >= config.effectiveness_bound(),
+        "thread effectiveness floor"
+    );
+
+    Entry {
+        name: "kk_atomic_threads",
+        params: format!("n={n} m={m} beta={}", config.beta()),
+        seed_ms: None,
+        single_ms,
+        fast_ms,
+        total_steps: atomic_exec.total_steps,
+        shared_ops: atomic_exec.mem_work.total(),
+        effectiveness: Some(atomic_exec.effectiveness()),
+        peak_rss_kb: None,
+        epoch_mem_bytes: None,
+        extra: vec![("thread_effectiveness_floor", config.effectiveness_bound())],
+        emit_ratios: false,
+    }
+}
+
 fn json(entries: &[Entry], scale: amo_bench::Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"amo-bench/engine-v7\",\n");
+    out.push_str("  \"schema\": \"amo-bench/engine-v8\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         if scale.is_quick() { "quick" } else { "full" }
@@ -519,6 +608,7 @@ fn main() {
             iter_workload(10_000, 4),
             write_all_workload(10_000, 4),
             quorum_workload(20_000, 8),
+            atomic_threads_workload(20_000, 8),
         ]
     } else {
         vec![
@@ -527,6 +617,7 @@ fn main() {
             iter_workload(50_000, 8),
             write_all_workload(50_000, 8),
             quorum_workload(50_000, 8),
+            atomic_threads_workload(50_000, 16),
         ]
     };
 

@@ -92,13 +92,7 @@ pub fn exp_safety(scale: Scale) -> Table {
             let config = KkConfig::new(64 * m, m).unwrap();
             let f = run as usize % m;
             let plan = CrashPlan::at_steps((1..=f).map(|p| (p, run * 29 + p as u64 * 17)));
-            let r = run_threads(
-                &config,
-                ThreadRunOptions {
-                    crash_plan: plan,
-                    ..ThreadRunOptions::default()
-                },
-            );
+            let r = run_threads(&config, ThreadRunOptions::default().with_crash_plan(plan));
             execs += 1;
             jobs += r.effectiveness;
             violations += r.violations.len() as u64;

@@ -42,13 +42,7 @@ pub fn exp_threads(scale: Scale) -> Table {
             let mut total_jobs = 0u64;
             let started = Instant::now();
             for _ in 0..reps {
-                let r = run_threads(
-                    &config,
-                    ThreadRunOptions {
-                        order,
-                        ..ThreadRunOptions::default()
-                    },
-                );
+                let r = run_threads(&config, ThreadRunOptions::default().with_order(order));
                 violations += r.violations.len();
                 min_eff = min_eff.min(r.effectiveness);
                 total_jobs += r.effectiveness;

@@ -8,10 +8,10 @@
 //! included — asserted by the cross-crate scenario-equivalence suite), and
 //! [`run_scenario_simulated`] exposes the spec-first form directly.
 
-use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::thread::ThreadSpec;
 use amo_sim::{
-    run_scenario, AtomicRegisters, CrashPlan, EngineLimits, Execution, JobSpan, MemOrder, MemWork,
-    RoundRobin, ScenarioSpec, SchedulerSpec, Slot, VecRegisters, Violation,
+    run_scenario, CrashPlan, EngineLimits, Execution, JobSpan, MemOrder, MemWork, RoundRobin,
+    ScenarioSpec, SchedulerSpec, Slot, VecRegisters, Violation,
 };
 
 use crate::config::KkConfig;
@@ -287,6 +287,11 @@ impl SimOptions {
 }
 
 /// Options for a threaded run.
+///
+/// Crash injection is crash-**stop** only: plans carrying
+/// [`CrashPlan::restart_after`] entries are rejected loudly by
+/// [`run_threads`] (the thread runtime cannot re-enter a dead OS thread);
+/// restart scenarios belong to the simulated backends.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadRunOptions {
     /// Crash injection (per-thread step budgets).
@@ -295,6 +300,39 @@ pub struct ThreadRunOptions {
     pub order: MemOrder,
     /// Wait-freedom watchdog per process.
     pub max_steps_per_proc: Option<u64>,
+}
+
+impl ThreadRunOptions {
+    /// Adds crash-stop injection (builder form, mirroring
+    /// [`amo_sim::thread::ThreadSpec`]).
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Selects the memory-ordering regime.
+    pub fn with_order(mut self, order: MemOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Caps every process at `steps` actions (wait-freedom watchdog).
+    pub fn with_watchdog(mut self, steps: u64) -> Self {
+        self.max_steps_per_proc = Some(steps);
+        self
+    }
+
+    /// Lowers into the sim-layer [`ThreadSpec`] these options are a
+    /// KKβ-flavoured veneer over.
+    pub fn to_thread_spec(&self) -> ThreadSpec {
+        let spec = ThreadSpec::new()
+            .with_crash_plan(self.crash_plan.clone())
+            .with_order(self.order);
+        match self.max_steps_per_proc {
+            Some(w) => spec.with_watchdog(w),
+            None => spec,
+        }
+    }
 }
 
 /// Summary of one at-most-once execution, simulated or threaded.
@@ -565,17 +603,16 @@ fn report_from_scenario(
 /// assert!(report.effectiveness >= config.effectiveness_bound());
 /// # Ok::<(), amo_core::ConfigError>(())
 /// ```
+///
+/// # Panics
+///
+/// Panics if the crash plan schedules restarts — real threads are
+/// crash-stop only (see [`amo_sim::thread`]).
 pub fn run_threads(config: &KkConfig, options: ThreadRunOptions) -> AmoReport {
     let (layout, fleet) = kk_fleet(config, false);
-    let mem = AtomicRegisters::new(layout.cells(), options.order);
-    let exec = sim_run_threads(
-        &mem,
-        fleet,
-        ThreadOptions {
-            crash_plan: options.crash_plan,
-            max_steps_per_proc: options.max_steps_per_proc,
-        },
-    );
+    let spec = options.to_thread_spec();
+    let mem = spec.alloc(layout.cells());
+    let exec = spec.run(&mem, fleet);
     let (effectiveness, violations) =
         amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
     AmoReport {

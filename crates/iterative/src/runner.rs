@@ -7,7 +7,7 @@
 //! [`SchedulerSpec`] — the historical parallel enum was deleted.
 
 use amo_core::{AmoReport, ConfigError, KkConfig};
-use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::thread::ThreadSpec;
 use amo_sim::{
     run_scenario, AtomicRegisters, CrashPlan, EngineLimits, Execution, MemOrder, RoundRobin,
     ScenarioHooks, ScenarioProcess, ScenarioSpec, Scheduler, SchedulerSpec, Slot, VecRegisters,
@@ -376,14 +376,9 @@ pub fn run_iterative_threads(
 ) -> AmoReport {
     let (layout, fleet) = iter_fleet(config);
     let mem = AtomicRegisters::new(layout.cells(), order);
-    let exec = sim_run_threads(
-        &mem,
-        fleet,
-        ThreadOptions {
-            crash_plan,
-            max_steps_per_proc: None,
-        },
-    );
+    let exec = ThreadSpec::new()
+        .with_crash_plan(crash_plan)
+        .run(&mem, fleet);
     let (effectiveness, violations) =
         amo_sim::perform_summary(exec.performed.iter().map(|r| r.span));
     AmoReport {

@@ -1,0 +1,189 @@
+//! Log-bucketed latency accounting for the soak harness.
+//!
+//! Tail latency (p99/p999) is the service's product metric; an exact
+//! per-sample record would cost a growing allocation on the hot grant
+//! path, so waits are folded into 64 power-of-two nanosecond buckets —
+//! constant memory, `O(1)` record, mergeable across client threads, with
+//! quantiles answered conservatively (a quantile reports its bucket's
+//! upper bound, so p99 is never *under*-reported).
+
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram of wait durations.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        // floor(log2(ns)) with ns = 0 mapped to bucket 0.
+        (63 - (ns | 1).leading_zeros()) as usize
+    }
+
+    /// Records one wait.
+    pub fn record(&mut self, wait: Duration) {
+        let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one (per-client histograms merge
+    /// into the run total).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean wait (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(
+            u64::try_from(self.total_ns / u128::from(self.count)).unwrap_or(u64::MAX),
+        )
+    }
+
+    /// Largest wait seen.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), answered at bucket granularity:
+    /// the reported value is the upper bound of the bucket holding the
+    /// `⌈q·count⌉`-th smallest sample, clamped to the observed maximum —
+    /// conservative (never an underestimate), within 2× of exact.
+    ///
+    /// Returns zero on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median wait.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile wait.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile wait.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_conservative() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= h.max());
+        // Conservative: p50 of 1..=1000µs is ≥ 500µs and within its 2× bucket.
+        assert!(p50 >= Duration::from_micros(500));
+        assert!(p50 <= Duration::from_micros(1024));
+        assert!(h.mean() >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..200u64 {
+            let d = Duration::from_nanos(i * i * 37 + 5);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.p50(), all.p50());
+        assert_eq!(a.p999(), all.p999());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), Duration::ZERO, "clamped to observed max");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_domain_checked() {
+        LatencyHistogram::new().quantile(0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # amo-serve — the at-most-once fleet as a long-running service
+//!
+//! Everything below this crate solves a *batch* problem: build `m`
+//! processes, hand them `n` jobs, run to termination, inspect the
+//! execution. This crate turns that machinery into a **job-claim
+//! service**: a server that accepts a stream of claim requests from many
+//! client threads and answers each with a job id that is guaranteed to be
+//! granted to *no one else, ever* — the at-most-once property as a
+//! service-level contract rather than a per-run theorem.
+//!
+//! The fleet behind the façade is real: worker OS threads contending on
+//! [`AtomicRegisters`](amo_sim::AtomicRegisters) (hardware atomics, not
+//! the simulator), each driving an erased
+//! [`BoxProcess`](amo_sim::scenario::BoxProcess) automaton. The erased
+//! interface is what makes the service *generic over fleets*: a
+//! [`FleetBlueprint`] can build a different concrete automaton per worker
+//! (see [`KkBlueprint::mixed`]), which the pre-PR-8 generic-only process
+//! API could not express.
+//!
+//! ## The service contract
+//!
+//! 1. **Accepted ⇒ granted.** Every request admitted by the ingest queue
+//!    is answered with a grant before shutdown completes (the queue's
+//!    drain guarantee plus wait-free fleet progress). Requests are only
+//!    ever refused *at admission* — never accepted and then dropped.
+//! 2. **Bounded admission.** At most `queue_capacity` requests are ever
+//!    in flight; overload surfaces at submit time as backpressure
+//!    ([`SubmitError::Full`] on the fast path, blocking on
+//!    [`ClaimClient::submit`]), not as unbounded buffering.
+//! 3. **At-most-once, audited.** No global job id is granted twice —
+//!    within a generation by the algorithm's guarantee, across
+//!    generations by disjoint id blocks — and the service does not take
+//!    this on faith: every performed id passes through a global audit
+//!    set, and [`ServiceReport::violations`] must read zero.
+//!
+//! ## Shape of the crate
+//!
+//! * [`queue`] — bounded MPMC ingest queue (contract item 2).
+//! * [`service`] — blueprints, generations, workers, clients, reports
+//!   (items 1 and 3).
+//! * [`latency`] — constant-memory log₂ histogram for grant-wait tails.
+//! * [`soak`] — churn harness: staggered joins, mid-run departures,
+//!   deserting clients; reports claims/sec, p50/p99/p999, effectiveness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use amo_serve::{ClaimService, KkBlueprint};
+//!
+//! let service = ClaimService::start(KkBlueprint::new(64, 3)?, 16);
+//! let client = service.client();
+//! let a = client.claim().unwrap();
+//! let b = client.claim().unwrap();
+//! assert_ne!(a.job, b.job); // at-most-once: never the same job twice
+//! let report = service.shutdown();
+//! assert_eq!(report.violations, 0);
+//! assert_eq!(report.granted, 2);
+//! # Ok::<(), amo_core::ConfigError>(())
+//! ```
+
+pub mod latency;
+pub mod queue;
+pub mod service;
+pub mod soak;
+
+pub use latency::LatencyHistogram;
+pub use queue::{IngestQueue, QueueStats, Rejected, SubmitError};
+pub use service::{
+    ClaimClient, ClaimService, ClientError, FleetBlueprint, Grant, KkBlueprint, ServiceReport,
+};
+pub use soak::{run_soak, SoakConfig, SoakReport};

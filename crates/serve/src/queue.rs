@@ -1,0 +1,238 @@
+//! The bounded ingest queue: admission control and backpressure for the
+//! claim service.
+//!
+//! A plain two-condvar MPMC queue over a mutexed ring. The capacity bound
+//! is the service's **admission-control invariant**: the queue never holds
+//! more than `capacity` requests, so a producer always learns about
+//! overload *at submit time* — either by blocking ([`IngestQueue::push`])
+//! or by an immediate [`SubmitError::Full`] ([`IngestQueue::try_push`]) —
+//! instead of the service buffering unboundedly and collapsing later.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission did not enter the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (backpressure): retry, back off, or use
+    /// the blocking [`IngestQueue::push`].
+    Full,
+    /// The queue was closed; no further submissions are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "queue full (backpressure)"),
+            SubmitError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+/// A rejected submission: the item back, plus why.
+#[derive(Debug)]
+pub struct Rejected<T> {
+    /// The item that did not enter the queue.
+    pub item: T,
+    /// The rejection reason.
+    pub reason: SubmitError,
+}
+
+/// Counters describing what the queue saw over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items that entered the queue.
+    pub accepted: u64,
+    /// `try_push` attempts bounced with [`SubmitError::Full`].
+    pub rejected_full: u64,
+    /// Deepest the queue ever got (`≤ capacity` by construction).
+    pub peak_depth: usize,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// A bounded blocking MPMC queue (see the module docs).
+pub struct IngestQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> IngestQueue<T> {
+    /// Creates a queue admitting at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking submit: enqueues `item`, or returns it with
+    /// [`SubmitError::Full`] when the bound is hit (the backpressure
+    /// signal) / [`SubmitError::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), Rejected<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(Rejected {
+                item,
+                reason: SubmitError::Closed,
+            });
+        }
+        if st.buf.len() >= self.capacity {
+            st.stats.rejected_full += 1;
+            return Err(Rejected {
+                item,
+                reason: SubmitError::Full,
+            });
+        }
+        st.buf.push_back(item);
+        st.stats.accepted += 1;
+        st.stats.peak_depth = st.stats.peak_depth.max(st.buf.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submit: waits while the queue is at capacity. Fails only
+    /// when the queue is (or becomes, while waiting) closed.
+    pub fn push(&self, item: T) -> Result<(), Rejected<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.closed {
+                return Err(Rejected {
+                    item,
+                    reason: SubmitError::Closed,
+                });
+            }
+            if st.buf.len() < self.capacity {
+                st.buf.push_back(item);
+                st.stats.accepted += 1;
+                st.stats.peak_depth = st.stats.peak_depth.max(st.buf.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Blocking consume: waits for an item. Returns `None` exactly when
+    /// the queue is closed **and** drained — every accepted item is
+    /// delivered to some consumer before the `None`s begin.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: rejects future submissions, wakes every blocked
+    /// producer and consumer. Already-accepted items remain poppable (the
+    /// drain guarantee).
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Lifetime counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        self.state.lock().expect("queue poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_try_push_signals_backpressure() {
+        let q = IngestQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let rej = q.try_push(3).unwrap_err();
+        assert_eq!(rej.reason, SubmitError::Full);
+        assert_eq!(rej.item, 3);
+        let stats = q.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected_full, 1);
+        assert_eq!(stats.peak_depth, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = IngestQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(
+            q.try_push(12).unwrap_err().reason,
+            SubmitError::Closed,
+            "closed queue admits nothing"
+        );
+        assert_eq!(q.pop(), Some(10), "accepted items survive the close");
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_room() {
+        let q = Arc::new(IngestQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).is_ok())
+        };
+        // The producer is blocked on the full queue until we pop.
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(IngestQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = IngestQueue::<u32>::new(0);
+    }
+}

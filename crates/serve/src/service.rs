@@ -1,0 +1,631 @@
+//! The claim service: worker threads driving erased at-most-once fleets
+//! over generations of [`AtomicRegisters`].
+//!
+//! # Generations
+//!
+//! One KKβ (or any at-most-once) instance solves a *finite* problem: `m`
+//! processes, `n` jobs, one register file. A long-running service rolls
+//! the fleet forward in **generations**: generation `g` is a fresh
+//! register file plus one automaton per worker, claiming from the global
+//! job-id block `g·n + 1 ..= (g+1)·n`. Within a generation the algorithm
+//! guarantees at-most-once; across generations the id blocks are disjoint
+//! by construction — so no job id can ever be performed twice, which the
+//! service additionally *audits* at runtime rather than trusts
+//! ([`ServiceReport::violations`], pinned at zero by the soak suites).
+//!
+//! Workers rotate independently: when a worker's automaton terminates its
+//! generation (everything claimable is claimed), it retires from that
+//! generation and joins the next, building a fresh automaton from the
+//! [`FleetBlueprint`]. Workers in different generations never share
+//! registers; a generation's accounting completes when all `m` workers
+//! have retired from it.
+//!
+//! # Liveness
+//!
+//! Automatons are wait-free and a solo worker always claims jobs in a
+//! fresh generation, so a worker holding a request either finds a job in
+//! its stash, claims one by stepping, or terminates a picked-over
+//! generation in bounded steps and rotates into a fresher one — every
+//! accepted request is eventually granted (the drain guarantee), provided
+//! clients keep their total demand finite (they do: quotas).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use amo_core::{KkConfig, KkLayout, KkProcess};
+use amo_ostree::DenseFenwickSet;
+use amo_sim::scenario::{boxed, BoxProcess};
+use amo_sim::{AtomicRegisters, MemOrder, StepEvent};
+
+use crate::queue::{IngestQueue, QueueStats, Rejected, SubmitError};
+
+/// How a service builds the per-generation fleet: `m` erased automatons
+/// over a register file of [`cells`](Self::cells) cells, claiming
+/// [`jobs_per_generation`](Self::jobs_per_generation) jobs.
+///
+/// The `BoxProcess` return type is the point of the dyn-friendly process
+/// API: a blueprint may hand back *different* concrete automaton types per
+/// worker (a mixed population), as long as they run the same protocol over
+/// the same layout — see [`KkBlueprint::mixed`].
+pub trait FleetBlueprint: Send + Sync {
+    /// Workers per generation (the algorithm's `m`).
+    fn workers(&self) -> usize;
+
+    /// Jobs per generation (the algorithm's `n`).
+    fn jobs_per_generation(&self) -> u64;
+
+    /// Register cells each generation allocates.
+    fn cells(&self) -> usize;
+
+    /// Builds worker `pid`'s automaton (`1..=m`) for a fresh generation.
+    fn build(&self, pid: usize) -> BoxProcess;
+
+    /// Label for reports.
+    fn label(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The KKβ blueprint: every generation is one `KkConfig` instance.
+///
+/// [`mixed`](Self::mixed) alternates the job-set backend per worker
+/// (`FenwickSet` / `DenseFenwickSet`) — two concrete process types
+/// cooperating in one fleet, the heterogeneous population the erased
+/// [`BoxProcess`] interface exists for. Both backends run the *same* KKβ
+/// protocol over the same layout, so safety is untouched; only the local
+/// set representation differs.
+#[derive(Debug, Clone)]
+pub struct KkBlueprint {
+    config: KkConfig,
+    layout: KkLayout,
+    mixed: bool,
+}
+
+impl KkBlueprint {
+    /// A homogeneous KKβ blueprint (`FenwickSet` everywhere).
+    pub fn new(jobs: u64, workers: usize) -> Result<Self, amo_core::ConfigError> {
+        let config = KkConfig::new(
+            usize::try_from(jobs).expect("job count fits usize"),
+            workers,
+        )?;
+        let layout = KkLayout::contiguous(config.m(), config.n(), false);
+        Ok(Self {
+            config,
+            layout,
+            mixed: false,
+        })
+    }
+
+    /// A mixed-population blueprint: even pids run
+    /// `KkProcess<DenseFenwickSet>`, odd pids `KkProcess<FenwickSet>`.
+    pub fn mixed(jobs: u64, workers: usize) -> Result<Self, amo_core::ConfigError> {
+        let mut bp = Self::new(jobs, workers)?;
+        bp.mixed = true;
+        Ok(bp)
+    }
+
+    /// The per-generation effectiveness floor, `n − (β + m − 2)`.
+    pub fn effectiveness_bound(&self) -> u64 {
+        self.config.effectiveness_bound()
+    }
+}
+
+impl FleetBlueprint for KkBlueprint {
+    fn workers(&self) -> usize {
+        self.config.m()
+    }
+
+    fn jobs_per_generation(&self) -> u64 {
+        self.config.n() as u64
+    }
+
+    fn cells(&self) -> usize {
+        self.layout.cells()
+    }
+
+    fn build(&self, pid: usize) -> BoxProcess {
+        if self.mixed && pid % 2 == 0 {
+            boxed(KkProcess::<DenseFenwickSet>::from_config(
+                pid,
+                &self.config,
+                self.layout,
+            ))
+        } else {
+            boxed(KkProcess::<amo_ostree::FenwickSet>::from_config(
+                pid,
+                &self.config,
+                self.layout,
+            ))
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        if self.mixed {
+            "kk-mixed"
+        } else {
+            "kk"
+        }
+    }
+}
+
+/// One granted claim, sent back on the client's reply channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The global job id (unique across the service's lifetime).
+    pub job: u64,
+    /// The worker that performed it.
+    pub worker: usize,
+    /// The generation it came from.
+    pub generation: u64,
+    /// Submit-to-grant wait.
+    pub wait: Duration,
+}
+
+/// One claim request in flight: who to answer, and when it was submitted.
+#[derive(Debug)]
+pub struct ClaimRequest {
+    submitted: Instant,
+    reply: mpsc::Sender<Grant>,
+}
+
+struct Generation {
+    index: u64,
+    /// Global-id offset: local job `j` (1-based) is global `base + j`.
+    base: u64,
+    mem: AtomicRegisters,
+    /// Jobs performed in this generation so far.
+    performed: AtomicU64,
+    /// Workers that finished their automaton here.
+    retired: AtomicU64,
+}
+
+struct Shared {
+    queue: IngestQueue<ClaimRequest>,
+    blueprint: Box<dyn FleetBlueprint>,
+    generations: Mutex<HashMap<u64, Arc<Generation>>>,
+    /// The at-most-once audit: every performed global job id, exactly once.
+    audit: Mutex<HashSet<u64>>,
+    violations: AtomicU64,
+    granted: AtomicU64,
+    /// Grants whose client had already left (reply channel dropped).
+    abandoned: AtomicU64,
+    /// Jobs performed but never granted (left in worker stashes at close).
+    stranded: AtomicU64,
+    completed_generations: AtomicU64,
+    performed_in_completed: AtomicU64,
+}
+
+impl Shared {
+    fn enter_generation(&self, index: u64) -> Arc<Generation> {
+        let mut gens = self.generations.lock().expect("generation table poisoned");
+        Arc::clone(gens.entry(index).or_insert_with(|| {
+            Arc::new(Generation {
+                index,
+                base: index * self.blueprint.jobs_per_generation(),
+                mem: AtomicRegisters::new(self.blueprint.cells(), MemOrder::SeqCst),
+                performed: AtomicU64::new(0),
+                retired: AtomicU64::new(0),
+            })
+        }))
+    }
+
+    fn retire(&self, gen: &Arc<Generation>) {
+        let done = gen.retired.fetch_add(1, Ordering::Relaxed) + 1;
+        if done == self.blueprint.workers() as u64 {
+            self.completed_generations.fetch_add(1, Ordering::Relaxed);
+            self.performed_in_completed
+                .fetch_add(gen.performed.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.generations
+                .lock()
+                .expect("generation table poisoned")
+                .remove(&gen.index);
+        }
+    }
+
+    fn audit_perform(&self, gen: &Generation, lo: u64, hi: u64) {
+        let mut seen = self.audit.lock().expect("audit set poisoned");
+        for j in lo..=hi {
+            if !seen.insert(gen.base + j) {
+                self.violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, pid: usize) {
+    let mut gen_index = 0u64;
+    let mut gen = shared.enter_generation(gen_index);
+    let mut automaton = shared.blueprint.build(pid);
+    let mut stash: VecDeque<u64> = VecDeque::new();
+
+    while let Some(req) = shared.queue.pop() {
+        let job = loop {
+            if let Some(job) = stash.pop_front() {
+                break job;
+            }
+            match automaton.step(&gen.mem) {
+                StepEvent::Perform { span } => {
+                    gen.performed.fetch_add(span.count(), Ordering::Relaxed);
+                    shared.audit_perform(&gen, span.lo, span.hi);
+                    for j in span.jobs() {
+                        stash.push_back(gen.base + j);
+                    }
+                }
+                StepEvent::Terminated => {
+                    shared.retire(&gen);
+                    gen_index += 1;
+                    gen = shared.enter_generation(gen_index);
+                    automaton = shared.blueprint.build(pid);
+                }
+                _ => {}
+            }
+        };
+        let grant = Grant {
+            job,
+            worker: pid,
+            generation: gen.index,
+            wait: req.submitted.elapsed(),
+        };
+        shared.granted.fetch_add(1, Ordering::Relaxed);
+        if req.reply.send(grant).is_err() {
+            // Client churn: the requester left before its grant arrived.
+            // The job is performed either way; account it as abandoned.
+            shared.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Queue closed and drained: jobs still in the stash were performed but
+    // never matched to a request.
+    shared
+        .stranded
+        .fetch_add(stash.len() as u64, Ordering::Relaxed);
+}
+
+/// A handle for submitting claim requests and receiving [`Grant`]s.
+///
+/// Each client owns a private reply channel; grants for its requests come
+/// back in request order (the service pairs requests and jobs FIFO per
+/// worker, and a client's outstanding requests resolve independently).
+/// Clones of the underlying service handle are cheap — spawn one client
+/// per requester thread via [`ClaimService::client`].
+pub struct ClaimClient {
+    shared: Arc<Shared>,
+    reply_tx: mpsc::Sender<Grant>,
+    reply_rx: mpsc::Receiver<Grant>,
+    /// Accepted-but-unreceived requests; [`recv`](Self::recv) consults
+    /// this so it only ever blocks when a grant is genuinely due.
+    outstanding: std::cell::Cell<u64>,
+}
+
+/// Why a client operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientError {
+    /// Submission rejected by admission control ([`SubmitError::Full`])
+    /// or because the service is shutting down
+    /// ([`SubmitError::Closed`]).
+    Rejected(SubmitError),
+    /// [`ClaimClient::recv`] was called with no accepted request
+    /// outstanding — there is no grant to wait for, and blocking would
+    /// hang forever.
+    NothingOutstanding,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected(e) => write!(f, "request rejected: {e}"),
+            ClientError::NothingOutstanding => write!(f, "no outstanding request to receive for"),
+        }
+    }
+}
+
+impl ClaimClient {
+    fn request(&self) -> ClaimRequest {
+        ClaimRequest {
+            submitted: Instant::now(),
+            reply: self.reply_tx.clone(),
+        }
+    }
+
+    /// Non-blocking submit: queues one claim request, or reports
+    /// backpressure/closure immediately.
+    pub fn try_submit(&self) -> Result<(), ClientError> {
+        self.shared
+            .queue
+            .try_push(self.request())
+            .map_err(|Rejected { reason, .. }| ClientError::Rejected(reason))?;
+        self.outstanding.set(self.outstanding.get() + 1);
+        Ok(())
+    }
+
+    /// Blocking submit: waits out backpressure; fails only on shutdown.
+    pub fn submit(&self) -> Result<(), ClientError> {
+        self.shared
+            .queue
+            .push(self.request())
+            .map_err(|Rejected { reason, .. }| ClientError::Rejected(reason))?;
+        self.outstanding.set(self.outstanding.get() + 1);
+        Ok(())
+    }
+
+    /// Requests accepted on this client's behalf and not yet received.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.get()
+    }
+
+    /// Receives the next grant for this client's outstanding requests.
+    ///
+    /// Blocks only while a grant is genuinely due (an accepted request is
+    /// outstanding — the service contract then guarantees delivery, even
+    /// through shutdown); with nothing outstanding it returns
+    /// [`ClientError::NothingOutstanding`] immediately instead of hanging.
+    pub fn recv(&self) -> Result<Grant, ClientError> {
+        if self.outstanding.get() == 0 {
+            return Err(ClientError::NothingOutstanding);
+        }
+        let grant = self
+            .reply_rx
+            .recv()
+            .expect("accepted requests are always granted (drain guarantee)");
+        self.outstanding.set(self.outstanding.get() - 1);
+        Ok(grant)
+    }
+
+    /// Submit-and-wait: one closed-loop claim. On backpressure
+    /// ([`SubmitError::Full`] from the fast path) it falls back to the
+    /// blocking submit, so the caller observes backpressure as latency —
+    /// the intended degradation mode — rather than as an error.
+    pub fn claim(&self) -> Result<Grant, ClientError> {
+        match self.try_submit() {
+            Ok(()) => {}
+            Err(ClientError::Rejected(SubmitError::Full)) => self.submit()?,
+            Err(e) => return Err(e),
+        }
+        self.recv()
+    }
+}
+
+/// Final accounting of a service run (returned by
+/// [`ClaimService::shutdown`]).
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Blueprint label.
+    pub fleet: &'static str,
+    /// Workers in each generation's fleet.
+    pub workers: usize,
+    /// Jobs per generation.
+    pub jobs_per_generation: u64,
+    /// Grants delivered (including abandoned ones).
+    pub granted: u64,
+    /// Grants whose client had left (reply channel dropped) — churn.
+    pub abandoned: u64,
+    /// Jobs performed but never granted (stash remainders at close).
+    pub stranded: u64,
+    /// **The at-most-once audit**: global job ids performed more than
+    /// once. Zero for a correct fleet, asserted by the soak suites.
+    pub violations: u64,
+    /// Generations all `m` workers retired from.
+    pub completed_generations: u64,
+    /// Jobs performed within those completed generations.
+    pub performed_in_completed: u64,
+    /// Ingest-queue counters (admission control evidence:
+    /// `peak_depth ≤ capacity`).
+    pub queue: QueueStats,
+    /// Queue capacity the service ran with.
+    pub queue_capacity: usize,
+    /// Service lifetime, start to drained shutdown.
+    pub elapsed: Duration,
+}
+
+impl ServiceReport {
+    /// Sustained grant throughput over the service lifetime.
+    pub fn claims_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.granted as f64 / secs
+        }
+    }
+
+    /// Effectiveness over completed generations: jobs performed vs. jobs
+    /// offered (`completed_generations · n`), as a fraction in `0..=1`.
+    /// `None` until a generation completes.
+    pub fn effectiveness(&self) -> Option<f64> {
+        let offered = self.completed_generations * self.jobs_per_generation;
+        (offered > 0).then(|| self.performed_in_completed as f64 / offered as f64)
+    }
+}
+
+/// The running service: `m` worker threads over generational
+/// [`AtomicRegisters`], fed by the bounded ingest queue.
+///
+/// See the crate docs for the service contract. Construct with
+/// [`start`](Self::start), submit through [`client`](Self::client)
+/// handles, finish with [`shutdown`](Self::shutdown).
+pub struct ClaimService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl ClaimService {
+    /// Starts the service: spawns one OS worker thread per blueprint
+    /// worker, all initially parked on the empty ingest queue.
+    pub fn start(blueprint: impl FleetBlueprint + 'static, queue_capacity: usize) -> Self {
+        Self::start_boxed(Box::new(blueprint), queue_capacity)
+    }
+
+    /// [`start`](Self::start) for an already-erased blueprint.
+    pub fn start_boxed(blueprint: Box<dyn FleetBlueprint>, queue_capacity: usize) -> Self {
+        let m = blueprint.workers();
+        assert!(m > 0, "blueprint must have at least one worker");
+        let shared = Arc::new(Shared {
+            queue: IngestQueue::new(queue_capacity),
+            blueprint,
+            generations: Mutex::new(HashMap::new()),
+            audit: Mutex::new(HashSet::new()),
+            violations: AtomicU64::new(0),
+            granted: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+            stranded: AtomicU64::new(0),
+            completed_generations: AtomicU64::new(0),
+            performed_in_completed: AtomicU64::new(0),
+        });
+        let workers = (1..=m)
+            .map(|pid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amo-serve-worker-{pid}"))
+                    .spawn(move || worker_loop(&shared, pid))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// A new client handle with its own private reply channel.
+    pub fn client(&self) -> ClaimClient {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        ClaimClient {
+            shared: Arc::clone(&self.shared),
+            reply_tx,
+            reply_rx,
+            outstanding: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Grants delivered so far (live counter).
+    pub fn granted(&self) -> u64 {
+        self.shared.granted.load(Ordering::Relaxed)
+    }
+
+    /// Audit violations so far (live counter; must stay zero).
+    pub fn violations(&self) -> u64 {
+        self.shared.violations.load(Ordering::Relaxed)
+    }
+
+    /// Closes the ingest queue, waits for the workers to drain every
+    /// accepted request, and returns the final accounting.
+    pub fn shutdown(self) -> ServiceReport {
+        self.shared.queue.close();
+        for handle in self.workers {
+            handle.join().expect("worker thread panicked");
+        }
+        let elapsed = self.started.elapsed();
+        let shared = &self.shared;
+        ServiceReport {
+            fleet: shared.blueprint.label(),
+            workers: shared.blueprint.workers(),
+            jobs_per_generation: shared.blueprint.jobs_per_generation(),
+            granted: shared.granted.load(Ordering::Relaxed),
+            abandoned: shared.abandoned.load(Ordering::Relaxed),
+            stranded: shared.stranded.load(Ordering::Relaxed),
+            violations: shared.violations.load(Ordering::Relaxed),
+            completed_generations: shared.completed_generations.load(Ordering::Relaxed),
+            performed_in_completed: shared.performed_in_completed.load(Ordering::Relaxed),
+            queue: shared.queue.stats(),
+            queue_capacity: shared.queue.capacity(),
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_unique_and_complete() {
+        let svc = ClaimService::start(KkBlueprint::new(64, 3).unwrap(), 8);
+        let client = svc.client();
+        let mut jobs = HashSet::new();
+        for _ in 0..200 {
+            let grant = client.claim().expect("live service grants");
+            assert!(jobs.insert(grant.job), "job {} granted twice", grant.job);
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.granted, 200);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.abandoned, 0);
+        assert!(report.queue.peak_depth <= 8);
+        assert_eq!(report.queue.accepted, 200);
+    }
+
+    #[test]
+    fn generations_roll_over() {
+        // 200 claims over 64-job generations forces at least 3 generations
+        // (and with one worker, completes each before moving on).
+        let svc = ClaimService::start(KkBlueprint::new(64, 1).unwrap(), 4);
+        let client = svc.client();
+        let mut max_gen = 0;
+        for _ in 0..200 {
+            max_gen = max_gen.max(client.claim().unwrap().generation);
+        }
+        assert!(max_gen >= 3, "64-job generations must roll (saw {max_gen})");
+        let report = svc.shutdown();
+        assert!(report.completed_generations >= 3);
+        let eff = report.effectiveness().expect("completed generations");
+        // Solo KKβ (m = 1, β = 1): bound is n − (β + m − 2) = n, and a
+        // completed generation was fully drained by the single worker.
+        assert!(eff > 0.9, "effectiveness {eff} too low");
+    }
+
+    #[test]
+    fn mixed_population_is_heterogeneous_and_safe() {
+        let bp = KkBlueprint::mixed(128, 4).unwrap();
+        assert_eq!(bp.label(), "kk-mixed");
+        let svc = ClaimService::start(bp, 16);
+        let client = svc.client();
+        let mut jobs = HashSet::new();
+        for _ in 0..300 {
+            assert!(jobs.insert(client.claim().unwrap().job));
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.granted, 300);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let svc = ClaimService::start(KkBlueprint::new(64, 2).unwrap(), 32);
+        let client = svc.client();
+        for _ in 0..10 {
+            client.submit().expect("accepted");
+        }
+        // Shut down with requests still in flight: all 10 must be granted.
+        let report = svc.shutdown();
+        assert_eq!(report.granted, 10);
+        let mut got = 0;
+        while client.recv().is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 10, "every accepted request answered");
+        assert_eq!(
+            client.try_submit().unwrap_err(),
+            ClientError::Rejected(SubmitError::Closed)
+        );
+    }
+
+    #[test]
+    fn churned_clients_are_abandoned_not_fatal() {
+        let svc = ClaimService::start(KkBlueprint::new(64, 2).unwrap(), 8);
+        {
+            let leaver = svc.client();
+            leaver.submit().expect("accepted");
+            // Drops its receiver without collecting the grant.
+        }
+        let stayer = svc.client();
+        let grant = stayer.claim().expect("service still live");
+        assert!(grant.job >= 1);
+        let report = svc.shutdown();
+        assert_eq!(report.granted, 2);
+        assert_eq!(report.abandoned, 1);
+        assert_eq!(report.violations, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The soak harness: sustained closed-loop load with client churn.
+//!
+//! Spawns a population of client threads against a [`ClaimService`], each
+//! submitting claims in a closed loop until its quota is done. Clients
+//! *join staggered* and *leave when finished* — so the request population
+//! grows, plateaus, and shrinks over the run (churn), exercising the
+//! service across load regimes instead of at one fixed concurrency.
+//! Optional **deserter** clients submit requests and vanish without
+//! collecting their grants, pinning the abandoned-grant path.
+//!
+//! The harness measures what the façade promises: sustained claims/sec,
+//! submit-to-grant tail latency (p50/p99/p999 via [`LatencyHistogram`]),
+//! and effectiveness over completed generations — with the at-most-once
+//! audit running throughout ([`ServiceReport::violations`]).
+
+use std::thread;
+use std::time::Duration;
+
+use crate::latency::LatencyHistogram;
+use crate::service::{ClaimService, FleetBlueprint, ServiceReport};
+
+/// Shape of a soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Closed-loop clients (join staggered, leave when their quota is met).
+    pub clients: usize,
+    /// Claims each client performs before leaving.
+    pub claims_per_client: u64,
+    /// Clients that submit and leave *without* collecting grants (churn's
+    /// ugly cousin; their grants are counted as abandoned).
+    pub deserters: usize,
+    /// Requests each deserter fires before vanishing.
+    pub requests_per_deserter: u64,
+    /// Delay between successive client joins.
+    pub join_stagger: Duration,
+    /// Ingest-queue capacity (the admission bound).
+    pub queue_capacity: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            claims_per_client: 250,
+            deserters: 1,
+            requests_per_deserter: 2,
+            join_stagger: Duration::from_millis(1),
+            queue_capacity: 32,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// Grants the quota-driven clients will collect
+    /// (`clients · claims_per_client`; deserter grants are on top).
+    pub fn collected_claims(&self) -> u64 {
+        self.clients as u64 * self.claims_per_client
+    }
+}
+
+/// Everything a soak run observed.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// The run's shape.
+    pub config: SoakConfig,
+    /// Final service accounting (throughput, audit, queue counters).
+    pub service: ServiceReport,
+    /// Submit-to-grant waits merged across all quota clients.
+    pub latency: LatencyHistogram,
+}
+
+impl SoakReport {
+    /// One-line human summary of the headline metrics.
+    pub fn summary(&self) -> String {
+        let eff = self
+            .service
+            .effectiveness()
+            .map(|e| format!("{:.1}%", e * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        format!(
+            "{} fleet m={} n={}: {} grants in {:.2?} ({:.0} claims/sec) | \
+             wait p50 {:.2?} p99 {:.2?} p999 {:.2?} | \
+             effectiveness {} over {} completed generations | \
+             backpressure rejections {} (peak depth {}/{}) | violations {}",
+            self.service.fleet,
+            self.service.workers,
+            self.service.jobs_per_generation,
+            self.service.granted,
+            self.service.elapsed,
+            self.service.claims_per_sec(),
+            self.latency.p50(),
+            self.latency.p99(),
+            self.latency.p999(),
+            eff,
+            self.service.completed_generations,
+            self.service.queue.rejected_full,
+            self.service.queue.peak_depth,
+            self.service.queue_capacity,
+            self.service.violations,
+        )
+    }
+}
+
+/// Runs one soak: starts the service, drives the churning client
+/// population to quota, shuts down, and returns the merged report.
+pub fn run_soak(blueprint: impl FleetBlueprint + 'static, config: &SoakConfig) -> SoakReport {
+    let svc = ClaimService::start(blueprint, config.queue_capacity);
+
+    let clients: Vec<_> = (0..config.clients)
+        .map(|i| {
+            let client = svc.client();
+            let stagger = config.join_stagger * i as u32;
+            let quota = config.claims_per_client;
+            thread::Builder::new()
+                .name(format!("soak-client-{i}"))
+                .spawn(move || {
+                    thread::sleep(stagger);
+                    let mut hist = LatencyHistogram::new();
+                    for _ in 0..quota {
+                        let grant = client.claim().expect("service live during soak");
+                        hist.record(grant.wait);
+                    }
+                    hist
+                })
+                .expect("spawn soak client")
+        })
+        .collect();
+
+    let deserters: Vec<_> = (0..config.deserters)
+        .map(|i| {
+            let client = svc.client();
+            // Deserters join mid-stagger, between the quota clients.
+            let stagger = config.join_stagger * i as u32 + config.join_stagger / 2;
+            let requests = config.requests_per_deserter;
+            thread::Builder::new()
+                .name(format!("soak-deserter-{i}"))
+                .spawn(move || {
+                    thread::sleep(stagger);
+                    for _ in 0..requests {
+                        client.submit().expect("service live during soak");
+                    }
+                    // Falls out of scope without recv(): abandoned grants.
+                })
+                .expect("spawn soak deserter")
+        })
+        .collect();
+
+    let mut latency = LatencyHistogram::new();
+    for handle in clients {
+        latency.merge(&handle.join().expect("soak client panicked"));
+    }
+    for handle in deserters {
+        handle.join().expect("soak deserter panicked");
+    }
+
+    let service = svc.shutdown();
+    SoakReport {
+        config: config.clone(),
+        service,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::KkBlueprint;
+
+    #[test]
+    fn tiny_soak_is_clean_and_accounted() {
+        let config = SoakConfig {
+            clients: 3,
+            claims_per_client: 40,
+            deserters: 1,
+            requests_per_deserter: 2,
+            join_stagger: Duration::from_micros(200),
+            queue_capacity: 8,
+        };
+        let report = run_soak(KkBlueprint::new(32, 2).unwrap(), &config);
+        assert_eq!(report.service.violations, 0);
+        assert_eq!(
+            report.service.granted,
+            config.collected_claims() + config.deserters as u64 * config.requests_per_deserter
+        );
+        assert_eq!(report.latency.count(), config.collected_claims());
+        assert_eq!(report.service.abandoned, 2);
+        assert!(report.service.queue.peak_depth <= 8);
+        assert!(report.summary().contains("violations 0"));
+    }
+}

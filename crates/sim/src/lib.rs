@@ -189,12 +189,14 @@ pub use net::{Delivery, LatencyDist, NetStats, NetworkModel, NetworkSpec, Quorum
 pub use process::{BatchOutcome, JobSpan, Process, StepEvent};
 pub use registers::{AtomicRegisters, MemOrder, MemWork, Registers, VecRegisters};
 pub use scenario::{
-    last_net_stats, run_scenario, run_scenario_in, run_scenario_on, BackendSpec, ScenarioHooks,
-    ScenarioProcess, ScenarioSpec, SchedulerSpec,
+    boxed, last_net_stats, run_scenario, run_scenario_dyn, run_scenario_in, run_scenario_on,
+    BackendSpec, BoxProcess, DynProcess, ScenarioHooks, ScenarioProcess, ScenarioSpec,
+    SchedulerSpec,
 };
 pub use sched::{
     BlockScheduler, Decision, RandomScheduler, RoundRobin, SchedView, Scheduler, ScriptedScheduler,
     WithCrashes,
 };
+pub use thread::{ThreadExecution, ThreadPerform, ThreadSpec};
 pub use timeline::render_timeline;
 pub use verify::{at_most_once_violations, distinct_jobs, perform_summary, JobCounts, Violation};

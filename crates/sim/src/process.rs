@@ -251,6 +251,51 @@ pub trait Process<R: Registers + ?Sized> {
     }
 }
 
+/// A boxed process is a process: every method forwards to the boxee.
+///
+/// This is the trait-object seam of the dyn-friendly process API.
+/// [`Process`] is object-safe (no generic methods, no `Self: Sized`
+/// bounds), so `Box<dyn Process<R>>` is a valid type — and with this impl
+/// it *itself* satisfies `Process<R>`, which means every generic driver
+/// (the [`Engine`], [`run_scenario_on`], the thread runtime) accepts
+/// heterogeneous boxed fleets unchanged. Forwarding covers the provided
+/// methods too: a boxed `KkProcess` keeps its batched
+/// [`step_many`](Process::step_many) fast path and its restart support
+/// rather than falling back to the defaults, which is what lets the
+/// equivalence suites pin boxed runs bit-identical to unboxed ones.
+///
+/// [`Engine`]: crate::Engine
+/// [`run_scenario_on`]: crate::run_scenario_on
+impl<R: Registers + ?Sized, P: Process<R> + ?Sized> Process<R> for Box<P> {
+    fn step(&mut self, mem: &R) -> StepEvent {
+        (**self).step(mem)
+    }
+
+    fn pid(&self) -> usize {
+        (**self).pid()
+    }
+
+    fn is_terminated(&self) -> bool {
+        (**self).is_terminated()
+    }
+
+    fn local_work(&self) -> u64 {
+        (**self).local_work()
+    }
+
+    fn step_many(&mut self, mem: &R, budget: u64) -> BatchOutcome {
+        (**self).step_many(mem, budget)
+    }
+
+    fn supports_restart(&self) -> bool {
+        (**self).supports_restart()
+    }
+
+    fn on_restart(&mut self, mem: &R) {
+        (**self).on_restart(mem)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

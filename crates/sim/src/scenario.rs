@@ -390,6 +390,56 @@ impl ScenarioSpec {
     pub fn label(&self) -> &'static str {
         self.scheduler.label()
     }
+
+    /// Lowers this simulated spec into a real-thread
+    /// [`ThreadSpec`](crate::thread::ThreadSpec) — the builder-style
+    /// threaded entry point.
+    ///
+    /// What carries over, and what cannot:
+    ///
+    /// * **crash plan** — carried verbatim (crash-stop budgets; a plan
+    ///   with restart entries is rejected by
+    ///   [`ThreadSpec::run`](crate::thread::ThreadSpec::run), because real
+    ///   threads are crash-stop only);
+    /// * **limits** — the engine's *global* step cap becomes the
+    ///   *per-thread* wait-freedom watchdog: no global action order exists
+    ///   across free-running threads, so a per-process bound is the
+    ///   strongest cap the runtime can enforce;
+    /// * **scheduler, quantum** — dropped: the machine schedules real
+    ///   threads, so the fair built-ins have no threaded meaning. A
+    ///   [`SchedulerSpec::Adversary`] spec is rejected (panic) instead of
+    ///   silently losing its adversary;
+    /// * **epoch cache, collisions, backend** — dropped:
+    ///   [`AtomicRegisters`](crate::AtomicRegisters) keeps epochs off by
+    ///   design (an epoch probe and a value load are not atomic together
+    ///   under real concurrency), instrumentation is simulator-only, and
+    ///   the threaded backend *is* the hardware. A non-`Vec`
+    ///   [`BackendSpec`] is rejected (panic) — durable journaling and
+    ///   quorum messaging exist only in the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec requests a named adversary or a non-`Vec`
+    /// backend (see above).
+    pub fn threaded(&self) -> crate::thread::ThreadSpec {
+        assert!(
+            !self.scheduler.is_adversary(),
+            "adversary {:?} cannot lower to threads: real threads are scheduled by the \
+             machine, so an adversarial schedule is inexpressible — run adversary cells \
+             in the simulator",
+            self.scheduler.label()
+        );
+        assert!(
+            matches!(self.backend, BackendSpec::Vec),
+            "backend {:?} cannot lower to threads: durable journaling and quorum \
+             messaging are simulator-only backends — threaded runs execute over \
+             hardware AtomicRegisters",
+            self.backend.label()
+        );
+        crate::thread::ThreadSpec::new()
+            .with_crash_plan(self.crash_plan.clone())
+            .with_watchdog(self.limits.max_steps)
+    }
 }
 
 /// The backend-free registry contract between the generic driver and
@@ -461,6 +511,28 @@ pub trait ScenarioHooks {
     }
 }
 
+/// A boxed process keeps its hooks: the instance hooks forward to the
+/// boxee, so a driver wiring epoch caches or collision instrumentation
+/// through a `Box<dyn …>` fleet reaches the real process.
+///
+/// The *registry* methods ([`adversary`](ScenarioHooks::adversary),
+/// [`supports_adversary`](ScenarioHooks::supports_adversary)) are static
+/// (`Self: Sized`) and cannot forward through a trait object, so a boxed
+/// fleet keeps the defaults: **named adversaries are unresolvable through
+/// the erased interface** and a spec requesting one panics exactly like any
+/// other unsupported name. Scenario grids that mix dyn fleets with
+/// adversary cells must resolve the adversary on the concrete type before
+/// boxing.
+impl<P: ScenarioHooks + ?Sized> ScenarioHooks for Box<P> {
+    fn set_epoch_cache(&mut self, enabled: bool) {
+        (**self).set_epoch_cache(enabled)
+    }
+
+    fn set_collision_tracking(&mut self, enabled: bool) {
+        (**self).set_collision_tracking(enabled)
+    }
+}
+
 /// A process type that [`run_scenario`] can drive through **any**
 /// [`BackendSpec`] — the driver-facing alias over [`ScenarioHooks`] plus
 /// steppability on each built-in backend's register file.
@@ -481,6 +553,67 @@ pub trait ScenarioProcess:
 impl<P> ScenarioProcess for P where
     P: ScenarioHooks + Process<VecRegisters> + Process<DurableRegisters> + Process<QuorumRegisters>
 {
+}
+
+/// The **object-safe** scenario citizen: what one erased process must be
+/// able to do so a `Box<dyn DynProcess>` can go anywhere a concrete process
+/// type goes — through [`run_scenario`] on every built-in backend *and*
+/// onto real OS threads over [`AtomicRegisters`](crate::AtomicRegisters)
+/// (which is how `amo-serve` hosts mixed populations behind one interface).
+///
+/// This is [`ScenarioProcess`] minus the non-object-safe registry statics,
+/// plus `Process<AtomicRegisters>` and `Send` for the thread runtime.
+/// Never implement it directly: the blanket impl derives it for every type
+/// with a `ScenarioHooks` impl and a generic
+/// `impl<R: Registers + ?Sized> Process<R>` — i.e. every algorithm process
+/// in the workspace qualifies automatically, so `KkProcess`, iterative and
+/// Write-All automatons can share one `Vec<BoxProcess>` fleet.
+///
+/// What erasure costs (and the equivalence suites pin that it costs
+/// *nothing else*): named adversaries cannot resolve through the erased
+/// interface (see the [`ScenarioHooks`] impl for `Box<P>`); everything
+/// observable — step events, batching, epoch caches, restart support, work
+/// accounting — forwards to the boxee bit-identically.
+pub trait DynProcess:
+    ScenarioHooks
+    + Process<VecRegisters>
+    + Process<DurableRegisters>
+    + Process<QuorumRegisters>
+    + Process<crate::AtomicRegisters>
+    + Send
+{
+}
+
+impl<P> DynProcess for P where
+    P: ScenarioHooks
+        + Process<VecRegisters>
+        + Process<DurableRegisters>
+        + Process<QuorumRegisters>
+        + Process<crate::AtomicRegisters>
+        + Send
+{
+}
+
+/// An erased scenario process — the fleet element of heterogeneous runs.
+pub type BoxProcess = Box<dyn DynProcess>;
+
+/// Boxes a concrete process into the erased fleet type.
+///
+/// Sugar for `Box::new(p) as BoxProcess`, which keeps heterogeneous fleet
+/// literals readable:
+///
+/// ```
+/// use amo_sim::scenario::{boxed, BoxProcess};
+/// use amo_sim::testing::{PerformOnceProcess, WriterProcess};
+///
+/// let fleet: Vec<BoxProcess> = vec![
+///     boxed(PerformOnceProcess::new(1, 7)),
+///     boxed(WriterProcess::new(2, 0, 3)),
+/// ];
+/// assert_eq!(fleet.len(), 2);
+/// ```
+pub fn boxed<P: DynProcess + 'static>(p: P) -> BoxProcess {
+    Box::new(p)
 }
 
 /// Runs `fleet` over `mem` under the environment described by `spec`,
@@ -528,6 +661,28 @@ pub fn run_scenario<P: ScenarioProcess>(
         // file. (In-crate, the wildcard keeps `#[non_exhaustive]` honest.)
         _ => run_scenario_on(mem, fleet, spec),
     }
+}
+
+/// [`run_scenario`] over an erased, possibly heterogeneous fleet — the dyn
+/// entry point of the scenario layer.
+///
+/// `Box<dyn DynProcess>` satisfies [`ScenarioProcess`] through the
+/// forwarding impls, so this is *literally* `run_scenario` at a concrete
+/// fleet type: same driver, same engine paths, same backends. The
+/// `dyn_equivalence` suite pins that a homogeneous fleet run through here
+/// is bit-identical ([`Execution`] `==`) to the same fleet run unboxed.
+///
+/// # Panics
+///
+/// As [`run_scenario`] — plus, because adversary registries are static
+/// per concrete type, **any** [`SchedulerSpec::Adversary`] spec panics on
+/// an erased fleet (see the [`ScenarioHooks`] impl for `Box<P>`).
+pub fn run_scenario_dyn(
+    mem: VecRegisters,
+    fleet: Vec<BoxProcess>,
+    spec: &ScenarioSpec,
+) -> (Execution, Vec<Slot<BoxProcess>>, VecRegisters) {
+    run_scenario(mem, fleet, spec)
 }
 
 thread_local! {
@@ -880,6 +1035,83 @@ mod tests {
         assert!(
             stats.messages_dropped > 0,
             "the lossy cell must actually drop traffic"
+        );
+    }
+
+    #[test]
+    fn threaded_lowering_carries_crashes_and_watchdog() {
+        let spec = ScenarioSpec::round_robin_batched()
+            .with_crash_plan(CrashPlan::at_steps([(2usize, 5u64)]))
+            .with_max_steps(4_000);
+        let tspec = spec.threaded();
+        assert_eq!(tspec.crash_plan().budget(2), Some(5));
+        assert_eq!(tspec.watchdog(), Some(4_000));
+        let mem = tspec.alloc(2);
+        let procs = vec![WriterProcess::new(1, 0, 40), WriterProcess::new(2, 1, 40)];
+        let exec = tspec.run(&mem, procs);
+        assert_eq!(exec.crashed, vec![2]);
+        assert!(exec.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lower to threads")]
+    fn threaded_lowering_rejects_adversaries() {
+        let _ = ScenarioSpec::adversary("lockstep").threaded();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lower to threads")]
+    fn threaded_lowering_rejects_simulated_backends() {
+        let _ = ScenarioSpec::round_robin()
+            .durable(StorageFault::None, 1)
+            .threaded();
+    }
+
+    #[test]
+    fn dyn_fleet_runs_and_matches_static() {
+        // The headline dyn-equivalence pin at the unit level: a
+        // homogeneous boxed fleet is bit-identical to the unboxed run.
+        for spec in [
+            ScenarioSpec::round_robin(),
+            ScenarioSpec::round_robin_batched(),
+            ScenarioSpec::random(11).with_quantum(3),
+        ] {
+            let spec = spec.with_crash_plan(CrashPlan::at_steps([(2usize, 4u64)]));
+            let (mem, fleet) = writers(9);
+            let (static_exec, _, _) = run_scenario(mem, fleet, &spec);
+            let mem = VecRegisters::new(2);
+            let fleet: Vec<BoxProcess> = vec![
+                boxed(WriterProcess::new(1, 0, 9)),
+                boxed(WriterProcess::new(2, 1, 9)),
+            ];
+            let (dyn_exec, slots, _) = run_scenario_dyn(mem, fleet, &spec);
+            assert_eq!(static_exec, dyn_exec, "{}", spec.label());
+            assert_eq!(slots.len(), 2);
+        }
+    }
+
+    #[test]
+    fn dyn_fleet_is_heterogeneous() {
+        // Two different concrete types in one fleet — inexpressible before
+        // the dyn seam.
+        let fleet: Vec<BoxProcess> = vec![
+            boxed(crate::testing::PerformOnceProcess::new(1, 5)),
+            boxed(WriterProcess::new(2, 0, 3)),
+        ];
+        let (exec, _, _) = run_scenario_dyn(VecRegisters::new(1), fleet, &ScenarioSpec::default());
+        assert!(exec.completed);
+        assert_eq!(exec.performed.len(), 1);
+        assert_eq!(exec.performed[0].span, crate::JobSpan::single(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn dyn_fleet_cannot_resolve_named_adversaries() {
+        let fleet: Vec<BoxProcess> = vec![boxed(WriterProcess::new(1, 0, 2))];
+        let _ = run_scenario_dyn(
+            VecRegisters::new(1),
+            fleet,
+            &ScenarioSpec::adversary("lockstep"),
         );
     }
 

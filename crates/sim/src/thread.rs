@@ -7,16 +7,36 @@
 //! thread, stepping its automaton to completion; crash-stop failures are
 //! injected as per-thread step budgets from a [`CrashPlan`].
 //!
+//! Runs are described by the builder-style [`ThreadSpec`] (mirroring the
+//! [`BackendSpec`](crate::BackendSpec) builder constructors) and driven by
+//! [`ThreadSpec::run`]; a simulated [`ScenarioSpec`](crate::ScenarioSpec)
+//! lowers into one via
+//! [`ScenarioSpec::threaded`](crate::ScenarioSpec::threaded). The
+//! historical free-function entry ([`run_threads`] + [`ThreadOptions`])
+//! survives as a thin deprecated shim.
+//!
+//! # Crash semantics: stop, never restart
+//!
+//! Threaded crashes are **crash-stop only**. The simulator's
+//! crash–restart lifecycle ([`CrashPlan::restart_after`] +
+//! [`Process::on_restart`]) depends on the engine replaying a recovery
+//! protocol at a deterministic global step — a notion that does not exist
+//! across free-running OS threads, and a crashed thread's automaton state
+//! is gone with the thread. A [`CrashPlan`] carrying restart entries is
+//! therefore **rejected loudly** by [`ThreadSpec::run`] (it used to be
+//! silently ignored): run restart scenarios on the simulated backends
+//! (e.g. [`BackendSpec::durable`](crate::BackendSpec::durable)) instead.
+//!
 //! # Examples
 //!
 //! ```
 //! use amo_sim::testing::PerformOnceProcess;
-//! use amo_sim::thread::{run_threads, ThreadOptions};
+//! use amo_sim::thread::ThreadSpec;
 //! use amo_sim::{AtomicRegisters, MemOrder};
 //!
 //! let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
 //! let procs = vec![PerformOnceProcess::new(1, 1), PerformOnceProcess::new(2, 2)];
-//! let exec = run_threads(&mem, procs, ThreadOptions::default());
+//! let exec = ThreadSpec::new().run(&mem, procs);
 //! assert!(exec.completed);
 //! assert_eq!(exec.effectiveness(), 2);
 //! ```
@@ -26,10 +46,13 @@ use std::sync::Barrier;
 
 use crate::crash::CrashPlan;
 use crate::process::{JobSpan, Process, StepEvent};
-use crate::registers::{AtomicRegisters, MemWork, Registers};
+use crate::registers::{AtomicRegisters, MemOrder, MemWork, Registers};
 use crate::verify::{at_most_once_violations, distinct_jobs, Violation};
 
-/// Options for a threaded run.
+/// Options for a threaded run — the legacy plain-struct form.
+///
+/// New code builds a [`ThreadSpec`]; this struct survives as the parameter
+/// of the deprecated [`run_threads`] shim.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadOptions {
     /// Crash-stop injection: a process stops silently once it has executed
@@ -39,6 +62,208 @@ pub struct ThreadOptions {
     /// process exceeding it is reported via `completed == false`. `None`
     /// means unbounded.
     pub max_steps_per_proc: Option<u64>,
+}
+
+/// A declarative description of one real-thread execution, built with the
+/// same builder idiom as [`BackendSpec`](crate::BackendSpec) /
+/// [`ScenarioSpec`](crate::ScenarioSpec).
+///
+/// The spec owns everything a threaded run can be configured with: the
+/// crash plan (crash-**stop** budgets only — see the module docs for why
+/// restarts are rejected), the wait-freedom watchdog, and the
+/// memory-ordering regime used when the spec allocates the register file
+/// itself ([`alloc`](Self::alloc)).
+///
+/// # Examples
+///
+/// ```
+/// use amo_sim::testing::WriterProcess;
+/// use amo_sim::thread::ThreadSpec;
+/// use amo_sim::CrashPlan;
+///
+/// let spec = ThreadSpec::new()
+///     .with_crash_plan(CrashPlan::at_steps([(2usize, 5u64)]))
+///     .with_watchdog(10_000);
+/// let mem = spec.alloc(2);
+/// let procs = vec![WriterProcess::new(1, 0, 40), WriterProcess::new(2, 1, 40)];
+/// let exec = spec.run(&mem, procs);
+/// assert_eq!(exec.crashed, vec![2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThreadSpec {
+    crash_plan: CrashPlan,
+    watchdog: Option<u64>,
+    order: MemOrder,
+}
+
+impl ThreadSpec {
+    /// A spec with no crashes, no watchdog and the verified
+    /// [`MemOrder::SeqCst`] regime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds crash-stop injection (per-thread step budgets).
+    ///
+    /// Restart entries ([`CrashPlan::restart_after`]) are rejected by
+    /// [`run`](Self::run) — see the module docs.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Caps every process at `steps` actions as a wait-freedom watchdog;
+    /// a process exceeding it is reported via
+    /// [`ThreadExecution::completed`] `== false`.
+    pub fn with_watchdog(mut self, steps: u64) -> Self {
+        self.watchdog = Some(steps);
+        self
+    }
+
+    /// Selects the memory-ordering regime [`alloc`](Self::alloc) uses
+    /// (default: the verified [`MemOrder::SeqCst`]).
+    pub fn with_order(mut self, order: MemOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// The configured crash plan.
+    pub fn crash_plan(&self) -> &CrashPlan {
+        &self.crash_plan
+    }
+
+    /// The configured watchdog, if any.
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// The configured memory-ordering regime.
+    pub fn order(&self) -> MemOrder {
+        self.order
+    }
+
+    /// Allocates a zeroed register file of `cells` hardware atomics under
+    /// this spec's ordering regime.
+    pub fn alloc(&self, cells: usize) -> AtomicRegisters {
+        AtomicRegisters::new(cells, self.order)
+    }
+
+    /// Runs the fleet on OS threads over `mem`, one thread per process.
+    ///
+    /// All threads start behind a barrier so the contention window opens
+    /// simultaneously. Returns once every thread has terminated, crashed
+    /// (per plan) or exhausted the watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or pids are not `1..=m` in order, if the
+    /// crash plan carries restart entries (real threads are crash-stop
+    /// only — see the module docs), or if a worker thread panics.
+    pub fn run<P>(&self, mem: &AtomicRegisters, procs: Vec<P>) -> ThreadExecution
+    where
+        P: Process<AtomicRegisters> + Send,
+    {
+        assert!(
+            !self.crash_plan.has_restarts(),
+            "crash plan schedules restarts for pids {:?}, but the thread runtime is \
+             crash-stop only: a crashed OS thread cannot re-enter the fleet, and restart \
+             semantics (CrashPlan::restart_after + Process::on_restart) exist only in the \
+             simulator — run restart scenarios there (e.g. BackendSpec::durable)",
+            self.crash_plan
+                .restarts()
+                .map(|(p, _)| p)
+                .collect::<Vec<_>>()
+        );
+        assert!(!procs.is_empty(), "need at least one process");
+        for (i, p) in procs.iter().enumerate() {
+            assert_eq!(p.pid(), i + 1, "processes must be ordered by pid 1..=m");
+        }
+        let m = procs.len();
+        let barrier = Barrier::new(m);
+        let incomplete = AtomicU64::new(0);
+
+        struct WorkerResult {
+            pid: usize,
+            performed: Vec<ThreadPerform>,
+            steps: u64,
+            crashed: bool,
+            local_work: u64,
+        }
+
+        let start = std::time::Instant::now();
+        let results: Vec<WorkerResult> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(m);
+            for mut p in procs {
+                let barrier = &barrier;
+                let incomplete = &incomplete;
+                let spec = &self;
+                handles.push(s.spawn(move || {
+                    let pid = p.pid();
+                    let budget = spec.crash_plan.budget(pid);
+                    let mut performed = Vec::new();
+                    let mut steps: u64 = 0;
+                    let mut crashed = false;
+                    barrier.wait();
+                    loop {
+                        if budget.is_some_and(|b| steps >= b) {
+                            crashed = true;
+                            break;
+                        }
+                        if spec.watchdog.is_some_and(|w| steps >= w) {
+                            incomplete.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        match p.step(mem) {
+                            StepEvent::Perform { span } => {
+                                steps += 1;
+                                performed.push(ThreadPerform { pid, span });
+                            }
+                            StepEvent::Terminated => {
+                                steps += 1;
+                                break;
+                            }
+                            _ => steps += 1,
+                        }
+                    }
+                    WorkerResult {
+                        pid,
+                        performed,
+                        steps,
+                        crashed,
+                        local_work: p.local_work(),
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+
+        let mut performed = Vec::new();
+        let mut crashed = Vec::new();
+        let mut per_proc_steps = vec![0u64; m];
+        let mut local_work = 0u64;
+        for r in results {
+            per_proc_steps[r.pid - 1] = r.steps;
+            if r.crashed {
+                crashed.push(r.pid);
+            }
+            local_work += r.local_work;
+            performed.extend(r.performed);
+        }
+
+        ThreadExecution {
+            performed,
+            crashed,
+            per_proc_steps,
+            completed: incomplete.load(Ordering::Relaxed) == 0,
+            mem_work: mem.work(),
+            local_work,
+            elapsed,
+        }
+    }
 }
 
 /// One `do` action observed on a thread.
@@ -82,16 +307,17 @@ impl ThreadExecution {
     }
 }
 
-/// Runs the fleet on OS threads over `mem`, one thread per process.
+/// Runs the fleet on OS threads over `mem` — the legacy free-function
+/// entry, now a thin shim over [`ThreadSpec::run`].
 ///
-/// All threads start behind a barrier so the contention window opens
-/// simultaneously. Returns once every thread has terminated, crashed (per
-/// plan) or exhausted the watchdog.
-///
-/// # Panics
-///
-/// Panics if `procs` is empty or pids are not `1..=m` in order, or if a
-/// worker thread panics.
+/// Note one behavioural fix inherited from the spec path: a crash plan
+/// with restart entries used to be silently ignored here and now panics
+/// (see the module docs).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `ThreadSpec` (or lower a `ScenarioSpec` via `ScenarioSpec::threaded`) \
+            and call `ThreadSpec::run`"
+)]
 pub fn run_threads<P>(
     mem: &AtomicRegisters,
     procs: Vec<P>,
@@ -100,95 +326,11 @@ pub fn run_threads<P>(
 where
     P: Process<AtomicRegisters> + Send,
 {
-    assert!(!procs.is_empty(), "need at least one process");
-    for (i, p) in procs.iter().enumerate() {
-        assert_eq!(p.pid(), i + 1, "processes must be ordered by pid 1..=m");
+    let mut spec = ThreadSpec::new().with_crash_plan(options.crash_plan);
+    if let Some(w) = options.max_steps_per_proc {
+        spec = spec.with_watchdog(w);
     }
-    let m = procs.len();
-    let barrier = Barrier::new(m);
-    let incomplete = AtomicU64::new(0);
-
-    struct WorkerResult {
-        pid: usize,
-        performed: Vec<ThreadPerform>,
-        steps: u64,
-        crashed: bool,
-        local_work: u64,
-    }
-
-    let start = std::time::Instant::now();
-    let results: Vec<WorkerResult> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(m);
-        for mut p in procs {
-            let barrier = &barrier;
-            let incomplete = &incomplete;
-            let options = &options;
-            handles.push(s.spawn(move || {
-                let pid = p.pid();
-                let budget = options.crash_plan.budget(pid);
-                let mut performed = Vec::new();
-                let mut steps: u64 = 0;
-                let mut crashed = false;
-                barrier.wait();
-                loop {
-                    if budget.is_some_and(|b| steps >= b) {
-                        crashed = true;
-                        break;
-                    }
-                    if options.max_steps_per_proc.is_some_and(|w| steps >= w) {
-                        incomplete.fetch_add(1, Ordering::Relaxed);
-                        break;
-                    }
-                    match p.step(mem) {
-                        StepEvent::Perform { span } => {
-                            steps += 1;
-                            performed.push(ThreadPerform { pid, span });
-                        }
-                        StepEvent::Terminated => {
-                            steps += 1;
-                            break;
-                        }
-                        _ => steps += 1,
-                    }
-                }
-                WorkerResult {
-                    pid,
-                    performed,
-                    steps,
-                    crashed,
-                    local_work: p.local_work(),
-                }
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    let elapsed = start.elapsed();
-
-    let mut performed = Vec::new();
-    let mut crashed = Vec::new();
-    let mut per_proc_steps = vec![0u64; m];
-    let mut local_work = 0u64;
-    for r in results {
-        per_proc_steps[r.pid - 1] = r.steps;
-        if r.crashed {
-            crashed.push(r.pid);
-        }
-        local_work += r.local_work;
-        performed.extend(r.performed);
-    }
-
-    ThreadExecution {
-        performed,
-        crashed,
-        per_proc_steps,
-        completed: incomplete.load(Ordering::Relaxed) == 0,
-        mem_work: mem.work(),
-        local_work,
-        elapsed,
-    }
+    spec.run(mem, procs)
 }
 
 #[cfg(test)]
@@ -201,7 +343,7 @@ mod tests {
     fn threads_complete() {
         let mem = AtomicRegisters::new(4, MemOrder::SeqCst);
         let procs: Vec<WriterProcess> = (1..=4).map(|p| WriterProcess::new(p, p - 1, 50)).collect();
-        let exec = run_threads(&mem, procs, ThreadOptions::default());
+        let exec = ThreadSpec::new().run(&mem, procs);
         assert!(exec.completed);
         assert!(exec.crashed.is_empty());
         assert_eq!(exec.per_proc_steps, vec![51; 4]);
@@ -212,11 +354,8 @@ mod tests {
     fn crash_plan_limits_steps() {
         let mem = AtomicRegisters::new(2, MemOrder::SeqCst);
         let procs = vec![WriterProcess::new(1, 0, 1_000), WriterProcess::new(2, 1, 5)];
-        let options = ThreadOptions {
-            crash_plan: CrashPlan::at_steps([(1usize, 7u64)]),
-            ..ThreadOptions::default()
-        };
-        let exec = run_threads(&mem, procs, options);
+        let spec = ThreadSpec::new().with_crash_plan(CrashPlan::at_steps([(1usize, 7u64)]));
+        let exec = spec.run(&mem, procs);
         assert_eq!(exec.crashed, vec![1]);
         assert_eq!(exec.per_proc_steps[0], 7);
         assert!(exec.completed, "pid 2 still terminated normally");
@@ -226,11 +365,7 @@ mod tests {
     fn watchdog_reports_incomplete() {
         let mem = AtomicRegisters::new(1, MemOrder::SeqCst);
         let procs = vec![WriterProcess::new(1, 0, 1_000)];
-        let options = ThreadOptions {
-            max_steps_per_proc: Some(10),
-            ..ThreadOptions::default()
-        };
-        let exec = run_threads(&mem, procs, options);
+        let exec = ThreadSpec::new().with_watchdog(10).run(&mem, procs);
         assert!(!exec.completed);
     }
 
@@ -240,7 +375,7 @@ mod tests {
         let procs: Vec<PerformOnceProcess> = (1..=8)
             .map(|p| PerformOnceProcess::new(p, p as u64))
             .collect();
-        let exec = run_threads(&mem, procs, ThreadOptions::default());
+        let exec = ThreadSpec::new().run(&mem, procs);
         assert_eq!(exec.effectiveness(), 8);
         assert!(exec.violations().is_empty());
     }
@@ -249,10 +384,66 @@ mod tests {
     #[should_panic(expected = "ordered by pid")]
     fn pid_order_enforced() {
         let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
-        let _ = run_threads(
-            &mem,
-            vec![PerformOnceProcess::new(2, 1)],
-            ThreadOptions::default(),
-        );
+        let _ = ThreadSpec::new().run(&mem, vec![PerformOnceProcess::new(2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-stop only")]
+    fn restart_plans_are_rejected_loudly() {
+        // Silently ignoring restart entries used to make a threaded run
+        // with a durable-style plan report misleading results; now the
+        // combination is a loud harness error.
+        let mem = AtomicRegisters::new(0, MemOrder::SeqCst);
+        let mut plan = CrashPlan::at_steps([(1usize, 3u64)]);
+        plan.restart_after(1, 5);
+        let _ = ThreadSpec::new()
+            .with_crash_plan(plan)
+            .run(&mem, vec![PerformOnceProcess::new(1, 1)]);
+    }
+
+    #[test]
+    fn spec_builders_and_accessors() {
+        let spec = ThreadSpec::new()
+            .with_crash_plan(CrashPlan::at_steps([(3usize, 9u64)]))
+            .with_watchdog(77)
+            .with_order(MemOrder::AcqRel);
+        assert_eq!(spec.crash_plan().budget(3), Some(9));
+        assert_eq!(spec.watchdog(), Some(77));
+        assert_eq!(spec.order(), MemOrder::AcqRel);
+        let mem = spec.alloc(3);
+        assert_eq!(mem.len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_matches_spec_path() {
+        // The deprecated free function must stay a faithful adapter.
+        let run_legacy = || {
+            let mem = AtomicRegisters::new(2, MemOrder::SeqCst);
+            run_threads(
+                &mem,
+                vec![WriterProcess::new(1, 0, 30), WriterProcess::new(2, 1, 30)],
+                ThreadOptions {
+                    crash_plan: CrashPlan::at_steps([(2usize, 4u64)]),
+                    max_steps_per_proc: Some(1_000),
+                },
+            )
+        };
+        let run_spec = || {
+            let spec = ThreadSpec::new()
+                .with_crash_plan(CrashPlan::at_steps([(2usize, 4u64)]))
+                .with_watchdog(1_000);
+            let mem = spec.alloc(2);
+            spec.run(
+                &mem,
+                vec![WriterProcess::new(1, 0, 30), WriterProcess::new(2, 1, 30)],
+            )
+        };
+        let (a, b) = (run_legacy(), run_spec());
+        // Deterministic observables agree (wall-clock obviously differs).
+        assert_eq!(a.performed, b.performed);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(a.per_proc_steps, b.per_proc_steps);
+        assert_eq!(a.mem_work.writes, b.mem_work.writes);
     }
 }

@@ -9,7 +9,7 @@
 
 use amo_core::ConfigError;
 use amo_iterative::{IterConfig, IterSimOptions};
-use amo_sim::thread::{run_threads as sim_run_threads, ThreadOptions};
+use amo_sim::thread::ThreadSpec;
 use amo_sim::{
     AtomicRegisters, CrashPlan, Execution, MemOrder, MemWork, ScenarioHooks, ScenarioProcess,
     ScenarioSpec, Scheduler, VecRegisters,
@@ -222,14 +222,9 @@ pub fn run_wa_threads(config: &WaConfig, crash_plan: CrashPlan, order: MemOrder)
     let fleet: Vec<WaIterativeProcess> = (1..=config.m())
         .map(|pid| WaIterativeProcess::new(pid, config.iter(), layout.clone()))
         .collect();
-    let exec = sim_run_threads(
-        &mem,
-        fleet,
-        ThreadOptions {
-            crash_plan,
-            max_steps_per_proc: None,
-        },
-    );
+    let exec = ThreadSpec::new()
+        .with_crash_plan(crash_plan)
+        .run(&mem, fleet);
     let certified = certify_snapshot(&mem.snapshot(), layout.wa_base(), config.n());
     WaReport {
         complete: certified.complete,
@@ -311,30 +306,27 @@ pub fn run_baseline_threads(
 ) -> WaReport {
     assert!(n > 0 && m > 0, "need jobs and processes");
     let cells = baseline_cells(kind.uses_rmw(), n);
-    let mem = AtomicRegisters::new(cells, order);
-    let options = ThreadOptions {
-        crash_plan,
-        max_steps_per_proc: None,
-    };
+    let spec = ThreadSpec::new()
+        .with_crash_plan(crash_plan)
+        .with_order(order);
+    let mem = spec.alloc(cells);
     let exec = match kind {
-        WaBaselineKind::Sequential => {
-            sim_run_threads(&mem, vec![SequentialWa::new(1, n as u64)], options)
-        }
+        WaBaselineKind::Sequential => spec.run(&mem, vec![SequentialWa::new(1, n as u64)]),
         WaBaselineKind::StaticPartition => {
             let fleet: Vec<_> = (1..=m)
                 .map(|p| StaticPartitionWa::new(p, m, n as u64))
                 .collect();
-            sim_run_threads(&mem, fleet, options)
+            spec.run(&mem, fleet)
         }
         WaBaselineKind::Tas => {
             let fleet: Vec<_> = (1..=m).map(|p| TasWa::new(p, m, n as u64)).collect();
-            sim_run_threads(&mem, fleet, options)
+            spec.run(&mem, fleet)
         }
         WaBaselineKind::PermutationScan(seed) => {
             let fleet: Vec<_> = (1..=m)
                 .map(|p| PermutationScanWa::new(p, n as u64, seed))
                 .collect();
-            sim_run_threads(&mem, fleet, options)
+            spec.run(&mem, fleet)
         }
     };
     let certified = certify_snapshot(&mem.snapshot(), 0, n);

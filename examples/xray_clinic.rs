@@ -26,10 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two controllers fail mid-session (crash-stop, like a watchdog reset).
     // Budgets are in *actions*; one job cycle is ≈ 2m + 5 actions, so these
     // land a few exposures into the session.
-    let options = ThreadRunOptions {
-        crash_plan: CrashPlan::at_steps([(2usize, 40u64), (5, 90)]),
-        ..ThreadRunOptions::default()
-    };
+    let options = ThreadRunOptions::default()
+        .with_crash_plan(CrashPlan::at_steps([(2usize, 40u64), (5, 90)]));
     let report = run_threads(&config, options);
 
     // Replay the perform ledger as the exposure log.

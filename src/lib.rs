@@ -23,6 +23,10 @@
 //!   baselines.
 //! * [`baselines`] — at-most-once comparators (trivial split, two-process
 //!   optimal, test-and-set, ...).
+//! * [`serve`] — the job-claim **service façade**: a long-running server
+//!   answering streams of claim requests from an erased, possibly
+//!   heterogeneous fleet over real atomics, with bounded admission and a
+//!   runtime at-most-once audit.
 //!
 //! # Quick start
 //!
@@ -55,5 +59,6 @@ pub use amo_baselines as baselines;
 pub use amo_core as core;
 pub use amo_iterative as iterative;
 pub use amo_ostree as ostree;
+pub use amo_serve as serve;
 pub use amo_sim as sim;
 pub use amo_write_all as write_all;

@@ -42,13 +42,7 @@ fn crash_heavy_thread_runs_stay_safe() {
         let m = 2 + (seed as usize % 6);
         let config = KkConfig::new(40 * m, m).unwrap();
         let plan = CrashPlan::at_steps((1..m).map(|p| (p, seed * 31 + 10 * p as u64)));
-        let r = run_threads(
-            &config,
-            ThreadRunOptions {
-                crash_plan: plan,
-                ..ThreadRunOptions::default()
-            },
-        );
+        let r = run_threads(&config, ThreadRunOptions::default().with_crash_plan(plan));
         assert!(r.violations.is_empty(), "seed {seed}");
         assert!(
             r.effectiveness >= config.effectiveness_bound(),
@@ -65,18 +59,12 @@ fn acqrel_ordering_is_measured_not_trusted() {
     let config = KkConfig::new(300, 4).unwrap();
     let seqcst = run_threads(
         &config,
-        ThreadRunOptions {
-            order: MemOrder::SeqCst,
-            ..ThreadRunOptions::default()
-        },
+        ThreadRunOptions::default().with_order(MemOrder::SeqCst),
     );
     assert!(seqcst.violations.is_empty());
     let acqrel = run_threads(
         &config,
-        ThreadRunOptions {
-            order: MemOrder::AcqRel,
-            ..ThreadRunOptions::default()
-        },
+        ThreadRunOptions::default().with_order(MemOrder::AcqRel),
     );
     // Report only: count, do not assert emptiness.
     let _observed = acqrel.violations.len();

@@ -27,13 +27,7 @@ fn staggered_crashes_under_contention() {
         let m = 6;
         let config = KkConfig::new(60, m).unwrap();
         let plan = CrashPlan::at_steps((1..m).map(|p| (p, round * 13 + 7 * p as u64)));
-        let r = run_threads(
-            &config,
-            ThreadRunOptions {
-                crash_plan: plan,
-                ..ThreadRunOptions::default()
-            },
-        );
+        let r = run_threads(&config, ThreadRunOptions::default().with_crash_plan(plan));
         assert!(r.violations.is_empty(), "round {round}");
     }
 }
