@@ -120,6 +120,7 @@ impl BaselineOptions {
             reference_single_step: false,
             backend: Default::default(),
             collisions: false,
+            shard: Default::default(),
         }
     }
 }

@@ -17,7 +17,8 @@
 //! stdout. Exit code 1 on regression.
 
 use amo_bench::gate::{
-    arg_value, compare_env, markdown, parse_backend, parse_bench, parse_kernel, MEM_TOLERANCE,
+    arg_value, compare_env, markdown, parse_backend, parse_bench, parse_kernel, parse_shards,
+    MEM_TOLERANCE,
 };
 
 fn main() {
@@ -56,11 +57,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Kernel tiers and register backends ride along informationally: a
-    // mismatch (non-AVX2 runner, forced AMO_KERNEL=scalar leg, a durable
-    // journaling backend) relaxes the timing bands — timing is not
-    // comparable across either axis — while deterministic counters stay
-    // pinned exactly.
+    // Kernel tiers, register backends and shard configurations ride along
+    // informationally: a mismatch (non-AVX2 runner, forced AMO_KERNEL=scalar
+    // leg, a durable journaling backend, a different worker-thread count)
+    // relaxes the timing bands — timing is not comparable across any of
+    // those axes — while deterministic counters stay pinned exactly.
     let report = compare_env(
         &baseline,
         &current,
@@ -69,10 +70,12 @@ fn main() {
         (
             parse_kernel(&baseline_json).as_deref(),
             parse_backend(&baseline_json).as_deref(),
+            parse_shards(&baseline_json).as_deref(),
         ),
         (
             parse_kernel(&current_json).as_deref(),
             parse_backend(&current_json).as_deref(),
+            parse_shards(&current_json).as_deref(),
         ),
     );
     let md = markdown(&report, tolerance);

@@ -45,50 +45,18 @@ pub fn run_simulated_pooled(
 /// machine's cores and emit rows in the original, deterministic order.
 /// Falls back to a plain sequential map when the machine reports a single
 /// core or the input is trivial.
+///
+/// Grid parallelism and shard parallelism share one thread abstraction —
+/// [`amo_sim::pool`] — so nested use (a sharded simulation inside a grid
+/// cell, or a grid fanned out from a shard worker) runs inline instead of
+/// oversubscribing cores.
 pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(items.len());
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Strided assignment: grids are usually ordered by growing instance
-    // size, so contiguous chunks would pile every heavy cell onto the last
-    // thread; dealing the items round-robin balances the load.
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % threads].push((i, item));
-    }
-    let f = &f;
-    let mut indexed: Vec<(usize, U)> = std::thread::scope(|s| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                s.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(i, x)| (i, f(x)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(results) => results,
-                // Re-raise the worker's own panic (e.g. a safety assertion
-                // naming the failing cell) instead of a generic message.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, u)| u).collect()
+    amo_sim::pool::par_map(amo_sim::pool::effective_parallelism(), items, f)
 }
 
 /// Experiment scale: parameter grids for CI vs the recorded runs.

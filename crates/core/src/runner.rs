@@ -11,7 +11,7 @@
 use amo_sim::thread::ThreadSpec;
 use amo_sim::{
     run_scenario, CrashPlan, EngineLimits, Execution, JobSpan, MemOrder, MemWork, RoundRobin,
-    ScenarioSpec, SchedulerSpec, Slot, VecRegisters, Violation,
+    ScenarioSpec, SchedulerSpec, ShardSpec, Slot, VecRegisters, Violation,
 };
 
 use crate::config::KkConfig;
@@ -110,6 +110,11 @@ pub struct SimOptions {
     /// and enabled by [`round_robin_batched`](Self::round_robin_batched),
     /// the fast-path configuration.
     pub interleaved_done: bool,
+    /// Shard parallelism (see [`amo_sim::ShardSpec`]); disabled by default.
+    /// When enabled the scenario layer routes to the phased sharded driver
+    /// — every deterministic observable stays shard- and thread-count
+    /// independent.
+    pub shard: ShardSpec,
 }
 
 impl Default for SimOptions {
@@ -123,6 +128,7 @@ impl Default for SimOptions {
             reference_single_step: false,
             epoch_cache: true,
             interleaved_done: false,
+            shard: ShardSpec::disabled(),
         }
     }
 }
@@ -258,6 +264,12 @@ impl SimOptions {
         self
     }
 
+    /// Replaces the shard-parallelism configuration (see [`Self::shard`]).
+    pub fn with_shard_spec(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Lowers these options into the shared [`ScenarioSpec`] — the
     /// converting adapter the legacy runners are now thin shims over.
     ///
@@ -282,6 +294,7 @@ impl SimOptions {
             reference_single_step: self.reference_single_step,
             backend: Default::default(),
             collisions: self.track_collisions,
+            shard: self.shard,
         }
     }
 }

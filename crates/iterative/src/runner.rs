@@ -265,6 +265,7 @@ impl IterSimOptions {
             reference_single_step: self.reference_single_step,
             backend: Default::default(),
             collisions: false,
+            shard: Default::default(),
         }
     }
 }

@@ -4,20 +4,29 @@
 //! bitmap scans: [`FenwickSet`](crate::FenwickSet)'s `count_le` bulk sums,
 //! the (hinted) `select_excluding` walks, the register-file prefix clears and
 //! the dense `Execution::summary` pass. This module factors those physical
-//! scans into a small set of bulk primitives with **two** implementations:
+//! scans into a small set of bulk primitives with **three** implementations:
 //!
 //! * a **scalar** tier — the portable SWAR code every path historically ran,
 //!   kept as the universal oracle and fallback;
 //! * an **AVX2** tier (`core::arch::x86_64`; requires AVX2 + POPCNT) —
 //!   256-bit unaligned loads, `vpshufb` nibble-table popcounts reduced with
-//!   `vpsadbw`, and a byte-prefix select inside the hit lane.
+//!   `vpsadbw`, and a byte-prefix select inside the hit lane;
+//! * an **AVX-512** tier (requires AVX-512F + AVX-512VPOPCNTDQ) — native
+//!   per-lane `vpopcntq` over 512-bit groups for the popcount family
+//!   ([`popcount`], [`popcount_masked_tail`], and [`count_le_range`] built
+//!   on them); every other primitive falls back to the AVX2 bodies, which
+//!   [`avx512_available`] guarantees are runnable.
 //!
 //! `std::simd` stays out of reach under the workspace's MSRV 1.75 pin, so
-//! the wide tier is written against the stable `core::arch` intrinsics and
-//! selected **once** per process by [`tier`] via `is_x86_feature_detected!`,
-//! cached in an atomic. The `AMO_KERNEL=scalar|avx2` environment variable
-//! forces a tier (CI runs the scalar leg on every PR; differential tests
-//! flip tiers in-process through [`set_tier`]).
+//! the AVX2 tier is written against the stable `core::arch` intrinsics —
+//! and because the AVX-512 intrinsics (and `#[target_feature(enable =
+//! "avx512f")]`) are themselves unstable under that pin, the AVX-512
+//! popcount kernel is spelled as stable inline `asm!` over `zmm`
+//! registers. A tier is selected **once** per process by [`tier`] via
+//! `is_x86_feature_detected!`, cached in an atomic. The
+//! `AMO_KERNEL=scalar|avx2|avx512` environment variable forces a tier (CI
+//! runs the scalar leg on every PR; differential tests flip tiers
+//! in-process through [`set_tier`]).
 //!
 //! # Counter-neutrality invariant
 //!
@@ -43,15 +52,21 @@ pub enum KernelTier {
     Scalar,
     /// 256-bit `core::arch::x86_64` kernels (requires AVX2 + POPCNT).
     Avx2,
+    /// 512-bit `vpopcntq` inline-asm kernels for the popcount family
+    /// (requires AVX-512F + AVX-512VPOPCNTDQ); other primitives run the
+    /// AVX2 bodies.
+    Avx512,
 }
 
 impl KernelTier {
-    /// Stable lowercase name (`"scalar"` / `"avx2"`) — the spelling used by
-    /// the `AMO_KERNEL` override and recorded in bench output.
+    /// Stable lowercase name (`"scalar"` / `"avx2"` / `"avx512"`) — the
+    /// spelling used by the `AMO_KERNEL` override and recorded in bench
+    /// output.
     pub fn name(self) -> &'static str {
         match self {
             KernelTier::Scalar => "scalar",
             KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
         }
     }
 }
@@ -65,6 +80,7 @@ impl fmt::Display for KernelTier {
 const TIER_UNRESOLVED: u8 = 0;
 const TIER_SCALAR: u8 = 1;
 const TIER_AVX2: u8 = 2;
+const TIER_AVX512: u8 = 3;
 
 /// Resolved tier, cached after the first [`tier`] call (0 = unresolved).
 static TIER: AtomicU8 = AtomicU8::new(TIER_UNRESOLVED);
@@ -73,6 +89,7 @@ fn encode(t: KernelTier) -> u8 {
     match t {
         KernelTier::Scalar => TIER_SCALAR,
         KernelTier::Avx2 => TIER_AVX2,
+        KernelTier::Avx512 => TIER_AVX512,
     }
 }
 
@@ -82,6 +99,23 @@ pub fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `true` when this process can run the AVX-512 tier: x86-64 with AVX-512F
+/// and AVX-512VPOPCNTDQ reported at runtime, **plus** the AVX2 baseline —
+/// the AVX-512 tier dispatches every non-popcount primitive to the AVX2
+/// bodies, so those must be runnable too.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_available()
+            && std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -104,14 +138,26 @@ fn detect() -> KernelTier {
             );
             KernelTier::Avx2
         }
+        Ok(v) if v == "avx512" => {
+            assert!(
+                avx512_available(),
+                "AMO_KERNEL=avx512 forced but this CPU/arch has no \
+                 AVX-512F+AVX-512VPOPCNTDQ (with AVX2 baseline)"
+            );
+            KernelTier::Avx512
+        }
         Ok(v) if v.is_empty() => auto_tier(),
-        Ok(v) => panic!("unknown AMO_KERNEL tier {v:?} (expected \"scalar\" or \"avx2\")"),
+        Ok(v) => {
+            panic!("unknown AMO_KERNEL tier {v:?} (expected \"scalar\", \"avx2\" or \"avx512\")")
+        }
         Err(_) => auto_tier(),
     }
 }
 
 fn auto_tier() -> KernelTier {
-    if avx2_available() {
+    if avx512_available() {
+        KernelTier::Avx512
+    } else if avx2_available() {
         KernelTier::Avx2
     } else {
         KernelTier::Scalar
@@ -128,6 +174,7 @@ pub fn tier() -> KernelTier {
     match TIER.load(Ordering::Relaxed) {
         TIER_SCALAR => KernelTier::Scalar,
         TIER_AVX2 => KernelTier::Avx2,
+        TIER_AVX512 => KernelTier::Avx512,
         _ => {
             let t = detect();
             TIER.store(encode(t), Ordering::Relaxed);
@@ -147,31 +194,52 @@ pub fn tier() -> KernelTier {
 ///
 /// # Panics
 ///
-/// Panics if [`KernelTier::Avx2`] is requested on hardware without it.
+/// Panics if [`KernelTier::Avx2`] or [`KernelTier::Avx512`] is requested
+/// on hardware without it.
 pub fn set_tier(t: KernelTier) -> KernelTier {
-    if t == KernelTier::Avx2 {
-        assert!(
+    match t {
+        KernelTier::Scalar => {}
+        KernelTier::Avx2 => assert!(
             avx2_available(),
             "KernelTier::Avx2 forced but this CPU/arch has no AVX2+POPCNT"
-        );
+        ),
+        KernelTier::Avx512 => assert!(
+            avx512_available(),
+            "KernelTier::Avx512 forced but this CPU/arch has no \
+             AVX-512F+AVX-512VPOPCNTDQ (with AVX2 baseline)"
+        ),
     }
     let prev = tier();
     TIER.store(encode(t), Ordering::Relaxed);
     prev
 }
 
-/// Dispatches to the AVX2 body when the resolved tier is
-/// [`KernelTier::Avx2`] (x86-64 only), else runs the scalar body.
+/// Dispatches on the resolved tier (x86-64 only; other arches always run
+/// the scalar body). The two-arm form reuses the AVX2 body for the AVX-512
+/// tier — [`avx512_available`] includes the AVX2 probe precisely so that
+/// fallback is always runnable.
 macro_rules! dispatch {
-    ($scalar:expr, $avx2:expr) => {{
+    ($scalar:expr, $avx2:expr) => {
+        dispatch!($scalar, $avx2, $avx2)
+    };
+    ($scalar:expr, $avx2:expr, $avx512:expr) => {{
         #[cfg(target_arch = "x86_64")]
         {
-            if tier() == KernelTier::Avx2 {
-                // SAFETY: the Avx2 tier is only ever selected (detect /
-                // set_tier) after `avx2_available()` confirmed AVX2+POPCNT
-                // on this CPU at runtime.
-                #[allow(unsafe_code)]
-                return unsafe { $avx2 };
+            // SAFETY: a wide tier is only ever selected (detect / set_tier)
+            // after its `*_available()` probe confirmed the features on
+            // this CPU at runtime; `avx512_available()` implies
+            // `avx2_available()`, so an Avx512 dispatch may land on an
+            // AVX2 body.
+            match tier() {
+                KernelTier::Avx2 => {
+                    #[allow(unsafe_code)]
+                    return unsafe { $avx2 };
+                }
+                KernelTier::Avx512 => {
+                    #[allow(unsafe_code)]
+                    return unsafe { $avx512 };
+                }
+                KernelTier::Scalar => {}
             }
         }
         $scalar
@@ -180,7 +248,11 @@ macro_rules! dispatch {
 
 /// Total set bits across `words`.
 pub fn popcount(words: &[u64]) -> u64 {
-    dispatch!(scalar::popcount(words), avx2::popcount(words))
+    dispatch!(
+        scalar::popcount(words),
+        avx2::popcount(words),
+        avx512::popcount(words)
+    )
 }
 
 /// [`popcount`] with the **last** word masked by `tail_mask` before
@@ -189,7 +261,8 @@ pub fn popcount(words: &[u64]) -> u64 {
 pub fn popcount_masked_tail(words: &[u64], tail_mask: u64) -> u64 {
     dispatch!(
         scalar::popcount_masked_tail(words, tail_mask),
-        avx2::popcount_masked_tail(words, tail_mask)
+        avx2::popcount_masked_tail(words, tail_mask),
+        avx512::popcount_masked_tail(words, tail_mask)
     )
 }
 
@@ -655,6 +728,84 @@ mod avx2 {
     }
 }
 
+/// The 512-bit popcount tier: native per-lane `vpopcntq` over 64-byte
+/// groups. Requires AVX-512F + AVX-512VPOPCNTDQ — callers dispatch here
+/// only after runtime detection.
+///
+/// Under the workspace's MSRV 1.75 pin both the `_mm512_*` intrinsics and
+/// `#[target_feature(enable = "avx512f")]` are unstable, so this tier is
+/// spelled as stable inline `asm!` over `zmm` registers: the instructions
+/// an `asm!` block emits need no compile-time feature enablement, and
+/// correctness rests on the same runtime probe that gates every wide tier.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx512 {
+    use std::arch::asm;
+
+    /// Words per 512-bit lane group.
+    const LANES: usize = 8;
+
+    /// Per-lane `vpopcntq` sums over `groups` 512-bit groups at `ptr`,
+    /// reduced to one total.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ and `groups ≥ 1` readable
+    /// groups (of eight `u64`s each) starting at `ptr`.
+    unsafe fn popcount_groups(mut ptr: *const u64, mut groups: usize) -> u64 {
+        debug_assert!(groups >= 1);
+        let mut lanes = [0u64; LANES];
+        // Label "2" avoids the GNU-as 0/1 binary-suffix ambiguity.
+        asm!(
+            "vpxorq zmm0, zmm0, zmm0",
+            "2:",
+            "vmovdqu64 zmm1, zmmword ptr [{ptr}]",
+            "vpopcntq zmm1, zmm1",
+            "vpaddq zmm0, zmm0, zmm1",
+            "add {ptr}, 64",
+            "dec {groups}",
+            "jnz 2b",
+            "vmovdqu64 zmmword ptr [{lanes}], zmm0",
+            ptr = inout(reg) ptr,
+            groups = inout(reg) groups,
+            lanes = in(reg) lanes.as_mut_ptr(),
+            out("zmm0") _,
+            out("zmm1") _,
+            options(nostack),
+        );
+        let _ = (ptr, groups);
+        lanes.iter().sum()
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ (runtime-detected by the
+    /// dispatcher).
+    pub unsafe fn popcount(words: &[u64]) -> u64 {
+        let groups = words.len() / LANES;
+        let mut total = if groups > 0 {
+            popcount_groups(words.as_ptr(), groups)
+        } else {
+            0
+        };
+        for &w in &words[groups * LANES..] {
+            total += u64::from(w.count_ones());
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX-512F + AVX-512VPOPCNTDQ (runtime-detected by the
+    /// dispatcher).
+    pub unsafe fn popcount_masked_tail(words: &[u64], tail_mask: u64) -> u64 {
+        match words.split_last() {
+            None => 0,
+            Some((last, head)) => popcount(head) + u64::from((last & tail_mask).count_ones()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +841,39 @@ mod tests {
         assert_eq!(KernelTier::Scalar.name(), "scalar");
         assert_eq!(KernelTier::Avx2.name(), "avx2");
         assert_eq!(KernelTier::Avx2.to_string(), "avx2");
+        assert_eq!(KernelTier::Avx512.name(), "avx512");
+        assert_eq!(KernelTier::Avx512.to_string(), "avx512");
+    }
+
+    #[test]
+    fn avx512_popcounts_match_scalar_oracle() {
+        // Direct module-level differential (no tier flip needed); the
+        // dispatched differential lives in forced_tiers_agree below and in
+        // the kernel_equivalence suite.
+        if !avx512_available() {
+            eprintln!(
+                "avx512_popcounts_match_scalar_oracle: no AVX-512VPOPCNTDQ — informational skip"
+            );
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 129] {
+            let ws = words(len as u64 + 3, len);
+            #[allow(unsafe_code)]
+            // SAFETY: guarded by avx512_available() above.
+            let (pc, pm) = unsafe {
+                (
+                    super::avx512::popcount(&ws),
+                    super::avx512::popcount_masked_tail(&ws, 0x00FF_00FF_00FF_00FF),
+                )
+            };
+            assert_eq!(pc, super::scalar::popcount(&ws), "len={len}");
+            assert_eq!(
+                pm,
+                super::scalar::popcount_masked_tail(&ws, 0x00FF_00FF_00FF_00FF),
+                "len={len} (masked tail)"
+            );
+        }
     }
 
     #[test]
@@ -771,27 +955,29 @@ mod tests {
         }
         let ws = words(99, 37);
         let counts: Vec<u32> = ws.iter().map(|&w| (w % 7) as u32).collect();
+        let probe = || {
+            (
+                popcount(&ws),
+                popcount_masked_tail(&ws, 0x0F0F),
+                count_le_range(&ws, 1234),
+                find_nth_set_in(&ws, 555),
+                find_nth_set_from_right(&ws, 555),
+                sum_u32(&counts),
+                find_gt(&counts, 3, 1),
+            )
+        };
         let prev = set_tier(KernelTier::Scalar);
-        let s = (
-            popcount(&ws),
-            popcount_masked_tail(&ws, 0x0F0F),
-            count_le_range(&ws, 1234),
-            find_nth_set_in(&ws, 555),
-            find_nth_set_from_right(&ws, 555),
-            sum_u32(&counts),
-            find_gt(&counts, 3, 1),
-        );
+        let s = probe();
         set_tier(KernelTier::Avx2);
-        let a = (
-            popcount(&ws),
-            popcount_masked_tail(&ws, 0x0F0F),
-            count_le_range(&ws, 1234),
-            find_nth_set_in(&ws, 555),
-            find_nth_set_from_right(&ws, 555),
-            sum_u32(&counts),
-            find_gt(&counts, 3, 1),
-        );
+        assert_eq!(s, probe());
+        if avx512_available() {
+            set_tier(KernelTier::Avx512);
+            assert_eq!(s, probe());
+        } else {
+            eprintln!(
+                "forced_tiers_agree: no AVX-512VPOPCNTDQ — avx512 leg skipped (informational)"
+            );
+        }
         set_tier(prev);
-        assert_eq!(s, a);
     }
 }

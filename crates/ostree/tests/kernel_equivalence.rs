@@ -38,6 +38,9 @@ fn tiers() -> Vec<KernelTier> {
     if kernels::avx2_available() {
         t.push(KernelTier::Avx2);
     }
+    if kernels::avx512_available() {
+        t.push(KernelTier::Avx512);
+    }
     t
 }
 

@@ -75,6 +75,37 @@
 //! [`AtomicRegisters`] keeps them disabled because an epoch probe and a
 //! value load are not atomic together under real concurrency.
 //!
+//! # Sharded phased execution (determinism invariants)
+//!
+//! [`ScenarioSpec::shard`](scenario::ScenarioSpec::shard) routes
+//! [`run_scenario`] to the [`shard`] driver: the fleet is partitioned into
+//! `S` contiguous-pid shards whose turns execute on worker threads between
+//! *communication epochs*. The invariants that keep this bit-exactly
+//! reproducible (pinned by `shard_equivalence` and `prop_shard`):
+//!
+//! * **Merge-key ordering.** All shared writes of an epoch are buffered in
+//!   per-shard publication logs and replayed into the backing
+//!   [`VecRegisters`] at the barrier in `(epoch, pid, local_seq)` order —
+//!   epoch-major, pid-major, program-order within a turn. Because the
+//!   ordering key never mentions shards or threads, the global mutation
+//!   stamp, per-cell epochs, `epoch_mem_bytes` and all work counters evolve
+//!   along one canonical sequence: every `(S, threads)` combination
+//!   produces the identical [`Execution`].
+//! * **The epoch-barrier contract.** During an epoch every shared read is
+//!   served from the snapshot frozen at the previous barrier (plus the
+//!   process's own same-turn writes); a turn keeps foreign reads before
+//!   writes ([`Process::step_turn`]), so the phased run is sequentially
+//!   consistent and the at-most-once algorithms — safe under *every* SC
+//!   schedule — remain safe. KKβ stops each turn at `gatherTry`: announce
+//!   first, let the barrier publish, gather next epoch (Dekker's
+//!   announce-then-gather at epoch granularity).
+//! * **Why [`AtomicRegisters`] stays excluded.** Under real concurrency
+//!   there is no barrier at which a deterministic merge order could be
+//!   imposed — the hardware interleaving *is* the schedule. Sharding is a
+//!   property of the deterministic simulator only (`Vec` backend);
+//!   likewise `swap`-based baselines cannot shard because a
+//!   read-modify-write is not servable from a frozen snapshot.
+//!
 //! # Durability invariants (the `Durable` backend)
 //!
 //! [`BackendSpec::Durable`](scenario::BackendSpec::Durable) wraps the
@@ -171,10 +202,12 @@ mod durable;
 mod engine;
 mod explore;
 pub mod net;
+pub mod pool;
 mod process;
 mod registers;
 pub mod scenario;
 mod sched;
+pub mod shard;
 pub mod testing;
 pub mod thread;
 mod timeline;
@@ -197,6 +230,7 @@ pub use sched::{
     BlockScheduler, Decision, RandomScheduler, RoundRobin, SchedView, Scheduler, ScriptedScheduler,
     WithCrashes,
 };
+pub use shard::{run_scenario_sharded, ShardRegisters, ShardSpec};
 pub use thread::{ThreadExecution, ThreadPerform, ThreadSpec};
 pub use timeline::render_timeline;
 pub use verify::{at_most_once_violations, distinct_jobs, perform_summary, JobCounts, Violation};

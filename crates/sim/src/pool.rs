@@ -1,0 +1,212 @@
+//! The workspace's one thread abstraction: scoped worker fan-out with a
+//! nesting guard.
+//!
+//! Two layers use OS-level parallelism — experiment grids
+//! (`amo_bench::par_map` fans independent cells across cores) and the
+//! sharded scenario driver ([`crate::shard`] runs shard turns on workers
+//! between epoch barriers). Both route through this module so they share
+//! one notion of "how parallel is this machine" and, crucially, so that
+//! **nested** use degrades to inline execution instead of oversubscribing:
+//! a sharded simulation running *inside* a `par_map` grid cell (or a grid
+//! fanned out from inside a shard worker) executes sequentially on the
+//! worker it is already on.
+//!
+//! Workers are scoped threads (`std::thread::scope`), not a persistent
+//! pool: every fan-out owns its workers for its own lifetime, panics
+//! propagate to the caller with their original payload, and no state leaks
+//! between uses. Long-lived phase workers (the shard driver's per-run
+//! epoch loops) spawn through [`scope_workers`] and synchronise themselves.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// `true` on threads spawned by this module — the nesting guard.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when the current thread is itself a pool worker (a `par_map`
+/// mapper or a shard epoch worker); nested fan-outs should run inline.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// The parallelism a fan-out on this thread should use: the machine's
+/// available parallelism, or `1` when already inside a pool worker (nested
+/// fan-out must not oversubscribe the cores the outer fan-out owns).
+pub fn effective_parallelism() -> usize {
+    if in_worker() {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Runs `f` with the worker flag set, so nested fan-outs from inside `f`
+/// run inline.
+fn as_worker<U>(f: impl FnOnce() -> U) -> U {
+    IN_WORKER.with(|w| w.set(true));
+    let out = f();
+    // Scoped workers are short-lived threads, but reset anyway so direct
+    // callers on reused threads (tests) observe balanced enter/exit.
+    IN_WORKER.with(|w| w.set(false));
+    out
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// preserving input order.
+///
+/// The assignment is *strided* (items dealt round-robin): inputs ordered by
+/// growing instance size would otherwise pile every heavy cell onto the
+/// last worker. Runs inline (plain sequential map) when `threads <= 1`,
+/// the input is trivial, or the caller is already a pool worker.
+///
+/// A worker panic is re-raised on the caller with its original payload
+/// (e.g. a safety assertion naming the failing grid cell), not a generic
+/// join error.
+pub fn par_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = threads.min(items.len()).min(effective_parallelism());
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    as_worker(|| {
+                        bucket
+                            .into_iter()
+                            .map(|(i, x)| (i, f(x)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Spawns `workers` scoped worker threads running `work(worker_index)` and
+/// runs `coordinate()` on the calling thread; returns `coordinate`'s value
+/// once every worker has finished.
+///
+/// This is the long-lived-phase-worker entry (the shard driver keeps its
+/// workers alive across all epochs of a run and synchronises with them via
+/// barriers); the workers carry the nesting guard like `par_map` mappers.
+/// Worker panics are re-raised on the caller after `coordinate` returns or
+/// unwinds.
+pub fn scope_workers<C, W, U>(workers: usize, work: W, coordinate: C) -> U
+where
+    C: FnOnce() -> U,
+    W: Fn(usize) + Sync,
+{
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| s.spawn(move || as_worker(|| work(w))))
+            .collect();
+        let out = coordinate();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(4, (0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_sequential_when_single_thread() {
+        let out = par_map(1, vec![1, 2, 3], |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        // When the outer map spawns workers, the inner fan-out must see
+        // `effective_parallelism() == 1` and run inline on that worker; when
+        // the machine is single-core the outer map is already inline and the
+        // same holds trivially. Either way results are order-preserving.
+        let out = par_map(4, (0..8).collect(), |x: i32| {
+            if in_worker() {
+                assert_eq!(
+                    effective_parallelism(),
+                    1,
+                    "nested fan-out would oversubscribe"
+                );
+            }
+            par_map(4, vec![x, x + 1], |y: i32| y * 10)
+                .iter()
+                .sum::<i32>()
+        });
+        assert_eq!(out, (0..8).map(|x| 20 * x + 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_flag_is_scoped() {
+        assert!(!in_worker());
+        par_map(2, vec![1, 2], |x: i32| {
+            // On a multi-core machine this runs on a worker; on a single
+            // core it runs inline on the caller. Either way the flag is
+            // consistent with where we run.
+            let _ = x;
+        });
+        assert!(!in_worker(), "flag must not leak back to the caller");
+    }
+
+    #[test]
+    fn scope_workers_joins_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let got = scope_workers(
+            3,
+            |w| {
+                assert!(w < 3);
+                assert!(in_worker());
+                count.fetch_add(1, Ordering::SeqCst);
+            },
+            || 42,
+        );
+        assert_eq!(got, 42);
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            par_map(2, vec![1, 2, 3, 4], |x: i32| {
+                assert!(x != 3, "cell {x} failed");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

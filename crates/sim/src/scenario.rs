@@ -64,6 +64,7 @@ use crate::net::{NetStats, NetworkSpec, QuorumRegisters};
 use crate::process::Process;
 use crate::registers::{Registers, VecRegisters};
 use crate::sched::{BlockScheduler, RandomScheduler, RoundRobin, Scheduler, WithCrashes};
+use crate::shard::{run_scenario_sharded, ShardRegisters, ShardSpec};
 
 /// Scheduling strategy of a [`ScenarioSpec`]: the built-in fair schedulers
 /// structurally, or a named algorithm-specific adversary resolved through
@@ -249,6 +250,11 @@ pub struct ScenarioSpec {
     /// it (via [`ScenarioHooks::set_collision_tracking`]; costs memory
     /// and time).
     pub collisions: bool,
+    /// Shard parallelism (see [`ShardSpec`] and [`crate::shard`]). Disabled
+    /// by default; when enabled, [`run_scenario`] routes to
+    /// [`run_scenario_sharded`]'s phased schedule (Vec backend,
+    /// round-robin/random schedulers, crash-stop plans only).
+    pub shard: ShardSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -262,6 +268,7 @@ impl Default for ScenarioSpec {
             reference_single_step: false,
             backend: BackendSpec::default(),
             collisions: false,
+            shard: ShardSpec::disabled(),
         }
     }
 }
@@ -349,6 +356,22 @@ impl ScenarioSpec {
     /// Enables collision instrumentation (see [`Self::collisions`]).
     pub fn with_collision_tracking(mut self) -> Self {
         self.collisions = true;
+        self
+    }
+
+    /// Replaces the shard-parallelism configuration (see [`ShardSpec`]).
+    pub fn with_shard_spec(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Enables the phased sharded driver with `shards` partitions on as
+    /// many worker threads as the machine affords (shorthand for
+    /// [`with_shard_spec`](Self::with_shard_spec) + [`ShardSpec::auto`]).
+    /// Every deterministic observable is thread- and shard-count
+    /// independent, so this only trades wall-clock.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shard = ShardSpec::auto(shards);
         self
     }
 
@@ -546,12 +569,22 @@ impl<P: ScenarioHooks + ?Sized> ScenarioHooks for Box<P> {
 /// [`run_scenario_on`] drives any `ScenarioHooks + Process<R>` fleet over
 /// any `R: Registers`.)
 pub trait ScenarioProcess:
-    ScenarioHooks + Process<VecRegisters> + Process<DurableRegisters> + Process<QuorumRegisters>
+    ScenarioHooks
+    + Process<VecRegisters>
+    + Process<DurableRegisters>
+    + Process<QuorumRegisters>
+    + Process<ShardRegisters>
+    + Send
 {
 }
 
 impl<P> ScenarioProcess for P where
-    P: ScenarioHooks + Process<VecRegisters> + Process<DurableRegisters> + Process<QuorumRegisters>
+    P: ScenarioHooks
+        + Process<VecRegisters>
+        + Process<DurableRegisters>
+        + Process<QuorumRegisters>
+        + Process<ShardRegisters>
+        + Send
 {
 }
 
@@ -579,6 +612,7 @@ pub trait DynProcess:
     + Process<VecRegisters>
     + Process<DurableRegisters>
     + Process<QuorumRegisters>
+    + Process<ShardRegisters>
     + Process<crate::AtomicRegisters>
     + Send
 {
@@ -589,6 +623,7 @@ impl<P> DynProcess for P where
         + Process<VecRegisters>
         + Process<DurableRegisters>
         + Process<QuorumRegisters>
+        + Process<ShardRegisters>
         + Process<crate::AtomicRegisters>
         + Send
 {
@@ -641,6 +676,12 @@ pub fn run_scenario<P: ScenarioProcess>(
     // before the one generic code path takes over.
     mem.set_epoch_tracking(spec.epoch_cache && spec.grants_quanta());
     LAST_NET_STATS.with(|s| s.set(None));
+
+    if spec.shard.enabled() {
+        // The phased sharded driver (validates its own spec subset: Vec
+        // backend, quantum-honouring scheduler, crash-stop plan).
+        return run_scenario_sharded(mem, fleet, spec);
+    }
 
     match spec.backend {
         BackendSpec::Durable { fault, seed } => {

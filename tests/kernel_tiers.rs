@@ -59,10 +59,17 @@ fn full_fleet_reports_are_bit_identical_across_kernel_tiers() {
         // crashes, completion, mem_work, local_work, total_steps,
         // epoch_mem_bytes, effectiveness, violations and collisions.
         assert_eq!(scalar, avx2, "cell {name}: reports diverged across tiers");
+        if kernels::avx512_available() {
+            let avx512 = run_under(KernelTier::Avx512, spec, &config);
+            assert_eq!(scalar, avx512, "cell {name}: avx512 report diverged");
+        }
         assert!(
             scalar.violations.is_empty(),
             "cell {name}: at-most-once violated"
         );
+    }
+    if !kernels::avx512_available() {
+        eprintln!("no AVX-512VPOPCNTDQ on this machine — avx512 rows skipped (informational)");
     }
 }
 
