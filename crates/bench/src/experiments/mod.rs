@@ -14,8 +14,10 @@
 //! | E9 | [`scenario_matrix`] | cross-algorithm adversary matrix (scenario layer) |
 //! | E10 | [`recovery_matrix`] | storage-fault × restart matrix (durable backend) |
 //! | E11 | [`network_matrix`] | algorithm × network matrix (quorum message-passing backend) |
+//! | E12 | [`chaos_matrix`] | seeded chaos sweep (composed fault schedules, all stacks) |
 
 pub mod ablations;
+pub mod chaos_matrix;
 pub mod collisions;
 pub mod comparison;
 pub mod effectiveness;
@@ -29,6 +31,7 @@ pub mod work;
 pub mod write_all;
 
 pub use ablations::{exp_beta_ablation, exp_pick_ablation};
+pub use chaos_matrix::exp_chaos_matrix;
 pub use collisions::exp_collisions;
 pub use comparison::exp_comparison;
 pub use effectiveness::exp_effectiveness;
@@ -59,5 +62,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.push(exp_scenario_matrix(scale));
     tables.push(exp_recovery_matrix(scale));
     tables.push(exp_network_matrix(scale));
+    tables.push(exp_chaos_matrix(scale));
     tables
 }

@@ -19,10 +19,15 @@
 //!
 //! ## The service contract
 //!
-//! 1. **Accepted ⇒ granted.** Every request admitted by the ingest queue
-//!    is answered with a grant before shutdown completes (the queue's
-//!    drain guarantee plus wait-free fleet progress). Requests are only
-//!    ever refused *at admission* — never accepted and then dropped.
+//! 1. **Accepted ⇒ granted, or explicitly failed.** Every request
+//!    admitted by the ingest queue is answered with a grant before
+//!    shutdown completes (the queue's drain guarantee plus wait-free
+//!    fleet progress) — and this survives worker panics: supervision
+//!    ([`service`] module docs) restarts a killed worker with its
+//!    in-flight request re-served. Requests are only ever refused *at
+//!    admission* (backpressure) or by an *explicit* client-side deadline
+//!    ([`ClientError::DeadlineExceeded`], the grant still owed) — never
+//!    accepted and then silently dropped.
 //! 2. **Bounded admission.** At most `queue_capacity` requests are ever
 //!    in flight; overload surfaces at submit time as backpressure
 //!    ([`SubmitError::Full`] on the fast path, blocking on
@@ -66,6 +71,7 @@ pub mod soak;
 pub use latency::LatencyHistogram;
 pub use queue::{IngestQueue, QueueStats, Rejected, SubmitError};
 pub use service::{
-    ClaimClient, ClaimService, ClientError, FleetBlueprint, Grant, KkBlueprint, ServiceReport,
+    ClaimClient, ClaimService, ClientError, DesertedClient, FleetBlueprint, Grant, KkBlueprint,
+    RetryPolicy, ServiceChaos, ServiceReport,
 };
 pub use soak::{run_soak, SoakConfig, SoakReport};

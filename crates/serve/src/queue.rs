@@ -7,9 +7,23 @@
 //! overload *at submit time* — either by blocking ([`IngestQueue::push`])
 //! or by an immediate [`SubmitError::Full`] ([`IngestQueue::try_push`]) —
 //! instead of the service buffering unboundedly and collapsing later.
+//!
+//! The queue is **poison-tolerant**: a worker that panics while holding
+//! the lock (a chaos kill, a process bug) leaves the mutex poisoned but
+//! the state itself consistent — it is a plain deque plus counters, with
+//! no invariant ever spanning a panic point — so every operation recovers
+//! the guard from [`PoisonError`](std::sync::PoisonError) instead of
+//! cascading the panic into blocked producers as a deadlock-by-unwind.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Recovers the guard from a poisoned lock or condvar wait: the queue's
+/// state holds no invariant across a panic point, so the poison flag is
+/// noise here, not evidence of corruption (see the module docs).
+fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Why a submission did not enter the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +107,7 @@ impl<T> IngestQueue<T> {
     /// [`SubmitError::Full`] when the bound is hit (the backpressure
     /// signal) / [`SubmitError::Closed`] after [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<(), Rejected<T>> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = recover(self.state.lock());
         if st.closed {
             return Err(Rejected {
                 item,
@@ -117,7 +131,7 @@ impl<T> IngestQueue<T> {
     /// Blocking submit: waits while the queue is at capacity. Fails only
     /// when the queue is (or becomes, while waiting) closed.
     pub fn push(&self, item: T) -> Result<(), Rejected<T>> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = recover(self.state.lock());
         loop {
             if st.closed {
                 return Err(Rejected {
@@ -132,7 +146,7 @@ impl<T> IngestQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.not_full.wait(st).expect("queue poisoned");
+            st = recover(self.not_full.wait(st));
         }
     }
 
@@ -140,7 +154,7 @@ impl<T> IngestQueue<T> {
     /// the queue is closed **and** drained — every accepted item is
     /// delivered to some consumer before the `None`s begin.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = recover(self.state.lock());
         loop {
             if let Some(item) = st.buf.pop_front() {
                 self.not_full.notify_one();
@@ -149,7 +163,7 @@ impl<T> IngestQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue poisoned");
+            st = recover(self.not_empty.wait(st));
         }
     }
 
@@ -157,7 +171,7 @@ impl<T> IngestQueue<T> {
     /// producer and consumer. Already-accepted items remain poppable (the
     /// drain guarantee).
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = recover(self.state.lock());
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();
@@ -166,7 +180,7 @@ impl<T> IngestQueue<T> {
 
     /// Lifetime counters (see [`QueueStats`]).
     pub fn stats(&self) -> QueueStats {
-        self.state.lock().expect("queue poisoned").stats
+        recover(self.state.lock()).stats
     }
 }
 
@@ -234,5 +248,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = IngestQueue::<u32>::new(0);
+    }
+
+    /// Regression for the panic-safety audit: a worker dying mid-drain
+    /// while holding the queue lock poisons the mutex, but the state is
+    /// still consistent — every operation (including the drain guarantee)
+    /// must keep working instead of deadlocking blocked pushers with a
+    /// cascading poison panic.
+    #[test]
+    fn poisoned_lock_does_not_deadlock_the_queue() {
+        let q = Arc::new(IngestQueue::new(4));
+        q.try_push(1u32).unwrap();
+        let dying_worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.state.lock().unwrap();
+                panic!("worker killed mid-drain");
+            })
+        };
+        assert!(dying_worker.join().is_err(), "the worker really died");
+        // The mutex is now poisoned; everything must still work.
+        assert_eq!(q.pop(), Some(1));
+        q.push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.stats().accepted, 3);
+        q.close();
+        assert_eq!(q.pop(), Some(2), "drain guarantee survives the poison");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -28,10 +28,40 @@
 //! generation in bounded steps and rotates into a fresher one — every
 //! accepted request is eventually granted (the drain guarantee), provided
 //! clients keep their total demand finite (they do: quotas).
+//!
+//! # Supervision and degraded mode
+//!
+//! A worker thread no longer dies with its first panic. Each worker runs a
+//! supervision loop: the drive loop executes under `catch_unwind` while
+//! the worker's whole state — automaton, stash, the request in flight,
+//! the delivered-wait histogram — lives *outside* it, so a recovered
+//! panic loses nothing. Two recovery paths:
+//!
+//! * **Chaos kills** ([`ServiceChaos`]) fire at a clean point (after a
+//!   grant is delivered, before the next request is popped, no lock
+//!   held), so the supervisor resumes the *same* automaton into the
+//!   current generation.
+//! * **Unrecognised panics** may have died mid-`step`, leaving the
+//!   automaton's local state out of sync with the registers; re-stepping
+//!   it could double-perform. The supervisor retires from the generation,
+//!   rebuilds a fresh automaton in the next one, and re-serves the parked
+//!   request — accepted ⇒ granted survives the death. A bounded dirty
+//!   budget re-raises a worker that keeps dying on its own.
+//!
+//! At the client edge, [`ClaimClient::claim_with_deadline`] bounds each
+//! wait by a [`RetryPolicy`] (exponential backoff), turning a slow grant
+//! into an *explicit* [`ClientError::DeadlineExceeded`] instead of an
+//! indefinite block — the request stays outstanding, and the late grant
+//! remains collectable. All of it is accounted in the report:
+//! [`ServiceReport::worker_restarts`],
+//! [`deadline_misses`](ServiceReport::deadline_misses),
+//! [`late_recovered`](ServiceReport::late_recovered), and the
+//! delivered-only [`grant_waits`](ServiceReport::grant_waits) histogram.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use amo_core::{KkConfig, KkLayout, KkProcess};
@@ -39,7 +69,66 @@ use amo_ostree::DenseFenwickSet;
 use amo_sim::scenario::{boxed, BoxProcess};
 use amo_sim::{AtomicRegisters, MemOrder, StepEvent};
 
+use crate::latency::LatencyHistogram;
 use crate::queue::{IngestQueue, QueueStats, Rejected, SubmitError};
+
+/// Panic message used by [`ServiceChaos`] worker kills; the supervisor
+/// recognises it as a clean-point kill (no lock held, no request in
+/// flight) and resumes the same automaton into the current generation.
+const CHAOS_KILL_MSG: &str = "chaos: injected worker kill";
+
+/// Restart budget for panics the supervisor does *not* recognise as
+/// clean-point chaos kills. Exhausting it re-raises the panic: a worker
+/// that keeps dying on its own is a bug, not churn.
+const MAX_DIRTY_RESTARTS: u32 = 64;
+
+/// Live fault injection for the claim service: kill a worker's drive loop
+/// (by panicking its thread) after every
+/// [`kill_every_grants`](Self::kill_every_grants) grants it delivers, up
+/// to [`max_kills_per_worker`](Self::max_kills_per_worker) times.
+///
+/// Kills fire at a clean point — the grant just delivered, the next
+/// request not yet popped, no lock held — so the supervisor resumes the
+/// same automaton mid-generation without replaying any claim. Every kill
+/// is counted in [`ServiceReport::worker_restarts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceChaos {
+    /// Deliveries between injected kills (`0` disables injection).
+    pub kill_every_grants: u64,
+    /// Cap on kills per worker, so a chaotic run still terminates.
+    pub max_kills_per_worker: u32,
+}
+
+impl ServiceChaos {
+    /// Kill after every `every` grants, at most `cap` times per worker.
+    pub fn every(every: u64, cap: u32) -> Self {
+        Self {
+            kill_every_grants: every,
+            max_kills_per_worker: cap,
+        }
+    }
+}
+
+/// Client-edge deadline policy for
+/// [`ClaimClient::claim_with_deadline`]: the first wait is bounded by
+/// [`deadline`](Self::deadline), then up to [`retries`](Self::retries)
+/// further waits each **double** the previous bound (exponential
+/// backoff). Every expired wait counts a deadline miss; a grant arriving
+/// on a later wait counts as late-recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-attempt grant deadline.
+    pub deadline: Duration,
+    /// Additional (backed-off) waits after the first miss.
+    pub retries: u32,
+}
+
+impl RetryPolicy {
+    /// Wait `deadline` once, then up to `retries` doubling waits.
+    pub fn new(deadline: Duration, retries: u32) -> Self {
+        Self { deadline, retries }
+    }
+}
 
 /// How a service builds the per-generation fleet: `m` erased automatons
 /// over a register file of [`cells`](Self::cells) cells, claiming
@@ -195,6 +284,17 @@ struct Shared {
     stranded: AtomicU64,
     completed_generations: AtomicU64,
     performed_in_completed: AtomicU64,
+    /// Optional live fault injection (worker kills).
+    chaos: Option<ServiceChaos>,
+    /// Worker panics recovered by supervision (chaos kills + dirty).
+    worker_restarts: AtomicU64,
+    /// Expired `claim_with_deadline` waits across all clients.
+    deadline_misses: AtomicU64,
+    /// Grants that arrived after at least one missed deadline.
+    late_recovered: AtomicU64,
+    /// Submit-to-grant waits of **delivered** grants only; abandoned
+    /// (deserted-client) grants are excluded so churn cannot skew tails.
+    grant_waits: Mutex<LatencyHistogram>,
 }
 
 impl Shared {
@@ -234,52 +334,159 @@ impl Shared {
     }
 }
 
-fn worker_loop(shared: &Shared, pid: usize) {
-    let mut gen_index = 0u64;
-    let mut gen = shared.enter_generation(gen_index);
-    let mut automaton = shared.blueprint.build(pid);
-    let mut stash: VecDeque<u64> = VecDeque::new();
+/// Everything a worker must not lose when its drive loop panics: the
+/// automaton, its undelivered stash, the request in flight and the
+/// delivered-wait histogram. Held *outside* `catch_unwind` so the
+/// supervisor resumes mid-generation with nothing replayed or dropped.
+struct WorkerState {
+    gen_index: u64,
+    gen: Arc<Generation>,
+    automaton: BoxProcess,
+    stash: VecDeque<u64>,
+    /// The popped-but-unanswered request, parked here so a recovered
+    /// panic re-serves it (accepted ⇒ granted survives mid-claim deaths).
+    pending: Option<ClaimRequest>,
+    delivered: u64,
+    kills: u32,
+    waits: LatencyHistogram,
+}
 
-    while let Some(req) = shared.queue.pop() {
+/// One supervised stint of a worker: runs until the queue is closed and
+/// drained, or until a panic (a real bug or an injected chaos kill)
+/// unwinds back to the supervisor in [`worker_loop`].
+fn worker_drive(shared: &Shared, pid: usize, state: &mut WorkerState) {
+    loop {
+        let req = match state.pending.take() {
+            Some(req) => req,
+            None => match shared.queue.pop() {
+                Some(req) => req,
+                None => return,
+            },
+        };
+        // Park the request where a panic cannot lose it.
+        state.pending = Some(req);
         let job = loop {
-            if let Some(job) = stash.pop_front() {
+            if let Some(job) = state.stash.pop_front() {
                 break job;
             }
-            match automaton.step(&gen.mem) {
+            match state.automaton.step(&state.gen.mem) {
                 StepEvent::Perform { span } => {
-                    gen.performed.fetch_add(span.count(), Ordering::Relaxed);
-                    shared.audit_perform(&gen, span.lo, span.hi);
+                    state
+                        .gen
+                        .performed
+                        .fetch_add(span.count(), Ordering::Relaxed);
+                    shared.audit_perform(&state.gen, span.lo, span.hi);
                     for j in span.jobs() {
-                        stash.push_back(gen.base + j);
+                        state.stash.push_back(state.gen.base + j);
                     }
                 }
                 StepEvent::Terminated => {
-                    shared.retire(&gen);
-                    gen_index += 1;
-                    gen = shared.enter_generation(gen_index);
-                    automaton = shared.blueprint.build(pid);
+                    shared.retire(&state.gen);
+                    state.gen_index += 1;
+                    state.gen = shared.enter_generation(state.gen_index);
+                    state.automaton = shared.blueprint.build(pid);
                 }
                 _ => {}
             }
         };
+        let req = state.pending.take().expect("request parked above");
+        let wait = req.submitted.elapsed();
         let grant = Grant {
             job,
             worker: pid,
-            generation: gen.index,
-            wait: req.submitted.elapsed(),
+            generation: state.gen.index,
+            wait,
         };
         shared.granted.fetch_add(1, Ordering::Relaxed);
+        state.delivered += 1;
         if req.reply.send(grant).is_err() {
             // Client churn: the requester left before its grant arrived.
-            // The job is performed either way; account it as abandoned.
+            // The job is performed either way; account it as abandoned —
+            // and keep it out of the wait histogram, since a deserted
+            // grant's "wait" measures the deserter, not the service.
             shared.abandoned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.waits.record(wait);
+        }
+        if let Some(chaos) = shared.chaos {
+            if chaos.kill_every_grants > 0
+                && state.delivered % chaos.kill_every_grants == 0
+                && state.kills < chaos.max_kills_per_worker
+            {
+                state.kills += 1;
+                panic!(
+                    "{CHAOS_KILL_MSG} (worker {pid}, delivery {})",
+                    state.delivered
+                );
+            }
         }
     }
+}
+
+/// Whether a caught panic payload is a [`ServiceChaos`] kill.
+fn is_chaos_kill(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .map(|s| s.contains(CHAOS_KILL_MSG))
+        .or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(CHAOS_KILL_MSG))
+        })
+        .unwrap_or(false)
+}
+
+fn worker_loop(shared: &Shared, pid: usize) {
+    let mut state = WorkerState {
+        gen_index: 0,
+        gen: shared.enter_generation(0),
+        automaton: shared.blueprint.build(pid),
+        stash: VecDeque::new(),
+        pending: None,
+        delivered: 0,
+        kills: 0,
+        waits: LatencyHistogram::new(),
+    };
+    let mut dirty_restarts = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_drive(shared, pid, &mut state))) {
+            // Queue closed and drained: the worker retires cleanly.
+            Ok(()) => break,
+            Err(payload) => {
+                shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if is_chaos_kill(payload.as_ref()) {
+                    // Clean-point kill: automaton, stash and pending
+                    // request are all intact — resume into the current
+                    // generation.
+                    continue;
+                }
+                dirty_restarts += 1;
+                if dirty_restarts > MAX_DIRTY_RESTARTS {
+                    resume_unwind(payload);
+                }
+                // An unrecognised panic may have died mid-`step`, leaving
+                // the automaton's local state inconsistent with the
+                // registers; re-stepping it (or a same-pid twin) could
+                // double-perform. Retire from this generation and rebuild
+                // in the next — the stash and the parked request are
+                // still sound and carry over.
+                shared.retire(&state.gen);
+                state.gen_index += 1;
+                state.gen = shared.enter_generation(state.gen_index);
+                state.automaton = shared.blueprint.build(pid);
+            }
+        }
+    }
+    shared
+        .grant_waits
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .merge(&state.waits);
     // Queue closed and drained: jobs still in the stash were performed but
     // never matched to a request.
     shared
         .stranded
-        .fetch_add(stash.len() as u64, Ordering::Relaxed);
+        .fetch_add(state.stash.len() as u64, Ordering::Relaxed);
 }
 
 /// A handle for submitting claim requests and receiving [`Grant`]s.
@@ -309,6 +516,11 @@ pub enum ClientError {
     /// outstanding — there is no grant to wait for, and blocking would
     /// hang forever.
     NothingOutstanding,
+    /// [`ClaimClient::claim_with_deadline`] exhausted its deadline and
+    /// every backed-off retry without the grant arriving. The request is
+    /// still outstanding — accepted ⇒ granted holds, so the late grant
+    /// remains owed and a later [`recv`](ClaimClient::recv) collects it.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ClientError {
@@ -316,6 +528,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Rejected(e) => write!(f, "request rejected: {e}"),
             ClientError::NothingOutstanding => write!(f, "no outstanding request to receive for"),
+            ClientError::DeadlineExceeded => {
+                write!(f, "grant deadline exceeded after bounded retries")
+            }
         }
     }
 }
@@ -384,6 +599,82 @@ impl ClaimClient {
         }
         self.recv()
     }
+
+    /// Submit-and-wait with bounded waits: like [`claim`](Self::claim),
+    /// but each wait for the grant is bounded by the [`RetryPolicy`] —
+    /// the first for `policy.deadline`, each of the `policy.retries`
+    /// further waits doubling the previous bound (exponential backoff).
+    ///
+    /// Every expired wait is counted as a deadline miss
+    /// ([`ServiceReport::deadline_misses`]); a grant arriving on a later
+    /// wait is counted late-recovered
+    /// ([`ServiceReport::late_recovered`]). When every wait expires this
+    /// returns [`ClientError::DeadlineExceeded`] — an *explicit* failure
+    /// in place of an indefinite block. The request stays outstanding
+    /// (the grant is still owed by the drain guarantee), so a later
+    /// [`recv`](Self::recv) collects it.
+    pub fn claim_with_deadline(&self, policy: RetryPolicy) -> Result<Grant, ClientError> {
+        match self.try_submit() {
+            Ok(()) => {}
+            Err(ClientError::Rejected(SubmitError::Full)) => self.submit()?,
+            Err(e) => return Err(e),
+        }
+        let mut bound = policy.deadline;
+        for attempt in 0..=policy.retries {
+            match self.reply_rx.recv_timeout(bound) {
+                Ok(grant) => {
+                    self.outstanding.set(self.outstanding.get() - 1);
+                    if attempt > 0 {
+                        self.shared.late_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(grant);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    bound = bound.saturating_mul(2);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("client holds its own reply sender; channel cannot disconnect")
+                }
+            }
+        }
+        Err(ClientError::DeadlineExceeded)
+    }
+
+    /// Turns this client into a deserter: the receiving half is dropped
+    /// *now*, so every grant for its outstanding and future requests is
+    /// delivered-to-nobody and counted abandoned — deterministically,
+    /// rather than racing the worker's delivery against the client's
+    /// departure. The churn suites pin their abandoned counts with this.
+    pub fn desert(self) -> DesertedClient {
+        let ClaimClient {
+            shared, reply_tx, ..
+        } = self;
+        DesertedClient { shared, reply_tx }
+    }
+}
+
+/// A claim client that has walked away from its grants (see
+/// [`ClaimClient::desert`]): it can still submit, but nothing it is owed
+/// can ever be delivered — the at-most-once service performs the job and
+/// accounts the grant as abandoned.
+pub struct DesertedClient {
+    shared: Arc<Shared>,
+    reply_tx: mpsc::Sender<Grant>,
+}
+
+impl DesertedClient {
+    /// Blocking submit, as [`ClaimClient::submit`]; the resulting grant
+    /// is performed and then abandoned.
+    pub fn submit(&self) -> Result<(), ClientError> {
+        self.shared
+            .queue
+            .push(ClaimRequest {
+                submitted: Instant::now(),
+                reply: self.reply_tx.clone(),
+            })
+            .map_err(|Rejected { reason, .. }| ClientError::Rejected(reason))
+    }
 }
 
 /// Final accounting of a service run (returned by
@@ -405,6 +696,20 @@ pub struct ServiceReport {
     /// **The at-most-once audit**: global job ids performed more than
     /// once. Zero for a correct fleet, asserted by the soak suites.
     pub violations: u64,
+    /// Worker panics recovered by supervision — injected chaos kills
+    /// resumed in place, plus unrecognised panics restarted into the next
+    /// generation.
+    pub worker_restarts: u64,
+    /// Expired [`claim_with_deadline`](ClaimClient::claim_with_deadline)
+    /// waits across all clients.
+    pub deadline_misses: u64,
+    /// Grants that arrived after at least one missed deadline (the
+    /// abandoned-then-recovered path).
+    pub late_recovered: u64,
+    /// Submit-to-grant waits of **delivered** grants only. Abandoned
+    /// (deserted-client) grants are excluded, so churn cannot skew the
+    /// latency tails.
+    pub grant_waits: LatencyHistogram,
     /// Generations all `m` workers retired from.
     pub completed_generations: u64,
     /// Jobs performed within those completed generations.
@@ -457,8 +762,27 @@ impl ClaimService {
         Self::start_boxed(Box::new(blueprint), queue_capacity)
     }
 
+    /// [`start`](Self::start) with live fault injection: worker threads
+    /// are killed per `chaos` and supervised back to life mid-generation
+    /// (see the module docs on supervision).
+    pub fn start_chaotic(
+        blueprint: impl FleetBlueprint + 'static,
+        queue_capacity: usize,
+        chaos: ServiceChaos,
+    ) -> Self {
+        Self::start_with(Box::new(blueprint), queue_capacity, Some(chaos))
+    }
+
     /// [`start`](Self::start) for an already-erased blueprint.
     pub fn start_boxed(blueprint: Box<dyn FleetBlueprint>, queue_capacity: usize) -> Self {
+        Self::start_with(blueprint, queue_capacity, None)
+    }
+
+    fn start_with(
+        blueprint: Box<dyn FleetBlueprint>,
+        queue_capacity: usize,
+        chaos: Option<ServiceChaos>,
+    ) -> Self {
         let m = blueprint.workers();
         assert!(m > 0, "blueprint must have at least one worker");
         let shared = Arc::new(Shared {
@@ -472,6 +796,11 @@ impl ClaimService {
             stranded: AtomicU64::new(0),
             completed_generations: AtomicU64::new(0),
             performed_in_completed: AtomicU64::new(0),
+            chaos,
+            worker_restarts: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            late_recovered: AtomicU64::new(0),
+            grant_waits: Mutex::new(LatencyHistogram::new()),
         });
         let workers = (1..=m)
             .map(|pid| {
@@ -515,7 +844,11 @@ impl ClaimService {
     pub fn shutdown(self) -> ServiceReport {
         self.shared.queue.close();
         for handle in self.workers {
-            handle.join().expect("worker thread panicked");
+            // A worker that exhausted its dirty-restart budget re-raised
+            // its final panic; the restarts are already counted, so the
+            // accounting finishes with what the surviving workers
+            // delivered instead of tearing down the report.
+            let _ = handle.join();
         }
         let elapsed = self.started.elapsed();
         let shared = &self.shared;
@@ -527,6 +860,14 @@ impl ClaimService {
             abandoned: shared.abandoned.load(Ordering::Relaxed),
             stranded: shared.stranded.load(Ordering::Relaxed),
             violations: shared.violations.load(Ordering::Relaxed),
+            worker_restarts: shared.worker_restarts.load(Ordering::Relaxed),
+            deadline_misses: shared.deadline_misses.load(Ordering::Relaxed),
+            late_recovered: shared.late_recovered.load(Ordering::Relaxed),
+            grant_waits: shared
+                .grant_waits
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
             completed_generations: shared.completed_generations.load(Ordering::Relaxed),
             performed_in_completed: shared.performed_in_completed.load(Ordering::Relaxed),
             queue: shared.queue.stats(),
@@ -612,13 +953,217 @@ mod tests {
         );
     }
 
+    /// A worker automaton that sleeps before every perform — a
+    /// deterministic way to force client-edge deadline misses.
+    #[derive(Debug)]
+    struct StallProcess {
+        pid: usize,
+        next: u64,
+        jobs: u64,
+        stall: Duration,
+    }
+
+    impl<R: amo_sim::Registers + ?Sized> amo_sim::Process<R> for StallProcess {
+        fn step(&mut self, _mem: &R) -> StepEvent {
+            if self.next > self.jobs {
+                return StepEvent::Terminated;
+            }
+            std::thread::sleep(self.stall);
+            let j = self.next;
+            self.next += 1;
+            StepEvent::Perform { span: j.into() }
+        }
+
+        fn pid(&self) -> usize {
+            self.pid
+        }
+
+        fn is_terminated(&self) -> bool {
+            self.next > self.jobs
+        }
+    }
+
+    impl amo_sim::scenario::ScenarioHooks for StallProcess {}
+
+    #[derive(Debug, Clone)]
+    struct StallBlueprint {
+        jobs: u64,
+        stall: Duration,
+    }
+
+    impl FleetBlueprint for StallBlueprint {
+        fn workers(&self) -> usize {
+            1
+        }
+
+        fn jobs_per_generation(&self) -> u64 {
+            self.jobs
+        }
+
+        fn cells(&self) -> usize {
+            1
+        }
+
+        fn build(&self, pid: usize) -> BoxProcess {
+            boxed(StallProcess {
+                pid,
+                next: 1,
+                jobs: self.jobs,
+                stall: self.stall,
+            })
+        }
+
+        fn label(&self) -> &'static str {
+            "stall"
+        }
+    }
+
+    /// A solo automaton whose first step dies with an unrecognised panic
+    /// (a "real bug", not a chaos kill). Rebuilt twins claim normally.
+    #[derive(Debug)]
+    struct FaultyOnceProcess {
+        pid: usize,
+        next: u64,
+        jobs: u64,
+        armed: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl<R: amo_sim::Registers + ?Sized> amo_sim::Process<R> for FaultyOnceProcess {
+        fn step(&mut self, _mem: &R) -> StepEvent {
+            if self.armed.swap(false, Ordering::Relaxed) {
+                panic!("process bug: dirty mid-step death");
+            }
+            if self.next > self.jobs {
+                return StepEvent::Terminated;
+            }
+            let j = self.next;
+            self.next += 1;
+            StepEvent::Perform { span: j.into() }
+        }
+
+        fn pid(&self) -> usize {
+            self.pid
+        }
+
+        fn is_terminated(&self) -> bool {
+            self.next > self.jobs
+        }
+    }
+
+    impl amo_sim::scenario::ScenarioHooks for FaultyOnceProcess {}
+
+    #[derive(Debug, Clone)]
+    struct FaultyOnceBlueprint {
+        jobs: u64,
+        armed: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl FleetBlueprint for FaultyOnceBlueprint {
+        fn workers(&self) -> usize {
+            1
+        }
+
+        fn jobs_per_generation(&self) -> u64 {
+            self.jobs
+        }
+
+        fn cells(&self) -> usize {
+            1
+        }
+
+        fn build(&self, pid: usize) -> BoxProcess {
+            boxed(FaultyOnceProcess {
+                pid,
+                next: 1,
+                jobs: self.jobs,
+                armed: Arc::clone(&self.armed),
+            })
+        }
+
+        fn label(&self) -> &'static str {
+            "faulty-once"
+        }
+    }
+
+    #[test]
+    fn chaos_killed_workers_recover_mid_generation() {
+        let chaos = ServiceChaos::every(7, 3);
+        let svc = ClaimService::start_chaotic(KkBlueprint::new(64, 3).unwrap(), 8, chaos);
+        let client = svc.client();
+        let mut jobs = HashSet::new();
+        for _ in 0..200 {
+            let grant = client.claim().expect("supervised service keeps granting");
+            assert!(jobs.insert(grant.job), "job {} granted twice", grant.job);
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.granted, 200);
+        assert_eq!(report.violations, 0);
+        assert!(report.worker_restarts > 0, "injected kills must have fired");
+        assert_eq!(report.grant_waits.count(), 200, "delivered grants recorded");
+        assert!(report.queue.peak_depth <= 8);
+    }
+
+    #[test]
+    fn dirty_panic_reserves_the_inflight_request() {
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let bp = FaultyOnceBlueprint {
+            jobs: 8,
+            armed: Arc::clone(&armed),
+        };
+        let svc = ClaimService::start(bp, 4);
+        let client = svc.client();
+        // The first step dies mid-claim; the supervisor must rebuild into
+        // the next generation and re-serve the parked request.
+        let grant = client.claim().expect("request survives the worker bug");
+        assert_eq!(grant.generation, 1, "rebuilt into the next generation");
+        let report = svc.shutdown();
+        assert_eq!(report.granted, 1);
+        assert_eq!(report.worker_restarts, 1);
+        assert_eq!(report.violations, 0);
+        assert!(!armed.load(Ordering::Relaxed), "the bug actually fired");
+    }
+
+    #[test]
+    fn deadlines_miss_explicitly_then_late_grants_recover() {
+        let svc = ClaimService::start(
+            StallBlueprint {
+                jobs: 4,
+                stall: Duration::from_millis(30),
+            },
+            4,
+        );
+        let client = svc.client();
+        // Total budget 1 ms + 2 ms ≪ the 30 ms stall: every wait expires,
+        // and the failure is explicit instead of an indefinite block.
+        let tight = RetryPolicy::new(Duration::from_millis(1), 1);
+        assert_eq!(
+            client.claim_with_deadline(tight).unwrap_err(),
+            ClientError::DeadlineExceeded
+        );
+        assert_eq!(client.outstanding(), 1, "the grant is still owed");
+        let late = client.recv().expect("late grant still delivered");
+        assert!(late.job >= 1);
+        // A policy with enough backoff misses early waits but recovers.
+        let patient = RetryPolicy::new(Duration::from_millis(1), 12);
+        let grant = client
+            .claim_with_deadline(patient)
+            .expect("recovers within the backed-off waits");
+        assert_ne!(grant.job, late.job);
+        let report = svc.shutdown();
+        assert!(report.deadline_misses >= 3, "both claims missed deadlines");
+        assert_eq!(report.late_recovered, 1);
+        assert_eq!(report.granted, 2);
+        assert_eq!(report.violations, 0);
+    }
+
     #[test]
     fn churned_clients_are_abandoned_not_fatal() {
         let svc = ClaimService::start(KkBlueprint::new(64, 2).unwrap(), 8);
         {
-            let leaver = svc.client();
+            // Deserts first (receiver gone), then submits: the grant is
+            // deterministically undeliverable.
+            let leaver = svc.client().desert();
             leaver.submit().expect("accepted");
-            // Drops its receiver without collecting the grant.
         }
         let stayer = svc.client();
         let grant = stayer.claim().expect("service still live");
@@ -627,5 +1172,10 @@ mod tests {
         assert_eq!(report.granted, 2);
         assert_eq!(report.abandoned, 1);
         assert_eq!(report.violations, 0);
+        assert_eq!(
+            report.grant_waits.count(),
+            1,
+            "the abandoned grant stays out of the wait histogram"
+        );
     }
 }

@@ -12,12 +12,23 @@
 //! submit-to-grant tail latency (p50/p99/p999 via [`LatencyHistogram`]),
 //! and effectiveness over completed generations — with the at-most-once
 //! audit running throughout ([`ServiceReport::violations`]).
+//!
+//! A soak can also run **degraded on purpose**: [`SoakConfig::chaos`]
+//! injects supervised worker kills mid-run, and [`SoakConfig::deadline`]
+//! puts every quota client on a bounded-retry deadline policy — the
+//! [`summary`](SoakReport::summary) then carries a degraded-mode section
+//! (worker restarts, deadline misses, late-recovered grants). The
+//! reported latency merges **collected** grants only: deserters never
+//! record, and abandoned grants are likewise excluded service-side
+//! ([`ServiceReport::grant_waits`]), so churn cannot skew the tails.
 
 use std::thread;
 use std::time::Duration;
 
 use crate::latency::LatencyHistogram;
-use crate::service::{ClaimService, FleetBlueprint, ServiceReport};
+use crate::service::{
+    ClaimService, ClientError, FleetBlueprint, RetryPolicy, ServiceChaos, ServiceReport,
+};
 
 /// Shape of a soak run.
 #[derive(Debug, Clone)]
@@ -35,6 +46,13 @@ pub struct SoakConfig {
     pub join_stagger: Duration,
     /// Ingest-queue capacity (the admission bound).
     pub queue_capacity: usize,
+    /// Optional live fault injection: supervised worker kills mid-run.
+    pub chaos: Option<ServiceChaos>,
+    /// Optional client-edge deadline policy for the quota clients. A
+    /// claim whose every backed-off wait expires is collected late (the
+    /// grant is still owed) and surfaces as deadline misses in the report
+    /// instead of blocking the quota forever.
+    pub deadline: Option<RetryPolicy>,
 }
 
 impl Default for SoakConfig {
@@ -46,6 +64,8 @@ impl Default for SoakConfig {
             requests_per_deserter: 2,
             join_stagger: Duration::from_millis(1),
             queue_capacity: 32,
+            chaos: None,
+            deadline: None,
         }
     }
 }
@@ -77,7 +97,7 @@ impl SoakReport {
             .effectiveness()
             .map(|e| format!("{:.1}%", e * 100.0))
             .unwrap_or_else(|| "n/a".into());
-        format!(
+        let mut line = format!(
             "{} fleet m={} n={}: {} grants in {:.2?} ({:.0} claims/sec) | \
              wait p50 {:.2?} p99 {:.2?} p999 {:.2?} | \
              effectiveness {} over {} completed generations | \
@@ -97,27 +117,56 @@ impl SoakReport {
             self.service.queue.peak_depth,
             self.service.queue_capacity,
             self.service.violations,
-        )
+        );
+        if self.service.worker_restarts > 0
+            || self.service.deadline_misses > 0
+            || self.service.late_recovered > 0
+        {
+            line.push_str(&format!(
+                " | degraded: {} worker restarts, {} deadline misses, \
+                 {} late-recovered grants",
+                self.service.worker_restarts,
+                self.service.deadline_misses,
+                self.service.late_recovered,
+            ));
+        }
+        line
     }
 }
 
 /// Runs one soak: starts the service, drives the churning client
 /// population to quota, shuts down, and returns the merged report.
 pub fn run_soak(blueprint: impl FleetBlueprint + 'static, config: &SoakConfig) -> SoakReport {
-    let svc = ClaimService::start(blueprint, config.queue_capacity);
+    let svc = match config.chaos {
+        Some(chaos) => ClaimService::start_chaotic(blueprint, config.queue_capacity, chaos),
+        None => ClaimService::start(blueprint, config.queue_capacity),
+    };
 
     let clients: Vec<_> = (0..config.clients)
         .map(|i| {
             let client = svc.client();
             let stagger = config.join_stagger * i as u32;
             let quota = config.claims_per_client;
+            let deadline = config.deadline;
             thread::Builder::new()
                 .name(format!("soak-client-{i}"))
                 .spawn(move || {
                     thread::sleep(stagger);
                     let mut hist = LatencyHistogram::new();
                     for _ in 0..quota {
-                        let grant = client.claim().expect("service live during soak");
+                        let grant = match deadline {
+                            None => client.claim().expect("service live during soak"),
+                            Some(policy) => match client.claim_with_deadline(policy) {
+                                Ok(grant) => grant,
+                                // Every backed-off wait expired; the grant
+                                // is still owed (accepted ⇒ granted), so
+                                // collect it late rather than lose quota.
+                                Err(ClientError::DeadlineExceeded) => {
+                                    client.recv().expect("late grant still owed")
+                                }
+                                Err(e) => panic!("soak client failed: {e}"),
+                            },
+                        };
                         hist.record(grant.wait);
                     }
                     hist
@@ -128,7 +177,10 @@ pub fn run_soak(blueprint: impl FleetBlueprint + 'static, config: &SoakConfig) -
 
     let deserters: Vec<_> = (0..config.deserters)
         .map(|i| {
-            let client = svc.client();
+            // Deserts up front: the receiving half is gone before the
+            // first submit, so every deserter grant is deterministically
+            // abandoned (no race against worker delivery).
+            let client = svc.client().desert();
             // Deserters join mid-stagger, between the quota clients.
             let stagger = config.join_stagger * i as u32 + config.join_stagger / 2;
             let requests = config.requests_per_deserter;
@@ -139,7 +191,6 @@ pub fn run_soak(blueprint: impl FleetBlueprint + 'static, config: &SoakConfig) -
                     for _ in 0..requests {
                         client.submit().expect("service live during soak");
                     }
-                    // Falls out of scope without recv(): abandoned grants.
                 })
                 .expect("spawn soak deserter")
         })
@@ -175,6 +226,7 @@ mod tests {
             requests_per_deserter: 2,
             join_stagger: Duration::from_micros(200),
             queue_capacity: 8,
+            ..SoakConfig::default()
         };
         let report = run_soak(KkBlueprint::new(32, 2).unwrap(), &config);
         assert_eq!(report.service.violations, 0);
@@ -186,5 +238,82 @@ mod tests {
         assert_eq!(report.service.abandoned, 2);
         assert!(report.service.queue.peak_depth <= 8);
         assert!(report.summary().contains("violations 0"));
+        assert!(
+            !report.summary().contains("degraded:"),
+            "a fault-free soak reports no degraded section"
+        );
+    }
+
+    /// The acceptance gate for the self-healing service: worker kills +
+    /// client churn + deadline pressure, and still accepted ⇒
+    /// granted-or-explicitly-failed, bounded admission, a clean audit —
+    /// with the degradation itself reported, not hidden.
+    #[test]
+    fn chaotic_soak_degrades_gracefully() {
+        let config = SoakConfig {
+            clients: 4,
+            claims_per_client: 60,
+            deserters: 2,
+            requests_per_deserter: 2,
+            join_stagger: Duration::from_micros(100),
+            queue_capacity: 8,
+            chaos: Some(ServiceChaos::every(9, 2)),
+            deadline: Some(RetryPolicy::new(Duration::from_millis(2), 8)),
+        };
+        let report = run_soak(KkBlueprint::new(64, 3).unwrap(), &config);
+        // Accepted ⇒ granted-or-explicitly-failed: every admitted request
+        // was answered exactly once — late grants were collected, deserter
+        // grants delivered-or-abandoned, nothing vanished in a kill.
+        assert_eq!(report.service.granted, report.service.queue.accepted);
+        assert_eq!(report.service.violations, 0);
+        assert!(
+            report.service.worker_restarts > 0,
+            "chaos kills must actually fire"
+        );
+        assert!(report.service.queue.peak_depth <= config.queue_capacity);
+        assert_eq!(report.latency.count(), config.collected_claims());
+        let s = report.summary();
+        assert!(
+            s.contains("degraded:"),
+            "summary must report degradation: {s}"
+        );
+    }
+
+    /// Pins the deserted-grant latency fix on a fixed synthetic stream:
+    /// the pre-fix histogram (every grant, abandoned included) reports
+    /// churn-dominated tails, the post-fix delivered-only histogram (what
+    /// [`ServiceReport::grant_waits`] records) reports the service's own.
+    #[test]
+    fn abandoned_waits_are_excluded_from_quantiles() {
+        let mut old = LatencyHistogram::new();
+        let mut new = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            // Fixed stream: 2% deserters, whose abandoned grants carry a
+            // 2 ms "wait" (measuring the deserter, not the service)
+            // against a 10 µs delivered wait.
+            let deserted = i % 50 == 49;
+            let wait = if deserted {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_micros(10)
+            };
+            old.record(wait);
+            if !deserted {
+                new.record(wait);
+            }
+        }
+        assert_eq!(old.count(), 1000);
+        assert_eq!(new.count(), 980);
+        // Pre-fix: 2% churn owns both tail columns outright.
+        assert_eq!(old.p99(), Duration::from_millis(2));
+        assert_eq!(old.p999(), Duration::from_millis(2));
+        // Post-fix: the tails are the service's own.
+        assert_eq!(new.p99(), Duration::from_micros(10));
+        assert_eq!(new.p999(), Duration::from_micros(10));
+        // Even the median sharpens: both land in the same log₂ bucket,
+        // but only the delivered-only histogram can clamp the bucket's
+        // upper bound to the true 10 µs maximum.
+        assert_eq!(old.p50(), Duration::from_nanos((1 << 14) - 1));
+        assert_eq!(new.p50(), Duration::from_micros(10));
     }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use amo_serve::{run_soak, KkBlueprint, SoakConfig};
+use amo_serve::{run_soak, KkBlueprint, RetryPolicy, ServiceChaos, SoakConfig};
 
 fn smoke_config() -> SoakConfig {
     SoakConfig {
@@ -18,6 +18,7 @@ fn smoke_config() -> SoakConfig {
         requests_per_deserter: 3,
         join_stagger: Duration::from_micros(500),
         queue_capacity: 8,
+        ..SoakConfig::default()
     }
 }
 
@@ -97,10 +98,33 @@ fn tiny_queue_surfaces_backpressure_without_loss() {
         requests_per_deserter: 0,
         join_stagger: Duration::ZERO,
         queue_capacity: 1,
+        ..SoakConfig::default()
     };
     let report = run_soak(KkBlueprint::new(64, 2).unwrap(), &config);
     assert_eq!(report.service.violations, 0);
     assert_eq!(report.service.granted, 400);
     assert_eq!(report.service.queue.accepted, 400);
     assert!(report.service.queue.peak_depth <= 1);
+}
+
+#[test]
+fn chaotic_smoke_holds_the_full_contract_degraded() {
+    // The smoke contract, now with supervised worker kills firing mid-run
+    // and every quota client on a deadline policy: the accounting
+    // identities must hold *exactly* as in the fault-free run, with the
+    // degradation itself reported.
+    let config = SoakConfig {
+        chaos: Some(ServiceChaos::every(40, 3)),
+        deadline: Some(RetryPolicy::new(Duration::from_millis(2), 8)),
+        ..smoke_config()
+    };
+    let blueprint = KkBlueprint::mixed(128, 4).unwrap();
+    let bound = blueprint.effectiveness_bound();
+    let report = run_soak(blueprint, &config);
+    check_contract(&report, bound);
+    assert!(
+        report.service.worker_restarts > 0,
+        "chaos kills must actually fire"
+    );
+    assert!(report.summary().contains("degraded:"));
 }

@@ -180,6 +180,46 @@
 //! is cross-checked against the authoritative register file
 //! ([`NetStats::atomicity_violations`], pinned at zero).
 //!
+//! # Chaos invariants (the [`chaos`] module)
+//!
+//! A [`ChaosPlan`] composes every fault axis above into one seeded
+//! schedule — crashes/restarts, a storage blackout regime, a network
+//! environment, a named adversary, shard-worker panics — and
+//! [`ChaosPlan::lower_onto`] folds it onto any base [`ScenarioSpec`], so
+//! every existing driver accepts the chaos dimension with zero
+//! algorithm-crate edits. The contracts the suites pin:
+//!
+//! * **Quiet-plan identity.** A plan with no events lowers to a spec that
+//!   produces a bit-identical [`Execution`] — the chaos dimension is
+//!   observationally free until a fault is actually scheduled (pinned for
+//!   all four algorithm stacks by the workspace `chaos_equivalence`
+//!   suite).
+//! * **One backend axis per run.** A plan scheduling both a storage and a
+//!   network event panics at lowering: one run has one register file.
+//!   Sharded bases reject backend, adversary and restart events with the
+//!   same loud messages as [`run_scenario_sharded`] itself.
+//! * **Seeded drawing is a pure function.** [`ChaosPlan::draw`] maps
+//!   `(seed, intensity, space)` to a plan deterministically, gated by a
+//!   [`ChaosSpace`] so a drawn plan is always executable by the stack it
+//!   is drawn for (restarts only where `on_restart` exists, adversaries
+//!   only where a registry resolves them); crash counts respect `f < m`.
+//! * **Shrinker determinism.** [`shrink_plan`] delta-debugs a failing
+//!   plan — greedy event removal, then per-field halving, to a fixed
+//!   point, in one documented candidate order — so a deterministic
+//!   failure predicate yields the *same* minimal reproducer on every run.
+//! * **Replay exactness.** [`ChaosPlan::to_replay`] emits a hand-rolled
+//!   line-based snippet (`chaos-plan v1`) and
+//!   [`ChaosPlan::parse_replay`] inverts it exactly; adversary names
+//!   resolve against the static [`chaos::KNOWN_ADVERSARIES`] dictionary,
+//!   so parsed plans still carry `&'static str` registry names.
+//! * **Worker panics are armed, not lowered.** [`ChaosPlan::arm`]
+//!   registers `(worker, epoch)` panic points thread-locally
+//!   ([`pool::arm_chaos_panics`]); the next sharded run drains them at
+//!   start and panics the worker indexed `worker % threads` at the epoch
+//!   boundary — surfacing through the panic-safe barrier protocol to the
+//!   caller under every thread count, never deadlocking. The RAII guard
+//!   disarms leftovers so plans cannot leak panics into unrelated runs.
+//!
 //! # Examples
 //!
 //! ```
@@ -197,6 +237,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod chaos;
 mod crash;
 mod durable;
 mod engine;
@@ -214,6 +255,7 @@ mod timeline;
 mod verify;
 
 pub use arena::FleetArena;
+pub use chaos::{shrink_plan, ChaosEvent, ChaosGuard, ChaosPlan, ChaosSpace, Intensity};
 pub use crash::CrashPlan;
 pub use durable::{DurableRegisters, DurableStats, StorageFault};
 pub use engine::{Engine, EngineLimits, Execution, LifeState, PerformRecord, Slot, TraceEntry};

@@ -17,11 +17,38 @@
 //! between uses. Long-lived phase workers (the shard driver's per-run
 //! epoch loops) spawn through [`scope_workers`] and synchronise themselves.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 thread_local! {
     /// `true` on threads spawned by this module — the nesting guard.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// Worker-panic injection points `(worker, epoch)` armed on this
+    /// thread by a chaos plan ([`crate::chaos::ChaosPlan::arm`]), pending
+    /// consumption by the next sharded run started from this thread.
+    static CHAOS_PANICS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Arms worker-panic injection points on the calling thread: the next
+/// sharded run ([`crate::run_scenario_sharded`]) drains them at run start
+/// via [`take_chaos_panics`] and panics the worker indexed
+/// `worker % threads` at the start of each listed epoch. Thread-local by
+/// design — arming is scoped to the run the caller is about to start, so
+/// concurrent tests (or grid cells) cannot poison each other's runs.
+pub fn arm_chaos_panics(points: &[(usize, u64)]) {
+    CHAOS_PANICS.with(|p| p.borrow_mut().extend_from_slice(points));
+}
+
+/// Clears any armed-but-unconsumed worker-panic points on this thread
+/// (the [`crate::chaos::ChaosGuard`] drop path).
+pub fn disarm_chaos_panics() {
+    CHAOS_PANICS.with(|p| p.borrow_mut().clear());
+}
+
+/// Drains the worker-panic points armed on this thread — called once per
+/// sharded run, at run start, on the coordinating thread.
+pub fn take_chaos_panics() -> Vec<(usize, u64)> {
+    CHAOS_PANICS.with(|p| std::mem::take(&mut *p.borrow_mut()))
 }
 
 /// `true` when the current thread is itself a pool worker (a `par_map`

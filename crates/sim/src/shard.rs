@@ -615,6 +615,11 @@ where
         single_step: spec.reference_single_step,
         plan: spec.crash_plan.clone(),
     };
+    // Chaos worker-panic points armed on this thread (if any): a point
+    // (worker, epoch) panics the worker indexed `worker % threads` at the
+    // start of `epoch`, so an armed plan surfaces under every thread count
+    // — including the sequential reference, where everything is worker 0.
+    let chaos_points = pool::take_chaos_panics();
 
     // Contiguous pid blocks: concatenating shard logs in shard order is pid
     // order, which is what makes the merge key (epoch, pid, local_seq).
@@ -663,6 +668,9 @@ where
                 ms.completed = false;
                 break;
             }
+            if chaos_points.iter().any(|&(_, pe)| pe == epoch) {
+                panic!("chaos: injected worker panic (worker 0, epoch {epoch})");
+            }
             for lane in &mut lanes {
                 run_shard_epoch(lane, Arc::clone(&snap_arc), epoch, &params);
             }
@@ -681,6 +689,7 @@ where
             &params,
             spec,
             threads,
+            &chaos_points,
         );
     }
 
@@ -725,6 +734,7 @@ fn run_epochs_threaded<P>(
     params: &TurnParams,
     spec: &ScenarioSpec,
     threads: usize,
+    chaos_points: &[(usize, u64)],
 ) where
     P: Process<ShardRegisters> + Send,
 {
@@ -757,6 +767,12 @@ fn run_epochs_threaded<P>(
                         .clone()
                         .expect("coordinator published the epoch snapshot");
                     let r = catch_unwind(AssertUnwindSafe(|| {
+                        if chaos_points
+                            .iter()
+                            .any(|&(pw, pe)| pe == epoch && pw % threads == w)
+                        {
+                            panic!("chaos: injected worker panic (worker {w}, epoch {epoch})");
+                        }
                         for cell in lane_cells.iter().skip(w).step_by(threads) {
                             let mut lane = cell.lock().unwrap();
                             run_shard_epoch(&mut lane, Arc::clone(&snap), epoch, params);
@@ -999,5 +1015,87 @@ mod tests {
         let reference =
             ScenarioSpec::round_robin_batched().with_shard_spec(ShardSpec::sequential(1));
         assert_eq!(run_sharded(3, 5, &spec), run_sharded(3, 5, &reference));
+    }
+
+    /// A writer that panics mid-epoch once it has taken `fuse` actions —
+    /// the stand-in for a buggy process automaton inside a shard turn.
+    #[derive(Debug)]
+    struct FusedWriter {
+        inner: WriterProcess,
+        fuse: u64,
+        taken: u64,
+    }
+    impl<R: Registers + ?Sized> Process<R> for FusedWriter {
+        fn step(&mut self, mem: &R) -> StepEvent {
+            assert!(self.taken < self.fuse, "process bug: fuse blown mid-epoch");
+            self.taken += 1;
+            self.inner.step(mem)
+        }
+        fn pid(&self) -> usize {
+            <WriterProcess as Process<R>>::pid(&self.inner)
+        }
+        fn is_terminated(&self) -> bool {
+            <WriterProcess as Process<R>>::is_terminated(&self.inner)
+        }
+    }
+    impl ScenarioHooks for FusedWriter {}
+
+    /// A full sharded run must *surface* a process panic inside a shard
+    /// epoch — propagated through the panic-safe barrier protocol with its
+    /// original payload — not hang the coordinator, for both the
+    /// sequential reference and the threaded pool.
+    #[test]
+    fn sharded_run_surfaces_process_panic() {
+        for threads in [1usize, 4] {
+            let fleet: Vec<FusedWriter> = (1..=4)
+                .map(|p| FusedWriter {
+                    inner: WriterProcess::new(p, p - 1, 50),
+                    fuse: if p == 3 { 7 } else { u64::MAX },
+                    taken: 0,
+                })
+                .collect();
+            let spec = ScenarioSpec::round_robin().with_shard_spec(ShardSpec::new(4, threads));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                run_scenario_sharded(VecRegisters::new(4), fleet, &spec)
+            }));
+            let payload = r.expect_err("the process panic must surface to the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("fuse blown mid-epoch"),
+                "threads={threads}: original payload must survive, got {msg:?}"
+            );
+        }
+    }
+
+    /// An armed chaos worker-panic point fires at the epoch boundary and
+    /// surfaces identically — and arming is consumed by the run, so a
+    /// follow-up run on the same thread is clean.
+    #[test]
+    fn sharded_run_surfaces_chaos_worker_panic() {
+        use crate::chaos::ChaosPlan;
+        let plan = ChaosPlan::quiet().worker_panic(1, 2);
+        for threads in [1usize, 4] {
+            let _guard = plan.arm();
+            let (mem, fleet) = writer_fleet(4, 50);
+            let spec = ScenarioSpec::round_robin().with_shard_spec(ShardSpec::new(4, threads));
+            let r = catch_unwind(AssertUnwindSafe(|| run_scenario_sharded(mem, fleet, &spec)));
+            let payload = r.expect_err("the injected panic must surface to the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("chaos: injected worker panic"),
+                "threads={threads}: got {msg:?}"
+            );
+            // The run drained the armed points: the same spec now passes.
+            let (mem, fleet) = writer_fleet(4, 50);
+            let (exec, _, _) = run_scenario_sharded(mem, fleet, &spec);
+            assert!(exec.completed, "threads={threads}: arming must not leak");
+        }
     }
 }

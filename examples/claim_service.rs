@@ -50,10 +50,11 @@ fn main() {
         })
         .collect();
     {
-        let deserter = service.client();
+        // `desert()` drops the receiving half up front: both grants are
+        // performed, delivered-to-nobody, and counted abandoned.
+        let deserter = service.client().desert();
         deserter.submit().expect("accepted");
         deserter.submit().expect("accepted");
-        // ... and gone: receiver dropped with two grants still due.
     }
     drop(tx);
 
@@ -98,6 +99,7 @@ fn main() {
         requests_per_deserter: 3,
         join_stagger: Duration::from_millis(1),
         queue_capacity: 8,
+        ..SoakConfig::default()
     };
     println!(
         "\nsoak: {} clients x {} claims, {} deserters, queue capacity {}",
